@@ -1,0 +1,97 @@
+"""E5 — arrays as sets with integer element names (section 5.2).
+
+Regenerates the paper's array example and measures that element access
+through integer names stays O(1)-ish as arrays grow (it is a dict access
+in the object's element map), both in memory and through the database.
+
+Run the harness:   python benchmarks/bench_array_sets.py
+Run the timings:   pytest benchmarks/bench_array_sets.py --benchmark-only
+"""
+
+import pytest
+
+from repro import GemStone
+from repro.bench import Table, stopwatch
+from repro.core import MemoryObjectManager
+from repro.stdm import LabeledSet, format_set
+
+
+PAPER_ARRAY = {
+    1: ["Anders", "Roberts"],
+    2: ["Roberts", "Ching"],
+    3: ["Albrecht", "Ching"],
+}
+
+
+def build_array(store, size: int):
+    array = store.instantiate("Array", size=size)
+    for index in range(1, size + 1):
+        store.bind(array, index, index * 10)
+    return array
+
+
+def test_paper_array_regenerates():
+    array = LabeledSet.from_nested(PAPER_ARRAY)
+    assert array.navigate("2").values() == ["Roberts", "Ching"]
+    assert set(array.names()) == {1, 2, 3}
+
+
+def test_arbitrary_index_sets():
+    """The index set need not be positive integers (section 5.2)."""
+    array = LabeledSet({-3: "below", 0: "zero", "monday": "named"})
+    assert array[-3] == "below"
+    assert array["monday"] == "named"
+
+
+def test_array_protocol_in_opal():
+    from repro.opal import OpalEngine
+
+    engine = OpalEngine(MemoryObjectManager())
+    assert engine.execute(
+        "| a | a := Array new: 100. a at: 50 put: 'mid'. a at: 50"
+    ) == "mid"
+
+
+def test_access_cost_flat_across_sizes():
+    om = MemoryObjectManager()
+    small = build_array(om, 100)
+    large = build_array(om, 100_000)
+    t_small = stopwatch(lambda: om.value_at(small, 50), repeat=5)
+    t_large = stopwatch(lambda: om.value_at(large, 50_000), repeat=5)
+    # associative access: no linear scan hiding inside
+    assert t_large.seconds < t_small.seconds * 50 + 1e-3
+
+
+def test_bench_memory_array_access(benchmark):
+    om = MemoryObjectManager()
+    array = build_array(om, 10_000)
+    benchmark(om.value_at, array, 5_000)
+
+
+def test_bench_database_array_access(benchmark):
+    db = GemStone.create()
+    session = db.login()
+    array = build_array(session.session, 1_000)
+    session.assign("array", array)
+    session.commit()
+    benchmark(session.session.value_at, array.oid, 500)
+
+
+def main() -> None:
+    print("E5: the paper's array, as a set with integer element names:")
+    print(" ", format_set(LabeledSet.from_nested(PAPER_ARRAY)))
+    print()
+
+    om = MemoryObjectManager()
+    sweep = Table("E5: element access vs array size (µs, best of 5)",
+                  ["size", "access middle element"])
+    for size in (100, 10_000, 100_000):
+        array = build_array(om, size)
+        timing = stopwatch(lambda a=array, s=size: om.value_at(a, s // 2), 5)
+        sweep.add(size, timing.micros)
+    sweep.note("flat: integer element names are associative, not positional")
+    sweep.show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,161 @@
+"""E2 — the section 5.1 set-calculus query, three evaluation strategies.
+
+    {{Emp: e, Mgr: m} where (e ∈ X!Employees) and (d ∈ X!Departments)
+     [(m ∈ d!Managers) and (d!Name ∈ e!Depts) and
+      (e!Salary > 0.10 * d!Budget)]}
+
+Strategies compared: the reference calculus evaluator, the translated
+algebra plan (selection pushdown), and the optimized plan using a
+directory on Salary.  All three must return identical rows; the shape
+the paper predicts is algebra ≥ calculus and index ≫ scan as data grows.
+
+Run the harness:   python benchmarks/bench_calculus_query.py
+Run the timings:   pytest benchmarks/bench_calculus_query.py --benchmark-only
+"""
+
+import pytest
+
+from repro.bench import Table, acme_fragment, ratio, stopwatch
+from repro.core import MemoryObjectManager
+from repro.directories import DirectoryManager
+from repro.stdm import (
+    Const,
+    QueryContext,
+    SetQuery,
+    optimize,
+    translate,
+    variables,
+)
+
+
+def paper_query(employees, departments) -> SetQuery:
+    e, d, m = variables("e", "d", "m")
+    return SetQuery(
+        result={"Emp": e.path("Name!Last"), "Mgr": m},
+        binders=[
+            (e, Const(employees)),
+            (d, Const(departments)),
+            (m, d.path("Managers")),
+        ],
+        condition=(
+            d.path("Name").in_(e.path("Depts"))
+            & (e.path("Salary") > Const(0.10) * d.path("Budget"))
+        ),
+    )
+
+
+def salary_query(employees, threshold: int) -> SetQuery:
+    e, = variables("e")
+    return SetQuery(
+        result=e.path("Name!Last"),
+        binders=[(e, Const(employees))],
+        condition=(e.path("Salary") > threshold),
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    om = MemoryObjectManager()
+    employees, departments = acme_fragment(om, n_employees=300, n_departments=6)
+    dm = DirectoryManager(om)
+    dm.create_directory(employees, "Salary")
+    return om, dm, employees, departments
+
+
+def test_three_strategies_agree(dataset):
+    om, dm, employees, departments = dataset
+    query = paper_query(employees, departments)
+    reference = query.evaluate(QueryContext(om))
+    algebra = translate(query).run(QueryContext(om))
+    optimized, _ = optimize(query, dm)
+    assert algebra == reference
+    assert sorted(map(str, optimized.run(QueryContext(om)))) == sorted(
+        map(str, reference)
+    )
+
+
+def test_bench_calculus_reference(dataset, benchmark):
+    om, _dm, employees, departments = dataset
+    query = paper_query(employees, departments)
+    benchmark(lambda: query.evaluate(QueryContext(om)))
+
+
+def test_bench_translated_algebra(dataset, benchmark):
+    om, _dm, employees, departments = dataset
+    query = paper_query(employees, departments)
+    benchmark(lambda: translate(query).run(QueryContext(om)))
+
+
+def test_bench_salary_scan(dataset, benchmark):
+    om, _dm, employees, _departments = dataset
+    query = salary_query(employees, 38_000)
+    benchmark(lambda: translate(query).run(QueryContext(om)))
+
+
+def test_bench_salary_indexed(dataset, benchmark):
+    om, dm, employees, _departments = dataset
+    query = salary_query(employees, 38_000)
+    plan, choices = optimize(query, dm)
+    assert choices
+    benchmark(lambda: plan.run(QueryContext(om)))
+
+
+def literal_fragment(om):
+    """The section 5.1 fragment verbatim: Sales/Research, Burns/Peters."""
+    def labeled(**elements):
+        obj = om.instantiate("Object")
+        for name, value in elements.items():
+            om.bind(obj, name, value)
+        return obj
+
+    def collection(*members):
+        obj = om.instantiate("Object")
+        for member in members:
+            om.bind(obj, om.new_alias(), member)
+        return obj
+
+    sales = labeled(Name="Sales", Budget=142_000,
+                    Managers=collection("Nathen", "Roberts"))
+    research = labeled(Name="Research", Budget=256_500,
+                       Managers=collection("Carter"))
+    burns = labeled(Name=labeled(First="Ellen", Last="Burns"),
+                    Salary=24_650, Depts=collection("Marketing"))
+    peters = labeled(Name=labeled(First="Robert", Last="Peters"),
+                     Salary=24_000, Depts=collection("Sales", "Planning"))
+    return collection(burns, peters), collection(sales, research)
+
+
+def main() -> None:
+    # the exact section 5.1 instance first
+    om = MemoryObjectManager()
+    employees, departments = literal_fragment(om)
+    rows = paper_query(employees, departments).evaluate(QueryContext(om))
+    sample = Table("E2: the paper's query on the section 5.1 fragment",
+                   ["Emp", "Mgr"])
+    for row in rows:
+        sample.add(row["Emp"], row["Mgr"])
+    sample.note("employees in a manager's department earning > 10% of budget")
+    sample.show()
+
+    sweep = Table(
+        "E2: strategy sweep (ms, best of 3)",
+        ["employees", "calculus", "algebra", "index plan", "scan/index"],
+    )
+    for n in (50, 200, 800):
+        om = MemoryObjectManager()
+        employees, departments = acme_fragment(om, n, 6)
+        dm = DirectoryManager(om)
+        dm.create_directory(employees, "Salary")
+        query = salary_query(employees, 38_000)
+        calculus = stopwatch(lambda: query.evaluate(QueryContext(om)), 3)
+        algebra = stopwatch(lambda: translate(query).run(QueryContext(om)), 3)
+        plan, _ = optimize(query, dm)
+        indexed = stopwatch(lambda: plan.run(QueryContext(om)), 3)
+        sweep.add(n, calculus.millis, algebra.millis, indexed.millis,
+                  ratio(algebra.seconds, indexed.seconds))
+    sweep.note("who wins: the directory plan, by a growing factor")
+    sweep.show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Regenerate every experiment's result tables in one pass.
+
+Runs each ``bench_*.py`` module's ``main()`` harness in sequence —
+the printed tables are the rows EXPERIMENTS.md records.
+
+    python benchmarks/run_all.py            # everything
+    python benchmarks/run_all.py occ safe   # substring filters
+"""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+import sys
+import time
+
+
+def discover() -> list[str]:
+    here = pathlib.Path(__file__).parent
+    return sorted(
+        path.stem for path in here.glob("bench_*.py")
+    )
+
+
+def main(argv: list[str]) -> int:
+    filters = [arg.lower() for arg in argv]
+    names = discover()
+    if filters:
+        names = [n for n in names if any(f in n for f in filters)]
+    if not names:
+        print("no experiments match", filters)
+        return 1
+    sys.path.insert(0, str(pathlib.Path(__file__).parent))
+    failures = []
+    for name in names:
+        banner = f"  {name}  "
+        print("\n" + banner.center(74, "#"))
+        started = time.perf_counter()
+        try:
+            module = importlib.import_module(name)
+            module.main()
+        except Exception as error:  # keep going; report at the end
+            failures.append((name, error))
+            print(f"!! {name} failed: {type(error).__name__}: {error}")
+        finally:
+            print(f"({name} took {time.perf_counter() - started:.1f}s)")
+    if failures:
+        print(f"\n{len(failures)} experiment(s) failed:")
+        for name, error in failures:
+            print(f"  {name}: {error}")
+        return 1
+    print(f"\nall {len(names)} experiments regenerated.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,101 @@
+"""Figure 1 of the paper, replayed exactly: "A Database with History".
+
+Acme Corp's presidents, employees and cities change over transaction
+times 2..9; the script then runs the paper's three example queries:
+
+    World!'Acme Corp'!'president'
+    World!'Acme Corp'!'president'@10
+    World!'Acme Corp'!'president'@7!city      -> 'San Diego'
+
+Run:  python examples/acme_history.py
+"""
+
+from repro import GemStone
+
+
+def build_figure1(db: GemStone):
+    """Replay the Figure 1 event script, one commit per time step."""
+    session = db.login()
+    clock = db.transaction_manager.clock
+
+    def commit_at(expected_time: int) -> None:
+        # pad the clock so commits land on the figure's exact times
+        while clock.latest < expected_time - 1:
+            clock.assign()
+        actual = session.commit()
+        assert actual == expected_time, (actual, expected_time)
+
+    # time 2: Acme exists; Ayn Rand is employee 1821, living in Portland
+    session.execute("""
+        | acme ayn |
+        acme := Object new.
+        ayn := Object new.
+        World!'Acme Corp' := acme.
+        acme!1821 := ayn.
+        ayn!name := 'Ayn Rand'.
+        ayn!city := 'Portland'
+    """)
+    commit_at(2)
+
+    # time 5: Ayn becomes president; Milton works in Seattle
+    session.execute("""
+        | milton |
+        milton := Object new.
+        milton!name := 'Milton Friedman'.
+        milton!city := 'Seattle'.
+        World!'Acme Corp'!president := World!'Acme Corp'!1821.
+        World!milton := milton
+    """)
+    commit_at(5)
+
+    # time 8: Milton becomes president and moves to Portland;
+    #         Ayn leaves the company (her element becomes nil)
+    session.execute("""
+        World!'Acme Corp'!president := World!milton.
+        World!milton!city := 'Portland'.
+        (World!'Acme Corp') removeKey: 1821
+    """)
+    commit_at(8)
+
+    # time 9: Ayn, no longer an employee, moves to San Diego
+    session.execute("""
+        (World!'Acme Corp'!president @ 7) at: 'city' put: 'San Diego'
+    """)
+    commit_at(9)
+
+    return session
+
+
+def main() -> None:
+    db = GemStone.create()
+    session = build_figure1(db)
+
+    print("Figure 1 replayed. The paper's queries:")
+    current = session.execute("World!'Acme Corp'!president!name")
+    print(f"  current president:            {current}")
+
+    at_10 = session.execute("World!'Acme Corp'!president @ 10")
+    print(f"  president@10:                 {session.execute('x!name', {'x': at_10})}")
+
+    previous = session.execute("World!'Acme Corp'!president @ 7 !name")
+    print(f"  president@7 (previous):       {previous}")
+
+    city = session.execute("World!'Acme Corp'!president @ 7 !city")
+    print(f"  president@7's current city:   {city}   (paper: San Diego)")
+
+    # The departed employee reads as nil now, but exists in history.
+    now_1821 = session.execute("World!'Acme Corp'!1821")
+    then_1821 = session.execute("World!'Acme Corp'!1821 @ 7 !name")
+    print(f"  employee 1821 now: {now_1821}, at time 7: {then_1821}")
+
+    # Full element history, the audit view deletion would have destroyed:
+    acme = session.resolve("'Acme Corp'")
+    print("  history of the president element:")
+    for time, value in session.execute("acme historyOf: 'president'",
+                                       {"acme": acme}):
+        name = session.execute("p!name", {"p": value}) if value else "—"
+        print(f"    time {time}: {name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""History replaces deletion: a bank audit (section 2E).
+
+"Deletion was invented as a means of reusing expensive on-line computer
+storage ... A temporal data model replaces deletion by maintaining
+object history."  This example runs a small bank: accounts open and
+close, balances change, two tellers conflict optimistically — and then
+an auditor reads any past state without any log-replay machinery,
+including through SafeTime while writers are active.
+
+Run:  python examples/bank_audit.py
+"""
+
+from repro import GemStone
+from repro.errors import TransactionConflict
+
+
+def main() -> None:
+    db = GemStone.create()
+    setup = db.login()
+    setup.execute("""
+        Object subclass: #Account instVarNames: #(owner balance).
+        Account compile: 'owner: o owner := o'.
+        Account compile: 'owner ^owner'.
+        Account compile: 'balance ^balance ifNil: [0]'.
+        Account compile: 'deposit: amount balance := self balance + amount'.
+        World!bank := Dictionary new
+    """)
+    setup.commit()
+
+    # --- business as usual: every commit is a retained state -------------
+    timestamps = {}
+    setup.execute("""
+        | a | a := Account new. a owner: 'Ellen'. a deposit: 1000.
+        World!bank at: 'ELN-1' put: a
+    """)
+    timestamps["ellen opens"] = setup.commit()
+
+    setup.execute("""
+        | a | a := Account new. a owner: 'Robert'. a deposit: 500.
+        World!bank at: 'ROB-1' put: a
+    """)
+    timestamps["robert opens"] = setup.commit()
+
+    setup.execute("(World!bank at: 'ELN-1') deposit: 250")
+    timestamps["ellen deposits"] = setup.commit()
+
+    # closing an account is a nil binding, not destruction
+    setup.execute("World!bank removeKey: 'ROB-1'")
+    timestamps["robert closes"] = setup.commit()
+
+    # --- two tellers race; optimistic validation picks one ---------------
+    teller_a, teller_b = db.login(), db.login()
+    for teller in (teller_a, teller_b):
+        teller.execute(
+            "| a | a := World!bank at: 'ELN-1'. a deposit: 10"
+        )
+    teller_a.commit()
+    try:
+        teller_b.commit()
+        outcome = "both committed (unexpected)"
+    except TransactionConflict:
+        outcome = "teller B aborted and would retry"
+    timestamps["tellers race"] = db.store.last_tx_time
+    print(f"optimistic concurrency: {outcome}")
+
+    # --- the audit --------------------------------------------------------
+    auditor = db.login()
+    print("\naudit of ELN-1 balance across the company's history:")
+    for label, t in timestamps.items():
+        auditor.execute(f"System timeDial: {t}")
+        balance = auditor.execute(
+            "(World!bank at: 'ELN-1' ifAbsent: [nil]) "
+            "ifNil: [0] ifNotNil: [:a | a balance]"
+        )
+        accounts = auditor.execute("World!bank size")
+        print(f"  time {t:>2} ({label:<15}): balance={balance:>5}, "
+              f"open accounts={accounts}")
+    auditor.execute("System timeDial: nil")
+
+    # Robert's account still exists as an entity; only its membership
+    # in the bank ended.  Its whole history is queryable:
+    t_open = timestamps["robert opens"]
+    robert = auditor.execute("World!bank at: 'ROB-1' ifAbsent: [nil]")
+    assert robert is None
+    robert_then = auditor.execute(
+        f"| b | b := World!bank. b!'ROB-1' @ {t_open}"
+    )
+    print(f"\nrobert's closed account, recovered from time {t_open}: "
+          f"owner={auditor.execute('a owner', {'a': robert_then})}")
+
+    # SafeTime: a consistent read while a writer is mid-transaction
+    writer = db.login()
+    writer.execute("(World!bank at: 'ELN-1') deposit: 999999")  # uncommitted
+    safe = auditor.execute("System dialSafeTime")
+    balance = auditor.execute("(World!bank at: 'ELN-1') balance")
+    print(f"\nSafeTime={safe}: auditor sees {balance} while a writer has "
+          "an uncommitted 999999 deposit")
+    writer.abort()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Section 5.2: set-valued attributes vs relational flattening.
+
+The paper's Robert Peters example: a set of children is one entity in
+STDM, but must flatten into three tuples relationally — repeating the
+scalar values, losing the set as an object, and making set operations
+(like subset) awkward.
+
+This example shows both encodings side by side using the STDM layer,
+then the same data living in the database with full entity identity.
+
+Run:  python examples/children_encoding.py
+"""
+
+from repro import GemStone
+from repro.stdm import (
+    LabeledSet,
+    flatten_set_valued,
+    format_set,
+    materialize,
+    relation_to_set,
+    snapshot,
+    unflatten_to_sets,
+)
+
+
+def main() -> None:
+    # --- the paper's structures, verbatim --------------------------------
+    robert = LabeledSet.from_nested({
+        "Name": {"First": "Robert", "Last": "Peters"},
+        "Children": ["Olivia", "Dale", "Paul"],
+    })
+    print("STDM entity (one object, children are a set):")
+    print(" ", format_set(robert))
+
+    attrs, rows = flatten_set_valued(
+        [robert], ["Name!First", "Name!Last"], "Children", "Child"
+    )
+    print("\nrelational flattening (the paper's three-tuple table):")
+    print(f"  {attrs[0]:<10} {attrs[1]:<10} {attrs[2]}")
+    for row in rows:
+        print(f"  {row[0]:<10} {row[1]:<10} {row[2]}")
+    print("  -> the scalar values repeat; 'the set of children does not"
+          " exist anywhere as a single object'")
+
+    rebuilt = unflatten_to_sets(attrs, rows, ["First", "Last"], "Child",
+                                "Children")
+    print("\nun-flattened back into an entity:", format_set(rebuilt[0]))
+
+    # the relation {A,B,C} example, also from section 5.2
+    relation = relation_to_set(["A", "B", "C"], [(1, 3, 4), (1, 5, 4)])
+    print("\na relation as an STDM set:", format_set(relation))
+
+    # --- the same data in the database, with identity --------------------
+    db = GemStone.create()
+    session = db.login()
+    # materialize as Bag instances so the collection protocol applies
+    person = materialize(session.session, robert, class_name="Bag")
+    session.assign("robert", person)
+    session.commit()
+
+    print("\nin GemStone: children is one object with identity "
+          f"(oid {session.resolve('robert!Children').oid})")
+
+    # subset is one construct, not two relational quantifiers:
+    session.execute("""
+        | wanted |
+        wanted := Set new. wanted add: 'Olivia'; add: 'Dale'.
+        World!favorites := wanted
+    """)
+    subset = session.execute(
+        "World!favorites allSatisfy: [:c | World!robert!Children includes: c]"
+    )
+    print("favorites ⊆ children?", subset)
+
+    # snapshot the database object back to pure STDM form:
+    print("\nround trip through the store:",
+          format_set(snapshot(session.session, person)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Entity identity: two equal gates are still two gates (section 4.2).
+
+"Thus, we can distinguish, say, two gates in a circuit that have all the
+same characteristics, but are not physically the same gate.  The
+distinction is most obvious during update, where if two objects share a
+component, updates to that component through one object are visible in
+the other object."
+
+This example builds a small circuit where two NAND gates share one power
+rail, shows identity vs structural equivalence, and demonstrates shared-
+component update visibility — the things logical-pointer models make you
+emulate with keys and joins.
+
+Run:  python examples/circuit_identity.py
+"""
+
+from repro import GemStone
+
+
+def main() -> None:
+    db = GemStone.create()
+    session = db.login()
+
+    session.execute("""
+        Object subclass: #PowerRail instVarNames: #(voltage).
+        Object subclass: #Gate instVarNames: #(kind delayNs rail).
+        Gate compile: 'kind ^kind'.
+        Gate compile: 'rail ^rail'.
+        Gate compile: 'voltage ^rail!voltage'
+    """)
+
+    session.execute("""
+        | rail g1 g2 circuit |
+        rail := PowerRail new.
+        rail!voltage := 5.
+
+        "two gates with ALL the same characteristics"
+        g1 := Gate new.  g1!kind := #nand.  g1!delayNs := 12.  g1!rail := rail.
+        g2 := Gate new.  g2!kind := #nand.  g2!delayNs := 12.  g2!rail := rail.
+
+        circuit := Set new.
+        circuit add: g1; add: g2.
+        World!circuit := circuit.
+        World!rail := rail
+    """)
+    session.commit()
+
+    # Structural equivalence vs identity
+    print("two gates in the circuit?      ",
+          session.execute("World!circuit size"), "(identity keeps both)")
+    g1, g2 = session.execute("World!circuit members")
+    equivalent = (
+        session.session.value_at(g1, "kind") == session.session.value_at(g2, "kind")
+        and session.session.value_at(g1, "delayNs")
+        == session.session.value_at(g2, "delayNs")
+        and session.session.value_at(g1, "rail")
+        == session.session.value_at(g2, "rail")
+    )
+    print("structurally equivalent?       ", equivalent)
+    print("identical (same object)?       ",
+          session.execute("a == b", {"a": g1, "b": g2}))
+
+    # Shared component: updating the rail through one gate is visible
+    # through the other — no logical pointers, no keys, no joins.
+    print("\nvoltages before brown-out:     ",
+          [session.execute("g voltage", {"g": g}) for g in (g1, g2)])
+    session.execute("g rail at: 'voltage' put: 3", {"g": g1})
+    print("after updating through gate 1: ",
+          [session.execute("g voltage", {"g": g}) for g in (g1, g2)])
+    session.commit()
+
+    # The relational alternative (the paper's complaint): gates would
+    # carry a rail *key*, and renaming/re-keying the rail breaks them.
+    # Here the rail can change every attribute and identity holds:
+    session.execute("World!rail at: 'voltage' put: 5. "
+                    "World!rail at: 'label' put: 'VCC-main'")
+    session.commit()
+    print("\nrail gained a label; gates still see it:",
+          session.execute("g rail at: 'label'", {"g": g2}))
+
+    # And history composes with identity: the brown-out is in the record.
+    print("\nvoltage history of the shared rail:")
+    for time, value in session.execute("World!rail historyOf: 'voltage'"):
+        print(f"  time {time}: {value}V")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""A tour of the OPAL language: one language for everything.
+
+Section 2F: the design goal is "a single language for data manipulation,
+general computation and system commands" — no impedance mismatch.  This
+tour runs schema definition, computation, collections, declarative
+queries, paths, time and transaction control, all as blocks of OPAL
+source sent over the Executor's host link (how the paper's hosts talked
+to GemStone).
+
+Run:  python examples/opal_tour.py
+"""
+
+from repro import GemStone
+from repro.executor import HostConnection
+
+
+def show(conn: HostConnection, title: str, source: str) -> None:
+    value, display = conn.execute(source)
+    print(f"--- {title}")
+    for line in source.strip().splitlines():
+        print(f"    {line.strip()}")
+    print(f"  => {display}\n")
+
+
+def main() -> None:
+    db = GemStone.create()
+    conn = HostConnection(db)
+    conn.login("DataCurator", "swordfish")
+
+    show(conn, "general computation", "| n | n := 0. 1 to: 100 do: [:i | n := n + i]. n")
+
+    show(conn, "closures capture their context", """
+        | makeAdder add5 |
+        makeAdder := [:x | [:y | x + y]].
+        add5 := makeAdder value: 5.
+        add5 value: 37
+    """)
+
+    show(conn, "schema definition is just messages", """
+        Object subclass: #Account instVarNames: #(owner balance).
+        Account compile: 'owner: o owner := o'.
+        Account compile: 'balance ^balance ifNil: [0]'.
+        Account compile: 'deposit: amount balance := self balance + amount'.
+        Account compile: 'withdraw: amount
+            amount > self balance ifTrue: [^self error: ''overdrawn''].
+            balance := self balance - amount'.
+        Account name
+    """)
+
+    show(conn, "real-world changes as methods (section 2D)", """
+        | a |
+        a := Account new.
+        a owner: 'Ellen'; deposit: 100; deposit: 50; withdraw: 30.
+        World!account := a.
+        a balance
+    """)
+
+    conn.commit()
+
+    show(conn, "declarative selection over collections", """
+        | accounts rich |
+        accounts := Bag new.
+        1 to: 10 do: [:i |
+            accounts add: (Account new deposit: i * 100; yourself)].
+        World!accounts := accounts.
+        rich := accounts select: [:acc | acc!balance > 700].
+        rich size
+    """)
+
+    show(conn, "paths read and write structures directly", """
+        World!branch := Object new.
+        World!branch!city := 'Portland'.
+        World!branch!manager := Object new.
+        World!branch!manager!name := 'Carter'.
+        World!branch!manager!name
+    """)
+
+    t = conn.commit()
+    print(f"(committed at transaction time {t})\n")
+
+    show(conn, "system commands are messages too", "System time")
+
+    conn.execute("World!branch!city := 'Seattle'")
+    conn.commit()
+    show(conn, "the past is a message away", f"World!branch!city @ {t}")
+    show(conn, "... and the present", "World!branch!city")
+
+    show(conn, "errors are values of the protocol, not crashes",
+         "| ok | ok := true. ok")
+    try:
+        conn.execute("World!account withdraw: 999999")
+    except Exception as error:
+        print(f"--- an OPAL error crossed the link cleanly:\n  => {error}\n")
+
+    conn.logout()
+    print("logged out; the session workspace was discarded wholesale.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Quickstart: create a database, define a class, query, time-travel.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GemStone
+
+
+def main() -> None:
+    # Format a fresh database on a simulated track-based disk.
+    db = GemStone.create()
+    session = db.login()
+
+    # Everything — schema, data, queries, system commands — is one
+    # language: blocks of OPAL (Smalltalk-80 + paths + time).
+    session.execute("""
+        Object subclass: #Employee instVarNames: #(name salary depts).
+        Employee compile: 'name ^name'.
+        Employee compile: 'name: aName name := aName'.
+        Employee compile: 'salary ^salary'.
+        Employee compile: 'salary: aSalary salary := aSalary'.
+        Employee compile: 'raise: amount salary := salary + amount'
+    """)
+
+    session.execute("""
+        | emps e |
+        emps := Set new.
+        #('Burns' 'Peters' 'Carter') do: [:last |
+            e := Employee new.
+            e name: last.
+            e salary: 24000.
+            emps add: e].
+        World!employees := emps
+    """)
+    t_hired = session.commit()
+    print(f"hired 3 employees at transaction time {t_hired}")
+
+    # Give Burns a raise; each commit is a new database state.
+    session.execute("""
+        | burns |
+        burns := World!employees detect: [:e | e name = 'Burns'].
+        burns raise: 5000
+    """)
+    t_raise = session.commit()
+    print(f"raise committed at time {t_raise}")
+
+    # Declarative selection (translated to set calculus internally).
+    rich = session.execute(
+        "(World!employees select: [:e | e!salary > 24000]) size"
+    )
+    print(f"employees above 24000 now: {rich}")
+
+    # Time travel: dial the session to the state before the raise.
+    session.execute(f"System timeDial: {t_hired}")
+    rich_then = session.execute(
+        "(World!employees select: [:e | e!salary > 24000]) size"
+    )
+    print(f"employees above 24000 at time {t_hired}: {rich_then}")
+    session.execute("System timeDial: nil")
+
+    # Paths with @time reach past states without moving the dial.
+    burns_salary_then = session.execute(f"""
+        | burns |
+        burns := World!employees detect: [:e | e name = 'Burns'].
+        burns!salary @ {t_hired}
+    """)
+    print(f"Burns' salary at time {t_hired}: {burns_salary_then}")
+
+    # The database survives a crash + reopen: safe writes guarantee it.
+    reopened = GemStone.open(db.disk)
+    s2 = reopened.login()
+    print("after reopen:", s2.execute("(World!employees detect: [:e | e name = 'Burns']) salary"))
+
+    print("storage:", reopened.storage_report())
+
+
+if __name__ == "__main__":
+    main()

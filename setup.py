@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `python setup.py develop` on environments
+without the `wheel` package (PEP 660 editable installs need it)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""repro — "Making Smalltalk a Database System", reproduced in Python.
+
+A working GemStone: the GSDM temporal object model, the STDM set
+calculus/algebra with translation and directory-aware optimization, the
+OPAL language (Smalltalk-80 + paths + time + declarative selects),
+optimistic transactions over a track-based simulated disk with safe
+writes, replication, authorization and archival — per Copeland & Maier,
+SIGMOD 1984.
+
+Quickstart::
+
+    from repro import GemStone
+
+    db = GemStone.create()
+    with db.login() as session:
+        session.execute("World!greeting := 'hello, GemStone'")
+        session.commit()
+        print(session.execute("World!greeting"))
+"""
+
+from .db import GemSession, GemStone
+from .errors import GemStoneError
+
+__version__ = "1.0.0"
+
+__all__ = ["GemSession", "GemStone", "GemStoneError", "__version__"]

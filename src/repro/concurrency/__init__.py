@@ -1,0 +1,34 @@
+"""``repro.concurrency`` — transactions, sessions and authorization.
+
+The shared Transaction Manager (optimistic validation, commit times),
+per-user sessions with private workspaces, and segment-based
+authorization (sections 4.3, 5.3.1 and 6 of the paper).
+"""
+
+from .authorization import (
+    Authorizer,
+    Privilege,
+    Segment,
+    User,
+    WORLD_SEGMENT,
+)
+from .clock import TransactionClock
+from .sessions import SessionObjectManager
+from .transactions import (
+    CommittedTransaction,
+    TransactionManager,
+    TransactionStats,
+)
+
+__all__ = [
+    "Authorizer",
+    "CommittedTransaction",
+    "Privilege",
+    "Segment",
+    "SessionObjectManager",
+    "TransactionClock",
+    "TransactionManager",
+    "TransactionStats",
+    "User",
+    "WORLD_SEGMENT",
+]

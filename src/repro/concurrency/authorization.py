@@ -1,0 +1,219 @@
+"""Authorization: users, segments and privileges.
+
+Section 4.3 lists "database administrator control over replication,
+authorization and auxiliary structures" among what ST80 lacks, and
+section 6 places authorization in the Object Manager.
+
+The model follows GemStone's actual design sketch: every object belongs
+to a *segment* (``GemObject.segment_id``), and users hold privileges per
+segment.  Privileges form a ladder — NONE < READ < WRITE < OWNER — and a
+segment has a default privilege for users with no explicit grant.
+Segment 0 is the public "world" segment, writable by everyone, so
+single-user use needs no setup.
+
+Security state lives in ordinary memory here; the Database persists it
+through the catalog so it survives reopen (and, being data, it could be
+modeled as objects with history — an extension exercised in the tests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Optional
+
+from ..errors import AuthorizationError
+
+#: the public segment every store starts with
+WORLD_SEGMENT = 0
+
+
+class Privilege(IntEnum):
+    """Ordered privilege ladder for a user on a segment."""
+
+    NONE = 0
+    READ = 1
+    WRITE = 2
+    OWNER = 3
+
+
+def _hash_password(password: str) -> str:
+    return hashlib.sha256(password.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class User:
+    """A database user; DBAs may administer users and segments."""
+
+    name: str
+    password_hash: str
+    is_dba: bool = False
+
+    def check_password(self, password: str) -> bool:
+        """True if *password* matches."""
+        return _hash_password(password) == self.password_hash
+
+
+@dataclass
+class Segment:
+    """An authorization domain objects are assigned to."""
+
+    segment_id: int
+    name: str
+    owner: str
+    default_privilege: Privilege = Privilege.NONE
+    grants: dict[str, Privilege] = field(default_factory=dict)
+
+    def privilege_of(self, user: User) -> Privilege:
+        """The effective privilege of *user* on this segment."""
+        if user.is_dba or user.name == self.owner:
+            return Privilege.OWNER
+        return self.grants.get(user.name, self.default_privilege)
+
+
+class Authorizer:
+    """Registry of users and segments with privilege checks."""
+
+    def __init__(self) -> None:
+        self._users: dict[str, User] = {}
+        self._segments: dict[int, Segment] = {}
+        self._next_segment_id = 1
+        # the initial DBA and the public segment
+        self.create_initial_dba("DataCurator", "swordfish")
+        self._segments[WORLD_SEGMENT] = Segment(
+            WORLD_SEGMENT, "world", owner="DataCurator",
+            default_privilege=Privilege.WRITE,
+        )
+
+    # -- users -------------------------------------------------------------
+
+    def create_initial_dba(self, name: str, password: str) -> User:
+        """Install the bootstrap DBA account (idempotent)."""
+        user = self._users.get(name)
+        if user is None:
+            user = User(name, _hash_password(password), is_dba=True)
+            self._users[name] = user
+        return user
+
+    def authenticate(self, name: str, password: str) -> User:
+        """Check credentials; returns the user or raises."""
+        user = self._users.get(name)
+        if user is None or not user.check_password(password):
+            raise AuthorizationError(f"login failed for {name!r}")
+        return user
+
+    def create_user(
+        self, actor: User, name: str, password: str, is_dba: bool = False
+    ) -> User:
+        """DBA-only: register a new user."""
+        self._require_dba(actor)
+        if name in self._users:
+            raise AuthorizationError(f"user {name!r} already exists")
+        user = User(name, _hash_password(password), is_dba=is_dba)
+        self._users[name] = user
+        return user
+
+    def user_named(self, name: str) -> User:
+        """Look a user up by name."""
+        user = self._users.get(name)
+        if user is None:
+            raise AuthorizationError(f"no user named {name!r}")
+        return user
+
+    # -- segments -------------------------------------------------------------
+
+    def create_segment(
+        self,
+        actor: User,
+        name: str,
+        default_privilege: Privilege = Privilege.NONE,
+    ) -> Segment:
+        """Create a segment owned by *actor*; returns it."""
+        segment = Segment(
+            self._next_segment_id, name, owner=actor.name,
+            default_privilege=default_privilege,
+        )
+        self._segments[segment.segment_id] = segment
+        self._next_segment_id += 1
+        return segment
+
+    def segment(self, segment_id: int) -> Segment:
+        """Look a segment up by id."""
+        found = self._segments.get(segment_id)
+        if found is None:
+            raise AuthorizationError(f"no segment {segment_id}")
+        return found
+
+    def grant(
+        self, actor: User, segment_id: int, user_name: str, privilege: Privilege
+    ) -> None:
+        """Grant *privilege* on a segment; requires OWNER on it."""
+        segment = self.segment(segment_id)
+        if segment.privilege_of(actor) < Privilege.OWNER:
+            raise AuthorizationError(
+                f"{actor.name} may not change grants on segment {segment.name!r}"
+            )
+        self.user_named(user_name)  # must exist
+        segment.grants[user_name] = privilege
+
+    # -- checks -----------------------------------------------------------------
+
+    def check_read(self, user: Optional[User], segment_id: int) -> None:
+        """Raise unless *user* may read objects in the segment."""
+        self._check(user, segment_id, Privilege.READ, "read")
+
+    def check_write(self, user: Optional[User], segment_id: int) -> None:
+        """Raise unless *user* may write objects in the segment."""
+        self._check(user, segment_id, Privilege.WRITE, "write")
+
+    def _check(
+        self, user: Optional[User], segment_id: int, needed: Privilege, verb: str
+    ) -> None:
+        if user is None:  # standalone embedded use: no enforcement
+            return
+        segment = self._segments.get(segment_id)
+        if segment is None:
+            raise AuthorizationError(f"object in unknown segment {segment_id}")
+        if segment.privilege_of(user) < needed:
+            raise AuthorizationError(
+                f"{user.name} may not {verb} segment {segment.name!r}"
+            )
+
+    def _require_dba(self, actor: User) -> None:
+        if not actor.is_dba:
+            raise AuthorizationError(f"{actor.name} is not a DBA")
+
+    # -- persistence -----------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """A plain-data snapshot the Database stores in the catalog blob."""
+        return {
+            "users": [
+                (u.name, u.password_hash, u.is_dba) for u in self._users.values()
+            ],
+            "segments": [
+                (
+                    s.segment_id,
+                    s.name,
+                    s.owner,
+                    int(s.default_privilege),
+                    sorted((n, int(p)) for n, p in s.grants.items()),
+                )
+                for s in self._segments.values()
+            ],
+            "next_segment_id": self._next_segment_id,
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Restore :meth:`export_state` output."""
+        self._users = {
+            name: User(name, pw_hash, bool(dba))
+            for name, pw_hash, dba in state["users"]
+        }
+        self._segments = {}
+        for seg_id, name, owner, default, grants in state["segments"]:
+            segment = Segment(seg_id, name, owner, Privilege(default))
+            segment.grants = {n: Privilege(p) for n, p in grants}
+            self._segments[seg_id] = segment
+        self._next_segment_id = state["next_segment_id"]

@@ -1,0 +1,43 @@
+"""The transaction-time clock.
+
+Section 5.3.1: GemStone records history in *transaction time* — "the time
+when an event is recorded in the database."  Transaction time is
+system-generated, cannot be modified by users, and every write of one
+transaction carries the same time.
+
+The clock is a monotone logical counter owned by the Transaction Manager;
+:meth:`TransactionClock.assign` hands out the commit time for exactly one
+transaction under the commit lock, which doubles as Reed's observation
+(cited in section 5.3.1) that transaction timestamps synchronize
+concurrent transactions — one mechanism serves both history and
+concurrency control.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class TransactionClock:
+    """Monotone commit-time source shared by all sessions."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._latest = start
+        self._lock = threading.Lock()
+
+    @property
+    def latest(self) -> int:
+        """The newest committed transaction time."""
+        return self._latest
+
+    def assign(self) -> int:
+        """Reserve and return the next transaction time."""
+        with self._lock:
+            self._latest += 1
+            return self._latest
+
+    def advance_to(self, time: int) -> None:
+        """Fast-forward (recovery: resume after the last durable commit)."""
+        with self._lock:
+            if time > self._latest:
+                self._latest = time

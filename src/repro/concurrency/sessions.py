@@ -1,0 +1,265 @@
+"""Sessions: private object spaces over the shared permanent database.
+
+Section 6: "Each user session in the GemStone system has its own
+invocation of the Interpreter, and its own Object Manager with a private
+object space.  Sessions have shared access to the permanent database
+through transactions."
+
+A :class:`SessionObjectManager` implements the full
+:class:`~repro.core.object_manager.ObjectStore` interface:
+
+* reads come from the latest committed state (or the session's own
+  uncommitted writes), and every element read/enumeration is recorded —
+  the Transaction Manager's "access recording";
+* the first write to a committed object copies it into the private
+  workspace (its *twin*), so uncommitted changes never touch shared
+  state;
+* new objects and classes live entirely in the workspace;
+* commit hands the creation list and write log to the Transaction
+  Manager; abort simply discards the workspace — the paper's "an entire
+  session workspace can be discarded at the end of a session" (no GC).
+
+Uncommitted writes are provisionally stamped at ``last committed time +
+1``; the Linker re-stamps everything at the real commit time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.object_manager import ObjectStore
+from ..core.objects import GemObject
+from ..core.values import Ref
+from ..core.timedial import TimeDial
+from ..errors import ClassProtocolError, SessionClosed
+from ..storage.linker import Creation, Write
+from .authorization import Authorizer, User
+
+
+class SessionObjectManager(ObjectStore):
+    """A user session: overlay workspace + access recording + time dial."""
+
+    _ids = 0
+
+    def __init__(
+        self,
+        store,
+        transaction_manager,
+        user: Optional[User] = None,
+        authorizer: Optional[Authorizer] = None,
+    ) -> None:
+        super().__init__()
+        SessionObjectManager._ids += 1
+        self.session_id = SessionObjectManager._ids
+        self.store = store
+        self.transaction_manager = transaction_manager
+        self.user = user
+        self.authorizer = authorizer
+        self.time_dial = TimeDial(safe_time_provider=transaction_manager.safe_time)
+        self._closed = False
+        # transaction-scoped state
+        self.workspace: dict[int, GemObject] = {}
+        self._created: set[int] = set()
+        self._transients: set[int] = set()
+        self.creations: list[Creation] = []
+        self.write_log: list[Write] = []
+        self.read_set: set[tuple[int, Any]] = set()
+        self.enum_reads: set[int] = set()
+        self.start_time = 0
+        transaction_manager.begin(self)
+
+    def __repr__(self) -> str:
+        who = self.user.name if self.user else "embedded"
+        return f"<Session {self.session_id} user={who} start={self.start_time}>"
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def commit(self) -> int:
+        """Commit the transaction; returns its transaction time.
+
+        Raises :class:`~repro.errors.TransactionConflict` if optimistic
+        validation fails — the workspace is then discarded (the
+        transaction is aborted) and a fresh transaction begins.
+        """
+        self._ensure_open()
+        return self.transaction_manager.commit(self)
+
+    def abort(self) -> None:
+        """Discard the workspace wholesale and begin a new transaction."""
+        self._ensure_open()
+        self.transaction_manager.abort(self)
+
+    def close(self) -> None:
+        """End the session; its workspace is discarded, never collected."""
+        if not self._closed:
+            self.transaction_manager.end_session(self)
+            self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    def reset_transaction_state(self) -> None:
+        """Clear workspace and access records (Transaction Manager hook)."""
+        self.workspace.clear()
+        self._created.clear()
+        self._transients.clear()
+        self.creations.clear()
+        self.write_log.clear()
+        self.read_set.clear()
+        self.enum_reads.clear()
+        self.classes.clear()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise SessionClosed(f"session {self.session_id} is closed")
+
+    # -- dirtiness ---------------------------------------------------------------
+
+    @property
+    def has_uncommitted_changes(self) -> bool:
+        """True if the workspace holds writes or creations."""
+        return bool(self.write_log or self.creations)
+
+    # -- ObjectStore primitives ----------------------------------------------------
+
+    def object(self, oid: int) -> GemObject:
+        self._ensure_open()
+        twin = self.workspace.get(oid)
+        if twin is not None:
+            return twin
+        obj = self.store.object(oid)
+        if self.authorizer is not None:
+            self.authorizer.check_read(self.user, obj.segment_id)
+        return obj
+
+    def contains(self, oid: int) -> bool:
+        return oid in self.workspace or self.store.contains(oid)
+
+    def _resolve_target(self, target):
+        # Any designator — oid, Ref, or a direct (possibly stale stable)
+        # GemObject reference — must land on the workspace twin when one
+        # exists, so the session always reads its own uncommitted writes.
+        obj = super()._resolve_target(target)
+        twin = self.workspace.get(obj.oid)
+        return twin if twin is not None else obj
+
+    def register(self, obj: GemObject) -> GemObject:
+        """Adopt a freshly instantiated object into the private workspace."""
+        self._ensure_open()
+        self.workspace[obj.oid] = obj
+        self._created.add(obj.oid)
+        self.creations.append(Creation(obj))
+        return obj
+
+    def allocate_oid(self) -> int:
+        return self.store.allocate_oid()
+
+    def write_time(self) -> int:
+        # provisional: strictly after every committed time; the Linker
+        # re-stamps at the real commit time
+        return self.store.last_tx_time + 1
+
+    # -- access recording --------------------------------------------------------
+
+    def note_read(self, oid: int, name: Any) -> None:
+        if oid not in self._created:
+            self.read_set.add((oid, name))
+
+    def note_enumeration(self, oid: int) -> None:
+        if oid not in self._created:
+            self.enum_reads.add(oid)
+
+    # -- writes (copy-on-write twins) -----------------------------------------------
+
+    def bind(self, target: Any, name: Any, value: Any) -> None:
+        self._ensure_open()
+        obj = self._resolve_target(target)
+        oid = obj.oid
+        if self.authorizer is not None:
+            self.authorizer.check_write(self.user, obj.segment_id)
+        twin = self.workspace.get(oid)
+        if twin is None:
+            twin = obj.copy_shell()
+            self.workspace[oid] = twin
+        stored = self.to_value(value)
+        twin.bind(name, stored, self.write_time())
+        if oid in self._transients:
+            return  # workspace-only object: nothing to commit yet
+        if isinstance(stored, Ref) and stored.oid in self._transients:
+            self._promote(stored.oid)
+        self.write_log.append(Write(oid, name, stored))
+        self.note_write(oid, name)
+
+    # -- temporary objects ----------------------------------------------------
+
+    def instantiate_transient(self, gem_class, segment_id=None, **element_values):
+        """A workspace-only object: discarded at commit unless promoted.
+
+        Query results (``select:``/``collect:``) are created this way;
+        storing one into a persistent object promotes it (and everything
+        it references) to a real creation.
+        """
+        cls = self._coerce_class(gem_class)
+        obj = GemObject(
+            oid=self.allocate_oid(),
+            class_oid=cls.oid,
+            segment_id=0 if segment_id is None else segment_id,
+            created_at=self.write_time(),
+        )
+        self.workspace[obj.oid] = obj
+        self._created.add(obj.oid)
+        self._transients.add(obj.oid)
+        for name, value in element_values.items():
+            self.bind(obj, name, value)
+        return obj
+
+    def _promote(self, oid: int) -> None:
+        """Turn a transient into a committed creation, recursively."""
+        self._transients.discard(oid)
+        twin = self.workspace[oid]
+        self.creations.append(Creation(twin))
+        for name, value in twin.items_at(None):
+            if isinstance(value, Ref) and value.oid in self._transients:
+                self._promote(value.oid)
+            self.write_log.append(Write(oid, name, value))
+
+    # -- time-dialed fetches -----------------------------------------------------------
+
+    def effective_time(self, time: int | None) -> int | None:
+        """Unpinned accesses read at the dial's time (section 5.4)."""
+        if time is None and not self.time_dial.is_now:
+            return self.time_dial.time
+        return time
+
+    def value_at(self, target: Any, name: Any, time: int | None = None) -> Any:
+        return super().value_at(target, name, self.effective_time(time))
+
+    # -- classes -------------------------------------------------------------------------
+
+    def class_named(self, name: str):
+        oid = self.classes.get(name)
+        if oid is not None:
+            return self.object(oid)
+        if name in self.store.classes:
+            return self.object(self.store.classes[name])
+        raise ClassProtocolError(f"no class named {name!r}")
+
+    def has_class(self, name: str) -> bool:
+        return name in self.classes or name in self.store.classes
+
+    def define_class(self, name, superclass="Object", instvars=(), segment_id=0):
+        if self.has_class(name):
+            raise ClassProtocolError(f"class {name!r} already defined")
+        return super().define_class(name, superclass, instvars, segment_id)
+
+    def new_classes(self) -> dict[str, int]:
+        """Classes defined (and not yet committed) by this transaction."""
+        return dict(self.classes)
+
+    # -- SafeTime ------------------------------------------------------------------------
+
+    def safe_time(self) -> int:
+        """The most recent time no running transaction can still change."""
+        return self.transaction_manager.safe_time()

@@ -1,0 +1,186 @@
+"""The Transaction Manager: optimistic concurrency control.
+
+Section 6: "The Transaction Manager is shared by all invocations of the
+Object Manager, and handles concurrent use of the permanent database in
+an optimistic manner.  It records accesses to the database for each
+session, and validates them for consistency when a transaction commits."
+
+Scheme: backward validation.  Sessions read freely (each read is
+recorded); at commit, under the commit lock, a transaction's read set is
+checked against the write sets of every transaction that committed after
+it began.  Any overlap — including a *phantom* overlap, where a later
+commit wrote some element of an object this transaction enumerated — is
+a :class:`~repro.errors.TransactionConflict`; the losing transaction is
+aborted (its workspace discarded) rather than made to wait, which is the
+optimistic trade the paper chose.
+
+A successful commit drives the storage pipeline: Linker → (commit
+listeners, e.g. the Directory Manager) → Boxer/Commit Manager via
+``store.persist``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..errors import TransactionConflict
+from ..storage.linker import Linker
+from .clock import TransactionClock
+
+#: signature of a commit listener: (tx_time, dirty_objects, writes, creations)
+CommitListener = Callable[[int, list, list, list], None]
+
+
+@dataclass
+class CommittedTransaction:
+    """The validation footprint one commit leaves behind."""
+
+    tx_time: int
+    writes: frozenset  # of (oid, element name)
+    written_oids: frozenset  # of oid
+
+
+@dataclass
+class TransactionStats:
+    """Counters the OCC benchmarks report."""
+
+    commits: int = 0
+    aborts: int = 0
+    read_only_commits: int = 0
+    validations: int = 0
+
+    @property
+    def abort_rate(self) -> float:
+        """Fraction of attempted read-write commits that conflicted."""
+        attempts = self.commits + self.aborts
+        return self.aborts / attempts if attempts else 0.0
+
+
+class TransactionManager:
+    """Shared coordinator: validation, commit times, the commit pipeline."""
+
+    def __init__(self, store, clock: Optional[TransactionClock] = None) -> None:
+        self.store = store
+        self.clock = clock or TransactionClock(start=store.last_tx_time)
+        self.linker = Linker(store)
+        self.stats = TransactionStats()
+        self._lock = threading.RLock()
+        self._log: list[CommittedTransaction] = []
+        self._active: dict[int, int] = {}  # session_id -> start time
+        self._listeners: list[CommitListener] = []
+
+    # -- listeners ---------------------------------------------------------------
+
+    def add_commit_listener(self, listener: CommitListener) -> None:
+        """Register a callable run inside each commit, after the Linker.
+
+        The Directory Manager uses this to restructure directories "as
+        needed" (section 6) with the committing transaction's writes.
+        """
+        self._listeners.append(listener)
+
+    # -- session lifecycle -----------------------------------------------------------
+
+    def begin(self, session) -> None:
+        """Start a (new) transaction for *session*."""
+        with self._lock:
+            session.start_time = self.clock.latest
+            self._active[session.session_id] = session.start_time
+
+    def end_session(self, session) -> None:
+        """Forget an ending session."""
+        with self._lock:
+            self._active.pop(session.session_id, None)
+            session.reset_transaction_state()
+
+    def abort(self, session) -> None:
+        """Discard the session's workspace and begin a fresh transaction."""
+        with self._lock:
+            session.reset_transaction_state()
+            self.begin(session)
+
+    # -- commit ------------------------------------------------------------------------
+
+    def commit(self, session) -> int:
+        """Validate and commit *session*'s transaction; return its time.
+
+        On conflict the transaction is aborted (workspace discarded, new
+        transaction begun) and :class:`TransactionConflict` is raised
+        carrying the conflicting (oid, element) pairs.
+        """
+        with self._lock:
+            if not session.has_uncommitted_changes:
+                self.stats.read_only_commits += 1
+                self.begin(session)
+                return self.clock.latest
+
+            conflicts = self._validate(session)
+            if conflicts:
+                self.stats.aborts += 1
+                self.abort(session)
+                raise TransactionConflict(
+                    f"validation failed on {len(conflicts)} element(s)",
+                    conflicts=tuple(sorted(conflicts, key=repr)),
+                )
+
+            tx_time = self.clock.assign()
+            creations = list(session.creations)
+            writes = list(session.write_log)
+            dirty = self.linker.incorporate(creations, writes, tx_time)
+            for listener in self._listeners:
+                listener(tx_time, dirty, writes, creations)
+            self.store.persist(
+                dirty, tx_time, new_classes=session.new_classes()
+            )
+            self._log.append(
+                CommittedTransaction(
+                    tx_time=tx_time,
+                    writes=frozenset((w.oid, w.name) for w in writes),
+                    written_oids=frozenset(w.oid for w in writes),
+                )
+            )
+            self._trim_log()
+            self.stats.commits += 1
+            session.reset_transaction_state()
+            self.begin(session)
+            return tx_time
+
+    def _validate(self, session) -> set:
+        """Backward validation against commits since the session began."""
+        self.stats.validations += 1
+        conflicts: set = set()
+        for committed in self._log:
+            if committed.tx_time <= session.start_time:
+                continue
+            conflicts |= committed.writes & session.read_set
+            for oid in committed.written_oids & session.enum_reads:
+                conflicts.add((oid, "<enumeration>"))
+        return conflicts
+
+    def _trim_log(self) -> None:
+        """Drop log entries no active transaction could conflict with."""
+        if not self._active:
+            self._log.clear()
+            return
+        horizon = min(self._active.values())
+        self._log = [entry for entry in self._log if entry.tx_time > horizon]
+
+    # -- SafeTime ------------------------------------------------------------------------
+
+    def safe_time(self) -> int:
+        """Section 5.4's SafeTime.
+
+        Commit times are assigned at commit, strictly after every
+        committed time, so the latest committed time is already immune
+        to change by any running transaction.
+        """
+        return self.clock.latest
+
+    # -- introspection ------------------------------------------------------------------
+
+    def active_count(self) -> int:
+        """Number of sessions with an open transaction."""
+        with self._lock:
+            return len(self._active)

@@ -1,0 +1,51 @@
+"""``repro.core`` — the GemStone Data Model (GSDM).
+
+The paper's primary contribution: Smalltalk-80's object model merged with
+the Set-Theoretic Data Model, yielding objects with permanent identity,
+class-based behaviour, optional elements, transaction-time histories, path
+expressions and a time dial (sections 4-5).
+
+Public surface:
+
+* :class:`GemObject`, :class:`GemClass`, :class:`PrimitiveMethod`
+* :class:`MemoryObjectManager` / :class:`ObjectStore`
+* :class:`AssociationTable` and the :data:`MISSING` sentinel
+* :class:`Ref`, :class:`Symbol`, :class:`Char` values
+* :func:`parse_path`, :func:`resolve`, :func:`assign` path expressions
+* :class:`TimeDial` and :class:`View`
+"""
+
+from .classes import BOOTSTRAP_HIERARCHY, GemClass, Method, PrimitiveMethod
+from .history import MISSING, AssociationTable
+from .object_manager import FIRST_USER_OID, MemoryObjectManager, ObjectStore
+from .objects import GemObject
+from .paths import Path, Step, assign, exists, parse_path, resolve
+from .timedial import TimeDial
+from .values import Char, Ref, Symbol, is_immediate, is_value
+from .views import View
+
+__all__ = [
+    "AssociationTable",
+    "BOOTSTRAP_HIERARCHY",
+    "Char",
+    "FIRST_USER_OID",
+    "GemClass",
+    "GemObject",
+    "MISSING",
+    "MemoryObjectManager",
+    "Method",
+    "ObjectStore",
+    "Path",
+    "PrimitiveMethod",
+    "Ref",
+    "Step",
+    "Symbol",
+    "TimeDial",
+    "View",
+    "assign",
+    "exists",
+    "is_immediate",
+    "is_value",
+    "parse_path",
+    "resolve",
+]

@@ -1,0 +1,187 @@
+"""GemStone objects: private memory with entity identity and history.
+
+A :class:`GemObject` is the GSDM realization of a Smalltalk object merged
+with an STDM labeled set (section 5.4): a permanent oid (identity), a class,
+and a dictionary of elements, where each element is an element name plus an
+:class:`~repro.core.history.AssociationTable` of (transaction time, value)
+pairs.
+
+Objects never hold direct Python references to one another; values are
+immediates or :class:`~repro.core.values.Ref` oids resolved by an Object
+Manager.  Identity is a property that spans time (section 5.4): the oid is
+assigned at instantiation and never changes, even as element values do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..errors import ElementNotFound
+from .history import MISSING, AssociationTable
+from .values import Ref, check_element_name, check_value
+
+
+class GemObject:
+    """A structured GSDM object: oid + class + temporal elements.
+
+    Instances are created by an Object Manager (`instantiate`), never
+    directly by applications; the manager assigns the oid, the class and
+    the authorization segment.
+    """
+
+    __slots__ = ("oid", "class_oid", "segment_id", "elements", "created_at")
+
+    def __init__(
+        self,
+        oid: int,
+        class_oid: int,
+        segment_id: int = 0,
+        created_at: int = 0,
+    ) -> None:
+        self.oid = oid
+        self.class_oid = class_oid
+        self.segment_id = segment_id
+        self.created_at = created_at
+        #: element name -> AssociationTable
+        self.elements: dict[Any, AssociationTable] = {}
+
+    def __repr__(self) -> str:
+        names = ", ".join(repr(n) for n in list(self.elements)[:6])
+        more = "…" if len(self.elements) > 6 else ""
+        return f"<GemObject oid={self.oid} class={self.class_oid} [{names}{more}]>"
+
+    @property
+    def ref(self) -> Ref:
+        """A :class:`Ref` to this object, for storing in other elements."""
+        return Ref(self.oid)
+
+    # -- element binding -----------------------------------------------------
+
+    def bind(self, name: Any, value: Any, time: int) -> None:
+        """Bind element *name* to *value* as of transaction *time*.
+
+        New element names may be added to any existing instance — the
+        paper's "optional instance variables ... and the ability to add
+        new variables to existing instances" (section 4.3).
+        """
+        check_element_name(name)
+        check_value(value)
+        table = self.elements.get(name)
+        if table is None:
+            table = AssociationTable()
+            self.elements[name] = table
+        table.record(time, value)
+
+    def unbind(self, name: Any, time: int) -> None:
+        """Record departure of an element by binding it to nil.
+
+        Figure 1 expresses Ayn Rand leaving the company as a binding of
+        her element to the object ``nil`` at time 8; nothing is deleted.
+        """
+        self.bind(name, None, time)
+
+    # -- element lookup ------------------------------------------------------
+
+    def value_at(self, name: Any, time: int | None = None) -> Any:
+        """Return the value of element *name* at *time*, or MISSING."""
+        table = self.elements.get(name)
+        if table is None:
+            return MISSING
+        return table.value_at(time)
+
+    def value(self, name: Any, time: int | None = None) -> Any:
+        """Like :meth:`value_at` but raises if the element is missing."""
+        found = self.value_at(name, time)
+        if found is MISSING:
+            raise ElementNotFound(name, time)
+        return found
+
+    def has_element(self, name: Any, time: int | None = None) -> bool:
+        """True if *name* was bound (to anything, even nil) at *time*."""
+        return self.value_at(name, time) is not MISSING
+
+    def is_live(self, name: Any, time: int | None = None) -> bool:
+        """True if *name* is bound to a non-nil value at *time*."""
+        found = self.value_at(name, time)
+        return found is not MISSING and found is not None
+
+    # -- enumeration -----------------------------------------------------------
+
+    def element_names(self, time: int | None = None) -> list[Any]:
+        """Element names bound (possibly to nil) at *time*, insertion order."""
+        return [n for n, t in self.elements.items() if t.bound_at(time)]
+
+    def live_names(self, time: int | None = None) -> list[Any]:
+        """Element names bound to a non-nil value at *time*."""
+        names = []
+        for name, table in self.elements.items():
+            value = table.value_at(time)
+            if value is not MISSING and value is not None:
+                names.append(name)
+        return names
+
+    def items_at(self, time: int | None = None) -> Iterator[tuple[Any, Any]]:
+        """Iterate live (name, value) pairs as of *time*."""
+        for name, table in self.elements.items():
+            value = table.value_at(time)
+            if value is not MISSING and value is not None:
+                yield name, value
+
+    def history_of(self, name: Any) -> Iterator[tuple[int, Any]]:
+        """Iterate the full (time, value) history of element *name*."""
+        table = self.elements.get(name)
+        if table is None:
+            raise ElementNotFound(name)
+        return table.history()
+
+    # -- structural equivalence --------------------------------------------
+
+    def equivalent_to(self, other: "GemObject", time: int | None = None) -> bool:
+        """Shallow structural equivalence at *time* (section 4.2).
+
+        Two entities can have all component values equal yet not be the
+        same object; this tests the former.  Component Refs are compared
+        by oid — a *deep* equivalence would recurse through the store and
+        belongs to the Object Manager.
+        """
+        mine = dict(self.items_at(time))
+        theirs = dict(other.items_at(time))
+        return mine == theirs
+
+    # -- maintenance -------------------------------------------------------
+
+    def referenced_oids(self, time: int | None = None) -> set[int]:
+        """Oids of all objects referenced by live elements at *time*.
+
+        With ``time=None`` this returns references in the *current* state;
+        pass an explicit time to chase a past state.
+        """
+        oids = set()
+        for _, value in self.items_at(time):
+            if isinstance(value, Ref):
+                oids.add(value.oid)
+        return oids
+
+    def all_referenced_oids(self) -> set[int]:
+        """Oids referenced by any association in any state (for archival)."""
+        oids = set()
+        for table in self.elements.values():
+            for _, value in table.history():
+                if isinstance(value, Ref):
+                    oids.add(value.oid)
+        return oids
+
+    def last_modified(self) -> int:
+        """The largest transaction time recorded in any element."""
+        latest = self.created_at
+        for table in self.elements.values():
+            last = table.last_time
+            if last is not None and last > latest:
+                latest = last
+        return latest
+
+    def copy_shell(self) -> "GemObject":
+        """A deep copy of this object's identity and history tables."""
+        other = GemObject(self.oid, self.class_oid, self.segment_id, self.created_at)
+        other.elements = {n: t.copy() for n, t in self.elements.items()}
+        return other

@@ -1,0 +1,244 @@
+"""Path expressions: ``X!Departments!A16!Managers`` and ``…!'president'@10``.
+
+STDM uses a path syntax for accessing subparts of a set (section 5.1), and
+the temporal extension attaches ``@T`` to a component to fetch the value
+that component had at time *T* (section 5.3.2).  The paper's examples:
+
+* ``World!'Acme Corp'!'president'`` — current president
+* ``World!'Acme Corp'!'president'@10`` — president as of time 10
+* ``World!'Acme Corp'!'president'@7!city`` — the time-7 president's
+  *current* city (``@`` scopes to its own component only; later
+  components revert to the time dial)
+
+Paths may also be assigned to (section 4.3: "allow assignments to path
+expressions ... sometimes it is the most natural way to define methods").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from ..errors import PathError
+from .history import MISSING
+from .objects import GemObject
+from .timedial import TimeDial
+from .values import Ref
+
+
+@dataclass(frozen=True)
+class Step:
+    """One component of a path: an element name, optionally pinned to a time."""
+
+    name: Any
+    at: Optional[int] = None
+
+    def __str__(self) -> str:
+        text = _format_name(self.name)
+        if self.at is not None:
+            text += f"@{self.at}"
+        return text
+
+
+@dataclass(frozen=True)
+class Path:
+    """A parsed path: a sequence of steps applied left to right."""
+
+    steps: tuple[Step, ...]
+
+    def __str__(self) -> str:
+        return "!".join(str(step) for step in self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def extended(self, name: Any, at: Optional[int] = None) -> "Path":
+        """A new path with one more step appended."""
+        return Path(self.steps + (Step(name, at),))
+
+    @property
+    def names(self) -> tuple[Any, ...]:
+        """The element names of all steps, ignoring time pins."""
+        return tuple(step.name for step in self.steps)
+
+
+def _format_name(name: Any) -> str:
+    if isinstance(name, int):
+        return str(name)
+    text = str(name)
+    if text.isidentifier():
+        return text
+    return "'" + text.replace("'", "''") + "'"
+
+
+def parse_path(text: str) -> Path:
+    """Parse the string form of a path into a :class:`Path`.
+
+    Components are separated by ``!``.  Each component is an identifier,
+    an integer, or a single-quoted string (with ``''`` escaping a quote),
+    optionally followed by ``@`` and an integer transaction time.
+    """
+    steps: list[Step] = []
+    pos = 0
+    length = len(text)
+    while True:
+        pos = _skip_spaces(text, pos)
+        if pos >= length:
+            raise PathError(f"path ends where a component was expected: {text!r}")
+        name, pos = _parse_name(text, pos)
+        pos = _skip_spaces(text, pos)
+        at: Optional[int] = None
+        if pos < length and text[pos] == "@":
+            pos += 1
+            pos = _skip_spaces(text, pos)
+            at, pos = _parse_int(text, pos)
+            pos = _skip_spaces(text, pos)
+        steps.append(Step(name, at))
+        if pos >= length:
+            break
+        if text[pos] != "!":
+            raise PathError(f"expected '!' at position {pos} in {text!r}")
+        pos += 1
+    return Path(tuple(steps))
+
+
+def _skip_spaces(text: str, pos: int) -> int:
+    while pos < len(text) and text[pos].isspace():
+        pos += 1
+    return pos
+
+
+def _ascii_digit(char: str) -> bool:
+    return "0" <= char <= "9"
+
+
+def _parse_name(text: str, pos: int) -> tuple[Any, int]:
+    char = text[pos]
+    if char == "'":
+        return _parse_quoted(text, pos)
+    if _ascii_digit(char) or (
+        char == "-" and pos + 1 < len(text) and _ascii_digit(text[pos + 1])
+    ):
+        return _parse_int(text, pos)
+    if char.isalpha() or char == "_":
+        end = pos
+        while end < len(text) and (text[end].isalnum() or text[end] == "_"):
+            end += 1
+        return text[pos:end], end
+    raise PathError(f"cannot read a component at position {pos} in {text!r}")
+
+
+def _parse_quoted(text: str, pos: int) -> tuple[str, int]:
+    chars: list[str] = []
+    pos += 1  # opening quote
+    while pos < len(text):
+        char = text[pos]
+        if char == "'":
+            if pos + 1 < len(text) and text[pos + 1] == "'":
+                chars.append("'")
+                pos += 2
+                continue
+            return "".join(chars), pos + 1
+        chars.append(char)
+        pos += 1
+    raise PathError(f"unterminated quoted component in {text!r}")
+
+
+def _parse_int(text: str, pos: int) -> tuple[int, int]:
+    end = pos
+    if end < len(text) and text[end] == "-":
+        end += 1
+    while end < len(text) and _ascii_digit(text[end]):
+        end += 1
+    if end == pos or text[pos:end] == "-":
+        raise PathError(f"expected an integer at position {pos} in {text!r}")
+    return int(text[pos:end]), end
+
+
+def _coerce_path(path: "Path | str | Sequence[Any]") -> Path:
+    if isinstance(path, Path):
+        return path
+    if isinstance(path, str):
+        return parse_path(path)
+    return Path(tuple(step if isinstance(step, Step) else Step(step) for step in path))
+
+
+def resolve(
+    store: Any,
+    root: Any,
+    path: "Path | str | Sequence[Any]",
+    dial: Optional[TimeDial] = None,
+    default: Any = MISSING,
+) -> Any:
+    """Evaluate *path* starting from *root* against *store*.
+
+    Each step fetches its element at the step's own ``@`` time if pinned,
+    else at the dial's time, else now.  Structured results are returned as
+    :class:`~repro.core.objects.GemObject`; immediates as themselves.
+    *default* (when not MISSING) is returned instead of raising when a
+    component is unbound or nil mid-path.
+    """
+    parsed = _coerce_path(path)
+    current = root
+    for index, step in enumerate(parsed.steps):
+        if not isinstance(current, (GemObject, Ref)):
+            if default is not MISSING:
+                return default
+            prefix = Path(parsed.steps[:index])
+            raise PathError(
+                f"{prefix or '<root>'} is a simple value; cannot apply !{step}"
+            )
+        time = step.at if step.at is not None else (dial.time if dial else None)
+        value = store.value_at(current, step.name, time)
+        if value is MISSING or (value is None and index < len(parsed.steps) - 1):
+            if default is not MISSING:
+                return default
+            prefix = Path(parsed.steps[: index + 1])
+            raise PathError(f"no value along path at component {prefix}")
+        current = store.deref(value)
+    return current
+
+
+def exists(
+    store: Any,
+    root: Any,
+    path: "Path | str | Sequence[Any]",
+    dial: Optional[TimeDial] = None,
+) -> bool:
+    """True if *path* resolves to a bound value from *root*."""
+    return resolve(store, root, path, dial, default=MISSING_PROBE) is not MISSING_PROBE
+
+
+class _MissingProbe:
+    """Private default distinguishing 'unresolvable' from a stored MISSING."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<missing-probe>"
+
+
+MISSING_PROBE = _MissingProbe()
+
+
+def assign(
+    store: Any,
+    root: Any,
+    path: "Path | str | Sequence[Any]",
+    value: Any,
+    dial: Optional[TimeDial] = None,
+) -> None:
+    """Assign *value* at the end of *path* (``x!a!b := v`` in OPAL).
+
+    Navigation to the parent honours the dial and per-step times, but the
+    final binding always happens at the current write time: the past is
+    immutable, so a time-pinned final component is a :class:`PathError`.
+    """
+    parsed = _coerce_path(path)
+    if not parsed.steps:
+        raise PathError("cannot assign to an empty path")
+    last = parsed.steps[-1]
+    if last.at is not None:
+        raise PathError(f"cannot assign into the past: …!{last}")
+    parent = resolve(store, root, Path(parsed.steps[:-1]), dial) if len(parsed) > 1 else root
+    if not isinstance(parent, (GemObject, Ref)):
+        raise PathError(f"cannot assign: parent of {last} is a simple value")
+    store.bind(parent, last.name, value)

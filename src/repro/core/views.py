@@ -1,0 +1,107 @@
+"""Views as objects.
+
+Section 5.4: "Support for views drops out almost for free.  We can
+construct an object that provides a view, and that object can employ other
+objects, procedural statements and calculus expressions to define the
+extension of the view.  Furthermore, since the view object can retain
+connections to the objects that contributed to the view, and since it can
+support its own methods for messages, view updates are more manageable
+than in other data models."
+
+A :class:`View` wraps a *definition* — any callable ``(store, time) ->
+iterable`` — so both procedural blocks and compiled set-calculus queries
+(whose ``run`` method has that shape) can define extensions.  The view
+retains its source objects and optionally an *update handler* that maps
+updates on the view back onto the sources.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from ..errors import ViewError
+from .objects import GemObject
+from .timedial import TimeDial
+from .values import Ref
+
+
+#: Signature of a view definition: (store, time) -> iterable of members.
+Definition = Callable[[Any, Optional[int]], Iterable[Any]]
+
+#: Signature of an update handler: (store, view, member) -> None.
+UpdateHandler = Callable[[Any, "View", Any], None]
+
+
+class View:
+    """A derived collection with retained source connections.
+
+    The extension is recomputed on each :meth:`materialize`, so a view
+    dialed to a past time shows the derived data as of that time — the
+    paper's temporal semantics compose with views for free.
+    """
+
+    def __init__(
+        self,
+        store: Any,
+        name: str,
+        definition: Definition,
+        sources: Sequence[GemObject] = (),
+        on_insert: Optional[UpdateHandler] = None,
+        on_remove: Optional[UpdateHandler] = None,
+    ) -> None:
+        self.store = store
+        self.name = name
+        self.definition = definition
+        #: oids of the objects this view derives from (retained connections)
+        self.source_oids: tuple[int, ...] = tuple(obj.oid for obj in sources)
+        self._on_insert = on_insert
+        self._on_remove = on_remove
+        #: the view's own object in the store, so other objects can refer
+        #: to the view with full entity identity
+        self.object = store.instantiate("View", name=name)
+
+    def __repr__(self) -> str:
+        return f"<View {self.name!r} over {len(self.source_oids)} sources>"
+
+    @property
+    def ref(self) -> Ref:
+        """A Ref to the view's store object."""
+        return self.object.ref
+
+    def sources(self) -> list[GemObject]:
+        """The source objects this view retains connections to."""
+        return [self.store.object(oid) for oid in self.source_oids]
+
+    def materialize(
+        self, time: Optional[int] = None, dial: Optional[TimeDial] = None
+    ) -> list[Any]:
+        """Compute the view's extension at *time* (or the dial's time)."""
+        if time is None and dial is not None:
+            time = dial.time
+        return list(self.definition(self.store, time))
+
+    def __iter__(self):
+        return iter(self.materialize())
+
+    def contains(self, member: Any, time: Optional[int] = None) -> bool:
+        """True if *member* is in the extension at *time*."""
+        return member in self.materialize(time)
+
+    # -- updates -------------------------------------------------------------
+
+    @property
+    def updatable(self) -> bool:
+        """True if the view can translate at least one kind of update."""
+        return self._on_insert is not None or self._on_remove is not None
+
+    def insert(self, member: Any) -> None:
+        """Insert through the view; requires an insert handler."""
+        if self._on_insert is None:
+            raise ViewError(f"view {self.name!r} does not support insertion")
+        self._on_insert(self.store, self, member)
+
+    def remove(self, member: Any) -> None:
+        """Remove through the view; requires a remove handler."""
+        if self._on_remove is None:
+            raise ViewError(f"view {self.name!r} does not support removal")
+        self._on_remove(self.store, self, member)

@@ -1,0 +1,19 @@
+"""``repro.directories`` — associative access structures.
+
+The paper's Directory Manager (section 6): B+tree-backed directories
+over sets, with interval-stamped entries so associative lookups work in
+past database states, and dependency tracking for nested discriminators.
+"""
+
+from .btree import BPlusTree
+from .directory import Directory, Entry, UNKEYED, normalize_key
+from .manager import DirectoryManager
+
+__all__ = [
+    "BPlusTree",
+    "Directory",
+    "DirectoryManager",
+    "Entry",
+    "UNKEYED",
+    "normalize_key",
+]

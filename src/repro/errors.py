@@ -1,0 +1,193 @@
+"""Exception hierarchy for the GemStone reproduction.
+
+Every error raised by the library derives from :class:`GemStoneError`, so
+applications can catch one type at the session boundary.  Subsystems raise
+the most specific subclass that applies; the Executor maps these onto error
+frames returned to the host (see :mod:`repro.executor.protocol`).
+"""
+
+from __future__ import annotations
+
+
+class GemStoneError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# --------------------------------------------------------------------------
+# Object model (repro.core)
+# --------------------------------------------------------------------------
+
+class ObjectModelError(GemStoneError):
+    """Base class for errors in the GSDM object layer."""
+
+
+class NoSuchObject(ObjectModelError):
+    """An oid does not name any object in the store."""
+
+    def __init__(self, oid: int) -> None:
+        super().__init__(f"no object with oid {oid}")
+        self.oid = oid
+
+
+class ElementNotFound(ObjectModelError):
+    """An object has no binding for an element name at the requested time."""
+
+    def __init__(self, name: object, time: object = None) -> None:
+        at = "" if time is None else f" at time {time}"
+        super().__init__(f"no element {name!r}{at}")
+        self.name = name
+        self.time = time
+
+
+class TimeTravelError(ObjectModelError):
+    """A write was attempted at, or before, an already-recorded time."""
+
+
+class PathError(ObjectModelError):
+    """A path expression is syntactically invalid or cannot be resolved."""
+
+
+class ClassProtocolError(ObjectModelError):
+    """A message was sent that the receiver's class does not implement."""
+
+
+class DoesNotUnderstand(ClassProtocolError):
+    """Smalltalk's doesNotUnderstand: no method found for a selector."""
+
+    def __init__(self, class_name: str, selector: str) -> None:
+        super().__init__(f"{class_name} does not understand #{selector}")
+        self.class_name = class_name
+        self.selector = selector
+
+
+class ViewError(ObjectModelError):
+    """A view definition is invalid or an unsupported view update was made."""
+
+
+# --------------------------------------------------------------------------
+# STDM calculus / algebra (repro.stdm)
+# --------------------------------------------------------------------------
+
+class QueryError(GemStoneError):
+    """Base class for set-calculus and set-algebra errors."""
+
+
+class CalculusError(QueryError):
+    """A set-calculus expression is malformed or cannot be evaluated."""
+
+
+class AlgebraError(QueryError):
+    """A set-algebra plan is malformed or cannot be executed."""
+
+
+class TranslationError(QueryError):
+    """A calculus expression cannot be translated to algebra."""
+
+
+# --------------------------------------------------------------------------
+# OPAL language (repro.opal)
+# --------------------------------------------------------------------------
+
+class OpalError(GemStoneError):
+    """Base class for OPAL language errors."""
+
+
+class LexError(OpalError):
+    """A character sequence cannot be tokenized."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(OpalError):
+    """A token sequence is not a valid OPAL program."""
+
+
+class CompileError(OpalError):
+    """A parsed OPAL program cannot be compiled to bytecodes."""
+
+
+class OpalRuntimeError(OpalError):
+    """An error raised while the Interpreter executes bytecodes."""
+
+
+# --------------------------------------------------------------------------
+# Storage (repro.storage)
+# --------------------------------------------------------------------------
+
+class StorageError(GemStoneError):
+    """Base class for secondary-storage errors."""
+
+
+class DiskError(StorageError):
+    """A simulated disk rejected an operation."""
+
+
+class DiskCrashed(DiskError):
+    """The simulated disk hit its injected crash point; writes are lost."""
+
+
+class ChecksumError(StorageError):
+    """A track's stored checksum does not match its contents."""
+
+
+class TrackOverflow(StorageError):
+    """A record fragment was larger than a track's payload capacity."""
+
+
+class CodecError(StorageError):
+    """A byte sequence is not a valid encoding of an object or value."""
+
+
+class RecoveryError(StorageError):
+    """No valid root record could be found while opening a database."""
+
+
+class ArchiveError(StorageError):
+    """An archived (off-line) object was accessed, or archival failed."""
+
+
+# --------------------------------------------------------------------------
+# Concurrency (repro.concurrency)
+# --------------------------------------------------------------------------
+
+class ConcurrencyError(GemStoneError):
+    """Base class for transaction and session errors."""
+
+
+class TransactionConflict(ConcurrencyError):
+    """Optimistic validation failed: a concurrent commit invalidated reads."""
+
+    def __init__(self, message: str, conflicts: tuple = ()) -> None:
+        super().__init__(message)
+        self.conflicts = conflicts
+
+
+class TransactionStateError(ConcurrencyError):
+    """An operation was issued outside an active transaction."""
+
+
+class SessionClosed(ConcurrencyError):
+    """An operation was issued on a closed session."""
+
+
+class AuthorizationError(ConcurrencyError):
+    """The session's user lacks the privilege for an operation."""
+
+
+# --------------------------------------------------------------------------
+# Directories (repro.directories)
+# --------------------------------------------------------------------------
+
+class DirectoryError(GemStoneError):
+    """Base class for directory (index) errors."""
+
+
+# --------------------------------------------------------------------------
+# Executor (repro.executor)
+# --------------------------------------------------------------------------
+
+class ProtocolError(GemStoneError):
+    """A malformed frame was received on the host link."""

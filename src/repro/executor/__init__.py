@@ -1,0 +1,15 @@
+"""``repro.executor`` — sessions over a host link (section 6's Executor)."""
+
+from .executor import Executor, HostConnection
+from .link import LinkEnd, make_link
+from .protocol import Frame, FrameType, decode_frame
+
+__all__ = [
+    "Executor",
+    "Frame",
+    "FrameType",
+    "HostConnection",
+    "LinkEnd",
+    "decode_frame",
+    "make_link",
+]

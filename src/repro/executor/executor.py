@@ -1,0 +1,153 @@
+"""The Executor: sessions on behalf of users on host machines.
+
+Section 6: "The Executor is responsible for controlling sessions in the
+GemStone system on behalf of users on host machines ... It maintains a
+Compiler and Interpreter for each active user."
+
+:class:`Executor` serves the gem side of a link: LOGIN authenticates and
+opens a session with its own OPAL engine (the per-user Compiler +
+Interpreter), EXECUTE compiles and runs a block of OPAL source entirely
+inside the database system, COMMIT/ABORT drive the Transaction Manager,
+and errors return as ERROR frames rather than exceptions.
+
+:class:`HostConnection` is the host-side convenience wrapper used by
+examples and tests (the "user interface program on the host machine").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import GemStoneError, ProtocolError, TransactionConflict
+from ..opal.interpreter import OpalEngine
+from ..opal.kernel import print_string
+from . import protocol
+from .link import LinkEnd, make_link
+from .protocol import Frame, FrameType
+
+
+class Executor:
+    """Serves one host link against a database."""
+
+    def __init__(self, database) -> None:
+        self.database = database
+        self._session = None
+        self._engine: Optional[OpalEngine] = None
+
+    def serve(self, gem_end: LinkEnd) -> int:
+        """Process every buffered frame; returns how many were handled.
+
+        The in-process link is synchronous: hosts write a frame, then
+        call :meth:`serve` (or use :class:`HostConnection`, which does).
+        """
+        handled = 0
+        while True:
+            raw = gem_end.receive()
+            if raw is None:
+                return handled
+            handled += 1
+            try:
+                frame = protocol.decode_frame(raw)
+                response = self._handle(frame)
+            except ProtocolError as error:
+                response = protocol.encode_error("ProtocolError", str(error))
+            gem_end.send(response)
+            if raw and raw[0] == FrameType.LOGOUT:
+                return handled
+
+    def _handle(self, frame: Frame) -> bytes:
+        if frame.type is FrameType.LOGIN:
+            return self._login(frame.fields["user"], frame.fields["password"])
+        if self._session is None:
+            return protocol.encode_error("ProtocolError", "not logged in")
+        if frame.type is FrameType.EXECUTE:
+            return self._execute(frame.fields["source"])
+        if frame.type is FrameType.COMMIT:
+            try:
+                tx_time = self._session.commit()
+                return protocol.encode_committed(tx_time)
+            except TransactionConflict:
+                return protocol.encode_simple(FrameType.CONFLICT)
+        if frame.type is FrameType.ABORT:
+            self._session.abort()
+            return protocol.encode_simple(FrameType.ABORTED)
+        if frame.type is FrameType.LOGOUT:
+            self._session.close()
+            self._session = None
+            self._engine = None
+            return protocol.encode_simple(FrameType.BYE)
+        return protocol.encode_error(
+            "ProtocolError", f"unexpected frame {frame.type.name}"
+        )
+
+    def _login(self, user: str, password: str) -> bytes:
+        try:
+            self._session = self.database.login(user, password)
+        except GemStoneError as error:
+            return protocol.encode_error(type(error).__name__, str(error))
+        self._engine = self._session.engine
+        return protocol.encode_login_ok(self._session.session.session_id)
+
+    def _execute(self, source: str) -> bytes:
+        try:
+            value = self._session.execute(source)
+        except GemStoneError as error:
+            return protocol.encode_error(type(error).__name__, str(error))
+        display = print_string(self._session.session, value)
+        return protocol.encode_result(value, display)
+
+
+class HostConnection:
+    """Host-side client: login, execute blocks of OPAL, commit, logout."""
+
+    def __init__(self, database) -> None:
+        self.host_end, gem_end = make_link()
+        self._gem_end = gem_end
+        self.executor = Executor(database)
+        self.session_id: Optional[int] = None
+
+    def _round_trip(self, frame: bytes) -> Frame:
+        self.host_end.send(frame)
+        self.executor.serve(self._gem_end)
+        raw = self.host_end.receive()
+        if raw is None:
+            raise ProtocolError("no response from executor")
+        return protocol.decode_frame(raw)
+
+    def login(self, user: str, password: str) -> int:
+        """Authenticate; returns the session id."""
+        response = self._round_trip(protocol.encode_login(user, password))
+        if response.type is FrameType.ERROR:
+            raise GemStoneError(response.fields["message"])
+        self.session_id = response.fields["session_id"]
+        return self.session_id
+
+    def execute(self, source: str) -> tuple[Any, str]:
+        """Run a block of OPAL; returns (wire value, display string).
+
+        The wire value is an immediate or a
+        :class:`~repro.core.values.Ref`; hosts dereference through
+        further OPAL, as the paper's hosts did.
+        """
+        response = self._round_trip(protocol.encode_execute(source))
+        if response.type is FrameType.ERROR:
+            raise GemStoneError(
+                f"{response.fields['error_class']}: {response.fields['message']}"
+            )
+        return response.fields["value"], response.fields["display"]
+
+    def commit(self) -> Optional[int]:
+        """Commit; returns the transaction time, or None on conflict."""
+        response = self._round_trip(protocol.encode_simple(FrameType.COMMIT))
+        if response.type is FrameType.CONFLICT:
+            return None
+        return response.fields["tx_time"]
+
+    def abort(self) -> None:
+        """Abort the current transaction."""
+        self._round_trip(protocol.encode_simple(FrameType.ABORT))
+
+    def logout(self) -> None:
+        """End the session."""
+        self._round_trip(protocol.encode_simple(FrameType.LOGOUT))
+        self.session_id = None

@@ -1,0 +1,82 @@
+"""The host ↔ GemStone network link.
+
+Section 6: "our present implementation has GemStone running on its own
+hardware and communicating to user interface programs on host machines
+through a network link."  The substitute (DESIGN.md section 2) is an
+in-process, byte-framed duplex channel: each direction is a queue of
+length-prefixed frames, so framing bugs surface exactly as they would on
+a socket.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import ProtocolError
+
+
+class _Pipe:
+    """One direction of the link: a byte stream with frame boundaries."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._closed = False
+
+    def write(self, data: bytes) -> None:
+        if self._closed:
+            raise ProtocolError("link is closed")
+        self._buffer += data
+
+    def read_frame(self) -> bytes | None:
+        """Pop one complete frame, or None if none is buffered."""
+        if len(self._buffer) < 4:
+            return None
+        (length,) = struct.unpack_from("<I", self._buffer, 0)
+        if len(self._buffer) < 4 + length:
+            raise ProtocolError("truncated frame on link")
+        frame = bytes(self._buffer[4 : 4 + length])
+        del self._buffer[: 4 + length]
+        return frame
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class LinkEnd:
+    """One endpoint of the duplex link."""
+
+    def __init__(self, outgoing: _Pipe, incoming: _Pipe) -> None:
+        self._out = outgoing
+        self._in = incoming
+        self.frames_sent = 0
+        self.bytes_sent = 0
+
+    def send(self, frame: bytes) -> None:
+        """Send one frame (length-prefixed on the wire)."""
+        self._out.write(struct.pack("<I", len(frame)) + frame)
+        self.frames_sent += 1
+        self.bytes_sent += 4 + len(frame)
+
+    def receive(self) -> bytes | None:
+        """Receive the next complete frame, or None if none waiting."""
+        return self._in.read_frame()
+
+    def close(self) -> None:
+        """Close the outgoing direction."""
+        self._out.close()
+
+    @property
+    def peer_closed(self) -> bool:
+        """True once the peer closed its outgoing direction."""
+        return self._in.closed
+
+
+def make_link() -> tuple[LinkEnd, LinkEnd]:
+    """Create a connected (host_end, gem_end) pair."""
+    a_to_b = _Pipe()
+    b_to_a = _Pipe()
+    return LinkEnd(a_to_b, b_to_a), LinkEnd(b_to_a, a_to_b)

@@ -1,0 +1,137 @@
+"""Frame encoding for the Executor protocol.
+
+Section 6: "The Executor handles communications between GemStone and
+host software: receiving blocks of code, returning results and error
+messages."
+
+Frame layout (inside the link's length framing): one type byte, then a
+type-specific payload using the storage codec's primitives.  Results
+carry both the value — when it is an immediate or an object reference —
+and its display string, so hosts without an object memory can still show
+something; structured objects travel as (oid, display) pairs, never by
+value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Any
+
+from ..core.objects import GemObject
+from ..errors import ProtocolError
+from ..storage.codec import Reader, Writer, decode_value, encode_value
+
+
+class FrameType(IntEnum):
+    """Protocol frame types."""
+
+    LOGIN = 1
+    LOGIN_OK = 2
+    EXECUTE = 3
+    RESULT = 4
+    ERROR = 5
+    COMMIT = 6
+    COMMITTED = 7
+    CONFLICT = 8
+    ABORT = 9
+    ABORTED = 10
+    LOGOUT = 11
+    BYE = 12
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A decoded protocol frame."""
+
+    type: FrameType
+    fields: dict[str, Any]
+
+
+def encode_login(user: str, password: str) -> bytes:
+    writer = Writer()
+    writer.raw(bytes([FrameType.LOGIN]))
+    writer.string(user)
+    writer.string(password)
+    return writer.getvalue()
+
+
+def encode_login_ok(session_id: int) -> bytes:
+    writer = Writer()
+    writer.raw(bytes([FrameType.LOGIN_OK]))
+    writer.uvarint(session_id)
+    return writer.getvalue()
+
+
+def encode_execute(source: str) -> bytes:
+    writer = Writer()
+    writer.raw(bytes([FrameType.EXECUTE]))
+    writer.string(source)
+    return writer.getvalue()
+
+
+def encode_result(value: Any, display: str) -> bytes:
+    """Encode an execution result: wire value (if expressible) + display."""
+    writer = Writer()
+    writer.raw(bytes([FrameType.RESULT]))
+    if isinstance(value, GemObject):
+        value = value.ref
+    try:
+        encode_value(writer, value)
+        wire_ok = True
+    except Exception:
+        writer = Writer()
+        writer.raw(bytes([FrameType.RESULT]))
+        encode_value(writer, None)
+        wire_ok = False
+    writer.string(display)
+    writer.raw(bytes([1 if wire_ok else 0]))
+    return writer.getvalue()
+
+
+def encode_error(error_class: str, message: str) -> bytes:
+    writer = Writer()
+    writer.raw(bytes([FrameType.ERROR]))
+    writer.string(error_class)
+    writer.string(message)
+    return writer.getvalue()
+
+
+def encode_simple(frame_type: FrameType) -> bytes:
+    return bytes([frame_type])
+
+
+def encode_committed(tx_time: int) -> bytes:
+    writer = Writer()
+    writer.raw(bytes([FrameType.COMMITTED]))
+    writer.uvarint(tx_time)
+    return writer.getvalue()
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Decode any protocol frame."""
+    if not data:
+        raise ProtocolError("empty frame")
+    reader = Reader(data)
+    try:
+        frame_type = FrameType(reader.byte())
+    except ValueError as error:
+        raise ProtocolError(f"unknown frame type {data[0]}") from error
+    fields: dict[str, Any] = {}
+    if frame_type is FrameType.LOGIN:
+        fields["user"] = reader.string()
+        fields["password"] = reader.string()
+    elif frame_type is FrameType.LOGIN_OK:
+        fields["session_id"] = reader.uvarint()
+    elif frame_type is FrameType.EXECUTE:
+        fields["source"] = reader.string()
+    elif frame_type is FrameType.RESULT:
+        fields["value"] = decode_value(reader)
+        fields["display"] = reader.string()
+        fields["wire_value"] = reader.byte() == 1
+    elif frame_type is FrameType.ERROR:
+        fields["error_class"] = reader.string()
+        fields["message"] = reader.string()
+    elif frame_type is FrameType.COMMITTED:
+        fields["tx_time"] = reader.uvarint()
+    return Frame(frame_type, fields)

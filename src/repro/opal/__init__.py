@@ -1,0 +1,65 @@
+"""``repro.opal`` — the OPAL language.
+
+Smalltalk-80 syntax extended with path expressions, time pins, and
+declarative select blocks (sections 4-6 of the paper): lexer → parser →
+compiler → bytecodes, executed by an abstract stack machine over any
+Object Manager, with the kernel class library seeded as primitives.
+"""
+
+from .bytecodes import CompiledBlock, CompiledMethod, Instruction, Op, disassemble
+from .compiler import Compiler
+from .declarative import selector_is_element_fetch, try_declarative_filter
+from .interpreter import BlockClosure, Frame, OpalEngine, SystemObject
+from .kernel import install_kernel, print_string
+from .lexer import Lexer
+from .nodes import (
+    Assign,
+    BlockNode,
+    Cascade,
+    Literal,
+    MessageSend,
+    MethodNode,
+    PathAssign,
+    PathFetch,
+    PathStepNode,
+    Return,
+    Sequence,
+    VarRef,
+)
+from .parser import Parser, parse_expression_code, parse_method
+from .tokens import Token, TokenType
+
+__all__ = [
+    "Assign",
+    "BlockClosure",
+    "BlockNode",
+    "Cascade",
+    "CompiledBlock",
+    "CompiledMethod",
+    "Compiler",
+    "Frame",
+    "Instruction",
+    "Lexer",
+    "Literal",
+    "MessageSend",
+    "MethodNode",
+    "Op",
+    "OpalEngine",
+    "Parser",
+    "PathAssign",
+    "PathFetch",
+    "PathStepNode",
+    "Return",
+    "Sequence",
+    "SystemObject",
+    "Token",
+    "TokenType",
+    "VarRef",
+    "disassemble",
+    "install_kernel",
+    "parse_expression_code",
+    "parse_method",
+    "print_string",
+    "selector_is_element_fetch",
+    "try_declarative_filter",
+]

@@ -1,0 +1,124 @@
+"""Bytecodes and compiled code objects for the OPAL virtual machine.
+
+Section 6: "The Interpreter is an abstract stack machine that executes
+compiledMethods consisting of sequences of bytecodes, much the same as
+the ST80 interpreter.  It dispatches bytecodes, performs stack
+manipulations and some primitive methods, and makes calls to the Object
+Manager."
+
+Instructions are (opcode, operand) pairs.  Temp addressing is lexical:
+``(level, slot)`` where level counts enclosing block scopes (0 = the
+current frame), so closures read and write their defining contexts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Any, Optional
+
+from ..core.classes import Method
+
+
+class Op(Enum):
+    """The OPAL instruction set."""
+
+    PUSH_CONST = auto()      # operand: literal index
+    PUSH_SELF = auto()
+    PUSH_TEMP = auto()       # operand: (level, slot)
+    STORE_TEMP = auto()      # operand: (level, slot); leaves value on stack
+    PUSH_INSTVAR = auto()    # operand: name
+    STORE_INSTVAR = auto()   # operand: name; leaves value on stack
+    PUSH_GLOBAL = auto()     # operand: name (class, System, World, ...)
+    PUSH_BLOCK = auto()      # operand: literal index of a CompiledBlock
+    SEND = auto()            # operand: (selector, argc)
+    SUPER_SEND = auto()      # operand: (selector, argc)
+    PATH_FETCH = auto()      # operand: tuple[(name, has_time), ...]
+    PATH_ASSIGN = auto()     # operand: tuple[(name, has_time), ...]
+    POP = auto()
+    DUP = auto()
+    RETURN_TOP = auto()      # return value from the current method frame
+    NONLOCAL_RETURN = auto() # ^ inside a block: unwind to the home method
+    BLOCK_END = auto()       # end of block body: value of last statement
+    JUMP = auto()            # operand: absolute target pc
+    JUMP_IF_FALSE = auto()   # operand: (target, error selector); pops a Boolean
+    JUMP_IF_TRUE = auto()    # operand: (target, error selector); pops a Boolean
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    op: Op
+    operand: Any = None
+
+    def __repr__(self) -> str:
+        if self.operand is None:
+            return self.op.name
+        return f"{self.op.name} {self.operand!r}"
+
+
+@dataclass
+class CompiledBlock:
+    """The compiled form of a block literal (a closure's code)."""
+
+    params: tuple[str, ...]
+    temps: tuple[str, ...]
+    code: list[Instruction]
+    literals: list[Any]
+    #: the source AST, kept for declarative select-block recognition
+    ast: Any = None
+
+    @property
+    def slot_names(self) -> tuple[str, ...]:
+        """Frame slot layout: params then temps."""
+        return self.params + self.temps
+
+    def __repr__(self) -> str:
+        return f"<CompiledBlock [{', '.join(self.params)}] {len(self.code)} ops>"
+
+
+@dataclass
+class CompiledMethod(Method):
+    """A method compiled from OPAL source.
+
+    Satisfies the core :class:`~repro.core.classes.Method` protocol by
+    delegating to the store's attached OPAL engine, so message dispatch
+    through the Object Manager runs OPAL code transparently.
+    """
+
+    selector: str
+    params: tuple[str, ...]
+    temps: tuple[str, ...]
+    code: list[Instruction]
+    literals: list[Any]
+    source: Optional[str] = None
+    class_name: str = ""
+
+    @property
+    def slot_names(self) -> tuple[str, ...]:
+        """Frame slot layout: params then temps."""
+        return self.params + self.temps
+
+    def invoke(self, manager: Any, receiver: Any, args: tuple) -> Any:
+        engine = getattr(manager, "opal_runtime", None)
+        if engine is None:
+            raise RuntimeError(
+                "store has no OPAL engine attached; create an OpalEngine first"
+            )
+        return engine.invoke_method(self, receiver, args)
+
+    def __repr__(self) -> str:
+        where = f" in {self.class_name}" if self.class_name else ""
+        return f"<CompiledMethod #{self.selector}{where}>"
+
+
+def disassemble(code: list[Instruction], literals: list[Any]) -> str:
+    """A printable listing of compiled code (debugging aid)."""
+    lines = []
+    for index, instruction in enumerate(code):
+        note = ""
+        if instruction.op in (Op.PUSH_CONST, Op.PUSH_BLOCK):
+            note = f"  ; {literals[instruction.operand]!r}"
+        lines.append(f"{index:4d}  {instruction!r}{note}")
+    return "\n".join(lines)

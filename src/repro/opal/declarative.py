@@ -1,0 +1,225 @@
+"""Declarative select blocks: OPAL blocks translated to set calculus.
+
+Section 6: "The Compiler requires some modifications from the ST80
+compiler ... a large addition is needed to translate calculus
+expressions into procedural form."  In this reproduction the recognizer
+runs at ``select:``/``reject:`` time: if the block's AST is a pure
+condition over its parameter — paths, literals, comparisons,
+arithmetic, ``includes:``, ``and:``/``or:``/``not`` — it becomes a
+:class:`~repro.stdm.calculus.SetQuery`, is translated to algebra, and is
+optimized against the registered directories, so an indexed selection
+never scans.  Anything else (outer-variable capture, general message
+sends, multiple statements) falls back to procedural iteration, which is
+exactly the paper's "calculus ... can include procedural parts".
+
+A unary message in a block (``e salary``) is treated as an element fetch
+only when it provably means that: either no class in the store defines
+the selector as a method, or every definition is a simple same-named
+getter (``salary ^salary`` compiles to ``PUSH_INSTVAR salary; RETURN``).
+Otherwise the block is procedural — correctness over speed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.classes import GemClass
+from ..core.paths import Path, Step
+from ..errors import GemStoneError
+from ..stdm.calculus import (
+    And,
+    Apply,
+    Compare,
+    Const,
+    Expr,
+    In,
+    Not,
+    Or,
+    PathApply,
+    QueryContext,
+    SetQuery,
+    Var,
+)
+from ..stdm.optimize import best_plan
+from .bytecodes import Op
+from .nodes import BlockNode, Literal, MessageSend, PathFetch, VarRef
+
+
+class _NotDeclarative(Exception):
+    """Internal: this block cannot be translated; run it procedurally."""
+
+
+_COMPARISONS = {"<": "<", "<=": "<=", ">": ">", ">=": ">=", "=": "==", "~=": "!="}
+_ARITHMETIC = {"+", "-", "*", "/"}
+
+
+def selector_is_element_fetch(store, selector: str) -> bool:
+    """True if a unary *selector* can only mean an element fetch.
+
+    Either no class defines it, or every definition is the trivial
+    getter of the same-named instance variable.
+    """
+    stores = [store]
+    base = getattr(store, "store", None)
+    if base is not None:  # the shared store behind a session overlay
+        stores.append(base)
+    for target in stores:
+        for name in list(target.classes):
+            cls = target.class_named(name)
+            if not isinstance(cls, GemClass):
+                continue
+            method = cls.methods.get(selector)
+            if method is not None and not _is_trivial_getter(method, selector):
+                return False
+    return True
+
+
+def _is_trivial_getter(method: Any, selector: str) -> bool:
+    code = getattr(method, "code", None)
+    if code is None:
+        return False  # a primitive: semantics unknown
+    if len(code) != 2:
+        return False
+    return (
+        code[0].op is Op.PUSH_INSTVAR
+        and code[0].operand == selector
+        and code[1].op is Op.RETURN_TOP
+    )
+
+
+class BlockTranslator:
+    """Translates one block body into a calculus condition."""
+
+    def __init__(self, store, param: str) -> None:
+        self.store = store
+        self.param = param
+
+    def translate(self, block: BlockNode) -> Expr:
+        if len(block.params) != 1 or block.temps:
+            raise _NotDeclarative
+        if len(block.body) != 1:
+            raise _NotDeclarative
+        return self.expression(block.body[0])
+
+    def expression(self, node) -> Expr:
+        if isinstance(node, Literal):
+            if isinstance(node.value, tuple):
+                return Const(list(node.value))
+            return Const(node.value)
+        if isinstance(node, VarRef):
+            if node.name == self.param:
+                return Var(self.param)
+            raise _NotDeclarative  # outer capture: procedural
+        if isinstance(node, PathFetch):
+            return self.path(node)
+        if isinstance(node, MessageSend):
+            return self.message(node)
+        raise _NotDeclarative
+
+    def path(self, node: PathFetch) -> Expr:
+        base = self.expression(node.base)
+        steps = []
+        for step in node.steps:
+            if step.time is None:
+                steps.append(Step(step.name))
+            elif isinstance(step.time, Literal) and isinstance(
+                step.time.value, int
+            ):
+                steps.append(Step(step.name, step.time.value))
+            else:
+                raise _NotDeclarative  # computed time pins stay procedural
+        if isinstance(base, PathApply):
+            return PathApply(base.base, Path(base.path_expr.steps + tuple(steps)))
+        return PathApply(base, Path(tuple(steps)))
+
+    def message(self, node: MessageSend) -> Expr:
+        selector = node.selector
+        if selector in _COMPARISONS and len(node.args) == 1:
+            return Compare(
+                _COMPARISONS[selector],
+                self.expression(node.receiver),
+                self.expression(node.args[0]),
+            )
+        if selector in _ARITHMETIC and len(node.args) == 1:
+            from ..stdm.calculus import BinOp
+
+            return BinOp(
+                selector,
+                self.expression(node.receiver),
+                self.expression(node.args[0]),
+            )
+        if selector == "includes:":
+            return In(self.expression(node.args[0]), self.expression(node.receiver))
+        if selector == "between:and:":
+            target = self.expression(node.receiver)
+            low = self.expression(node.args[0])
+            high = self.expression(node.args[1])
+            return And(Compare(">=", target, low), Compare("<=", target, high))
+        if selector == "not":
+            return Not(self.expression(node.receiver))
+        if selector in ("and:", "or:"):
+            right = self.inner_block_condition(node.args[0])
+            left = self.expression(node.receiver)
+            return And(left, right) if selector == "and:" else Or(left, right)
+        if selector in ("&", "|") and len(node.args) == 1:
+            left = self.expression(node.receiver)
+            right = self.expression(node.args[0])
+            return And(left, right) if selector == "&" else Or(left, right)
+        if selector == "isNil" and not node.args:
+            return Compare("==", self.expression(node.receiver), Const(None))
+        if selector == "notNil" and not node.args:
+            return Not(Compare("==", self.expression(node.receiver), Const(None)))
+        if not node.args and not node.to_super:
+            # unary message as element fetch, when provably safe
+            if selector_is_element_fetch(self.store, selector):
+                base = self.expression(node.receiver)
+                if isinstance(base, PathApply):
+                    return PathApply(
+                        base.base,
+                        Path(base.path_expr.steps + (Step(selector),)),
+                    )
+                return PathApply(base, Path((Step(selector),)))
+        raise _NotDeclarative
+
+    def inner_block_condition(self, node) -> Expr:
+        """The body of a 0-argument block (and:/or: arguments)."""
+        if not isinstance(node, BlockNode) or node.params or node.temps:
+            raise _NotDeclarative
+        if len(node.body) != 1:
+            raise _NotDeclarative
+        return self.expression(node.body[0])
+
+
+def try_declarative_filter(store, collection, closure, negate: bool) -> Optional[list]:
+    """Run a select:/reject: block declaratively, or return None.
+
+    Returns the chosen member list on success.  The plan is optimized
+    against the engine's Directory Manager, and evaluation honours the
+    session's time dial.
+    """
+    engine = getattr(store, "opal_runtime", None)
+    compiled = getattr(closure, "compiled", None)
+    block_ast = getattr(compiled, "ast", None)
+    if engine is None or block_ast is None:
+        return None
+    if len(getattr(compiled, "params", ())) != 1:
+        return None
+    param = compiled.params[0]
+    try:
+        condition = BlockTranslator(store, param).translate(block_ast)
+    except _NotDeclarative:
+        return None
+    if negate:
+        condition = Not(condition)
+    query = SetQuery(
+        result=Var(param),
+        binders=[(Var(param), Const(collection))],
+        condition=condition,
+    )
+    dial = getattr(store, "time_dial", None)
+    time = dial.time if dial is not None else None
+    plan = best_plan(query, engine.directory_manager)
+    try:
+        return plan.run(QueryContext(store, time, engine.directory_manager))
+    except GemStoneError:
+        return None  # fall back to procedural semantics

@@ -1,0 +1,123 @@
+"""Abstract syntax of OPAL programs.
+
+The parser produces these nodes; the compiler walks them into bytecodes,
+and the declarative-select recognizer (:mod:`repro.opal.declarative`)
+walks block bodies to translate them into set calculus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+
+class Node:
+    """Base class for OPAL AST nodes."""
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """A literal value: number, string, symbol, char, boolean, nil, array."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class VarRef(Node):
+    """A variable reference: temp, argument, instance variable or global."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class PathStepNode(Node):
+    """One ``!component`` step, optionally ``@time``.
+
+    The component is a literal name (identifier, string or integer); the
+    time pin, when present, is a full expression evaluated at run time
+    (``x!balance @ (t - 1)`` is legal OPAL).
+    """
+
+    name: Any
+    time: Optional[Node] = None
+
+
+@dataclass(frozen=True)
+class PathFetch(Node):
+    """``base!a!b@T!c`` — navigation from an expression."""
+
+    base: Node
+    steps: tuple[PathStepNode, ...]
+
+
+@dataclass(frozen=True)
+class PathAssign(Node):
+    """``base!a!b := value`` — assignment through a path (section 4.3)."""
+
+    base: Node
+    steps: tuple[PathStepNode, ...]
+    value: Node
+
+
+@dataclass(frozen=True)
+class Assign(Node):
+    """``var := value`` — plain variable assignment."""
+
+    name: str
+    value: Node
+
+
+@dataclass(frozen=True)
+class MessageSend(Node):
+    """``receiver selector: arg ...`` — unary, binary or keyword send."""
+
+    receiver: Node
+    selector: str
+    args: tuple[Node, ...] = ()
+    to_super: bool = False
+
+
+@dataclass(frozen=True)
+class Cascade(Node):
+    """``expr msg1; msg2; msg3`` — several messages to one receiver.
+
+    ``first`` must be a MessageSend; the cascaded messages go to *its*
+    receiver, per Smalltalk-80 semantics.
+    """
+
+    first: MessageSend
+    rest: tuple[tuple[str, tuple[Node, ...]], ...]
+
+
+@dataclass(frozen=True)
+class BlockNode(Node):
+    """``[:x :y | temps | statements]`` — a lexical closure."""
+
+    params: tuple[str, ...]
+    temps: tuple[str, ...]
+    body: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class Return(Node):
+    """``^expression`` — method return (non-local from inside blocks)."""
+
+    value: Node
+
+
+@dataclass(frozen=True)
+class Sequence(Node):
+    """A statement sequence (a method body or executable code block)."""
+
+    temps: tuple[str, ...]
+    statements: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class MethodNode(Node):
+    """A parsed method: pattern (selector + params) and body."""
+
+    selector: str
+    params: tuple[str, ...]
+    body: Sequence
+    source: str = ""

@@ -1,0 +1,90 @@
+"""``repro.stdm`` — the Set-Theoretic Data Model and its query system.
+
+Labeled sets (section 5.1), the set calculus, the set algebra, the
+calculus→algebra translator, the directory-aware optimizer, and the
+relational encodings of section 5.2.
+"""
+
+from .algebra import (
+    BindScan,
+    ConstructResult,
+    Filter,
+    IndexEq,
+    IndexRange,
+    Plan,
+    Unit,
+    deduplicate,
+    difference,
+    intersection,
+    union,
+)
+from .calculus import (
+    Apply,
+    Exists,
+    ForAll,
+    Binder,
+    Compare,
+    Const,
+    Expr,
+    In,
+    NOVALUE,
+    PathApply,
+    QueryContext,
+    SetQuery,
+    Subset,
+    Var,
+    value_equal,
+    variables,
+)
+from .optimize import IndexChoice, best_plan, optimize
+from .relational import (
+    flatten_set_valued,
+    relation_to_set,
+    set_to_relation,
+    unflatten_to_sets,
+)
+from .sets import LabeledSet, format_set, materialize, snapshot
+from .translate import conjuncts, translate
+
+__all__ = [
+    "Apply",
+    "BindScan",
+    "Binder",
+    "Compare",
+    "Const",
+    "ConstructResult",
+    "Exists",
+    "Expr",
+    "ForAll",
+    "Filter",
+    "In",
+    "IndexChoice",
+    "IndexEq",
+    "IndexRange",
+    "LabeledSet",
+    "NOVALUE",
+    "PathApply",
+    "Plan",
+    "QueryContext",
+    "SetQuery",
+    "Subset",
+    "Unit",
+    "Var",
+    "best_plan",
+    "conjuncts",
+    "deduplicate",
+    "difference",
+    "flatten_set_valued",
+    "format_set",
+    "intersection",
+    "materialize",
+    "optimize",
+    "relation_to_set",
+    "set_to_relation",
+    "snapshot",
+    "translate",
+    "unflatten_to_sets",
+    "union",
+    "value_equal",
+    "variables",
+]

@@ -1,0 +1,278 @@
+"""The STDM set algebra: executable query plans.
+
+"We have developed a set algebra, and an algorithm to translate a
+set-calculus expression to a set-algebra expression" (section 5.1) —
+this module is the algebra half.  A plan is a tree of operators over
+streams of variable bindings:
+
+* :class:`Unit` — the empty binding (the stream's seed);
+* :class:`BindScan` — the dependent product: for each input binding,
+  bind a variable to each member of a set-valued expression;
+* :class:`IndexEq` / :class:`IndexRange` — associative variants that
+  draw members from a directory instead of scanning;
+* :class:`Filter` — restriction by a calculus predicate;
+* :class:`ConstructResult` — build the output tuples.
+
+Each node counts the rows it produces, so plans self-report their work
+(the benchmarks compare scan vs. index plans with these counters).
+Materialized set operations (union, difference, intersection) with
+entity-identity semantics round out the algebra.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Sequence
+
+from .calculus import Expr, QueryContext, value_equal
+
+
+class Plan:
+    """Base class for algebra operators."""
+
+    def __init__(self) -> None:
+        self.rows_out = 0
+
+    def rows(self, ctx: QueryContext) -> Iterator[dict[str, Any]]:
+        """Stream of variable bindings; subclasses implement `_rows`."""
+        for binding in self._rows(ctx):
+            self.rows_out += 1
+            yield binding
+
+    def _rows(self, ctx: QueryContext) -> Iterator[dict[str, Any]]:
+        raise NotImplementedError
+
+    def run(self, ctx: QueryContext) -> list[Any]:
+        """Execute to completion; meaningful only on a result-producing root."""
+        return [binding for binding in self.rows(ctx)]
+
+    def reset_counters(self) -> None:
+        """Zero `rows_out` on this node and its inputs."""
+        self.rows_out = 0
+        for child in self.children():
+            child.reset_counters()
+
+    def children(self) -> Sequence["Plan"]:
+        """Input plans."""
+        return ()
+
+    def explain(self, indent: int = 0) -> str:
+        """A printable plan tree with row counters."""
+        line = " " * indent + f"{self.describe()}  [rows_out={self.rows_out}]"
+        return "\n".join(
+            [line] + [child.explain(indent + 2) for child in self.children()]
+        )
+
+    def describe(self) -> str:
+        """One-line operator description."""
+        return type(self).__name__
+
+
+class Unit(Plan):
+    """Yields a single empty binding — the seed of every plan."""
+
+    def _rows(self, ctx):
+        yield {}
+
+    def describe(self):
+        return "Unit"
+
+
+class BindScan(Plan):
+    """Dependent product: bind *var* to each member of *source*.
+
+    The source expression may use variables bound upstream, which is how
+    the calculus's dependent binders (``m ∈ d!Managers``) execute.
+    """
+
+    def __init__(self, child: Plan, var: str, source: Expr) -> None:
+        super().__init__()
+        self.child = child
+        self.var = var
+        self.source = source
+
+    def _rows(self, ctx):
+        for binding in self.child.rows(ctx):
+            collection = self.source.evaluate(ctx, binding)
+            for member in ctx.members(collection):
+                out = dict(binding)
+                out[self.var] = member
+                yield out
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self):
+        return f"BindScan {self.var} ∈ {self.source!r}"
+
+
+class IndexEq(Plan):
+    """Associative access: bind *var* to members whose key equals a value."""
+
+    def __init__(self, child: Plan, var: str, directory, value: Expr) -> None:
+        super().__init__()
+        self.child = child
+        self.var = var
+        self.directory = directory
+        self.value = value
+
+    def _rows(self, ctx):
+        for binding in self.child.rows(ctx):
+            key = self.value.evaluate(ctx, binding)
+            for oid in self.directory.lookup(key, ctx.time):
+                out = dict(binding)
+                out[self.var] = ctx.store.object(oid)
+                yield out
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self):
+        return (
+            f"IndexEq {self.var} via {self.directory.name!r} "
+            f"on !{self.directory.path} = {self.value!r}"
+        )
+
+
+class IndexRange(Plan):
+    """Associative access by key range (open bounds allowed)."""
+
+    def __init__(
+        self,
+        child: Plan,
+        var: str,
+        directory,
+        low: Optional[Expr] = None,
+        high: Optional[Expr] = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> None:
+        super().__init__()
+        self.child = child
+        self.var = var
+        self.directory = directory
+        self.low = low
+        self.high = high
+        self.include_low = include_low
+        self.include_high = include_high
+
+    def _rows(self, ctx):
+        for binding in self.child.rows(ctx):
+            low = self.low.evaluate(ctx, binding) if self.low is not None else None
+            high = self.high.evaluate(ctx, binding) if self.high is not None else None
+            for oid in self.directory.range(
+                low, high, ctx.time, self.include_low, self.include_high
+            ):
+                out = dict(binding)
+                out[self.var] = ctx.store.object(oid)
+                yield out
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self):
+        lo = "(" if not self.include_low else "["
+        hi = ")" if not self.include_high else "]"
+        return (
+            f"IndexRange {self.var} via {self.directory.name!r} "
+            f"on !{self.directory.path} {lo}{self.low!r}, {self.high!r}{hi}"
+        )
+
+
+class Filter(Plan):
+    """Restriction: keep bindings satisfying a calculus predicate."""
+
+    def __init__(self, child: Plan, predicate: Expr) -> None:
+        super().__init__()
+        self.child = child
+        self.predicate = predicate
+
+    def _rows(self, ctx):
+        for binding in self.child.rows(ctx):
+            if bool(self.predicate.evaluate(ctx, binding)):
+                yield binding
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self):
+        return f"Filter {self.predicate!r}"
+
+
+class ConstructResult(Plan):
+    """Build output values from final bindings (the result template)."""
+
+    def __init__(self, child: Plan, result) -> None:
+        super().__init__()
+        self.child = child
+        self.result = result
+
+    def _rows(self, ctx):
+        for binding in self.child.rows(ctx):
+            if isinstance(self.result, dict):
+                yield {
+                    label: expr.evaluate(ctx, binding)
+                    for label, expr in self.result.items()
+                }
+            else:
+                yield self.result.evaluate(ctx, binding)
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self):
+        return f"Construct {self.result!r}"
+
+
+# --------------------------------------------------------------------------
+# materialized set operations
+# --------------------------------------------------------------------------
+
+def _contains(members: list, value: Any) -> bool:
+    return any(value_equal(value, m) for m in members)
+
+
+def union(a, b) -> list:
+    """Members of *a* or *b*, identity-deduplicated, order-preserving."""
+    result = list(a)
+    for member in b:
+        if not _contains(result, member):
+            result.append(member)
+    return result
+
+
+def intersection(a, b) -> list:
+    """Members of *a* also in *b*."""
+    b_members = list(b)
+    return [m for m in a if _contains(b_members, m)]
+
+
+def difference(a, b) -> list:
+    """Members of *a* not in *b*."""
+    b_members = list(b)
+    return [m for m in a if not _contains(b_members, m)]
+
+
+def deduplicate(members) -> list:
+    """Identity-deduplicate a member list."""
+    result: list = []
+    for member in members:
+        if not _contains(result, member):
+            result.append(member)
+    return result
+
+
+def plan_depth(plan: Plan) -> int:
+    """Number of operators along the plan's spine (for tests)."""
+    depth = 1
+    children = plan.children()
+    if not children:
+        return depth
+    return 1 + max(plan_depth(child) for child in children)
+
+
+def collect_operators(plan: Plan) -> list[Plan]:
+    """Flatten a plan tree into a list (root first)."""
+    nodes = [plan]
+    for child in plan.children():
+        nodes.extend(collect_operators(child))
+    return nodes

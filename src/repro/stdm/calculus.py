@@ -1,0 +1,604 @@
+"""The STDM set calculus (section 5.1).
+
+The paper's example query —
+
+    {{Emp: e, Mgr: m} where
+      (e ∈ X!Employees) and (d ∈ X!Departments)
+      [(m ∈ d!Managers) and (d!Name ∈ e!Depts) and
+       (e!Salary > 0.10 * d!Budget)]}
+
+— is a :class:`SetQuery`: a result constructor, a list of *binders*
+(each binding a variable to the members of a set-valued expression,
+which may be a function of earlier variables — "a distinguishing feature
+of our calculus"), and a condition.
+
+Expressions build with Python operators: ``e.path("Salary") >
+d.path("Budget") * 0.10``, ``d.path("Name").in_(e.path("Depts"))``,
+``&``/``|``/``~`` for the connectives, and :class:`Apply` wraps an
+arbitrary Python function for the "general computations in the
+conditions" the paper wants (section 5.4).
+
+:meth:`SetQuery.evaluate` is the *reference* nested-loop interpreter:
+the algebra (:mod:`repro.stdm.algebra`) and the translator are tested
+for equivalence against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+from ..core.objects import GemObject
+from ..core.paths import Path, parse_path
+from ..core.timedial import TimeDial
+from ..core.values import Ref
+from ..errors import CalculusError
+from .sets import LabeledSet
+
+
+class _NoValue:
+    """Result of a path that does not resolve; fails every condition."""
+
+    _instance: "_NoValue | None" = None
+
+    def __new__(cls) -> "_NoValue":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<no-value>"
+
+
+NOVALUE = _NoValue()
+
+
+class QueryContext:
+    """Everything evaluation needs: the store, a time, and directories."""
+
+    def __init__(self, store, time: Optional[int] = None, directory_manager=None):
+        self.store = store
+        self.time = time
+        self.directory_manager = directory_manager
+        self.dial = TimeDial()
+        self.dial.set(time)
+
+    def at(self, time: Optional[int]) -> "QueryContext":
+        """A context like this one, dialed to *time*."""
+        return QueryContext(self.store, time, self.directory_manager)
+
+    def members(self, collection: Any) -> Iterator[Any]:
+        """Iterate the members of any set-like value.
+
+        GSDM set objects yield their live element values (dereferenced);
+        labeled sets yield their values; plain Python iterables pass
+        through.
+        """
+        if isinstance(collection, Ref):
+            collection = self.store.deref(collection)
+        if isinstance(collection, GemObject):
+            yield from self.store.members_of(collection, self.time)
+        elif isinstance(collection, LabeledSet):
+            yield from collection.values()
+        elif isinstance(collection, (list, tuple, set, frozenset)):
+            yield from collection
+        elif collection is NOVALUE or collection is None:
+            return
+        else:
+            raise CalculusError(f"{collection!r} is not a set-like value")
+
+
+def value_equal(a: Any, b: Any) -> bool:
+    """Equality with entity identity: objects compare by oid."""
+    a_oid = a.oid if isinstance(a, (GemObject, Ref)) else None
+    b_oid = b.oid if isinstance(b, (GemObject, Ref)) else None
+    if a_oid is not None or b_oid is not None:
+        return a_oid == b_oid
+    if a is NOVALUE or b is NOVALUE:
+        return False
+    return a == b
+
+
+# --------------------------------------------------------------------------
+# expressions
+# --------------------------------------------------------------------------
+
+class Expr:
+    """Base class for calculus expressions; combinators build the AST."""
+
+    def evaluate(self, ctx: QueryContext, bindings: dict[str, Any]) -> Any:
+        """The expression's value under *bindings*."""
+        raise NotImplementedError
+
+    def free_vars(self) -> frozenset[str]:
+        """Variables this expression refers to."""
+        raise NotImplementedError
+
+    # -- combinators ----------------------------------------------------------
+
+    def path(self, path_text: "str | Path") -> "PathApply":
+        """Apply a path: ``e.path("Salary")`` is the paper's ``e!Salary``."""
+        return PathApply(self, path_text)
+
+    def in_(self, collection: "Expr | Any") -> "In":
+        """Membership: ``x.in_(s)`` is ``x ∈ s``."""
+        return In(self, as_expr(collection))
+
+    def subset_of(self, other: "Expr | Any") -> "Subset":
+        """``x.subset_of(s)`` is ``x ⊆ s`` (one quantifier, not two)."""
+        return Subset(self, as_expr(other))
+
+    def eq(self, other: Any) -> "Compare":
+        """Equality comparison (named to keep ``==`` for AST identity)."""
+        return Compare("==", self, as_expr(other))
+
+    def ne(self, other: Any) -> "Compare":
+        """Inequality comparison."""
+        return Compare("!=", self, as_expr(other))
+
+    def __lt__(self, other: Any) -> "Compare":
+        return Compare("<", self, as_expr(other))
+
+    def __le__(self, other: Any) -> "Compare":
+        return Compare("<=", self, as_expr(other))
+
+    def __gt__(self, other: Any) -> "Compare":
+        return Compare(">", self, as_expr(other))
+
+    def __ge__(self, other: Any) -> "Compare":
+        return Compare(">=", self, as_expr(other))
+
+    def __add__(self, other: Any) -> "BinOp":
+        return BinOp("+", self, as_expr(other))
+
+    def __sub__(self, other: Any) -> "BinOp":
+        return BinOp("-", self, as_expr(other))
+
+    def __mul__(self, other: Any) -> "BinOp":
+        return BinOp("*", self, as_expr(other))
+
+    def __truediv__(self, other: Any) -> "BinOp":
+        return BinOp("/", self, as_expr(other))
+
+    def __rmul__(self, other: Any) -> "BinOp":
+        return BinOp("*", as_expr(other), self)
+
+    def __and__(self, other: "Expr") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Expr") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+def as_expr(value: Any) -> Expr:
+    """Lift a plain value to a :class:`Const` unless already an Expr."""
+    return value if isinstance(value, Expr) else Const(value)
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal value (or a direct reference to a set object)."""
+
+    value: Any
+
+    def evaluate(self, ctx, bindings):
+        return self.value
+
+    def free_vars(self):
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A calculus variable, bound by a binder."""
+
+    name: str
+
+    def evaluate(self, ctx, bindings):
+        if self.name not in bindings:
+            raise CalculusError(f"unbound variable {self.name!r}")
+        return bindings[self.name]
+
+    def free_vars(self):
+        return frozenset({self.name})
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class PathApply(Expr):
+    """``base!component!component`` — navigation from an expression."""
+
+    def __init__(self, base: Expr, path: "str | Path") -> None:
+        self.base = base
+        self.path_expr: Path = parse_path(path) if isinstance(path, str) else path
+
+    def evaluate(self, ctx, bindings):
+        start = self.base.evaluate(ctx, bindings)
+        if start is NOVALUE:
+            return NOVALUE
+        current = ctx.store.deref(start) if isinstance(start, Ref) else start
+        for step in self.path_expr.steps:
+            if not isinstance(current, (GemObject, Ref)):
+                return NOVALUE
+            time = step.at if step.at is not None else ctx.time
+            value = ctx.store.value_at(current, step.name, time)
+            from ..core.history import MISSING
+
+            if value is MISSING:
+                return NOVALUE
+            current = ctx.store.deref(value)
+        return current
+
+    def free_vars(self):
+        return self.base.free_vars()
+
+    def __repr__(self) -> str:
+        return f"{self.base!r}!{self.path_expr}"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Arithmetic on numbers; NOVALUE propagates."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    _FUNCTIONS = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "/": lambda a, b: a / b,
+    }
+
+    def evaluate(self, ctx, bindings):
+        left = self.left.evaluate(ctx, bindings)
+        right = self.right.evaluate(ctx, bindings)
+        if left is NOVALUE or right is NOVALUE:
+            return NOVALUE
+        return self._FUNCTIONS[self.op](left, right)
+
+    def free_vars(self):
+        return self.left.free_vars() | self.right.free_vars()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    """Ordering / equality comparison; NOVALUE fails every comparison."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def evaluate(self, ctx, bindings):
+        left = self.left.evaluate(ctx, bindings)
+        right = self.right.evaluate(ctx, bindings)
+        if self.op == "==":
+            return value_equal(left, right)
+        if self.op == "!=":
+            if left is NOVALUE or right is NOVALUE:
+                return False
+            return not value_equal(left, right)
+        if left is NOVALUE or right is NOVALUE:
+            return False
+        if self.op == "<":
+            return left < right
+        if self.op == "<=":
+            return left <= right
+        if self.op == ">":
+            return left > right
+        if self.op == ">=":
+            return left >= right
+        raise CalculusError(f"unknown comparison {self.op!r}")
+
+    def free_vars(self):
+        return self.left.free_vars() | self.right.free_vars()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class In(Expr):
+    """Membership: ``m ∈ d!Managers`` (section 5.2's distinguishing case)."""
+
+    member: Expr
+    collection: Expr
+
+    def evaluate(self, ctx, bindings):
+        member = self.member.evaluate(ctx, bindings)
+        if member is NOVALUE:
+            return False
+        collection = self.collection.evaluate(ctx, bindings)
+        if collection is NOVALUE:
+            return False
+        return any(value_equal(member, m) for m in ctx.members(collection))
+
+    def free_vars(self):
+        return self.member.free_vars() | self.collection.free_vars()
+
+    def __repr__(self) -> str:
+        return f"({self.member!r} ∈ {self.collection!r})"
+
+
+@dataclass(frozen=True)
+class Subset(Expr):
+    """``a ⊆ b`` — one construct, where relational calculus needs two
+    quantifiers (section 5.2)."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, ctx, bindings):
+        left = self.left.evaluate(ctx, bindings)
+        right = self.right.evaluate(ctx, bindings)
+        if left is NOVALUE or right is NOVALUE:
+            return False
+        right_members = list(ctx.members(right))
+        return all(
+            any(value_equal(m, r) for r in right_members)
+            for m in ctx.members(left)
+        )
+
+    def free_vars(self):
+        return self.left.free_vars() | self.right.free_vars()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ⊆ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """Conjunction."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, ctx, bindings):
+        return bool(self.left.evaluate(ctx, bindings)) and bool(
+            self.right.evaluate(ctx, bindings)
+        )
+
+    def free_vars(self):
+        return self.left.free_vars() | self.right.free_vars()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} and {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """Disjunction."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, ctx, bindings):
+        return bool(self.left.evaluate(ctx, bindings)) or bool(
+            self.right.evaluate(ctx, bindings)
+        )
+
+    def free_vars(self):
+        return self.left.free_vars() | self.right.free_vars()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} or {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Negation."""
+
+    operand: Expr
+
+    def evaluate(self, ctx, bindings):
+        return not bool(self.operand.evaluate(ctx, bindings))
+
+    def free_vars(self):
+        return self.operand.free_vars()
+
+    def __repr__(self) -> str:
+        return f"(not {self.operand!r})"
+
+
+class Exists(Expr):
+    """∃ var ∈ source: condition — an expression-level subquery.
+
+    The paper's calculus brackets (``(d ∈ X!Departments)[…]``) quantify
+    variables inside conditions; :class:`Exists` and :class:`ForAll`
+    provide that form when a binder at query level would change the
+    result multiplicity.
+    """
+
+    def __init__(self, var: "str | Var", source: "Expr | Any",
+                 condition: Expr) -> None:
+        self.var = var.name if isinstance(var, Var) else var
+        self.source = as_expr(source)
+        self.condition = condition
+
+    def evaluate(self, ctx, bindings):
+        collection = self.source.evaluate(ctx, bindings)
+        if collection is NOVALUE:
+            return False
+        inner = dict(bindings)
+        for member in ctx.members(collection):
+            inner[self.var] = member
+            if bool(self.condition.evaluate(ctx, inner)):
+                return True
+        return False
+
+    def free_vars(self):
+        return self.source.free_vars() | (
+            self.condition.free_vars() - {self.var}
+        )
+
+    def __repr__(self) -> str:
+        return f"(∃{self.var} ∈ {self.source!r} [{self.condition!r}])"
+
+
+class ForAll(Expr):
+    """∀ var ∈ source: condition (vacuously true on an empty source)."""
+
+    def __init__(self, var: "str | Var", source: "Expr | Any",
+                 condition: Expr) -> None:
+        self.var = var.name if isinstance(var, Var) else var
+        self.source = as_expr(source)
+        self.condition = condition
+
+    def evaluate(self, ctx, bindings):
+        collection = self.source.evaluate(ctx, bindings)
+        if collection is NOVALUE:
+            return True
+        inner = dict(bindings)
+        for member in ctx.members(collection):
+            inner[self.var] = member
+            if not bool(self.condition.evaluate(ctx, inner)):
+                return False
+        return True
+
+    def free_vars(self):
+        return self.source.free_vars() | (
+            self.condition.free_vars() - {self.var}
+        )
+
+    def __repr__(self) -> str:
+        return f"(∀{self.var} ∈ {self.source!r} [{self.condition!r}])"
+
+
+class Apply(Expr):
+    """General computation: a Python function over expression values.
+
+    Realizes "we also wanted to include general computations in the
+    conditions of calculus expressions" (section 5.4).
+    """
+
+    def __init__(self, function: Callable[..., Any], *args: "Expr | Any",
+                 label: str = "") -> None:
+        self.function = function
+        self.args = tuple(as_expr(a) for a in args)
+        self.label = label or getattr(function, "__name__", "fn")
+
+    def evaluate(self, ctx, bindings):
+        values = [a.evaluate(ctx, bindings) for a in self.args]
+        if any(v is NOVALUE for v in values):
+            return NOVALUE
+        return self.function(*values)
+
+    def free_vars(self):
+        result: frozenset[str] = frozenset()
+        for a in self.args:
+            result |= a.free_vars()
+        return result
+
+    def __repr__(self) -> str:
+        return f"{self.label}({', '.join(map(repr, self.args))})"
+
+
+# --------------------------------------------------------------------------
+# queries
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Binder:
+    """``var ∈ source`` — *source* may use earlier binders' variables."""
+
+    var: str
+    source: Expr
+
+    def __repr__(self) -> str:
+        return f"({self.var} ∈ {self.source!r})"
+
+
+class SetQuery:
+    """A set-calculus comprehension: result template, binders, condition."""
+
+    def __init__(
+        self,
+        result: "dict[str, Expr] | Expr",
+        binders: Sequence["Binder | tuple"],
+        condition: Optional[Expr] = None,
+    ) -> None:
+        self.result = (
+            {label: as_expr(e) for label, e in result.items()}
+            if isinstance(result, dict)
+            else as_expr(result)
+        )
+        self.binders = [
+            b if isinstance(b, Binder) else Binder(_binder_var(b[0]), as_expr(b[1]))
+            for b in binders
+        ]
+        self.condition = condition
+        self._check_scoping()
+
+    def _check_scoping(self) -> None:
+        bound: set[str] = set()
+        for binder in self.binders:
+            unknown = binder.source.free_vars() - bound
+            if unknown:
+                raise CalculusError(
+                    f"binder {binder!r} uses unbound variable(s) {sorted(unknown)}"
+                )
+            bound.add(binder.var)
+        used = frozenset()
+        if self.condition is not None:
+            used |= self.condition.free_vars()
+        if isinstance(self.result, dict):
+            for expr in self.result.values():
+                used |= expr.free_vars()
+        else:
+            used |= self.result.free_vars()
+        unknown = used - bound
+        if unknown:
+            raise CalculusError(f"query uses unbound variable(s) {sorted(unknown)}")
+
+    def evaluate(self, ctx: QueryContext) -> list[Any]:
+        """Reference nested-loop evaluation; returns constructed results."""
+        results: list[Any] = []
+        self._loop(ctx, 0, {}, results)
+        return results
+
+    def _loop(self, ctx, depth, bindings, results) -> None:
+        if depth == len(self.binders):
+            if self.condition is None or bool(
+                self.condition.evaluate(ctx, bindings)
+            ):
+                results.append(self._construct(ctx, bindings))
+            return
+        binder = self.binders[depth]
+        source = binder.source.evaluate(ctx, bindings)
+        for member in ctx.members(source):
+            bindings[binder.var] = member
+            self._loop(ctx, depth + 1, bindings, results)
+        bindings.pop(binder.var, None)
+
+    def _construct(self, ctx, bindings):
+        if isinstance(self.result, dict):
+            return {
+                label: expr.evaluate(ctx, bindings)
+                for label, expr in self.result.items()
+            }
+        return self.result.evaluate(ctx, bindings)
+
+    def __repr__(self) -> str:
+        parts = " and ".join(repr(b) for b in self.binders)
+        where = f" where {self.condition!r}" if self.condition is not None else ""
+        return f"{{{self.result!r} : {parts}{where}}}"
+
+
+def _binder_var(var: "str | Var") -> str:
+    return var.name if isinstance(var, Var) else var
+
+
+def variables(*names: str) -> tuple[Var, ...]:
+    """Convenience: ``e, d, m = variables("e", "d", "m")``."""
+    return tuple(Var(name) for name in names)

@@ -1,0 +1,157 @@
+"""Query optimization over the set algebra.
+
+Section 4.3: "a declarative semantics allows more flexibility in
+evaluating queries, and that flexibility is needed to support reasonable
+optimization on queries involving large amounts of data."  Section 6:
+"by having a declarative query language, we have the latitude in
+processing queries to exploit fully secondary storage layout,
+directories, and special hardware."
+
+This optimizer exploits *directories*: where the naive translation would
+scan a set binder and filter, it looks for a conjunct of the form
+
+    <var>!<path>  <op>  <expr-over-earlier-vars>
+
+with a directory registered on exactly (that set, that path), and
+replaces the scan with an :class:`~repro.stdm.algebra.IndexEq` or
+:class:`~repro.stdm.algebra.IndexRange`, consuming the conjunct.  Only
+binders whose source is a *constant* set designator are indexed — a
+source that is itself a function of other variables names a different
+set per binding, so no single directory covers it.
+
+Remaining conjuncts attach as filters at the earliest legal point, same
+as the plain translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.objects import GemObject
+from ..core.values import Ref
+from .algebra import BindScan, ConstructResult, IndexEq, IndexRange, Plan, Unit
+from .calculus import Compare, Const, Expr, PathApply, SetQuery, Var
+from .translate import _attach_ready_filters, conjuncts
+
+
+@dataclass
+class IndexChoice:
+    """A directory pick for one binder, recorded for `explain`-style tests."""
+
+    var: str
+    directory_name: str
+    kind: str  # "eq" or "range"
+    conjunct: Expr
+
+
+def _constant_owner_oid(source: Expr) -> Optional[int]:
+    """The owner oid if *source* designates one fixed set object."""
+    if isinstance(source, Const):
+        value = source.value
+        if isinstance(value, GemObject):
+            return value.oid
+        if isinstance(value, Ref):
+            return value.oid
+    return None
+
+
+def _match_indexable(
+    conjunct: Expr, var: str, bound: set[str]
+) -> Optional[tuple[str, PathApply, Expr]]:
+    """Match ``var!path <op> expr`` (either side); returns (op, path, expr).
+
+    The non-path side must only use variables bound *before* this
+    binder, so its value is available when the index is probed.
+    """
+    if not isinstance(conjunct, Compare):
+        return None
+    flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+    for left, right, op in (
+        (conjunct.left, conjunct.right, conjunct.op),
+        (conjunct.right, conjunct.left, flip[conjunct.op]),
+    ):
+        if (
+            isinstance(left, PathApply)
+            and isinstance(left.base, Var)
+            and left.base.name == var
+            and all(step.at is None for step in left.path_expr.steps)
+            and right.free_vars() <= bound
+            and op != "!="
+        ):
+            return op, left, right
+    return None
+
+
+def optimize(query: SetQuery, directory_manager) -> tuple[Plan, list[IndexChoice]]:
+    """Produce an index-aware plan; returns (plan, index choices made)."""
+    remaining = conjuncts(query.condition)
+    bound: set[str] = set()
+    plan: Plan = Unit()
+    choices: list[IndexChoice] = []
+    for binder in query.binders:
+        indexed = None
+        owner_oid = (
+            _constant_owner_oid(binder.source)
+            if directory_manager is not None
+            else None
+        )
+        if owner_oid is not None:
+            indexed = _pick_index(
+                directory_manager, owner_oid, binder.var, remaining, bound
+            )
+        if indexed is None:
+            plan = BindScan(plan, binder.var, binder.source)
+        else:
+            plan, used_conjunct, choice = indexed(plan)
+            remaining = [c for c in remaining if c is not used_conjunct]
+            choices.append(choice)
+        bound.add(binder.var)
+        plan, remaining = _attach_ready_filters(plan, remaining, bound)
+    return ConstructResult(plan, query.result), choices
+
+
+def _pick_index(directory_manager, owner_oid: int, var: str, remaining, bound):
+    """Find (directory, conjunct) usable for this binder, if any."""
+    for conjunct in remaining:
+        match = _match_indexable(conjunct, var, bound)
+        if match is None:
+            continue
+        op, path_apply, value_expr = match
+        directory = directory_manager.find_directory(
+            owner_oid, path_apply.path_expr
+        )
+        if directory is None:
+            continue
+
+        def build(child: Plan, *, _op=op, _dir=directory, _val=value_expr,
+                  _conj=conjunct):
+            if _op == "==":
+                node: Plan = IndexEq(child, var, _dir, _val)
+                kind = "eq"
+            elif _op in ("<", "<="):
+                node = IndexRange(
+                    child, var, _dir, low=None, high=_val,
+                    include_high=(_op == "<="),
+                )
+                kind = "range"
+            else:  # > or >=
+                node = IndexRange(
+                    child, var, _dir, low=_val, high=None,
+                    include_low=(_op == ">="),
+                )
+                kind = "range"
+            return node, _conj, IndexChoice(var, _dir.name, kind, _conj)
+
+        return build
+    return None
+
+
+def best_plan(query: SetQuery, directory_manager=None) -> Plan:
+    """The plan the system would run: optimized when directories exist."""
+    if directory_manager is None:
+        from .translate import translate
+
+        return translate(query)
+    plan, _ = optimize(query, directory_manager)
+    return plan

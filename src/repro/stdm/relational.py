@@ -1,0 +1,117 @@
+"""Relational encodings in STDM (section 5.2 of the paper).
+
+The paper shows a relation is "a set of tuples, where each tuple is a set
+with element names corresponding to attributes", and works the flattening
+example both ways: a set-valued attribute (children of an employee) must
+be flattened into several tuples relationally, losing the set as an
+entity.  These helpers reproduce both encodings exactly, for experiments
+E3 and E4.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..errors import CalculusError
+from .sets import LabeledSet
+
+
+def relation_to_set(
+    attributes: Sequence[str], rows: Iterable[Sequence[Any]]
+) -> LabeledSet:
+    """Encode a relation as an STDM set of labeled tuples.
+
+    The paper's example::
+
+        {T1: {A: 1, B: 3, C: 4}, T2: {A: 1, B: 5, C: 4}}
+    """
+    result = LabeledSet()
+    for index, row in enumerate(rows, start=1):
+        if len(row) != len(attributes):
+            raise CalculusError(
+                f"row {index} has {len(row)} values for {len(attributes)} attributes"
+            )
+        result[f"T{index}"] = LabeledSet(dict(zip(attributes, row)))
+    return result
+
+
+def set_to_relation(relation_set: LabeledSet) -> tuple[list[str], list[tuple]]:
+    """Decode :func:`relation_to_set` output back to (attributes, rows).
+
+    Attribute order is taken from the first tuple; every tuple must have
+    the same attributes (relational tuples are homogeneous — exactly the
+    rigidity STDM escapes).
+    """
+    attributes: list[str] = []
+    rows: list[tuple] = []
+    for label, tuple_set in relation_set.items():
+        if not isinstance(tuple_set, LabeledSet):
+            raise CalculusError(f"element {label!r} is not a tuple set")
+        if not attributes:
+            attributes = [str(name) for name in tuple_set.names()]
+        row = []
+        for attribute in attributes:
+            if attribute not in tuple_set:
+                raise CalculusError(
+                    f"tuple {label!r} is missing attribute {attribute!r}"
+                )
+            row.append(tuple_set[attribute])
+        if len(tuple_set) != len(attributes):
+            raise CalculusError(f"tuple {label!r} has extra attributes")
+        rows.append(tuple(row))
+    return attributes, rows
+
+
+def flatten_set_valued(
+    entities: Iterable[LabeledSet],
+    scalar_paths: Sequence[str],
+    set_attribute: str,
+    flattened_name: str,
+) -> tuple[list[str], list[tuple]]:
+    """Flatten a set-valued attribute into a relation (the children table).
+
+    For each entity, emits one row per member of ``set_attribute``; the
+    scalar columns repeat on every row — the paper's "unavoidable
+    redundancy".  ``scalar_paths`` may be nested (``Name!First``).
+    """
+    attributes = [path.split("!")[-1] for path in scalar_paths] + [flattened_name]
+    rows: list[tuple] = []
+    for entity in entities:
+        scalars = tuple(entity.navigate(path) for path in scalar_paths)
+        members = entity.get(set_attribute)
+        if not isinstance(members, LabeledSet):
+            raise CalculusError(f"{set_attribute!r} is not a set-valued attribute")
+        for value in members.values():
+            rows.append(scalars + (value,))
+    return attributes, rows
+
+
+def unflatten_to_sets(
+    attributes: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    key_columns: Sequence[str],
+    member_column: str,
+    set_attribute: str,
+) -> list[LabeledSet]:
+    """Rebuild entities with set-valued attributes from a flattened relation.
+
+    Rows sharing the same key columns merge back into one entity whose
+    ``set_attribute`` collects the member-column values — undoing the
+    encoding an application would otherwise have to manage by hand.
+    """
+    positions = {name: i for i, name in enumerate(attributes)}
+    for column in list(key_columns) + [member_column]:
+        if column not in positions:
+            raise CalculusError(f"no column named {column!r}")
+    entities: dict[tuple, LabeledSet] = {}
+    for row in rows:
+        key = tuple(row[positions[column]] for column in key_columns)
+        entity = entities.get(key)
+        if entity is None:
+            entity = LabeledSet(
+                {column: row[positions[column]] for column in key_columns}
+            )
+            entity[set_attribute] = LabeledSet()
+            entities[key] = entity
+        entity[set_attribute].add(row[positions[member_column]])
+    return list(entities.values())

@@ -1,0 +1,228 @@
+"""Pure STDM labeled sets (section 5.1), independent of the object store.
+
+"STDM is based on labeled sets of heterogeneous values, which themselves
+can be sets or simple values. ... A set has elements, each of which has
+an element name that labels the element and a value."
+
+:class:`LabeledSet` is the standalone realization used to demonstrate
+STDM by itself (the paper presents it before the merge with ST80) and to
+build test fixtures; :func:`materialize` pours a labeled set into a GSDM
+store (each set becomes an object with entity identity), and
+:func:`snapshot` reads one back out of any state of the database.
+
+The textual form printed by :func:`format_set` matches the paper's
+``{Name: 'Sales', Managers: {...}, Budget: 142000}`` notation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from ..core.objects import GemObject
+from ..core.values import Ref, is_immediate
+from ..errors import CalculusError
+
+
+class LabeledSet:
+    """An ordered mapping from element names to values (simple or set).
+
+    Elements without explicit labels receive generated aliases, as the
+    paper prescribes ("arbitrary aliases are used as element names").
+    """
+
+    _alias_counter = 0
+
+    def __init__(self, elements: Optional[dict[Any, Any]] = None) -> None:
+        self._elements: dict[Any, Any] = {}
+        if elements:
+            for name, value in elements.items():
+                self[name] = value
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def of(cls, *values: Any, **named: Any) -> "LabeledSet":
+        """Build a set from unlabeled values and/or keyword-labeled ones."""
+        result = cls()
+        for value in values:
+            result.add(value)
+        for name, value in named.items():
+            result[name] = value
+        return result
+
+    @classmethod
+    def from_nested(cls, data: Any) -> Any:
+        """Convert nested dicts/lists into labeled sets recursively."""
+        if isinstance(data, dict):
+            result = cls()
+            for name, value in data.items():
+                result[name] = cls.from_nested(value)
+            return result
+        if isinstance(data, (list, tuple, set, frozenset)):
+            result = cls()
+            for value in data:
+                result.add(cls.from_nested(value))
+            return result
+        return data
+
+    @classmethod
+    def _new_alias(cls) -> str:
+        cls._alias_counter += 1
+        return f"a{cls._alias_counter}"
+
+    def add(self, value: Any) -> str:
+        """Add an unlabeled element under a fresh alias; returns the alias."""
+        alias = self._new_alias()
+        self[alias] = value
+        return alias
+
+    # -- mapping protocol ---------------------------------------------------------
+
+    def __setitem__(self, name: Any, value: Any) -> None:
+        if not isinstance(name, (str, int)) or isinstance(name, bool):
+            raise CalculusError(f"element names are strings or ints, not {name!r}")
+        self._elements[name] = value
+
+    def __getitem__(self, name: Any) -> Any:
+        if name not in self._elements:
+            raise CalculusError(f"no element named {name!r}")
+        return self._elements[name]
+
+    def get(self, name: Any, default: Any = None) -> Any:
+        """The value under *name*, or *default*."""
+        return self._elements.get(name, default)
+
+    def __contains__(self, name: Any) -> bool:
+        return name in self._elements
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def names(self) -> list[Any]:
+        """Element names in insertion order."""
+        return list(self._elements)
+
+    def values(self) -> list[Any]:
+        """Element values in insertion order."""
+        return list(self._elements.values())
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """(name, value) pairs in insertion order."""
+        return iter(self._elements.items())
+
+    def has_member(self, value: Any) -> bool:
+        """True if *value* equals some element value (set membership)."""
+        return any(_set_equal(value, v) for v in self._elements.values())
+
+    # -- paths -------------------------------------------------------------------
+
+    def navigate(self, path: str) -> Any:
+        """Follow a ``!``-separated path of element names (section 5.1).
+
+        ``X.navigate("Departments!A16!Managers")`` mirrors the paper's
+        ``X!Departments!A16!Managers``.
+        """
+        current: Any = self
+        for raw in path.split("!"):
+            name: Any = raw.strip()
+            if not isinstance(current, LabeledSet):
+                raise CalculusError(f"cannot apply !{name} to a simple value")
+            if name not in current and name.lstrip("-").isdigit():
+                name = int(name)
+            current = current[name]
+        return current
+
+    # -- equality -----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equivalence: same labels, equivalent values.
+
+        Pure STDM has no entity identity (section 5.4 calls this out as
+        its deficiency); two sets with equal structure *are* equal.
+        """
+        if not isinstance(other, LabeledSet):
+            return NotImplemented
+        if set(self._elements) != set(other._elements):
+            return False
+        return all(
+            _set_equal(value, other._elements[name])
+            for name, value in self._elements.items()
+        )
+
+    def __hash__(self) -> int:  # labeled sets are mutable: unhashable
+        raise TypeError("LabeledSet is unhashable")
+
+    def __repr__(self) -> str:
+        return format_set(self)
+
+
+def _set_equal(a: Any, b: Any) -> bool:
+    if isinstance(a, LabeledSet) and isinstance(b, LabeledSet):
+        return a == b
+    if isinstance(a, LabeledSet) or isinstance(b, LabeledSet):
+        return False
+    return a == b
+
+
+def format_set(value: Any, indent: int = 0, width: int = 72) -> str:
+    """Render a value in the paper's brace notation."""
+    if not isinstance(value, LabeledSet):
+        return repr(value)
+    parts = [
+        f"{name}: {format_set(element, indent + 2, width)}"
+        for name, element in value.items()
+    ]
+    one_line = "{" + ", ".join(parts) + "}"
+    if len(one_line) + indent <= width:
+        return one_line
+    pad = " " * (indent + 2)
+    return "{\n" + ",\n".join(pad + part for part in parts) + "\n" + " " * indent + "}"
+
+
+# --------------------------------------------------------------------------
+# bridging to GSDM
+# --------------------------------------------------------------------------
+
+def materialize(store, data: Any, class_name: str = "Object") -> Any:
+    """Pour a labeled set (or simple value) into a GSDM store.
+
+    Every nested :class:`LabeledSet` becomes one object with its own
+    identity; simple values stay immediates.  Returns the created object
+    (or the value itself).
+    """
+    if isinstance(data, LabeledSet):
+        obj = store.instantiate(class_name)
+        for name, value in data.items():
+            store.bind(obj, name, materialize(store, value, class_name))
+        return obj
+    if isinstance(data, (dict, list, tuple)):
+        return materialize(store, LabeledSet.from_nested(data), class_name)
+    if is_immediate(data) or isinstance(data, (GemObject, Ref)):
+        return data
+    raise CalculusError(f"cannot materialize {type(data).__name__}")
+
+
+def snapshot(store, target: Any, time: Optional[int] = None) -> Any:
+    """Read an object (and everything it reaches) back as labeled sets.
+
+    Captures the state at *time*; shared objects are snapshotted once
+    per occurrence (pure STDM cannot express sharing — the deficiency
+    section 5.4 records).  Reference cycles raise, as they are
+    inexpressible without identity.
+    """
+    return _snapshot(store, target, time, frozenset())
+
+
+def _snapshot(store, target: Any, time: Optional[int], seen: frozenset) -> Any:
+    value = store.deref(target) if isinstance(target, Ref) else target
+    if isinstance(value, GemObject):
+        if value.oid in seen:
+            raise CalculusError(
+                f"cycle through oid {value.oid}: pure STDM cannot express it"
+            )
+        inner = seen | {value.oid}
+        result = LabeledSet()
+        for name, element in value.items_at(time):
+            result[name] = _snapshot(store, element, time, inner)
+        return result
+    return value

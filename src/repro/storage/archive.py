@@ -1,0 +1,80 @@
+"""Archival media: moving history to tape or write-once storage.
+
+Section 6: "A database administrator can explicitly move objects to other
+media, such as tape or write-only memory.  Hence, while conceptually the
+entire history of the database exists, some objects in it may become
+temporarily or permanently inaccessible."
+
+:class:`ArchiveMedia` models a removable volume: encoded object records
+keyed by an archive key.  The stable store replaces an archived object's
+track locations with its archive key; reading it without the volume
+attached raises :class:`~repro.errors.ArchiveError`, and re-attaching the
+volume makes the history accessible again.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..errors import ArchiveError
+
+
+class ArchiveMedia:
+    """A removable archive volume holding encoded object records."""
+
+    def __init__(self, label: str = "tape-0") -> None:
+        self.label = label
+        self._records: dict[int, bytes] = {}
+        self._next_key = 1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return f"<ArchiveMedia {self.label!r} with {len(self)} records>"
+
+    def store(self, data: bytes) -> int:
+        """Write one encoded record; returns its archive key."""
+        key = self._next_key
+        self._next_key += 1
+        self._records[key] = bytes(data)
+        return key
+
+    def fetch(self, key: int) -> bytes:
+        """Read the record stored under *key*."""
+        record = self._records.get(key)
+        if record is None:
+            raise ArchiveError(f"archive {self.label!r} has no record {key}")
+        return record
+
+    def keys(self) -> Iterator[int]:
+        """All archive keys on this volume."""
+        return iter(tuple(self._records))
+
+
+class ArchiveDrive:
+    """The mount point the stable store reads archives through."""
+
+    def __init__(self) -> None:
+        self._mounted: Optional[ArchiveMedia] = None
+
+    @property
+    def mounted(self) -> Optional[ArchiveMedia]:
+        """The currently attached volume, if any."""
+        return self._mounted
+
+    def mount(self, media: ArchiveMedia) -> None:
+        """Attach a volume."""
+        self._mounted = media
+
+    def unmount(self) -> None:
+        """Detach the current volume; archived objects become inaccessible."""
+        self._mounted = None
+
+    def fetch(self, key: int) -> bytes:
+        """Read an archived record through the mounted volume."""
+        if self._mounted is None:
+            raise ArchiveError(
+                f"object is archived (key {key}) and no archive volume is mounted"
+            )
+        return self._mounted.fetch(key)

@@ -1,0 +1,72 @@
+"""An LRU cache of decoded objects in front of the stable store.
+
+The paper's Object Manager keeps hot objects in a session's main memory;
+this shared cache plays that role for the stable store.  Benchmarks flush
+it to force cold (track-reading) access paths.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from ..core.objects import GemObject
+
+
+class ObjectCache:
+    """LRU-evicting map from oid to decoded :class:`GemObject`.
+
+    ``capacity=None`` means unbounded (the default for correctness-first
+    use); benchmarks size it to model a memory budget.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("cache capacity must be positive or None")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, GemObject]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._entries
+
+    def get(self, oid: int) -> Optional[GemObject]:
+        """Look up *oid*; refreshes recency on a hit."""
+        obj = self._entries.get(oid)
+        if obj is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(oid)
+        self.hits += 1
+        return obj
+
+    def put(self, obj: GemObject) -> None:
+        """Insert or refresh an object, evicting the LRU entry if full."""
+        self._entries[obj.oid] = obj
+        self._entries.move_to_end(obj.oid)
+        if self.capacity is not None:
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def evict(self, oid: int) -> None:
+        """Drop one entry if present."""
+        self._entries.pop(oid, None)
+
+    def flush(self) -> None:
+        """Drop every entry (benchmarks: force cold reads)."""
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters."""
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

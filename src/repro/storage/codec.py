@@ -1,0 +1,409 @@
+"""Binary codec for objects, values and storage metadata.
+
+Section 6 describes the on-disk representation: "objects are broken into
+elements and associations, which are organized ... under a header for the
+object."  This module is the pure encoding half of that: it turns
+:class:`~repro.core.objects.GemObject` instances (headers, elements,
+association tables) and storage metadata (root records, object-table
+pages) into byte strings and back.  Fragmenting records into tracks is the
+Boxer's job; the codec knows nothing about tracks.
+
+Values are tagged; integers and times use unsigned LEB128 varints (zigzag
+for signed), so small values — the overwhelmingly common case — cost one
+or two bytes.
+
+Class objects are encoded with their structural definition (name,
+superclass, instance-variable names) and the *source text* of their
+OPAL-compiled methods; primitives are re-seeded by the kernel at open
+time, and stored sources are recompiled lazily.  (The real GemStone
+stored compiledMethod objects; storing source preserves behaviour while
+keeping the codec independent of the bytecode set.)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from ..core.classes import GemClass
+from ..core.history import AssociationTable
+from ..core.objects import GemObject
+from ..core.values import Char, Ref, Symbol
+from ..errors import CodecError
+
+# value tags
+_TAG_NIL = 0
+_TAG_TRUE = 1
+_TAG_FALSE = 2
+_TAG_INT = 3
+_TAG_FLOAT = 4
+_TAG_STR = 5
+_TAG_SYMBOL = 6
+_TAG_CHAR = 7
+_TAG_REF = 8
+
+# record kinds
+RECORD_PLAIN = 0
+RECORD_CLASS = 1
+
+#: magic prefix of an encoded object record
+RECORD_MAGIC = b"GO"
+
+
+class Writer:
+    """An append-only byte sink with varint and struct helpers."""
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def getvalue(self) -> bytes:
+        """The accumulated bytes."""
+        return bytes(self._buffer)
+
+    def raw(self, data: bytes) -> None:
+        """Append raw bytes."""
+        self._buffer += data
+
+    def uvarint(self, value: int) -> None:
+        """Append an unsigned LEB128 varint."""
+        if value < 0:
+            raise CodecError(f"uvarint cannot encode negative {value}")
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                self._buffer.append(byte | 0x80)
+            else:
+                self._buffer.append(byte)
+                return
+
+    def svarint(self, value: int) -> None:
+        """Append a signed (zigzag) varint."""
+        self.uvarint((value << 1) ^ (value >> 63) if value < 0 else value << 1)
+
+    def string(self, text: str) -> None:
+        """Append a length-prefixed UTF-8 string."""
+        data = text.encode("utf-8")
+        self.uvarint(len(data))
+        self.raw(data)
+
+    def double(self, value: float) -> None:
+        """Append an 8-byte IEEE double."""
+        self.raw(struct.pack("<d", value))
+
+
+class Reader:
+    """A cursor over bytes, mirror of :class:`Writer`."""
+
+    __slots__ = ("_data", "pos")
+
+    def __init__(self, data: bytes, pos: int = 0) -> None:
+        self._data = data
+        self.pos = pos
+
+    def remaining(self) -> int:
+        """Bytes left after the cursor."""
+        return len(self._data) - self.pos
+
+    def raw(self, count: int) -> bytes:
+        """Read *count* raw bytes."""
+        if self.remaining() < count:
+            raise CodecError("unexpected end of encoded data")
+        chunk = self._data[self.pos : self.pos + count]
+        self.pos += count
+        return chunk
+
+    def byte(self) -> int:
+        """Read one byte as an int."""
+        return self.raw(1)[0]
+
+    def uvarint(self) -> int:
+        """Read an unsigned LEB128 varint."""
+        result = 0
+        shift = 0
+        while True:
+            byte = self.byte()
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+            if shift > 70:
+                raise CodecError("varint too long")
+
+    def svarint(self) -> int:
+        """Read a signed (zigzag) varint."""
+        raw = self.uvarint()
+        return (raw >> 1) ^ -(raw & 1)
+
+    def string(self) -> str:
+        """Read a length-prefixed UTF-8 string."""
+        length = self.uvarint()
+        return self.raw(length).decode("utf-8")
+
+    def double(self) -> float:
+        """Read an 8-byte IEEE double."""
+        return struct.unpack("<d", self.raw(8))[0]
+
+
+# --------------------------------------------------------------------------
+# values
+# --------------------------------------------------------------------------
+
+def encode_value(writer: Writer, value: Any) -> None:
+    """Append a tagged value (immediate or Ref) to *writer*."""
+    if value is None:
+        writer.raw(bytes([_TAG_NIL]))
+    elif value is True:
+        writer.raw(bytes([_TAG_TRUE]))
+    elif value is False:
+        writer.raw(bytes([_TAG_FALSE]))
+    elif isinstance(value, Symbol):
+        writer.raw(bytes([_TAG_SYMBOL]))
+        writer.string(str(value))
+    elif isinstance(value, int):
+        writer.raw(bytes([_TAG_INT]))
+        writer.svarint(value)
+    elif isinstance(value, float):
+        writer.raw(bytes([_TAG_FLOAT]))
+        writer.double(value)
+    elif isinstance(value, str):
+        writer.raw(bytes([_TAG_STR]))
+        writer.string(value)
+    elif isinstance(value, Char):
+        writer.raw(bytes([_TAG_CHAR]))
+        writer.uvarint(value.codepoint)
+    elif isinstance(value, Ref):
+        writer.raw(bytes([_TAG_REF]))
+        writer.uvarint(value.oid)
+    else:
+        raise CodecError(f"cannot encode {type(value).__name__} value {value!r}")
+
+
+def decode_value(reader: Reader) -> Any:
+    """Read one tagged value from *reader*."""
+    tag = reader.byte()
+    if tag == _TAG_NIL:
+        return None
+    if tag == _TAG_TRUE:
+        return True
+    if tag == _TAG_FALSE:
+        return False
+    if tag == _TAG_INT:
+        return reader.svarint()
+    if tag == _TAG_FLOAT:
+        return reader.double()
+    if tag == _TAG_STR:
+        return reader.string()
+    if tag == _TAG_SYMBOL:
+        return Symbol(reader.string())
+    if tag == _TAG_CHAR:
+        return Char(chr(reader.uvarint()))
+    if tag == _TAG_REF:
+        return Ref(reader.uvarint())
+    raise CodecError(f"unknown value tag {tag}")
+
+
+# --------------------------------------------------------------------------
+# objects
+# --------------------------------------------------------------------------
+
+def encode_object(obj: GemObject) -> bytes:
+    """Encode a full object record: header, elements, association tables."""
+    writer = Writer()
+    writer.raw(RECORD_MAGIC)
+    kind = RECORD_CLASS if isinstance(obj, GemClass) else RECORD_PLAIN
+    writer.raw(bytes([kind]))
+    writer.uvarint(obj.oid)
+    writer.uvarint(obj.class_oid)
+    writer.uvarint(obj.segment_id)
+    writer.uvarint(obj.created_at)
+    if kind == RECORD_CLASS:
+        _encode_class_definition(writer, obj)
+    writer.uvarint(len(obj.elements))
+    for name, table in obj.elements.items():
+        encode_value(writer, name)
+        _encode_table(writer, table)
+    return writer.getvalue()
+
+
+def _encode_class_definition(writer: Writer, cls: GemClass) -> None:
+    writer.string(cls.name)
+    writer.uvarint(0 if cls.superclass_oid is None else cls.superclass_oid + 1)
+    writer.uvarint(len(cls.instvar_names))
+    for name in cls.instvar_names:
+        writer.string(name)
+    for methods in (cls.methods, cls.class_methods):
+        sourced = [
+            (selector, method.source)
+            for selector, method in methods.items()
+            if getattr(method, "source", None) is not None
+        ]
+        writer.uvarint(len(sourced))
+        for selector, source in sourced:
+            writer.string(selector)
+            writer.string(source)
+
+
+def _encode_table(writer: Writer, table: AssociationTable) -> None:
+    writer.uvarint(len(table))
+    previous = 0
+    for time, value in table.history():
+        writer.uvarint(time - previous)  # delta: times are ascending
+        previous = time
+        encode_value(writer, value)
+
+
+def decode_object(data: bytes) -> GemObject:
+    """Decode an object record produced by :func:`encode_object`.
+
+    Stored method sources of class records are discarded here; use
+    :func:`decode_object_full` when they are needed (the database layer
+    recompiles them at open time).
+    """
+    obj, _ = decode_object_full(data)
+    return obj
+
+
+def decode_object_full(data: bytes) -> tuple[GemObject, list[tuple[str, str, str]]]:
+    """Decode an object record together with stored method sources.
+
+    Returns ``(object, sources)`` where each source entry is
+    ``(side, selector, source_text)`` with side ``"instance"`` or
+    ``"class"``; *sources* is empty for plain objects.
+    """
+    reader = Reader(data)
+    if reader.raw(2) != RECORD_MAGIC:
+        raise CodecError("bad object record magic")
+    kind = reader.byte()
+    oid = reader.uvarint()
+    class_oid = reader.uvarint()
+    segment_id = reader.uvarint()
+    created_at = reader.uvarint()
+    sources: list[tuple[str, str, str]] = []
+    if kind == RECORD_CLASS:
+        obj: GemObject = _decode_class_definition(
+            reader, oid, class_oid, segment_id, created_at, sources
+        )
+    elif kind == RECORD_PLAIN:
+        obj = GemObject(oid, class_oid, segment_id, created_at)
+    else:
+        raise CodecError(f"unknown record kind {kind}")
+    count = reader.uvarint()
+    for _ in range(count):
+        name = decode_value(reader)
+        obj.elements[name] = _decode_table(reader)
+    return obj, sources
+
+
+def _decode_class_definition(
+    reader: Reader,
+    oid: int,
+    class_oid: int,
+    segment_id: int,
+    created_at: int,
+    sources: list[tuple[str, str, str]],
+) -> GemClass:
+    name = reader.string()
+    raw_super = reader.uvarint()
+    superclass_oid = None if raw_super == 0 else raw_super - 1
+    instvars = tuple(reader.string() for _ in range(reader.uvarint()))
+    cls = GemClass(
+        oid=oid,
+        class_oid=class_oid,
+        name=name,
+        superclass_oid=superclass_oid,
+        instvar_names=instvars,
+        segment_id=segment_id,
+        created_at=created_at,
+    )
+    for side in ("instance", "class"):
+        for _ in range(reader.uvarint()):
+            selector = reader.string()
+            source = reader.string()
+            sources.append((side, selector, source))
+    return cls
+
+
+def _decode_table(reader: Reader) -> AssociationTable:
+    table = AssociationTable()
+    count = reader.uvarint()
+    time = 0
+    for _ in range(count):
+        time += reader.uvarint()
+        table.record(time, decode_value(reader))
+    return table
+
+
+# --------------------------------------------------------------------------
+# root records
+# --------------------------------------------------------------------------
+
+ROOT_MAGIC = b"GSRT"
+
+
+_ROOT_TRACK_LISTS = ("object_table_tracks", "allocation_tracks", "catalog_tracks")
+
+
+def encode_root(fields: dict[str, Any]) -> bytes:
+    """Encode a root record: the single mutable anchor of the database.
+
+    Expected fields: ``epoch``, ``last_tx_time``, ``next_oid``,
+    ``alias_counter``, and the track lists ``object_table_tracks``,
+    ``allocation_tracks`` and ``catalog_tracks``.  The catalog (name →
+    well-known oid) is large, so it lives in its own blob and the root
+    only points at it — the root must always fit a single track, since
+    its write is the atomic commit point.
+    """
+    writer = Writer()
+    writer.raw(ROOT_MAGIC)
+    writer.uvarint(fields["epoch"])
+    writer.uvarint(fields["last_tx_time"])
+    writer.uvarint(fields["next_oid"])
+    writer.uvarint(fields["alias_counter"])
+    for key in _ROOT_TRACK_LISTS:
+        tracks = fields.get(key, [])
+        writer.uvarint(len(tracks))
+        for track in tracks:
+            writer.uvarint(track)
+    return writer.getvalue()
+
+
+def decode_root(data: bytes) -> dict[str, Any]:
+    """Decode a root record; raises :class:`CodecError` if malformed."""
+    reader = Reader(data)
+    if reader.raw(4) != ROOT_MAGIC:
+        raise CodecError("bad root magic")
+    fields: dict[str, Any] = {
+        "epoch": reader.uvarint(),
+        "last_tx_time": reader.uvarint(),
+        "next_oid": reader.uvarint(),
+        "alias_counter": reader.uvarint(),
+    }
+    for key in _ROOT_TRACK_LISTS:
+        fields[key] = [reader.uvarint() for _ in range(reader.uvarint())]
+    return fields
+
+
+def encode_catalog(catalog: dict[str, int]) -> bytes:
+    """Serialize the well-known-name catalog blob."""
+    writer = Writer()
+    writer.uvarint(len(catalog))
+    for name, oid in sorted(catalog.items()):
+        writer.string(name)
+        writer.uvarint(oid)
+    return writer.getvalue()
+
+
+def decode_catalog(data: bytes) -> dict[str, int]:
+    """Deserialize :func:`encode_catalog` output."""
+    reader = Reader(data)
+    catalog: dict[str, int] = {}
+    for _ in range(reader.uvarint()):
+        name = reader.string()
+        catalog[name] = reader.uvarint()
+    return catalog

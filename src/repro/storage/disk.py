@@ -1,0 +1,195 @@
+"""A simulated disk accessed only by whole tracks.
+
+Section 6: "We expect to obtain efficiency by having the database system
+control secondary storage directly, without an intervening operating
+system ... Disk access will always be by entire tracks, as a track is the
+natural unit of physical access for a disk."
+
+The paper's special-purpose hardware is substituted by this in-process
+model (DESIGN.md section 2).  It preserves the properties the paper
+reasons about:
+
+* the unit of transfer is a whole track;
+* a single track write is atomic, but a *group* of writes is not —
+  a crash between writes tears the group (what the Commit Manager's
+  safe writes must mask);
+* seeks between distant tracks cost more than sequential access, so
+  clustering related objects on nearby tracks is measurably better.
+
+Fault injection: :meth:`SimulatedDisk.crash_after` schedules a crash on a
+future write; :meth:`corrupt_track` flips bytes so checksum verification
+paths can be exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from zlib import crc32
+
+from ..errors import ChecksumError, DiskCrashed, DiskError
+
+
+@dataclass
+class DiskStats:
+    """Access counters and the simulated time cost of them."""
+
+    reads: int = 0
+    writes: int = 0
+    seek_distance: int = 0
+    #: simulated elapsed cost: transfers + seek_cost_per_track * distance
+    time_units: float = 0.0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.seek_distance = 0
+        self.time_units = 0.0
+
+
+@dataclass
+class DiskGeometry:
+    """Shape and cost model of a simulated disk."""
+
+    track_count: int = 4096
+    track_size: int = 4096
+    #: cost of one full-track transfer, in arbitrary time units
+    transfer_cost: float = 1.0
+    #: cost per track of arm movement between accesses
+    seek_cost: float = 0.01
+
+
+class SimulatedDisk:
+    """An array of fixed-size tracks with checksums and fault injection.
+
+    All reads and writes are whole tracks (the natural unit of physical
+    access).  Unwritten tracks read as zeroes.  Each write stores a CRC32
+    of the track; reads verify it, so silent corruption surfaces as
+    :class:`ChecksumError` — which the replication layer can mask.
+    """
+
+    def __init__(self, geometry: DiskGeometry | None = None) -> None:
+        self.geometry = geometry or DiskGeometry()
+        size = self.geometry.track_count
+        self._tracks: list[bytes | None] = [None] * size
+        self._checksums: list[int] = [0] * size
+        self.stats = DiskStats()
+        self._head_position = 0
+        self._writes_until_crash: int | None = None
+        self._crashed = False
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def track_count(self) -> int:
+        """Number of tracks on the disk."""
+        return self.geometry.track_count
+
+    @property
+    def track_size(self) -> int:
+        """Bytes per track."""
+        return self.geometry.track_size
+
+    # -- fault injection ------------------------------------------------------
+
+    def crash_after(self, writes: int) -> None:
+        """Crash the disk after *writes* more successful track writes."""
+        if writes < 0:
+            raise ValueError("crash_after needs a non-negative count")
+        self._writes_until_crash = writes
+
+    def cancel_crash(self) -> None:
+        """Remove a scheduled crash (the experiment survived)."""
+        self._writes_until_crash = None
+
+    @property
+    def crashed(self) -> bool:
+        """True once the injected crash has fired; all I/O then fails."""
+        return self._crashed
+
+    def restart(self) -> None:
+        """Bring a crashed disk back up; surviving track contents remain."""
+        self._crashed = False
+        self._writes_until_crash = None
+
+    def corrupt_track(self, track: int, flip_byte: int = 0) -> None:
+        """Flip one byte of a written track, leaving its checksum stale."""
+        self._check_track(track)
+        data = self._tracks[track]
+        if data is None:
+            raise DiskError(f"track {track} was never written; nothing to corrupt")
+        mutable = bytearray(data)
+        mutable[flip_byte % len(mutable)] ^= 0xFF
+        self._tracks[track] = bytes(mutable)
+
+    # -- I/O ---------------------------------------------------------------------
+
+    def read_track(self, track: int) -> bytes:
+        """Read a whole track; zeroes if never written.
+
+        Raises :class:`ChecksumError` if the stored contents no longer
+        match their checksum (injected corruption or a bad medium).
+        """
+        self._ensure_up()
+        self._check_track(track)
+        self._account(track, is_write=False)
+        data = self._tracks[track]
+        if data is None:
+            return bytes(self.geometry.track_size)
+        if crc32(data) != self._checksums[track]:
+            raise ChecksumError(f"track {track} failed checksum verification")
+        return data
+
+    def write_track(self, track: int, data: bytes) -> None:
+        """Write a whole track atomically.
+
+        Raises :class:`DiskCrashed` when the injected crash point fires;
+        the write that triggers the crash is *lost* (the crash happens
+        just before the platter is touched), which models the worst case
+        for a torn group write.
+        """
+        self._ensure_up()
+        self._check_track(track)
+        if len(data) > self.geometry.track_size:
+            raise DiskError(
+                f"track write of {len(data)} bytes exceeds track size "
+                f"{self.geometry.track_size}"
+            )
+        if self._writes_until_crash is not None:
+            if self._writes_until_crash == 0:
+                self._crashed = True
+                raise DiskCrashed(f"disk crashed writing track {track}")
+            self._writes_until_crash -= 1
+        self._account(track, is_write=True)
+        padded = data.ljust(self.geometry.track_size, b"\x00")
+        self._tracks[track] = padded
+        self._checksums[track] = crc32(padded)
+
+    def is_written(self, track: int) -> bool:
+        """True if the track has ever been written."""
+        self._check_track(track)
+        return self._tracks[track] is not None
+
+    # -- internals ------------------------------------------------------------------
+
+    def _ensure_up(self) -> None:
+        if self._crashed:
+            raise DiskCrashed("disk is down; call restart() first")
+
+    def _check_track(self, track: int) -> None:
+        if not 0 <= track < self.geometry.track_count:
+            raise DiskError(
+                f"track {track} out of range 0..{self.geometry.track_count - 1}"
+            )
+
+    def _account(self, track: int, is_write: bool) -> None:
+        distance = abs(track - self._head_position)
+        self._head_position = track
+        stats = self.stats
+        stats.seek_distance += distance
+        stats.time_units += (
+            self.geometry.transfer_cost + self.geometry.seek_cost * distance
+        )
+        if is_write:
+            stats.writes += 1
+        else:
+            stats.reads += 1

@@ -1,0 +1,101 @@
+"""Track-level replication.
+
+Section 6 lists "requests for replication of data" among the database
+amenities OPAL exposes.  :class:`ReplicatedDisk` presents the same
+whole-track interface as :class:`~repro.storage.disk.SimulatedDisk` over
+N replica disks:
+
+* writes go to every live replica (write-all);
+* reads come from the first replica that returns a checksum-valid track
+  (read-any), and a damaged or stale copy is repaired in passing from a
+  good one (read-repair).
+
+A read fails only when *every* replica is down or corrupt, so the commit
+pipeline and recovery path run unchanged over a replicated volume.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ChecksumError, DiskCrashed, DiskError
+from .disk import SimulatedDisk
+
+
+class ReplicatedDisk:
+    """N-way replicated disk with read-repair, same interface as one disk."""
+
+    def __init__(self, replicas: Sequence[SimulatedDisk]) -> None:
+        if not replicas:
+            raise DiskError("a replicated disk needs at least one replica")
+        geometry = replicas[0].geometry
+        for replica in replicas[1:]:
+            if (
+                replica.track_count != geometry.track_count
+                or replica.track_size != geometry.track_size
+            ):
+                raise DiskError("replicas must share geometry")
+        self.replicas = list(replicas)
+        self.repairs = 0
+
+    # -- geometry (mirrors SimulatedDisk) ------------------------------------
+
+    @property
+    def track_count(self) -> int:
+        """Tracks per replica."""
+        return self.replicas[0].track_count
+
+    @property
+    def track_size(self) -> int:
+        """Bytes per track."""
+        return self.replicas[0].track_size
+
+    # -- I/O -------------------------------------------------------------------
+
+    def write_track(self, track: int, data: bytes) -> None:
+        """Write to every live replica.
+
+        A down replica is skipped (it will be repaired on later reads);
+        if *no* replica accepted the write, the failure propagates.
+        """
+        wrote = 0
+        last_error: Exception | None = None
+        for replica in self.replicas:
+            try:
+                replica.write_track(track, data)
+                wrote += 1
+            except DiskCrashed as error:
+                last_error = error
+        if wrote == 0:
+            raise last_error if last_error else DiskCrashed("all replicas down")
+
+    def read_track(self, track: int) -> bytes:
+        """Read from the first healthy replica, repairing damaged ones."""
+        damaged: list[SimulatedDisk] = []
+        last_error: Exception | None = None
+        for replica in self.replicas:
+            try:
+                data = replica.read_track(track)
+            except (ChecksumError, DiskCrashed) as error:
+                last_error = error
+                if isinstance(error, ChecksumError):
+                    damaged.append(replica)
+                continue
+            for victim in damaged:
+                try:
+                    victim.write_track(track, data)
+                    self.repairs += 1
+                except DiskCrashed:
+                    pass
+            return data
+        raise last_error if last_error else DiskError("no replicas to read from")
+
+    def is_written(self, track: int) -> bool:
+        """True if any live replica has the track."""
+        for replica in self.replicas:
+            try:
+                if replica.is_written(track):
+                    return True
+            except DiskCrashed:
+                continue
+        return False

@@ -1,0 +1,500 @@
+"""The stable store: the shared, durable object space.
+
+This module composes the storage pipeline of section 6 —
+
+    Linker → Boxer → Track Manager → Commit Manager
+
+— under one object that also implements the
+:class:`~repro.core.object_manager.ObjectStore` interface, so the
+Database and DBA tooling can navigate committed state directly.
+
+Layout on disk:
+
+* tracks 0/1 — ping-pong root slots (Commit Manager);
+* object records — boxed fragments on shadow-allocated tracks, located
+  via the paged object table;
+* object-table pages, the page directory, and the allocation bitmap —
+  shadow-written tracks referenced from the root.
+
+Every commit writes only new tracks and flips the root, so torn groups
+are invisible after recovery.  Tracks whose last resident moved are
+released only once the commit is durable.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from collections import OrderedDict
+from typing import Any, Optional, Sequence
+
+from ..core.object_manager import FIRST_USER_OID, ObjectStore
+from ..core.objects import GemObject
+from ..errors import ArchiveError, NoSuchObject, RecoveryError
+from .archive import ArchiveDrive, ArchiveMedia
+from .boxer import Boxer, assemble, read_entries
+from .cache import ObjectCache
+from .codec import decode_catalog, decode_object_full, encode_catalog, encode_object
+from .commit import CommitManager
+from .object_table import (
+    ObjectTable,
+    decode_page_directory,
+    encode_page_directory,
+)
+from .tracks import TrackManager
+
+_CLASS_CATALOG_PREFIX = "class:"
+
+
+def write_blob(tracks: TrackManager, data: bytes) -> tuple[list[int], dict[int, bytes]]:
+    """Split *data* into length-prefixed track chunks on fresh tracks.
+
+    Returns ``(track_numbers, pending_writes)``; the caller folds the
+    writes into its commit group.
+    """
+    chunk_size = tracks.track_size - 4
+    chunks = [data[i : i + chunk_size] for i in range(0, len(data), chunk_size)] or [b""]
+    allocated = tracks.allocate(len(chunks))
+    writes = {
+        track: struct.pack("<I", len(chunk)) + chunk
+        for track, chunk in zip(allocated, chunks)
+    }
+    return allocated, writes
+
+
+def read_blob(tracks: TrackManager, track_numbers: Sequence[int]) -> bytes:
+    """Reassemble a blob written by :func:`write_blob`."""
+    parts = []
+    for track in track_numbers:
+        raw = tracks.read(track)
+        (length,) = struct.unpack_from("<I", raw, 0)
+        parts.append(raw[4 : 4 + length])
+    return b"".join(parts)
+
+
+class StableStore(ObjectStore):
+    """The durable, shared object space behind all sessions."""
+
+    def __init__(self, disk, cache_capacity: Optional[int] = None) -> None:
+        super().__init__()
+        self.disk = disk
+        self.tracks = TrackManager(disk)
+        self.boxer = Boxer(disk.track_size)
+        self.table = ObjectTable()
+        self.commit_manager = CommitManager(self.tracks)
+        self.cache = ObjectCache(cache_capacity)
+        #: a small LRU of raw track buffers: objects sharing a track
+        #: (the Boxer's clustering) cost one read, not one each
+        self._track_buffers: "OrderedDict[int, bytes]" = OrderedDict()
+        self.track_buffer_capacity = 16
+        self.archive_drive = ArchiveDrive()
+        self._page_directory: dict[int, tuple[int, ...]] = {}
+        self._page_directory_tracks: list[int] = []
+        self._bitmap_tracks: list[int] = []
+        self._catalog_tracks: list[int] = []
+        self._next_oid = FIRST_USER_OID
+        self._oid_lock = threading.Lock()
+        self.last_tx_time = 0
+        #: well-known oids (world, system dictionary, directory catalog)
+        self.catalog: dict[str, int] = {}
+        #: oid -> decoded-but-not-recompiled OPAL method sources
+        self.pending_method_sources: dict[int, list[tuple[str, str, str]]] = {}
+        #: objects adopted since the last persist (commit in flight)
+        self._resident_only: dict[int, GemObject] = {}
+        #: class objects, pinned for the store's lifetime: their method
+        #: dictionaries are memory state that an LRU eviction would lose
+        self._resident_classes: dict[int, GemObject] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def format(
+        cls,
+        disk,
+        cache_capacity: Optional[int] = None,
+        prepare=None,
+    ) -> "StableStore":
+        """Initialize a fresh database on *disk*: bootstrap classes, commit.
+
+        *prepare*, when given, runs against the store before the initial
+        commit, so database-level setup (the world root, the system
+        dictionary) lands in the same transaction time 1 as the kernel
+        classes — user commits then start at time 2.
+        """
+        store = cls(disk, cache_capacity)
+        store.last_tx_time = 1
+        store._next_oid = 1
+        store.bootstrap_classes()
+        store._next_oid = max(store._next_oid, FIRST_USER_OID)
+        for name, oid in store.classes.items():
+            store.catalog[_CLASS_CATALOG_PREFIX + name] = oid
+        if prepare is not None:
+            prepare(store)
+        dirty = [store._resident_only[oid] for oid in sorted(store._resident_only)]
+        store.persist(dirty, tx_time=1)
+        return store
+
+    @classmethod
+    def open(cls, disk, cache_capacity: Optional[int] = None) -> "StableStore":
+        """Recover an existing database from *disk*.
+
+        Raises :class:`RecoveryError` when the disk holds no valid root.
+        """
+        store = cls(disk, cache_capacity)
+        fields = store.commit_manager.recover()
+        store.last_tx_time = fields["last_tx_time"]
+        store._next_oid = fields["next_oid"]
+        store._alias_counter = fields["alias_counter"]
+        store._page_directory_tracks = list(fields["object_table_tracks"])
+        store._bitmap_tracks = list(fields["allocation_tracks"])
+        store._catalog_tracks = list(fields["catalog_tracks"])
+        store.tracks.load_bitmap(read_blob(store.tracks, store._bitmap_tracks))
+        store.catalog = decode_catalog(read_blob(store.tracks, store._catalog_tracks))
+        directory_blob = read_blob(store.tracks, store._page_directory_tracks)
+        store._page_directory = decode_page_directory(directory_blob)
+        for page, page_tracks in store._page_directory.items():
+            store.table.load_page(read_blob(store.tracks, page_tracks))
+        store.table.clear_dirty()
+        store._load_class_registry()
+        return store
+
+    def _load_class_registry(self) -> None:
+        for key, oid in self.catalog.items():
+            if key.startswith(_CLASS_CATALOG_PREFIX):
+                self.classes[key[len(_CLASS_CATALOG_PREFIX) :]] = oid
+
+    # ------------------------------------------------------------------
+    # ObjectStore primitives
+    # ------------------------------------------------------------------
+
+    def object(self, oid: int) -> GemObject:
+        pinned = self._resident_classes.get(oid)
+        if pinned is not None:
+            return pinned
+        cached = self.cache.get(oid)
+        if cached is not None:
+            return cached
+        resident = self._resident_only.get(oid)
+        if resident is not None:
+            return resident
+        return self._load(oid)
+
+    def contains(self, oid: int) -> bool:
+        return (
+            oid in self._resident_classes
+            or oid in self.cache
+            or oid in self._resident_only
+            or oid in self.table
+        )
+
+    def register(self, obj: GemObject) -> GemObject:
+        """Adopt an object created directly on the stable store (bootstrap)."""
+        return self.adopt(obj)
+
+    def adopt(self, obj: GemObject) -> GemObject:
+        """Take ownership of *obj*; it becomes durable at the next persist."""
+        from ..core.classes import GemClass
+
+        self._resident_only[obj.oid] = obj
+        if isinstance(obj, GemClass):
+            self._resident_classes[obj.oid] = obj
+        else:
+            self.cache.put(obj)
+        return obj
+
+    def allocate_oid(self) -> int:
+        with self._oid_lock:
+            oid = self._next_oid
+            self._next_oid += 1
+            return oid
+
+    def write_time(self) -> int:
+        return self.last_tx_time
+
+    def current_time(self) -> int:
+        return self.last_tx_time
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+
+    def _load(self, oid: int) -> GemObject:
+        location = self.table.get(oid)
+        if location is None:
+            raise NoSuchObject(oid)
+        if location.archived:
+            data = self.archive_drive.fetch(location.archive_key)
+        else:
+            data = self._read_record(oid, location.tracks)
+        obj, sources = decode_object_full(data)
+        if sources:
+            self.pending_method_sources[oid] = sources
+        from ..core.classes import GemClass
+
+        if isinstance(obj, GemClass):
+            self._resident_classes[oid] = obj
+        else:
+            self.cache.put(obj)
+        return obj
+
+    def _read_record(self, oid: int, track_numbers: Sequence[int]) -> bytes:
+        fragments = []
+        for track in track_numbers:
+            image = self._read_track_buffered(track)
+            fragments.extend(f for f in read_entries(image) if f.oid == oid)
+        return assemble(fragments)
+
+    def _read_track_buffered(self, track: int) -> bytes:
+        buffered = self._track_buffers.get(track)
+        if buffered is not None:
+            self._track_buffers.move_to_end(track)
+            return buffered
+        image = self.tracks.read(track)
+        self._track_buffers[track] = image
+        while len(self._track_buffers) > self.track_buffer_capacity:
+            self._track_buffers.popitem(last=False)
+        return image
+
+    def flush_caches(self) -> None:
+        """Drop decoded objects and track buffers (benchmarks: cold reads)."""
+        self.cache.flush()
+        self._track_buffers.clear()
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def persist(
+        self,
+        dirty_objects: Sequence[GemObject],
+        tx_time: int,
+        new_classes: dict[str, int] | None = None,
+        catalog_updates: dict[str, int] | None = None,
+    ) -> int:
+        """Make *dirty_objects* durable as one safe-written commit group.
+
+        The caller (the Transaction Manager, or :meth:`format`) has
+        already merged the transaction via the Linker; objects arrive
+        parent-first for clustering.  Returns the new root epoch.
+        """
+        if new_classes:
+            for name, oid in new_classes.items():
+                self.classes[name] = oid
+                self.catalog[_CLASS_CATALOG_PREFIX + name] = oid
+        if catalog_updates:
+            self.catalog.update(catalog_updates)
+
+        writes: dict[int, bytes] = {}
+        freed: set[int] = set()
+
+        # 1. Boxer: encode and pack dirty objects into fresh tracks.
+        records = [(obj.oid, encode_object(obj)) for obj in dirty_objects]
+        pack = self.boxer.pack(records)
+        new_tracks = self.tracks.allocate(len(pack.images))
+        for index, image in enumerate(pack.images):
+            writes[new_tracks[index]] = image
+        for oid, spots in pack.placements.items():
+            old = self.table.get(oid)
+            if old is not None and not old.archived:
+                freed.update(old.tracks)
+            self.table.set_tracks(oid, [new_tracks[i] for i in spots])
+
+        # 2. Shadow-write dirty object-table pages (multi-track blobs).
+        for page in sorted(self.table.dirty_pages()):
+            old_tracks = self._page_directory.get(page)
+            if old_tracks:
+                freed.update(old_tracks)
+            page_tracks, page_writes = write_blob(
+                self.tracks, self.table.encode_page(page)
+            )
+            writes.update(page_writes)
+            self._page_directory[page] = tuple(page_tracks)
+
+        # 3. Page directory and catalog blobs.
+        freed.update(self._page_directory_tracks)
+        directory_tracks, directory_writes = write_blob(
+            self.tracks, encode_page_directory(self._page_directory)
+        )
+        writes.update(directory_writes)
+        self._page_directory_tracks = directory_tracks
+
+        freed.update(self._catalog_tracks)
+        catalog_tracks, catalog_writes = write_blob(
+            self.tracks, encode_catalog(self.catalog)
+        )
+        writes.update(catalog_writes)
+        self._catalog_tracks = catalog_tracks
+
+        # 4. Allocation bitmap reflecting the post-commit state.
+        freed.update(self._bitmap_tracks)
+        still_used = self.table.tracks_in_use() | set(directory_tracks)
+        still_used.update(catalog_tracks)
+        for page_tracks in self._page_directory.values():
+            still_used.update(page_tracks)
+        freed -= still_used
+        bitmap_bytes = (self.tracks.track_count + 7) // 8
+        bitmap_chunks = max(1, -(-bitmap_bytes // (self.tracks.track_size - 4)))
+        bitmap_tracks = self.tracks.allocate(bitmap_chunks)
+        post_allocated = (self.tracks.allocated_tracks() - freed) | set(bitmap_tracks)
+        bitmap_writes = self._bitmap_writes(bitmap_tracks, post_allocated)
+        writes.update(bitmap_writes)
+        self._bitmap_tracks = bitmap_tracks
+
+        # 5. Commit Manager: safe-write the whole group, flip the root.
+        self.last_tx_time = max(self.last_tx_time, tx_time)
+        epoch = self.commit_manager.commit(
+            writes,
+            {
+                "last_tx_time": self.last_tx_time,
+                "next_oid": self._next_oid,
+                "alias_counter": self._alias_counter,
+                "object_table_tracks": list(self._page_directory_tracks),
+                "allocation_tracks": list(self._bitmap_tracks),
+                "catalog_tracks": list(self._catalog_tracks),
+            },
+        )
+
+        # 6. Durable: reclaim superseded shadow tracks, settle residents.
+        for track in writes:
+            self._track_buffers.pop(track, None)  # no stale buffers
+        self.tracks.release(freed)
+        self.table.clear_dirty()
+        for obj in dirty_objects:
+            self._resident_only.pop(obj.oid, None)
+            self.cache.put(obj)
+        return epoch
+
+    def _bitmap_writes(
+        self, bitmap_tracks: Sequence[int], allocated: set[int]
+    ) -> dict[int, bytes]:
+        bitmap = bytearray((self.tracks.track_count + 7) // 8)
+        for track in allocated:
+            bitmap[track // 8] |= 1 << (track % 8)
+        data = bytes(bitmap)
+        chunk_size = self.tracks.track_size - 4
+        chunks = [data[i : i + chunk_size] for i in range(0, len(data), chunk_size)]
+        while len(chunks) < len(bitmap_tracks):
+            chunks.append(b"")
+        return {
+            track: struct.pack("<I", len(chunk)) + chunk
+            for track, chunk in zip(bitmap_tracks, chunks)
+        }
+
+    # ------------------------------------------------------------------
+    # enumeration (DBA tooling)
+    # ------------------------------------------------------------------
+
+    def all_oids(self):
+        """Every on-disk oid plus commit-in-flight residents."""
+        seen = set(self.table.oids()) | set(self._resident_only)
+        return iter(sorted(seen))
+
+    def instances_of(self, gem_class):
+        """Iterate all instances of a class (subclasses included).
+
+        Loads every non-archived object: a DBA-scale scan, matching the
+        paper's administrator tooling rather than a query path (queries
+        use directories).
+        """
+        cls = self._coerce_class(gem_class)
+        for oid in self.all_oids():
+            location = self.table.get(oid)
+            if location is not None and location.archived:
+                continue
+            obj = self.object(oid)
+            if self.object(obj.class_oid).is_subclass_of(self, cls):
+                yield obj
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+
+    def compact(self, tx_time: int, root_oids: Sequence[int] = ()) -> int:
+        """Rewrite every on-disk object into fresh, clustered tracks.
+
+        Shadow paging never overwrites live tracks, so long-lived tracks
+        accumulate superseded copies next to still-live residents.  A
+        compaction pass re-boxes everything: objects reachable from
+        *root_oids* (default: the catalog's well-known objects) go first
+        in parent-first order — restoring the Boxer's clustering — and
+        unreachable objects follow (no GC: they are rewritten, never
+        dropped).  Archived objects keep their archive locations.
+
+        Returns the number of tracks reclaimed.
+        """
+        roots = list(root_oids) or [
+            oid for oid in self.catalog.values() if isinstance(oid, int)
+        ]
+        order = self._compaction_order(roots)
+        objects = [self.object(oid) for oid in order]
+        before = len(self.tracks.allocated_tracks())
+        self.persist(objects, tx_time)
+        return before - len(self.tracks.allocated_tracks())
+
+    def _compaction_order(self, roots: Sequence[int]) -> list[int]:
+        on_disk = {
+            oid
+            for oid in self.table.oids()
+            if not self.table.get(oid).archived
+        }
+        ordered: list[int] = []
+        seen: set[int] = set()
+        stack = [oid for oid in roots if oid in on_disk]
+        while stack:
+            oid = stack.pop()
+            if oid in seen:
+                continue
+            seen.add(oid)
+            ordered.append(oid)
+            children = [
+                child
+                for child in self.object(oid).referenced_oids()
+                if child in on_disk and child not in seen
+            ]
+            stack.extend(reversed(children))
+        for oid in sorted(on_disk - seen):  # unreachable: kept, unclustered
+            ordered.append(oid)
+        return ordered
+
+    # ------------------------------------------------------------------
+    # archival
+    # ------------------------------------------------------------------
+
+    def archive_object(self, oid: int, media: ArchiveMedia) -> int:
+        """Move an object's record to *media*; returns its archive key.
+
+        The object stays conceptually in the database (its oid and the
+        references to it remain); reading it requires the volume to be
+        mounted.  The table change becomes durable at the next commit.
+        """
+        location = self.table.get(oid)
+        if location is None:
+            raise NoSuchObject(oid)
+        if location.archived:
+            raise ArchiveError(f"oid {oid} is already archived")
+        data = self._read_record(oid, location.tracks)
+        key = media.store(data)
+        self.table.set_archived(oid, key)
+        self.tracks.release(
+            t for t in location.tracks if t not in self.table.tracks_in_use()
+        )
+        self.cache.evict(oid)
+        return key
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    def storage_report(self) -> dict[str, Any]:
+        """Occupancy snapshot for DBA tooling and benchmarks."""
+        return {
+            "epoch": self.commit_manager.current_epoch,
+            "last_tx_time": self.last_tx_time,
+            "objects": len(self.table),
+            "tracks_allocated": len(self.tracks.allocated_tracks()),
+            "tracks_free": self.tracks.free_count(),
+            "cache_entries": len(self.cache),
+            "cache_hit_rate": self.cache.hit_rate,
+        }

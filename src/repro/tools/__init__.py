@@ -1,0 +1,15 @@
+"""``repro.tools`` — host-side utilities (the OPAL console).
+
+The console is imported lazily so ``python -m repro.tools.repl`` does
+not re-import its own module through the package.
+"""
+
+__all__ = ["Repl"]
+
+
+def __getattr__(name):
+    if name == "Repl":
+        from .repl import Repl
+
+        return Repl
+    raise AttributeError(name)

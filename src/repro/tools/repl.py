@@ -1,0 +1,143 @@
+"""An interactive OPAL console (the host-side "user interface program").
+
+Blocks of OPAL accumulate line by line and are shipped to the database
+when a blank line (or end of input) arrives — the unit of communication
+the paper prescribes.  Directives start with ``:``:
+
+    :commit      commit the current transaction
+    :abort       discard the workspace
+    :time        show the current transaction time (and the dial)
+    :dial T      set the time dial (``:dial now`` resets)
+    :report      storage report
+    :help        this text
+    :quit        leave
+
+Run it:  python -m repro.tools.repl
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, Optional, TextIO
+
+from ..db import GemSession, GemStone
+from ..errors import GemStoneError, TransactionConflict
+
+_HELP = """OPAL console — type statements, submit with a blank line.
+Directives: :commit :abort :time :dial T|now :report :help :quit"""
+
+
+class Repl:
+    """Line-driven console over one session; testable via streams."""
+
+    def __init__(
+        self,
+        database: Optional[GemStone] = None,
+        session: Optional[GemSession] = None,
+        out: TextIO = sys.stdout,
+    ) -> None:
+        self.database = database or GemStone.create()
+        self.session = session or self.database.login()
+        self.out = out
+        self._buffer: list[str] = []
+        self.running = True
+
+    # -- driving ----------------------------------------------------------
+
+    def run(self, lines: Iterable[str]) -> None:
+        """Feed input lines (a file, a list, or stdin) until exhausted."""
+        self._emit(_HELP)
+        for raw in lines:
+            if not self.running:
+                break
+            self.feed(raw.rstrip("\n"))
+        self.flush()
+
+    def feed(self, line: str) -> None:
+        """Process one input line."""
+        stripped = line.strip()
+        if stripped.startswith(":"):
+            self.flush()
+            self._directive(stripped)
+            return
+        if stripped == "":
+            self.flush()
+            return
+        self._buffer.append(line)
+
+    def flush(self) -> None:
+        """Execute the buffered block, if any."""
+        if not self._buffer:
+            return
+        source = "\n".join(self._buffer)
+        self._buffer.clear()
+        try:
+            value = self.session.execute(source)
+            self._emit(f"=> {self.session.display(value)}")
+        except GemStoneError as error:
+            self._emit(f"!! {type(error).__name__}: {error}")
+
+    # -- directives ---------------------------------------------------------
+
+    def _directive(self, text: str) -> None:
+        command, _, argument = text[1:].partition(" ")
+        command = command.lower()
+        if command in ("quit", "exit", "q"):
+            self.running = False
+            self._emit("bye.")
+        elif command == "help":
+            self._emit(_HELP)
+        elif command == "commit":
+            try:
+                tx_time = self.session.commit()
+                self._emit(f"committed at transaction time {tx_time}")
+            except TransactionConflict as conflict:
+                self._emit(f"!! conflict, transaction aborted: {conflict}")
+        elif command == "abort":
+            self.session.abort()
+            self._emit("aborted; workspace discarded")
+        elif command == "time":
+            dial = self.session.time_dial
+            setting = "now" if dial.is_now else str(dial.time)
+            self._emit(
+                f"transaction time {self.database.store.last_tx_time}, "
+                f"dial: {setting}"
+            )
+        elif command == "dial":
+            if argument.strip().lower() in ("", "now", "nil"):
+                self.session.time_dial.reset()
+                self._emit("dial: now")
+            else:
+                try:
+                    self.session.time_dial.set(int(argument))
+                    self._emit(f"dial: {int(argument)}")
+                except ValueError:
+                    self._emit("!! :dial needs an integer time or 'now'")
+        elif command == "report":
+            for key, value in self.database.storage_report().items():
+                self._emit(f"  {key}: {value}")
+        else:
+            self._emit(f"!! unknown directive :{command} (try :help)")
+
+    def _emit(self, text: str) -> None:
+        print(text, file=self.out)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point: fresh in-memory database, interactive stdin loop."""
+    argv = argv if argv is not None else sys.argv[1:]
+    repl = Repl()
+    if argv:  # script files
+        for path in argv:
+            with open(path, "r", encoding="utf-8") as handle:
+                repl.run(handle)
+        return 0
+    try:
+        repl.run(iter(sys.stdin.readline, ""))
+    except KeyboardInterrupt:
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,161 @@
+"""Tests for users, segments, privileges and enforcement in sessions."""
+
+import pytest
+
+from repro.concurrency import (
+    Authorizer,
+    Privilege,
+    SessionObjectManager,
+    TransactionManager,
+    WORLD_SEGMENT,
+)
+from repro.errors import AuthorizationError
+from repro.storage import DiskGeometry, SimulatedDisk, StableStore
+
+
+@pytest.fixture
+def auth():
+    return Authorizer()
+
+
+@pytest.fixture
+def dba(auth):
+    return auth.authenticate("DataCurator", "swordfish")
+
+
+class TestUsers:
+    def test_initial_dba_exists(self, auth):
+        user = auth.authenticate("DataCurator", "swordfish")
+        assert user.is_dba
+
+    def test_bad_password_rejected(self, auth):
+        with pytest.raises(AuthorizationError):
+            auth.authenticate("DataCurator", "wrong")
+
+    def test_unknown_user_rejected(self, auth):
+        with pytest.raises(AuthorizationError):
+            auth.authenticate("nobody", "x")
+
+    def test_dba_creates_users(self, auth, dba):
+        auth.create_user(dba, "ellen", "pw")
+        assert auth.authenticate("ellen", "pw").name == "ellen"
+
+    def test_non_dba_cannot_create_users(self, auth, dba):
+        auth.create_user(dba, "ellen", "pw")
+        ellen = auth.authenticate("ellen", "pw")
+        with pytest.raises(AuthorizationError):
+            auth.create_user(ellen, "eve", "pw")
+
+    def test_duplicate_user_rejected(self, auth, dba):
+        auth.create_user(dba, "ellen", "pw")
+        with pytest.raises(AuthorizationError):
+            auth.create_user(dba, "ellen", "pw2")
+
+    def test_passwords_not_stored_in_clear(self, auth, dba):
+        user = auth.create_user(dba, "ellen", "hunter2")
+        assert "hunter2" not in user.password_hash
+
+
+class TestSegments:
+    def test_world_segment_is_public(self, auth, dba):
+        auth.create_user(dba, "ellen", "pw")
+        ellen = auth.authenticate("ellen", "pw")
+        auth.check_read(ellen, WORLD_SEGMENT)
+        auth.check_write(ellen, WORLD_SEGMENT)
+
+    def test_private_segment_denies_by_default(self, auth, dba):
+        auth.create_user(dba, "ellen", "pw")
+        ellen = auth.authenticate("ellen", "pw")
+        segment = auth.create_segment(dba, "payroll")
+        with pytest.raises(AuthorizationError):
+            auth.check_read(ellen, segment.segment_id)
+
+    def test_owner_has_full_access(self, auth, dba):
+        segment = auth.create_segment(dba, "payroll")
+        auth.check_write(dba, segment.segment_id)
+
+    def test_grant_read_only(self, auth, dba):
+        auth.create_user(dba, "ellen", "pw")
+        ellen = auth.authenticate("ellen", "pw")
+        segment = auth.create_segment(dba, "payroll")
+        auth.grant(dba, segment.segment_id, "ellen", Privilege.READ)
+        auth.check_read(ellen, segment.segment_id)
+        with pytest.raises(AuthorizationError):
+            auth.check_write(ellen, segment.segment_id)
+
+    def test_only_owner_may_grant(self, auth, dba):
+        auth.create_user(dba, "ellen", "pw")
+        auth.create_user(dba, "bob", "pw")
+        ellen = auth.authenticate("ellen", "pw")
+        segment = auth.create_segment(dba, "payroll")
+        with pytest.raises(AuthorizationError):
+            auth.grant(ellen, segment.segment_id, "bob", Privilege.READ)
+
+    def test_grant_to_unknown_user_rejected(self, auth, dba):
+        segment = auth.create_segment(dba, "payroll")
+        with pytest.raises(AuthorizationError):
+            auth.grant(dba, segment.segment_id, "ghost", Privilege.READ)
+
+    def test_default_privilege(self, auth, dba):
+        auth.create_user(dba, "ellen", "pw")
+        ellen = auth.authenticate("ellen", "pw")
+        segment = auth.create_segment(dba, "bulletin", Privilege.READ)
+        auth.check_read(ellen, segment.segment_id)
+        with pytest.raises(AuthorizationError):
+            auth.check_write(ellen, segment.segment_id)
+
+    def test_embedded_mode_unenforced(self, auth):
+        auth.check_write(None, WORLD_SEGMENT)  # user None = embedded
+
+
+class TestStateRoundtrip:
+    def test_export_import(self, auth, dba):
+        auth.create_user(dba, "ellen", "pw")
+        segment = auth.create_segment(dba, "payroll")
+        auth.grant(dba, segment.segment_id, "ellen", Privilege.READ)
+        state = auth.export_state()
+        fresh = Authorizer()
+        fresh.import_state(state)
+        ellen = fresh.authenticate("ellen", "pw")
+        fresh.check_read(ellen, segment.segment_id)
+        with pytest.raises(AuthorizationError):
+            fresh.check_write(ellen, segment.segment_id)
+
+
+class TestSessionEnforcement:
+    @pytest.fixture
+    def db(self):
+        store = StableStore.format(
+            SimulatedDisk(DiskGeometry(track_count=1024, track_size=1024))
+        )
+        return store, TransactionManager(store), Authorizer()
+
+    def test_session_write_denied_on_foreign_segment(self, db):
+        store, tm, auth = db
+        dba = auth.authenticate("DataCurator", "swordfish")
+        auth.create_user(dba, "ellen", "pw")
+        ellen = auth.authenticate("ellen", "pw")
+        segment = auth.create_segment(dba, "payroll")
+
+        dba_session = SessionObjectManager(store, tm, user=dba, authorizer=auth)
+        secret = dba_session.instantiate("Object", segment_id=segment.segment_id)
+        dba_session.bind(secret.oid, "salary", 100)
+        dba_session.commit()
+
+        ellen_session = SessionObjectManager(store, tm, user=ellen, authorizer=auth)
+        with pytest.raises(AuthorizationError):
+            ellen_session.value_at(secret.oid, "salary")
+        auth.grant(dba, segment.segment_id, "ellen", Privilege.READ)
+        assert ellen_session.value_at(secret.oid, "salary") == 100
+        with pytest.raises(AuthorizationError):
+            ellen_session.bind(secret.oid, "salary", 0)
+
+    def test_world_segment_open_to_all_sessions(self, db):
+        store, tm, auth = db
+        dba = auth.authenticate("DataCurator", "swordfish")
+        auth.create_user(dba, "ellen", "pw")
+        ellen = auth.authenticate("ellen", "pw")
+        s = SessionObjectManager(store, tm, user=ellen, authorizer=auth)
+        obj = s.instantiate("Object", x=1)
+        s.commit()
+        assert s.value_at(obj.oid, "x") == 1

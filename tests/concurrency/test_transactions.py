@@ -1,0 +1,309 @@
+"""Tests for the optimistic Transaction Manager and sessions."""
+
+import threading
+
+import pytest
+
+from repro.concurrency import SessionObjectManager, TransactionManager
+from repro.errors import SessionClosed, TransactionConflict
+from repro.storage import DiskGeometry, SimulatedDisk, StableStore
+
+
+@pytest.fixture
+def store():
+    return StableStore.format(
+        SimulatedDisk(DiskGeometry(track_count=2048, track_size=1024))
+    )
+
+
+@pytest.fixture
+def tm(store):
+    return TransactionManager(store)
+
+
+def session(store, tm):
+    return SessionObjectManager(store, tm)
+
+
+class TestBasicCommit:
+    def test_commit_makes_writes_durable(self, store, tm):
+        s = session(store, tm)
+        obj = s.instantiate("Object", x=1)
+        t = s.commit()
+        assert store.object(obj.oid).value("x") == 1
+        assert store.object(obj.oid).created_at == t
+
+    def test_other_sessions_see_committed_state(self, store, tm):
+        s1, s2 = session(store, tm), session(store, tm)
+        obj = s1.instantiate("Object", x=1)
+        assert not s2.contains(obj.oid)
+        s1.commit()
+        assert s2.value_at(obj.oid, "x") == 1
+
+    def test_uncommitted_writes_are_private(self, store, tm):
+        s1, s2 = session(store, tm), session(store, tm)
+        obj = s1.instantiate("Object", x=1)
+        s1.commit()
+        s1.bind(obj.oid, "x", 2)
+        assert s1.value_at(obj.oid, "x") == 2
+        assert s2.value_at(obj.oid, "x") == 1
+
+    def test_all_writes_share_commit_time(self, store, tm):
+        s = session(store, tm)
+        a = s.instantiate("Object", x=1)
+        b = s.instantiate("Object", y=2)
+        t = s.commit()
+        assert store.object(a.oid).elements["x"].last_time == t
+        assert store.object(b.oid).elements["y"].last_time == t
+
+    def test_read_only_commit_is_cheap(self, store, tm):
+        s = session(store, tm)
+        epoch_before = store.commit_manager.current_epoch
+        s.commit()
+        assert store.commit_manager.current_epoch == epoch_before
+        assert tm.stats.read_only_commits == 1
+
+    def test_commit_times_increase(self, store, tm):
+        s = session(store, tm)
+        s.instantiate("Object")
+        t1 = s.commit()
+        s.instantiate("Object")
+        t2 = s.commit()
+        assert t2 > t1
+
+
+class TestAbort:
+    def test_abort_discards_workspace(self, store, tm):
+        s = session(store, tm)
+        obj = s.instantiate("Object", x=1)
+        s.commit()
+        s.bind(obj.oid, "x", 99)
+        s.abort()
+        assert s.value_at(obj.oid, "x") == 1
+
+    def test_abort_discards_creations(self, store, tm):
+        s = session(store, tm)
+        obj = s.instantiate("Object")
+        s.abort()
+        assert not store.contains(obj.oid)
+
+    def test_aborted_class_definitions_vanish(self, store, tm):
+        s = session(store, tm)
+        s.define_class("Ephemeral")
+        s.abort()
+        assert not s.has_class("Ephemeral")
+
+
+class TestValidation:
+    def test_write_write_without_read_does_not_conflict(self, store, tm):
+        """Blind writes are allowed; only read/write overlap conflicts."""
+        s1, s2 = session(store, tm), session(store, tm)
+        obj = s1.instantiate("Object", x=0)
+        s1.commit()
+        s2.abort()  # refresh start time
+        s1.bind(obj.oid, "x", 1)
+        s2.bind(obj.oid, "x", 2)
+        s1.commit()
+        s2.commit()  # no read of x, so no conflict
+        assert store.object(obj.oid).value("x") == 2
+
+    def test_read_invalidated_by_concurrent_write(self, store, tm):
+        s1, s2 = session(store, tm), session(store, tm)
+        obj = s1.instantiate("Object", balance=100)
+        s1.commit()
+        s2.abort()
+        v1 = s1.value_at(obj.oid, "balance")
+        v2 = s2.value_at(obj.oid, "balance")
+        s1.bind(obj.oid, "balance", v1 + 10)
+        s2.bind(obj.oid, "balance", v2 + 20)
+        s1.commit()
+        with pytest.raises(TransactionConflict):
+            s2.commit()
+        assert store.object(obj.oid).value("balance") == 110
+
+    def test_conflict_aborts_the_loser(self, store, tm):
+        s1, s2 = session(store, tm), session(store, tm)
+        obj = s1.instantiate("Object", x=0)
+        s1.commit()
+        s2.abort()
+        s2.value_at(obj.oid, "x")
+        s2.bind(obj.oid, "y", 1)
+        s1.bind(obj.oid, "x", 5)
+        s1.commit()
+        with pytest.raises(TransactionConflict):
+            s2.commit()
+        # loser was aborted: workspace empty, retry can proceed
+        assert not s2.has_uncommitted_changes
+        s2.bind(obj.oid, "y", 1)
+        s2.commit()
+
+    def test_disjoint_elements_do_not_conflict(self, store, tm):
+        s1, s2 = session(store, tm), session(store, tm)
+        obj = s1.instantiate("Object", a=1, b=2)
+        s1.commit()
+        s2.abort()
+        s1.value_at(obj.oid, "a")
+        s1.bind(obj.oid, "a", 10)
+        s2.value_at(obj.oid, "b")
+        s2.bind(obj.oid, "b", 20)
+        s1.commit()
+        s2.commit()
+        assert store.object(obj.oid).value("a") == 10
+        assert store.object(obj.oid).value("b") == 20
+
+    def test_disjoint_objects_do_not_conflict(self, store, tm):
+        s1, s2 = session(store, tm), session(store, tm)
+        a = s1.instantiate("Object", x=0)
+        b = s1.instantiate("Object", x=0)
+        s1.commit()
+        s2.abort()
+        s1.bind(a.oid, "x", s1.value_at(a.oid, "x") + 1)
+        s2.bind(b.oid, "x", s2.value_at(b.oid, "x") + 1)
+        s1.commit()
+        s2.commit()
+
+    def test_phantom_detected_via_enumeration(self, store, tm):
+        """A commit adding an element invalidates a concurrent enumeration."""
+        s1, s2 = session(store, tm), session(store, tm)
+        group = s1.instantiate("Object")
+        s1.commit()
+        s2.abort()
+        names = s2.live_names_of(group.oid)  # enumeration read
+        s2.bind(s2.instantiate("Object").oid, "count", len(names))
+        s1.bind(group.oid, "newMember", 42)
+        s1.commit()
+        with pytest.raises(TransactionConflict):
+            s2.commit()
+
+    def test_reads_of_own_creations_never_conflict(self, store, tm):
+        s1, s2 = session(store, tm), session(store, tm)
+        obj = s1.instantiate("Object", x=1)
+        s1.value_at(obj.oid, "x")
+        s1.live_names_of(obj.oid)
+        s2.instantiate("Object")
+        s2.commit()
+        s1.commit()  # reads were of s1's own new object
+
+    def test_old_commits_do_not_conflict(self, store, tm):
+        s1 = session(store, tm)
+        obj = s1.instantiate("Object", x=1)
+        s1.commit()  # happens before s2 begins
+        s2 = session(store, tm)
+        s2.value_at(obj.oid, "x")
+        s2.bind(obj.oid, "y", 2)
+        s2.commit()
+
+    def test_conflict_reports_the_element(self, store, tm):
+        s1, s2 = session(store, tm), session(store, tm)
+        obj = s1.instantiate("Object", salary=5)
+        s1.commit()
+        s2.abort()
+        s2.value_at(obj.oid, "salary")
+        s2.bind(obj.oid, "note", "seen")
+        s1.bind(obj.oid, "salary", 6)
+        s1.commit()
+        with pytest.raises(TransactionConflict) as exc:
+            s2.commit()
+        assert (obj.oid, "salary") in exc.value.conflicts
+
+
+class TestHistoryThroughTransactions:
+    def test_each_commit_is_a_database_state(self, store, tm):
+        s = session(store, tm)
+        obj = s.instantiate("Object", president="Ayn Rand")
+        t1 = s.commit()
+        s.bind(obj.oid, "president", "Milton Friedman")
+        t2 = s.commit()
+        stable = store.object(obj.oid)
+        assert stable.value_at("president", t1) == "Ayn Rand"
+        assert stable.value_at("president", t2) == "Milton Friedman"
+
+    def test_time_dial_reads_past_state(self, store, tm):
+        s = session(store, tm)
+        obj = s.instantiate("Object", x="old")
+        t1 = s.commit()
+        s.bind(obj.oid, "x", "new")
+        s.commit()
+        s.time_dial.set(t1)
+        assert s.value_at(obj.oid, "x") == "old"
+        s.time_dial.reset()
+        assert s.value_at(obj.oid, "x") == "new"
+
+    def test_explicit_time_overrides_dial(self, store, tm):
+        s = session(store, tm)
+        obj = s.instantiate("Object", x="old")
+        t1 = s.commit()
+        s.bind(obj.oid, "x", "new")
+        t2 = s.commit()
+        s.time_dial.set(t1)
+        assert s.value_at(obj.oid, "x", t2) == "new"
+        s.time_dial.reset()
+
+    def test_safe_time_is_latest_committed(self, store, tm):
+        s1, s2 = session(store, tm), session(store, tm)
+        obj = s1.instantiate("Object", x=1)
+        t = s1.commit()
+        s2.bind(obj.oid, "x", 99)  # uncommitted writer
+        assert s2.safe_time() == t
+        dialed = s1.time_dial.set_safe()
+        assert dialed == t
+        assert s1.value_at(obj.oid, "x") == 1
+        s1.time_dial.reset()
+
+
+class TestSessionLifecycle:
+    def test_closed_session_rejects_operations(self, store, tm):
+        s = session(store, tm)
+        s.close()
+        assert s.closed
+        with pytest.raises(SessionClosed):
+            s.instantiate("Object")
+        with pytest.raises(SessionClosed):
+            s.commit()
+
+    def test_active_count(self, store, tm):
+        s1 = session(store, tm)
+        s2 = session(store, tm)
+        assert tm.active_count() == 2
+        s1.close()
+        assert tm.active_count() == 1
+        s2.close()
+
+    def test_log_trimmed_when_sessions_catch_up(self, store, tm):
+        s = session(store, tm)
+        for i in range(10):
+            s.instantiate("Object", i=i)
+            s.commit()
+        assert len(tm._log) <= 1
+
+
+class TestThreadedCommits:
+    def test_concurrent_counter_increments_are_serializable(self, store, tm):
+        """N threads increment with retry; final count == successful commits."""
+        setup = session(store, tm)
+        counter = setup.instantiate("Object", n=0)
+        setup.commit()
+        setup.close()
+
+        increments_per_thread = 10
+        threads = 4
+
+        def worker():
+            s = session(store, tm)
+            done = 0
+            while done < increments_per_thread:
+                try:
+                    value = s.value_at(counter.oid, "n")
+                    s.bind(counter.oid, "n", value + 1)
+                    s.commit()
+                    done += 1
+                except TransactionConflict:
+                    continue  # aborted: retry with a fresh transaction
+            s.close()
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert store.object(counter.oid).value("n") == threads * increments_per_thread

@@ -1,0 +1,100 @@
+"""Temporary (transient) workspace objects and promotion (section 6).
+
+"Temporary objects created by user sessions may have to be garbage
+collected.  However ... an entire session workspace can be discarded at
+the end of a session."  Query results are transient; storing one into
+persistent state promotes it.
+"""
+
+import pytest
+
+from repro.concurrency import SessionObjectManager, TransactionManager
+from repro.core import Ref
+from repro.storage import DiskGeometry, SimulatedDisk, StableStore
+
+
+@pytest.fixture
+def setup():
+    store = StableStore.format(
+        SimulatedDisk(DiskGeometry(track_count=2048, track_size=1024))
+    )
+    tm = TransactionManager(store)
+    return store, tm
+
+
+def session_for(setup):
+    store, tm = setup
+    return SessionObjectManager(store, tm)
+
+
+class TestTransients:
+    def test_transient_never_committed(self, setup):
+        store, tm = setup
+        s = session_for(setup)
+        temp = s.instantiate_transient("Object", x=1)
+        s.commit()
+        assert not store.contains(temp.oid)
+
+    def test_transient_visible_within_its_transaction(self, setup):
+        s = session_for(setup)
+        temp = s.instantiate_transient("Object", x=1)
+        assert s.value_at(temp.oid, "x") == 1
+        assert s.contains(temp.oid)
+
+    def test_transient_discarded_on_abort(self, setup):
+        s = session_for(setup)
+        temp = s.instantiate_transient("Object", x=1)
+        s.abort()
+        assert not s.contains(temp.oid)
+
+    def test_binding_into_persistent_promotes(self, setup):
+        store, tm = setup
+        s = session_for(setup)
+        anchor = s.instantiate("Object")
+        temp = s.instantiate_transient("Object", x=42)
+        s.bind(anchor.oid, "kept", Ref(temp.oid))
+        s.commit()
+        assert store.contains(temp.oid)
+        assert store.object(temp.oid).value("x") == 42
+
+    def test_promotion_is_recursive(self, setup):
+        store, tm = setup
+        s = session_for(setup)
+        anchor = s.instantiate("Object")
+        inner = s.instantiate_transient("Object", v="deep")
+        outer = s.instantiate_transient("Object", child=Ref(inner.oid))
+        s.bind(anchor.oid, "kept", Ref(outer.oid))
+        s.commit()
+        assert store.contains(inner.oid)
+        assert store.object(inner.oid).value("v") == "deep"
+
+    def test_writes_after_promotion_are_logged(self, setup):
+        store, tm = setup
+        s = session_for(setup)
+        anchor = s.instantiate("Object")
+        temp = s.instantiate_transient("Object", x=1)
+        s.bind(anchor.oid, "kept", Ref(temp.oid))
+        s.bind(temp.oid, "x", 2)  # promoted by now: must be committed
+        s.commit()
+        assert store.object(temp.oid).value("x") == 2
+
+    def test_unpromoted_transient_reads_never_conflict(self, setup):
+        store, tm = setup
+        s1, s2 = session_for(setup), session_for(setup)
+        temp = s1.instantiate_transient("Object", x=1)
+        s1.value_at(temp.oid, "x")
+        s1.live_names_of(temp.oid)
+        # a concurrent commit cannot conflict with transient-only reads
+        other = s2.instantiate("Object")
+        s2.commit()
+        s1.instantiate("Object")
+        s1.commit()  # must not raise
+
+    def test_transients_do_not_grow_the_store(self, setup):
+        store, tm = setup
+        s = session_for(setup)
+        before = len(store.table)
+        for _ in range(20):
+            s.instantiate_transient("Object", x=1)
+        s.commit()
+        assert len(store.table) == before

@@ -1,0 +1,146 @@
+"""Unit tests for association tables (repro.core.history)."""
+
+import pytest
+
+from repro.core import MISSING, AssociationTable
+from repro.errors import TimeTravelError
+
+
+class TestRecording:
+    def test_empty_table_has_no_value(self):
+        table = AssociationTable()
+        assert table.value_at(5) is MISSING
+        assert table.current() is MISSING
+        assert len(table) == 0
+
+    def test_single_association_visible_from_its_time_onward(self):
+        table = AssociationTable()
+        table.record(3, "Sales")
+        assert table.value_at(3) == "Sales"
+        assert table.value_at(100) == "Sales"
+        assert table.current() == "Sales"
+
+    def test_value_missing_before_first_binding(self):
+        table = AssociationTable()
+        table.record(3, "Sales")
+        assert table.value_at(2) is MISSING
+
+    def test_same_time_record_overwrites(self):
+        """Two writes in one transaction yield a single association."""
+        table = AssociationTable()
+        table.record(4, "draft")
+        table.record(4, "final")
+        assert len(table) == 1
+        assert table.value_at(4) == "final"
+
+    def test_recording_in_the_past_is_rejected(self):
+        table = AssociationTable()
+        table.record(7, 1)
+        with pytest.raises(TimeTravelError):
+            table.record(6, 2)
+
+    def test_nil_is_a_real_binding_not_missing(self):
+        """Figure 1: departure is a binding to nil, not an absence."""
+        table = AssociationTable()
+        table.record(2, "employee")
+        table.record(8, None)
+        assert table.value_at(7) == "employee"
+        assert table.value_at(8) is None
+        assert table.value_at(8) is not MISSING
+        assert table.bound_at(8)
+
+
+class TestLookup:
+    def make_presidents(self):
+        """The Figure 1 president element: Ayn at 5, Milton at 8."""
+        table = AssociationTable()
+        table.record(5, "Ayn Rand")
+        table.record(8, "Milton Friedman")
+        return table
+
+    def test_figure1_president_at_10(self):
+        table = self.make_presidents()
+        assert table.value_at(10) == "Milton Friedman"
+
+    def test_figure1_president_at_7(self):
+        table = self.make_presidents()
+        assert table.value_at(7) == "Ayn Rand"
+
+    def test_boundary_time_sees_new_value(self):
+        """A binding at time T is part of the state at time T."""
+        table = self.make_presidents()
+        assert table.value_at(8) == "Milton Friedman"
+        assert table.value_at(5) == "Ayn Rand"
+
+    def test_none_time_means_now(self):
+        table = self.make_presidents()
+        assert table.value_at(None) == "Milton Friedman"
+
+    def test_first_and_last_time(self):
+        table = self.make_presidents()
+        assert table.first_time == 5
+        assert table.last_time == 8
+
+    def test_history_iterates_oldest_first(self):
+        table = self.make_presidents()
+        assert list(table.history()) == [(5, "Ayn Rand"), (8, "Milton Friedman")]
+
+    def test_times(self):
+        assert self.make_presidents().times() == (5, 8)
+
+
+class TestValidityIntervals:
+    def test_open_interval_for_current_binding(self):
+        table = AssociationTable()
+        table.record(5, "x")
+        assert table.validity_interval(9) == (5, None)
+
+    def test_closed_interval_for_superseded_binding(self):
+        table = AssociationTable()
+        table.record(5, "x")
+        table.record(8, "y")
+        assert table.validity_interval(6) == (5, 8)
+        assert table.validity_interval(5) == (5, 8)
+
+    def test_no_interval_before_first_binding(self):
+        table = AssociationTable()
+        table.record(5, "x")
+        assert table.validity_interval(4) is None
+
+
+class TestTruncation:
+    def test_truncate_drops_later_associations(self):
+        table = AssociationTable()
+        for t in (2, 4, 6, 8):
+            table.record(t, t * 10)
+        dropped = table.truncate_to(5)
+        assert dropped == 2
+        assert table.times() == (2, 4)
+        assert table.current() == 40
+
+    def test_truncate_is_noop_when_nothing_later(self):
+        table = AssociationTable()
+        table.record(2, "a")
+        assert table.truncate_to(2) == 0
+        assert table.truncate_to(100) == 0
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        table = AssociationTable()
+        table.record(1, "a")
+        clone = table.copy()
+        clone.record(5, "b")
+        assert table.current() == "a"
+        assert clone.current() == "b"
+
+
+class TestMissingSentinel:
+    def test_missing_is_falsy_singleton(self):
+        assert not MISSING
+        from repro.core.history import _Missing
+
+        assert _Missing() is MISSING
+
+    def test_missing_is_not_none(self):
+        assert MISSING is not None

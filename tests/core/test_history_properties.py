@@ -1,0 +1,119 @@
+"""Property-based tests for association tables (hypothesis).
+
+Invariants checked against a naive model: a list of (time, value) pairs
+where lookup at T scans for the last pair with time <= T.
+"""
+
+from bisect import bisect_right
+
+from hypothesis import given, strategies as st
+
+from repro.core import MISSING, AssociationTable
+
+values = st.one_of(st.integers(), st.text(max_size=8), st.none(), st.booleans())
+
+
+@st.composite
+def recordings(draw):
+    """A monotone sequence of (time, value) recordings."""
+    times = draw(
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=0, max_size=30)
+    )
+    times.sort()
+    return [(t, draw(values)) for t in times]
+
+
+def naive_value_at(pairs, time):
+    """Reference model: last value recorded at or before *time*."""
+    result = MISSING
+    seen = {}
+    for t, v in pairs:
+        seen[t] = v  # same-time overwrite
+    for t in sorted(seen):
+        if t <= time:
+            result = seen[t]
+    return result
+
+
+@given(recordings(), st.integers(min_value=-5, max_value=1005))
+def test_value_at_matches_naive_model(pairs, probe):
+    table = AssociationTable()
+    for t, v in pairs:
+        table.record(t, v)
+    assert table.value_at(probe) == naive_value_at(pairs, probe) or (
+        table.value_at(probe) is MISSING and naive_value_at(pairs, probe) is MISSING
+    )
+
+
+@given(recordings())
+def test_times_strictly_increasing(pairs):
+    table = AssociationTable()
+    for t, v in pairs:
+        table.record(t, v)
+    times = table.times()
+    assert all(a < b for a, b in zip(times, times[1:]))
+
+
+@given(recordings())
+def test_current_equals_lookup_at_infinity(pairs):
+    table = AssociationTable()
+    for t, v in pairs:
+        table.record(t, v)
+    assert table.current() == table.value_at(10**9) or (
+        table.current() is MISSING and table.value_at(10**9) is MISSING
+    )
+
+
+@given(recordings(), st.integers(min_value=0, max_value=1000))
+def test_history_is_append_only_under_reads(pairs, probe):
+    """Reads never change the table (no hidden compaction)."""
+    table = AssociationTable()
+    for t, v in pairs:
+        table.record(t, v)
+    before = list(table.history())
+    table.value_at(probe)
+    table.current()
+    table.validity_interval(probe)
+    assert list(table.history()) == before
+
+
+@given(recordings(), st.integers(min_value=0, max_value=1000))
+def test_truncate_then_lookup_agrees_with_past_lookup(pairs, cut):
+    """truncate_to(T) makes 'now' identical to the old state at T."""
+    table = AssociationTable()
+    clone = AssociationTable()
+    for t, v in pairs:
+        table.record(t, v)
+        clone.record(t, v)
+    old_at_cut = table.value_at(cut)
+    clone.truncate_to(cut)
+    assert clone.current() == old_at_cut or (
+        clone.current() is MISSING and old_at_cut is MISSING
+    )
+
+
+@given(recordings(), st.integers(min_value=0, max_value=1000))
+def test_validity_interval_brackets_probe(pairs, probe):
+    table = AssociationTable()
+    for t, v in pairs:
+        table.record(t, v)
+    interval = table.validity_interval(probe)
+    if interval is None:
+        assert table.value_at(probe) is MISSING
+    else:
+        start, end = interval
+        assert start <= probe
+        if end is not None:
+            assert probe < end
+        # every time in [start, end) sees the same value
+        assert table.value_at(start) == table.value_at(probe) or (
+            table.value_at(start) is MISSING
+        )
+
+
+@given(recordings())
+def test_copy_equals_original(pairs):
+    table = AssociationTable()
+    for t, v in pairs:
+        table.record(t, v)
+    assert list(table.copy().history()) == list(table.history())

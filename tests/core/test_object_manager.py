@@ -1,0 +1,209 @@
+"""Unit tests for the in-memory Object Manager."""
+
+import pytest
+
+from repro.core import MISSING, GemClass, MemoryObjectManager, Ref, Symbol
+from repro.errors import (
+    ClassProtocolError,
+    DoesNotUnderstand,
+    NoSuchObject,
+    TimeTravelError,
+)
+
+
+@pytest.fixture
+def om():
+    return MemoryObjectManager()
+
+
+class TestBootstrap:
+    def test_kernel_classes_exist(self, om):
+        for name in ("Object", "Class", "Integer", "String", "Set", "Dictionary"):
+            assert om.has_class(name)
+
+    def test_hierarchy_wiring(self, om):
+        integer = om.class_named("Integer")
+        magnitude = om.class_named("Magnitude")
+        assert integer.is_subclass_of(om, magnitude)
+        assert not magnitude.is_subclass_of(om, integer)
+
+    def test_classes_are_objects(self, om):
+        cls = om.class_named("Integer")
+        assert om.contains(cls.oid)
+        assert isinstance(om.object(cls.oid), GemClass)
+
+
+class TestInstantiation:
+    def test_instantiate_assigns_fresh_oids(self, om):
+        a = om.instantiate("Object")
+        b = om.instantiate("Object")
+        assert a.oid != b.oid
+
+    def test_keyword_elements_prebound(self, om):
+        obj = om.instantiate("Object", name="Ellen", salary=24650)
+        assert om.value_at(obj, "name") == "Ellen"
+        assert om.value_at(obj, "salary") == 24650
+
+    def test_objects_coerced_to_refs(self, om):
+        dept = om.instantiate("Object")
+        emp = om.instantiate("Object", dept=dept)
+        assert om.value_at(emp, "dept") == Ref(dept.oid)
+        assert om.fetch(emp, "dept") is dept
+
+    def test_no_such_object(self, om):
+        with pytest.raises(NoSuchObject):
+            om.object(999999)
+
+    def test_object_count_unbounded(self, om):
+        """Paper 4.3: ST80 allowed only 32K objects; GemStone must not."""
+        base = om.object_count()
+        for _ in range(500):
+            om.instantiate("Object")
+        assert om.object_count() == base + 500
+
+
+class TestClock:
+    def test_writes_share_transaction_time_until_tick(self, om):
+        obj = om.instantiate("Object")
+        om.bind(obj, "a", 1)
+        om.bind(obj, "b", 2)
+        assert obj.elements["a"].last_time == obj.elements["b"].last_time
+
+    def test_tick_advances(self, om):
+        start = om.now
+        om.tick()
+        assert om.now == start + 1
+        om.tick(5)
+        assert om.now == start + 6
+
+    def test_tick_rejects_nonpositive(self, om):
+        with pytest.raises(ValueError):
+            om.tick(0)
+
+    def test_advance_to_cannot_rewind(self, om):
+        om.advance_to(10)
+        with pytest.raises(TimeTravelError):
+            om.advance_to(5)
+
+    def test_past_reads_ignore_new_writes(self, om):
+        obj = om.instantiate("Object", x=1)
+        t0 = om.now
+        om.tick()
+        om.bind(obj, "x", 2)
+        assert om.value_at(obj, "x", t0) == 1
+        assert om.value_at(obj, "x") == 2
+
+
+class TestClassDefinition:
+    def test_define_and_lookup(self, om):
+        emp = om.define_class("Employee", "Object", ("name", "salary"))
+        assert om.class_named("Employee") is emp
+        assert emp.instvar_names == ("name", "salary")
+
+    def test_subclass_inherits_instvars(self, om):
+        om.define_class("Employee", "Object", ("name", "salary"))
+        mgr = om.define_class("Manager", "Employee", ("department",))
+        assert mgr.all_instvar_names(om) == ("name", "salary", "department")
+
+    def test_duplicate_class_rejected(self, om):
+        om.define_class("Employee")
+        with pytest.raises(ClassProtocolError):
+            om.define_class("Employee")
+
+    def test_unknown_class(self, om):
+        with pytest.raises(ClassProtocolError):
+            om.class_named("NoSuch")
+
+    def test_instances_of_includes_subclasses(self, om):
+        om.define_class("Employee", "Object")
+        om.define_class("Manager", "Employee")
+        e = om.instantiate("Employee")
+        m = om.instantiate("Manager")
+        found = {o.oid for o in om.instances_of("Employee")}
+        assert {e.oid, m.oid} <= found
+
+
+class TestClassOf:
+    @pytest.mark.parametrize(
+        "value, class_name",
+        [
+            (None, "UndefinedObject"),
+            (True, "Boolean"),
+            (3, "Integer"),
+            (3.5, "Float"),
+            ("hi", "String"),
+            (Symbol("hi"), "Symbol"),
+        ],
+    )
+    def test_immediates(self, om, value, class_name):
+        assert om.class_of(value).name == class_name
+
+    def test_structured(self, om):
+        om.define_class("Employee")
+        e = om.instantiate("Employee")
+        assert om.class_of(e).name == "Employee"
+        assert om.class_of(e.ref).name == "Employee"
+
+    def test_is_kind_of(self, om):
+        assert om.is_kind_of(3, "Magnitude")
+        assert not om.is_kind_of(3, "String")
+
+
+class TestDispatch:
+    def test_send_primitive(self, om):
+        emp = om.define_class("Employee", "Object")
+        emp.define_primitive("name", lambda m, r: m.value_at(r, "name"))
+        e = om.instantiate("Employee", name="Ellen")
+        assert om.send(e, "name") == "Ellen"
+
+    def test_inherited_method(self, om):
+        emp = om.define_class("Employee", "Object")
+        om.define_class("Manager", "Employee")
+        emp.define_primitive("kind", lambda m, r: "employee")
+        m = om.instantiate("Manager")
+        assert om.send(m, "kind") == "employee"
+
+    def test_override_wins(self, om):
+        emp = om.define_class("Employee", "Object")
+        mgr = om.define_class("Manager", "Employee")
+        emp.define_primitive("kind", lambda m, r: "employee")
+        mgr.define_primitive("kind", lambda m, r: "manager")
+        assert om.send(om.instantiate("Manager"), "kind") == "manager"
+        assert om.send(om.instantiate("Employee"), "kind") == "employee"
+
+    def test_does_not_understand(self, om):
+        with pytest.raises(DoesNotUnderstand) as exc:
+            om.send(3, "frobnicate")
+        assert exc.value.selector == "frobnicate"
+
+    def test_class_side_method(self, om):
+        emp = om.define_class("Employee", "Object")
+        emp.define_class_primitive("new", lambda m, r: m.instantiate(r))
+        inst = om.send(emp, "new")
+        assert om.class_of(inst) is emp
+
+    def test_responds_to(self, om):
+        emp = om.define_class("Employee", "Object")
+        emp.define_primitive("name", lambda m, r: None)
+        e = om.instantiate("Employee")
+        assert om.responds_to(e, "name")
+        assert not om.responds_to(e, "salary")
+
+
+class TestAccessRecording:
+    def test_observers_see_reads_and_writes(self, om):
+        reads, writes = [], []
+        om.observe(on_read=lambda o, n: reads.append((o, n)),
+                   on_write=lambda o, n: writes.append((o, n)))
+        obj = om.instantiate("Object")
+        om.bind(obj, "x", 1)
+        om.value_at(obj, "x")
+        assert (obj.oid, "x") in writes
+        assert (obj.oid, "x") in reads
+
+
+class TestAliases:
+    def test_aliases_are_unique_symbols(self, om):
+        a, b = om.new_alias(), om.new_alias()
+        assert isinstance(a, Symbol)
+        assert a != b

@@ -1,0 +1,208 @@
+"""Unit tests for path expressions, including the Figure 1 queries."""
+
+import pytest
+
+from repro.core import (
+    MemoryObjectManager,
+    Path,
+    Step,
+    TimeDial,
+    assign,
+    exists,
+    parse_path,
+    resolve,
+)
+from repro.errors import PathError
+
+
+class TestParsing:
+    def test_identifiers(self):
+        path = parse_path("Departments!A16!Managers")
+        assert path.names == ("Departments", "A16", "Managers")
+
+    def test_quoted_components(self):
+        path = parse_path("'Acme Corp'!'president'")
+        assert path.names == ("Acme Corp", "president")
+
+    def test_quote_escaping(self):
+        path = parse_path("'O''Brien'")
+        assert path.names == ("O'Brien",)
+
+    def test_integer_components(self):
+        path = parse_path("rows!2!1")
+        assert path.names == ("rows", 2, 1)
+
+    def test_time_pins(self):
+        path = parse_path("'Acme Corp'!'president'@10")
+        assert path.steps[-1] == Step("president", at=10)
+
+    def test_time_pin_mid_path(self):
+        path = parse_path("'Acme Corp'!'president'@7!city")
+        assert path.steps[1] == Step("president", at=7)
+        assert path.steps[2] == Step("city", at=None)
+
+    def test_whitespace_tolerated(self):
+        path = parse_path("a ! b @ 3 ! c")
+        assert path.steps == (Step("a"), Step("b", 3), Step("c"))
+
+    @pytest.mark.parametrize("bad", ["", "a!!b", "a!", "!a", "a@", "a@x", "'unterminated", "a?b"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(PathError):
+            parse_path(bad)
+
+    def test_round_trip_str(self):
+        text = "'Acme Corp'!president@7!city"
+        assert str(parse_path(text)) == text
+
+    def test_extended(self):
+        path = parse_path("a!b").extended("c", 5)
+        assert path.steps[-1] == Step("c", 5)
+
+
+@pytest.fixture
+def figure1():
+    """Build the Figure 1 database: Acme Corp with presidents and cities."""
+    om = MemoryObjectManager()
+    world = om.instantiate("Object")
+    acme = om.instantiate("Object")
+    ayn = om.instantiate("Object")
+    milton = om.instantiate("Object")
+
+    om.advance_to(2)
+    om.bind(world, "Acme Corp", acme)
+    om.bind(acme, 1821, ayn)          # Ayn hired as employee 1821
+    om.bind(ayn, "name", "Ayn Rand")
+    om.bind(ayn, "city", "Portland")
+
+    om.advance_to(5)
+    om.bind(acme, "president", ayn)
+    om.bind(milton, "name", "Milton Friedman")
+    om.bind(milton, "city", "Seattle")
+
+    om.advance_to(8)
+    om.bind(acme, "president", milton)   # new president
+    om.bind(milton, "city", "Portland")  # move required by the appointment
+    om.unbind(acme, 1821)                # Ayn leaves (value nil at time 8)
+
+    om.advance_to(9)
+    om.bind(ayn, "city", "San Diego")    # Ayn moves after leaving
+
+    om.advance_to(11)
+    return om, world
+
+
+class TestFigure1Resolution:
+    def test_current_president(self, figure1):
+        om, world = figure1
+        pres = resolve(om, world, "'Acme Corp'!president")
+        assert om.value_at(pres, "name") == "Milton Friedman"
+
+    def test_president_at_10(self, figure1):
+        om, world = figure1
+        pres = resolve(om, world, "'Acme Corp'!president@10")
+        assert om.value_at(pres, "name") == "Milton Friedman"
+
+    def test_president_at_7_is_previous(self, figure1):
+        om, world = figure1
+        pres = resolve(om, world, "'Acme Corp'!president@7")
+        assert om.value_at(pres, "name") == "Ayn Rand"
+
+    def test_previous_presidents_current_city(self, figure1):
+        """World!'Acme Corp'!'president'@7!city == San Diego (paper text)."""
+        om, world = figure1
+        assert resolve(om, world, "'Acme Corp'!president@7!city") == "San Diego"
+
+    def test_time_dial_applies_to_unpinned_components(self, figure1):
+        om, world = figure1
+        dial = TimeDial()
+        dial.set(7)
+        # dialled to 7, the president is Ayn and her city then was Portland
+        assert resolve(om, world, "'Acme Corp'!president!city", dial=dial) == "Portland"
+
+    def test_pin_overrides_dial(self, figure1):
+        om, world = figure1
+        dial = TimeDial()
+        dial.set(10)
+        pres = resolve(om, world, "'Acme Corp'!president@7", dial=dial)
+        assert om.value_at(pres, "name") == "Ayn Rand"
+
+    def test_departed_employee_reads_nil(self, figure1):
+        om, world = figure1
+        assert resolve(om, world, "'Acme Corp'!1821") is None
+        past = resolve(om, world, "'Acme Corp'!1821@7")
+        assert om.value_at(past, "name") == "Ayn Rand"
+
+
+class TestResolutionErrors:
+    def test_missing_component_raises(self):
+        om = MemoryObjectManager()
+        obj = om.instantiate("Object")
+        with pytest.raises(PathError):
+            resolve(om, obj, "nothing!here")
+
+    def test_missing_component_with_default(self):
+        om = MemoryObjectManager()
+        obj = om.instantiate("Object")
+        assert resolve(om, obj, "nothing!here", default="fallback") == "fallback"
+
+    def test_navigating_through_simple_value_raises(self):
+        om = MemoryObjectManager()
+        obj = om.instantiate("Object", x=3)
+        with pytest.raises(PathError):
+            resolve(om, obj, "x!y")
+
+    def test_navigating_through_nil_raises(self):
+        om = MemoryObjectManager()
+        obj = om.instantiate("Object", x=None)
+        with pytest.raises(PathError):
+            resolve(om, obj, "x!y")
+
+    def test_exists(self):
+        om = MemoryObjectManager()
+        obj = om.instantiate("Object", x=3)
+        assert exists(om, obj, "x")
+        assert not exists(om, obj, "y")
+        assert not exists(om, obj, "x!y")
+
+
+class TestAssignment:
+    def test_assign_leaf(self):
+        om = MemoryObjectManager()
+        root = om.instantiate("Object")
+        dept = om.instantiate("Object")
+        om.bind(root, "dept", dept)
+        assign(om, root, "dept!budget", 142000)
+        assert resolve(om, root, "dept!budget") == 142000
+
+    def test_assign_single_component(self):
+        om = MemoryObjectManager()
+        root = om.instantiate("Object")
+        assign(om, root, "name", "Acme")
+        assert om.value_at(root, "name") == "Acme"
+
+    def test_assign_object_coerced_to_ref(self):
+        om = MemoryObjectManager()
+        root = om.instantiate("Object")
+        child = om.instantiate("Object")
+        assign(om, root, "child", child)
+        assert resolve(om, root, "child") is child
+
+    def test_cannot_assign_into_past(self):
+        om = MemoryObjectManager()
+        root = om.instantiate("Object")
+        with pytest.raises(PathError):
+            assign(om, root, "x@3", 1)
+
+    def test_assignment_bypasses_class_protocol(self):
+        """Section 4.3: path assignment circumvents the message protocol."""
+        om = MemoryObjectManager()
+        emp = om.define_class("Employee", "Object", ("salary",))
+        e = om.instantiate(emp, salary=10)
+        assign(om, e, "salary", 20)  # no setter message involved
+        assert om.value_at(e, "salary") == 20
+
+    def test_assign_empty_path_rejected(self):
+        om = MemoryObjectManager()
+        root = om.instantiate("Object")
+        with pytest.raises(PathError):
+            assign(om, root, Path(()), 1)

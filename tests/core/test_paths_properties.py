@@ -1,0 +1,92 @@
+"""Property tests for path expressions: parse/print round trip and
+resolution against a nested-dict reference model."""
+
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    MemoryObjectManager,
+    Path,
+    Step,
+    parse_path,
+    resolve,
+)
+from repro.core.history import MISSING
+
+identifier_names = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,8}", fullmatch=True)
+quoted_names = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\x00"),
+    min_size=1, max_size=8,
+).filter(lambda s: not s.isspace())
+component_names = st.one_of(
+    identifier_names, quoted_names, st.integers(min_value=0, max_value=10**6)
+)
+steps = st.builds(
+    Step,
+    name=component_names,
+    at=st.one_of(st.none(), st.integers(min_value=0, max_value=1000)),
+)
+paths = st.builds(lambda s: Path(tuple(s)), st.lists(steps, min_size=1, max_size=5))
+
+
+@given(paths)
+def test_path_print_parse_round_trip(path):
+    assert parse_path(str(path)) == path
+
+
+@st.composite
+def nested_structures(draw):
+    """A random nested dict plus the list of (path, leaf) pairs in it."""
+    leaves = st.one_of(st.integers(-100, 100), st.text(max_size=5),
+                       st.booleans())
+    names = st.one_of(identifier_names, st.integers(0, 20))
+
+    def build(depth):
+        if depth == 0 or draw(st.booleans()):
+            return draw(leaves)
+        result = {}
+        for name in draw(st.lists(names, min_size=1, max_size=3, unique=True)):
+            result[name] = build(depth - 1)
+        return result
+
+    return build(3)
+
+
+def materialize_dict(om, data):
+    if isinstance(data, dict):
+        obj = om.instantiate("Object")
+        for name, value in data.items():
+            om.bind(obj, name, materialize_dict(om, value))
+        return obj
+    return data
+
+
+def collect_paths(data, prefix=()):
+    if isinstance(data, dict):
+        for name, value in data.items():
+            yield from collect_paths(value, prefix + (name,))
+    else:
+        yield prefix, data
+
+
+@given(nested_structures())
+def test_resolution_matches_dict_model(data):
+    om = MemoryObjectManager()
+    root = materialize_dict(om, data)
+    if not isinstance(data, dict):
+        return  # a bare leaf has no paths
+    for names, leaf in collect_paths(data):
+        path = Path(tuple(Step(name) for name in names))
+        assert resolve(om, root, path) == leaf
+        # and via the string form
+        assert resolve(om, root, str(path)) == leaf
+
+
+@given(nested_structures(), st.integers(0, 20))
+def test_resolution_default_for_missing(data, extra):
+    om = MemoryObjectManager()
+    root = materialize_dict(om, data)
+    if not isinstance(data, dict):
+        return
+    probe = Path((Step("definitely_not_there_xyz"),))
+    sentinel = object()
+    assert resolve(om, root, probe, default=sentinel) is sentinel

@@ -1,0 +1,117 @@
+"""Unit tests: OPAL printString machinery and the bench harness."""
+
+import pytest
+
+from repro.bench import Table, ratio, stopwatch
+from repro.core import Char, MemoryObjectManager, Ref, Symbol
+from repro.opal import OpalEngine, disassemble
+from repro.opal.kernel import print_string
+
+
+@pytest.fixture
+def om():
+    om = MemoryObjectManager()
+    OpalEngine(om)
+    return om
+
+
+class TestPrintString:
+    @pytest.mark.parametrize(
+        "value, text",
+        [
+            (None, "nil"),
+            (True, "true"),
+            (False, "false"),
+            (42, "42"),
+            (3.5, "3.5"),
+            ("hi", "'hi'"),
+            ("it's", "'it''s'"),
+            (Symbol("sel"), "#sel"),
+            (Char("x"), "$x"),
+            ((1, "a"), "#(1 'a')"),
+        ],
+    )
+    def test_immediates(self, om, value, text):
+        assert print_string(om, value) == text
+
+    def test_class_prints_its_name(self, om):
+        assert print_string(om, om.class_named("Integer")) == "Integer"
+
+    def test_small_object_shows_elements(self, om):
+        obj = om.instantiate("Object", name="Ellen")
+        assert print_string(om, obj) == "an Object(name: 'Ellen')"
+
+    def test_big_object_elides(self, om):
+        obj = om.instantiate("Object")
+        for index in range(12):
+            om.bind(obj, f"e{index}", index)
+        assert print_string(om, obj) == "an Object"
+
+    def test_depth_capped(self, om):
+        a = om.instantiate("Object")
+        b = om.instantiate("Object", inner=a)
+        c = om.instantiate("Object", inner=b)
+        om.bind(a, "inner", c)  # a cycle!
+        text = print_string(om, c)
+        assert "an Object" in text  # terminates despite the cycle
+
+    def test_vowel_article(self, om):
+        om.define_class("Employee", "Object")
+        assert print_string(om, om.instantiate("Employee")) == "an Employee"
+        om.define_class("Gate", "Object")
+        assert print_string(om, om.instantiate("Gate")) == "a Gate"
+
+    def test_refs_dereferenced(self, om):
+        obj = om.instantiate("Object", name="x")
+        assert print_string(om, Ref(obj.oid)) == "an Object(name: 'x')"
+
+
+class TestDisassembler:
+    def test_listing_shows_literals(self):
+        from repro.opal import Compiler
+
+        method = Compiler().compile_source("3 + 4")
+        listing = disassemble(method.code, method.literals)
+        assert "PUSH_CONST" in listing
+        assert "; 3" in listing
+        assert "SEND" in listing
+
+
+class TestHarnessTable:
+    def test_render_aligns_columns(self):
+        table = Table("T", ["name", "value"])
+        table.add("x", 1)
+        table.add("longer-name", 123456)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "longer-name" in text
+        assert "123,456" in text
+
+    def test_row_arity_checked(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_notes_rendered(self):
+        table = Table("T", ["a"])
+        table.add(1)
+        table.note("footnote")
+        assert "* footnote" in table.render()
+
+    def test_float_formatting(self):
+        table = Table("T", ["v"])
+        table.add(0.00012)
+        table.add(12.345)
+        table.add(1234.5)
+        text = table.render()
+        assert "0.0001" in text
+        assert "12.35" in text
+        assert "1,234" in text or "1,235" in text
+
+    def test_stopwatch_and_ratio(self):
+        timing = stopwatch(lambda: sum(range(100)), repeat=2)
+        assert timing.result == 4950
+        assert timing.seconds >= 0
+        assert ratio(2.0, 1.0) == "2.0x"
+        assert ratio(1.0, 0.0) == "∞"

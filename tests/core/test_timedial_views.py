@@ -1,0 +1,132 @@
+"""Unit tests for the time dial and views."""
+
+import pytest
+
+from repro.core import MemoryObjectManager, TimeDial, View
+from repro.errors import ViewError
+
+
+class TestTimeDial:
+    def test_defaults_to_now(self):
+        dial = TimeDial()
+        assert dial.is_now
+        assert dial.time is None
+
+    def test_set_and_reset(self):
+        dial = TimeDial()
+        dial.set(7)
+        assert dial.time == 7
+        assert not dial.is_now
+        dial.reset()
+        assert dial.is_now
+
+    def test_at_context_restores(self):
+        dial = TimeDial()
+        dial.set(3)
+        with dial.at(9):
+            assert dial.time == 9
+        assert dial.time == 3
+
+    def test_at_restores_on_exception(self):
+        dial = TimeDial()
+        with pytest.raises(RuntimeError):
+            with dial.at(9):
+                raise RuntimeError("boom")
+        assert dial.is_now
+
+    def test_safe_time_provider(self):
+        dial = TimeDial(safe_time_provider=lambda: 42)
+        assert dial.set_safe() == 42
+        assert dial.time == 42
+
+    def test_safe_time_without_provider(self):
+        with pytest.raises(RuntimeError):
+            TimeDial().set_safe()
+
+
+@pytest.fixture
+def om():
+    return MemoryObjectManager()
+
+
+class TestViews:
+    def make_salary_view(self, om, threshold=100):
+        emps = om.instantiate("Object")
+        for name, salary in [("a", 50), ("b", 150), ("c", 200)]:
+            member = om.instantiate("Object", name=name, salary=salary)
+            om.bind(emps, om.new_alias(), member)
+
+        def definition(store, time):
+            for alias in emps.live_names(time):
+                member = store.fetch(emps, alias, time)
+                if store.value_at(member, "salary", time) > threshold:
+                    yield store.value_at(member, "name", time)
+
+        return emps, View(om, "highEarners", definition, sources=[emps])
+
+    def test_materialize(self, om):
+        _, view = self.make_salary_view(om)
+        assert sorted(view.materialize()) == ["b", "c"]
+
+    def test_view_is_an_object_with_identity(self, om):
+        _, view = self.make_salary_view(om)
+        assert om.contains(view.object.oid)
+        assert om.value_at(view.object, "name") == "highEarners"
+
+    def test_view_retains_source_connections(self, om):
+        emps, view = self.make_salary_view(om)
+        assert [s.oid for s in view.sources()] == [emps.oid]
+
+    def test_view_tracks_source_updates(self, om):
+        emps, view = self.make_salary_view(om)
+        om.tick()
+        member = om.instantiate("Object", name="d", salary=999)
+        om.bind(emps, om.new_alias(), member)
+        assert "d" in view.materialize()
+
+    def test_view_at_past_time(self, om):
+        emps, view = self.make_salary_view(om)
+        t0 = om.now
+        om.tick()
+        member = om.instantiate("Object", name="d", salary=999)
+        om.bind(emps, om.new_alias(), member)
+        assert "d" not in view.materialize(time=t0)
+
+    def test_view_with_dial(self, om):
+        emps, view = self.make_salary_view(om)
+        t0 = om.now
+        om.tick()
+        om.bind(emps, om.new_alias(), om.instantiate("Object", name="d", salary=999))
+        dial = TimeDial()
+        dial.set(t0)
+        assert "d" not in view.materialize(dial=dial)
+
+    def test_contains_and_iter(self, om):
+        _, view = self.make_salary_view(om)
+        assert view.contains("b")
+        assert not view.contains("a")
+        assert set(iter(view)) == {"b", "c"}
+
+    def test_not_updatable_by_default(self, om):
+        _, view = self.make_salary_view(om)
+        assert not view.updatable
+        with pytest.raises(ViewError):
+            view.insert("x")
+        with pytest.raises(ViewError):
+            view.remove("x")
+
+    def test_updatable_view_translates_inserts(self, om):
+        emps = om.instantiate("Object")
+
+        def definition(store, time):
+            for alias in emps.live_names(time):
+                yield store.fetch(emps, alias, time)
+
+        def on_insert(store, view, member):
+            store.bind(emps, store.new_alias(), member)
+
+        view = View(om, "all", definition, sources=[emps], on_insert=on_insert)
+        assert view.updatable
+        member = om.instantiate("Object", name="x")
+        view.insert(member)
+        assert member in view.materialize()

@@ -1,0 +1,183 @@
+"""Unit and property tests for the B+tree."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.directories import BPlusTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.search(5) == []
+        assert 5 not in tree
+        assert list(tree.items()) == []
+        assert tree.min_key() is None
+        assert tree.max_key() is None
+
+    def test_insert_and_search(self):
+        tree = BPlusTree()
+        tree.insert(5, "a")
+        assert tree.search(5) == ["a"]
+        assert 5 in tree
+        assert len(tree) == 1
+
+    def test_duplicate_keys_bucket(self):
+        tree = BPlusTree()
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        assert sorted(tree.search(5)) == ["a", "b"]
+        assert len(tree) == 2
+
+    def test_min_order_enforced(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_many_inserts_force_splits(self):
+        tree = BPlusTree(order=4)
+        for i in range(200):
+            tree.insert(i, i * 10)
+        assert tree.depth() > 1
+        for i in range(200):
+            assert tree.search(i) == [i * 10]
+
+    def test_reverse_insert_order(self):
+        tree = BPlusTree(order=4)
+        for i in reversed(range(100)):
+            tree.insert(i, i)
+        assert [k for k, _ in tree.items()] == list(range(100))
+
+    def test_min_max(self):
+        tree = BPlusTree(order=4)
+        for i in (5, 1, 9, 3):
+            tree.insert(i, i)
+        assert tree.min_key() == 1
+        assert tree.max_key() == 9
+
+
+class TestRangeScan:
+    def make(self):
+        tree = BPlusTree(order=4)
+        for i in range(0, 100, 2):  # evens
+            tree.insert(i, f"v{i}")
+        return tree
+
+    def test_closed_range(self):
+        tree = self.make()
+        assert [k for k, _ in tree.range_scan(10, 20)] == [10, 12, 14, 16, 18, 20]
+
+    def test_open_ends(self):
+        tree = self.make()
+        assert [k for k, _ in tree.range_scan(10, 20, include_low=False,
+                                              include_high=False)] == [12, 14, 16, 18]
+
+    def test_unbounded_low(self):
+        tree = self.make()
+        assert [k for k, _ in tree.range_scan(None, 6)] == [0, 2, 4, 6]
+
+    def test_unbounded_high(self):
+        tree = self.make()
+        assert [k for k, _ in tree.range_scan(94, None)] == [94, 96, 98]
+
+    def test_bounds_not_present(self):
+        tree = self.make()
+        assert [k for k, _ in tree.range_scan(9, 15)] == [10, 12, 14]
+
+    def test_empty_range(self):
+        tree = self.make()
+        assert list(tree.range_scan(13, 13)) == []
+
+    def test_duplicates_all_yielded(self):
+        tree = BPlusTree()
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        assert len(list(tree.range_scan(0, 10))) == 2
+
+
+class TestRemoval:
+    def test_remove_value(self):
+        tree = BPlusTree()
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        assert tree.remove(5, "a")
+        assert tree.search(5) == ["b"]
+        assert len(tree) == 1
+
+    def test_remove_missing(self):
+        tree = BPlusTree()
+        tree.insert(5, "a")
+        assert not tree.remove(5, "zzz")
+        assert not tree.remove(6, "a")
+        assert len(tree) == 1
+
+    def test_remove_all(self):
+        tree = BPlusTree()
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        assert tree.remove_all(5) == 2
+        assert 5 not in tree
+        assert len(tree) == 0
+
+    def test_remove_then_scan_skips(self):
+        tree = BPlusTree(order=4)
+        for i in range(50):
+            tree.insert(i, i)
+        for i in range(0, 50, 3):
+            tree.remove(i, i)
+        expected = [i for i in range(50) if i % 3 != 0]
+        assert [k for k, _ in tree.items()] == expected
+
+
+# -- property tests against a dict-of-lists model ----------------------------
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "remove"]),
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=5),
+    ),
+    max_size=200,
+)
+
+
+@given(ops)
+@settings(max_examples=100)
+def test_btree_matches_dict_model(operations):
+    tree = BPlusTree(order=4)
+    model: dict[int, list[int]] = {}
+    for op, key, value in operations:
+        if op == "insert":
+            tree.insert(key, value)
+            model.setdefault(key, []).append(value)
+        else:
+            removed = tree.remove(key, value)
+            bucket = model.get(key, [])
+            if value in bucket:
+                assert removed
+                bucket.remove(value)
+                if not bucket:
+                    del model[key]
+            else:
+                assert not removed
+    assert len(tree) == sum(len(b) for b in model.values())
+    for key in range(51):
+        assert sorted(tree.search(key)) == sorted(model.get(key, []))
+    scanned = [k for k, _ in tree.items()]
+    assert scanned == sorted(scanned)
+    expected_keys = sorted(k for k, b in model.items() if b)
+    assert sorted(set(scanned)) == expected_keys
+
+
+@given(
+    st.lists(st.integers(0, 1000), min_size=1, max_size=150),
+    st.integers(0, 1000),
+    st.integers(0, 1000),
+)
+def test_range_scan_matches_filter(keys, a, b):
+    low, high = min(a, b), max(a, b)
+    tree = BPlusTree(order=6)
+    for k in keys:
+        tree.insert(k, k)
+    result = [k for k, _ in tree.range_scan(low, high)]
+    assert result == sorted(k for k in keys if low <= k <= high)

@@ -1,0 +1,253 @@
+"""Tests for time-aware directories and the Directory Manager."""
+
+import pytest
+
+from repro.concurrency import SessionObjectManager, TransactionManager
+from repro.core import MemoryObjectManager, Ref
+from repro.directories import Directory, DirectoryManager, UNKEYED, normalize_key
+from repro.errors import DirectoryError
+from repro.storage import DiskGeometry, SimulatedDisk, StableStore
+
+
+class TestNormalizeKey:
+    def test_type_ranking_total_order(self):
+        keys = [normalize_key(v) for v in (None, False, 2.5, 3, "a", Ref(9))]
+        assert sorted(keys) == keys  # already rank-ordered
+
+    def test_numbers_compare_across_int_float(self):
+        assert normalize_key(2) < normalize_key(2.5) < normalize_key(3)
+
+    def test_unindexable_rejected(self):
+        with pytest.raises(DirectoryError):
+            normalize_key(object())
+
+    def test_unkeyed_sorts_after_everything(self):
+        assert UNKEYED > normalize_key(Ref(10**9))
+
+
+@pytest.fixture
+def om():
+    return MemoryObjectManager()
+
+
+def build_employees(om, salaries):
+    emps = om.instantiate("Object")
+    members = []
+    for i, salary in enumerate(salaries):
+        member = om.instantiate("Object", name=f"e{i}", salary=salary)
+        om.bind(emps, om.new_alias(), member)
+        members.append(member)
+    return emps, members
+
+
+class TestDirectoryOnMemoryStore:
+    def test_build_and_lookup(self, om):
+        emps, members = build_employees(om, [100, 200, 200, 300])
+        d = Directory(emps.oid, "salary")
+        d.build(om, om.now)
+        assert set(d.lookup(200)) == {members[1].oid, members[2].oid}
+        assert d.lookup(999) == []
+
+    def test_range(self, om):
+        emps, members = build_employees(om, [100, 200, 300, 400])
+        d = Directory(emps.oid, "salary")
+        d.build(om, om.now)
+        found = list(d.range(150, 350))
+        assert found == [members[1].oid, members[2].oid]
+
+    def test_unkeyed_members_still_tracked(self, om):
+        emps = om.instantiate("Object")
+        member = om.instantiate("Object", name="no-salary")
+        om.bind(emps, om.new_alias(), member)
+        d = Directory(emps.oid, "salary")
+        d.build(om, om.now)
+        assert d.is_member(member.oid)
+        assert list(d.range(0, 10**9)) == []
+
+    def test_rekey_keeps_history(self, om):
+        emps, members = build_employees(om, [100])
+        d = Directory(emps.oid, "salary")
+        d.build(om, om.now)
+        t0 = om.now
+        om.tick()
+        om.bind(members[0], "salary", 500)
+        d.rekey_member(om, members[0].oid, om.now)
+        assert d.lookup(500) == [members[0].oid]
+        assert d.lookup(100) == []
+        # the past state still finds the old key (interval stamping)
+        assert d.lookup(100, time=t0) == [members[0].oid]
+        assert d.lookup(500, time=t0) == []
+
+    def test_remove_member_closes_interval(self, om):
+        emps, members = build_employees(om, [100])
+        d = Directory(emps.oid, "salary")
+        d.build(om, om.now)
+        t0 = om.now
+        om.tick()
+        d.remove_member(om, members[0].oid, om.now)
+        assert d.lookup(100) == []
+        assert d.lookup(100, time=t0) == [members[0].oid]
+
+    def test_nested_discriminator_dependencies(self, om):
+        """Name!Last as discriminator: inner object changes re-key."""
+        emps = om.instantiate("Object")
+        name = om.instantiate("Object", First="Ellen", Last="Burns")
+        member = om.instantiate("Object", Name=name)
+        om.bind(emps, om.new_alias(), member)
+        d = Directory(emps.oid, "Name!Last")
+        d.build(om, om.now)
+        assert d.lookup("Burns") == [member.oid]
+        assert member.oid in d.depends_on(name.oid)
+        om.tick()
+        om.bind(name, "Last", "Peters")
+        d.rekey_member(om, member.oid, om.now)
+        assert d.lookup("Peters") == [member.oid]
+        assert d.lookup("Burns") == []
+
+    def test_member_appears_on_two_branches_across_time(self, om):
+        """The paper's nested-discriminator headache, verified directly."""
+        emps, members = build_employees(om, [100])
+        d = Directory(emps.oid, "salary")
+        d.build(om, om.now)
+        t_old = om.now
+        om.tick()
+        om.bind(members[0], "salary", 200)
+        d.rekey_member(om, members[0].oid, om.now)
+        # same member reachable under both keys, at the right times
+        assert d.lookup(100, time=t_old) == [members[0].oid]
+        assert d.lookup(200) == [members[0].oid]
+        assert d.entry_count() == 2
+
+
+@pytest.fixture
+def txn_setup():
+    store = StableStore.format(
+        SimulatedDisk(DiskGeometry(track_count=2048, track_size=1024))
+    )
+    tm = TransactionManager(store)
+    dm = DirectoryManager(store)
+    tm.add_commit_listener(dm.on_commit)
+    return store, tm, dm
+
+
+def new_session(store, tm):
+    return SessionObjectManager(store, tm)
+
+
+class TestDirectoryManagerAtCommit:
+    def test_created_directory_indexes_existing_members(self, txn_setup):
+        store, tm, dm = txn_setup
+        s = new_session(store, tm)
+        emps = s.instantiate("Object")
+        e1 = s.instantiate("Object", salary=100)
+        s.bind(emps, "m1", e1)
+        s.commit()
+        d = dm.create_directory(Ref(emps.oid), "salary")
+        assert d.lookup(100) == [e1.oid]
+
+    def test_commit_adds_new_members(self, txn_setup):
+        store, tm, dm = txn_setup
+        s = new_session(store, tm)
+        emps = s.instantiate("Object")
+        s.commit()
+        d = dm.create_directory(Ref(emps.oid), "salary")
+        e = s.instantiate("Object", salary=250)
+        s.bind(emps.oid, "m1", e)
+        s.commit()
+        assert d.lookup(250) == [e.oid]
+
+    def test_commit_removes_departed_members(self, txn_setup):
+        store, tm, dm = txn_setup
+        s = new_session(store, tm)
+        emps = s.instantiate("Object")
+        e = s.instantiate("Object", salary=250)
+        s.bind(emps, "m1", e)
+        s.commit()
+        d = dm.create_directory(Ref(emps.oid), "salary")
+        s.unbind(emps.oid, "m1")  # departure: nil binding
+        t = s.commit()
+        assert d.lookup(250) == []
+        assert d.lookup(250, time=t - 1) == [e.oid]
+
+    def test_commit_rekeys_on_discriminator_write(self, txn_setup):
+        store, tm, dm = txn_setup
+        s = new_session(store, tm)
+        emps = s.instantiate("Object")
+        e = s.instantiate("Object", salary=100)
+        s.bind(emps, "m1", e)
+        s.commit()
+        d = dm.create_directory(Ref(emps.oid), "salary")
+        s.bind(e.oid, "salary", 175)
+        s.commit()
+        assert d.lookup(175) == [e.oid]
+        assert d.lookup(100) == []
+
+    def test_nested_discriminator_rekeyed_through_inner_object(self, txn_setup):
+        store, tm, dm = txn_setup
+        s = new_session(store, tm)
+        emps = s.instantiate("Object")
+        name = s.instantiate("Object", Last="Burns")
+        e = s.instantiate("Object", Name=name)
+        s.bind(emps, "m1", e)
+        s.commit()
+        d = dm.create_directory(Ref(emps.oid), "Name!Last")
+        s.bind(name.oid, "Last", "Peters")
+        s.commit()
+        assert d.lookup("Peters") == [e.oid]
+        assert d.lookup("Burns") == []
+
+    def test_member_replacement_swaps_entries(self, txn_setup):
+        store, tm, dm = txn_setup
+        s = new_session(store, tm)
+        emps = s.instantiate("Object")
+        e1 = s.instantiate("Object", salary=100)
+        s.bind(emps, "slot", e1)
+        s.commit()
+        d = dm.create_directory(Ref(emps.oid), "salary")
+        e2 = s.instantiate("Object", salary=900)
+        s.bind(emps.oid, "slot", e2)
+        s.commit()
+        assert d.lookup(100) == []
+        assert d.lookup(900) == [e2.oid]
+
+    def test_duplicate_directory_rejected(self, txn_setup):
+        store, tm, dm = txn_setup
+        s = new_session(store, tm)
+        emps = s.instantiate("Object")
+        s.commit()
+        dm.create_directory(Ref(emps.oid), "salary")
+        with pytest.raises(DirectoryError):
+            dm.create_directory(Ref(emps.oid), "salary")
+
+    def test_hints_translated(self, txn_setup):
+        store, tm, dm = txn_setup
+        s = new_session(store, tm)
+        emps = s.instantiate("Object")
+        e = s.instantiate("Object", salary=5)
+        s.bind(emps, "m1", e)
+        s.commit()
+        d = dm.apply_hint(f"{emps.oid} on salary")
+        assert d.lookup(5) == [e.oid]
+
+    def test_malformed_hint_rejected(self, txn_setup):
+        _, _, dm = txn_setup
+        with pytest.raises(DirectoryError):
+            dm.apply_hint("nonsense")
+        with pytest.raises(DirectoryError):
+            dm.apply_hint("12 on ")
+
+    def test_definitions_roundtrip(self, txn_setup):
+        store, tm, dm = txn_setup
+        s = new_session(store, tm)
+        emps = s.instantiate("Object")
+        e = s.instantiate("Object", salary=7)
+        s.bind(emps, "m1", e)
+        s.commit()
+        dm.create_directory(Ref(emps.oid), "salary", name="bySalary")
+        defs = dm.export_definitions()
+        dm2 = DirectoryManager(store)
+        dm2.import_definitions(defs)
+        rebuilt = dm2.find_directory(emps.oid, "salary")
+        assert rebuilt is not None
+        assert rebuilt.lookup(7) == [e.oid]
+        assert rebuilt.name == "bySalary"

@@ -1,0 +1,79 @@
+"""The allInstances DBA scan, across memory stores and full databases."""
+
+import pytest
+
+from repro import GemStone
+from repro.core import MemoryObjectManager
+from repro.opal import OpalEngine
+from repro.storage import ArchiveMedia
+
+
+class TestAllInstancesMemory:
+    def test_direct_and_subclass_instances(self):
+        engine = OpalEngine(MemoryObjectManager())
+        engine.execute("""
+            Object subclass: #Employee instVarNames: #().
+            Employee subclass: #Manager instVarNames: #().
+            Employee new. Employee new. Manager new
+        """)
+        assert engine.execute("Employee allInstances size") == 3
+        assert engine.execute("Manager allInstances size") == 1
+
+    def test_composes_with_collection_protocol(self):
+        engine = OpalEngine(MemoryObjectManager())
+        engine.execute("""
+            Object subclass: #Reading instVarNames: #().
+            1 to: 5 do: [:i | Reading new at: 'v' put: i]
+        """)
+        total = engine.execute(
+            "Reading allInstances inject: 0 into: [:a :r | a + (r at: 'v')]"
+        )
+        assert total == 15
+
+
+class TestAllInstancesDatabase:
+    @pytest.fixture
+    def db(self):
+        return GemStone.create(track_count=4096, track_size=1024)
+
+    def test_committed_instances_found(self, db):
+        session = db.login()
+        session.execute("""
+            Object subclass: #Doc instVarNames: #().
+            World!a := Doc new. World!b := Doc new
+        """)
+        session.commit()
+        assert session.execute("Doc allInstances size") == 2
+
+    def test_uncommitted_creations_included_in_own_session(self, db):
+        session = db.login()
+        session.execute("Object subclass: #Doc instVarNames: #()")
+        session.commit()
+        session.execute("World!x := Doc new")  # uncommitted
+        assert session.execute("Doc allInstances size") == 1
+        other = db.login()
+        assert other.execute("Doc allInstances size") == 0
+
+    def test_archived_instances_skipped(self, db):
+        session = db.login()
+        session.execute("""
+            Object subclass: #Doc instVarNames: #().
+            World!kept := Doc new. World!old := Doc new
+        """)
+        session.commit()
+        old_oid = session.resolve("old").oid
+        session.execute("World removeKey: 'old'")
+        session.commit()
+        db.archive_history(ArchiveMedia())
+        fresh = db.login()
+        assert fresh.execute("Doc allInstances size") == 1
+
+    def test_survives_reopen(self, db):
+        session = db.login()
+        session.execute("""
+            Object subclass: #Doc instVarNames: #().
+            World!a := Doc new
+        """)
+        session.commit()
+        reopened = GemStone.open(db.disk)
+        assert reopened.login().execute("Doc allInstances size") == 1

@@ -1,0 +1,93 @@
+"""The DBA archival sweep: history moves to tape, identity survives."""
+
+import pytest
+
+from repro import GemStone
+from repro.errors import ArchiveError
+from repro.storage import ArchiveMedia
+
+
+@pytest.fixture
+def db():
+    return GemStone.create(track_count=8192, track_size=1024)
+
+
+def file_and_fire(db):
+    """An employee is hired, then leaves: the object becomes historical."""
+    session = db.login()
+    session.execute("""
+        | e |
+        e := Object new. e at: 'name' put: 'Ayn Rand'.
+        World!staff := Dictionary new.
+        World!staff at: 1821 put: e
+    """)
+    t_hired = session.commit()
+    employee_oid = session.resolve("staff!1821").oid
+    session.execute("World!staff removeKey: 1821")
+    session.commit()
+    session.close()
+    return employee_oid, t_hired
+
+
+class TestArchiveSweep:
+    def test_historical_only_objects_are_swept(self, db):
+        employee_oid, _ = file_and_fire(db)
+        media = ArchiveMedia("tape-hist")
+        archived = db.archive_history(media)
+        assert employee_oid in archived
+
+    def test_current_objects_are_kept(self, db):
+        employee_oid, _ = file_and_fire(db)
+        session = db.login()
+        keeper = session.new("Object", v=1)
+        session.assign("keeper", keeper)
+        session.commit()
+        archived = db.archive_history(ArchiveMedia())
+        assert keeper.oid not in archived
+        assert db.store.object(keeper.oid).value("v") == 1
+
+    def test_archived_history_inaccessible_until_mounted(self, db):
+        employee_oid, t_hired = file_and_fire(db)
+        media = ArchiveMedia()
+        db.archive_history(media)
+        db.store.flush_caches()
+        session = db.login()
+        with pytest.raises(ArchiveError):
+            session.execute(f"World!staff!1821 @ {t_hired} at: 'name'")
+        db.store.archive_drive.mount(media)
+        assert session.execute(
+            f"World!staff!1821 @ {t_hired} at: 'name'"
+        ) == "Ayn Rand"
+
+    def test_sweep_state_survives_reopen(self, db):
+        employee_oid, t_hired = file_and_fire(db)
+        media = ArchiveMedia()
+        db.archive_history(media)
+        reopened = GemStone.open(db.disk)
+        with pytest.raises(ArchiveError):
+            reopened.store.object(employee_oid)
+        reopened.store.archive_drive.mount(media)
+        assert reopened.store.object(employee_oid).value("name") == "Ayn Rand"
+
+    def test_sweep_reclaims_tracks(self, db):
+        session = db.login()
+        session.execute("World!junk := Dictionary new")
+        session.commit()
+        for index in range(20):
+            session.execute(
+                f"World!junk at: {index} put: "
+                f"(Object new at: 'blob' put: '{'x' * 200}'; yourself)"
+            )
+            session.commit()
+            session.execute(f"World!junk removeKey: {index}")
+            session.commit()
+        before = len(db.store.tracks.allocated_tracks())
+        db.archive_history(ArchiveMedia())
+        db.compact()
+        after = len(db.store.tracks.allocated_tracks())
+        assert after < before
+
+    def test_empty_sweep_is_a_noop(self, db):
+        epoch = db.store.commit_manager.current_epoch
+        assert db.archive_history(ArchiveMedia()) == []
+        assert db.store.commit_manager.current_epoch == epoch

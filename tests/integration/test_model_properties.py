@@ -1,0 +1,137 @@
+"""Whole-system property test: the database vs a reference model.
+
+A random sequence of operations (create, bind, unbind, commit, abort)
+runs against both the real database and a plain-Python model that
+tracks, per (object, element), the list of (commit time, value)
+bindings.  Afterwards every (object, element, time) probe must agree —
+through the live store, through a time-dialed session, and through a
+full crash-free reopen from disk.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import GemStone
+from repro.core import MISSING, Ref
+
+
+class Model:
+    """Reference semantics: per-element binding lists by commit time."""
+
+    def __init__(self):
+        self.committed: dict[tuple[int, str], list[tuple[int, object]]] = {}
+        self.pending: dict[tuple[int, str], object] = {}
+        self.objects: set[int] = set()
+        self.pending_objects: set[int] = set()
+
+    def create(self, oid):
+        self.pending_objects.add(oid)
+
+    def bind(self, oid, name, value):
+        self.pending[(oid, name)] = value
+
+    def commit(self, time):
+        self.objects |= self.pending_objects
+        for key, value in self.pending.items():
+            self.committed.setdefault(key, []).append((time, value))
+        self.abort()
+
+    def abort(self):
+        self.pending.clear()
+        self.pending_objects.clear()
+
+    def value_at(self, oid, name, time):
+        best = MISSING
+        for t, value in self.committed.get((oid, name), []):
+            if t <= time:
+                best = value
+        return best
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("create")),
+        st.tuples(st.just("bind"), st.integers(0, 5), st.sampled_from("abc"),
+                  st.one_of(st.integers(-100, 100), st.text(max_size=4),
+                            st.none(), st.booleans())),
+        st.tuples(st.just("link"), st.integers(0, 5), st.integers(0, 5),
+                  st.sampled_from("xy")),
+        st.tuples(st.just("commit")),
+        st.tuples(st.just("abort")),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(operations, st.data())
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+def test_database_matches_reference_model(ops, data):
+    db = GemStone.create(track_count=4096, track_size=1024)
+    session = db.login()
+    model = Model()
+    created: list[int] = []          # committed oids
+    created_pending: list[int] = []  # this transaction's creations
+
+    def pick(index):
+        visible = created + created_pending
+        return visible[index % len(visible)] if visible else None
+
+    for op in ops:
+        kind = op[0]
+        if kind == "create":
+            obj = session.new("Object")
+            created_pending.append(obj.oid)
+            model.create(obj.oid)
+        elif kind == "bind" and (created or created_pending):
+            oid = pick(op[1])
+            session.session.bind(oid, op[2], op[3])
+            model.bind(oid, op[2], op[3])
+        elif kind == "link" and (created or created_pending):
+            source, target = pick(op[1]), pick(op[2])
+            session.session.bind(source, op[3], Ref(target))
+            model.bind(source, op[3], Ref(target))
+        elif kind == "commit":
+            t = session.commit()
+            model.commit(t)
+            created.extend(created_pending)
+            created_pending.clear()
+        elif kind == "abort":
+            session.abort()
+            model.abort()
+            created_pending.clear()  # aborted creations are gone forever
+    final_time = session.commit()
+    model.commit(final_time)
+    created.extend(created_pending)
+    created_pending.clear()
+
+    probes = [
+        (oid, name, data.draw(st.integers(0, final_time), label="probe time"))
+        for oid in model.objects
+        for name in "abcxy"
+    ]
+
+    # 1. live store agrees element-by-element
+    for oid, name, time in probes:
+        expected = model.value_at(oid, name, time)
+        actual = db.store.object(oid).value_at(name, time)
+        assert actual == expected or (actual is MISSING and expected is MISSING)
+
+    # 2. a time-dialed session agrees
+    reader = db.login()
+    for oid, name, time in probes:
+        reader.time_dial.set(time)
+        expected = model.value_at(oid, name, time)
+        actual = reader.session.value_at(oid, name)
+        assert actual == expected or (actual is MISSING and expected is MISSING)
+    reader.time_dial.reset()
+
+    # 3. a cold reopen from disk agrees
+    reopened = GemStone.open(db.disk)
+    for oid, name, time in probes:
+        expected = model.value_at(oid, name, time)
+        if not reopened.store.contains(oid):
+            assert expected is MISSING
+            continue
+        actual = reopened.store.object(oid).value_at(name, time)
+        assert actual == expected or (actual is MISSING and expected is MISSING)

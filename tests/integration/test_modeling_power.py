@@ -1,0 +1,160 @@
+"""Modeling-power claims of section 2, demonstrated end to end."""
+
+import pytest
+
+from repro import GemStone
+from repro.errors import TransactionConflict
+
+
+@pytest.fixture
+def db():
+    return GemStone.create(track_count=4096, track_size=1024)
+
+
+class TestBeyondNetworkModel:
+    def test_record_in_two_instances_of_the_same_set_type(self, db):
+        """§2D: CODASYL forbids membership in two instances of one set
+        type; GSDM objects join any number of sets, same 'type' or not."""
+        session = db.login()
+        session.execute("""
+            Object subclass: #Committee instVarNames: #().
+            | ellen a b |
+            ellen := Object new. ellen at: 'name' put: 'Ellen'.
+            a := Set new.  b := Set new.   "two instances of one class"
+            a add: ellen.  b add: ellen.
+            World!budget := a.  World!safety := b
+        """)
+        session.commit()
+        assert session.execute("World!budget size") == 1
+        assert session.execute("World!safety size") == 1
+        # same entity, by identity, in both
+        assert session.execute("""
+            | a b |
+            a := World!budget detect: [:x | true].
+            b := World!safety detect: [:x | true].
+            a == b
+        """) is True
+
+    def test_heterogeneous_values_in_one_element(self, db):
+        """§5.2: AssignedTo may hold an employee, a department, or a set
+        of departments — no single-type restriction."""
+        session = db.login()
+        session.execute("""
+            | car1 car2 car3 emp dept depts |
+            emp := Object new. emp at: 'kind' put: 'employee'.
+            dept := Object new. dept at: 'kind' put: 'department'.
+            depts := Set new. depts add: dept.
+            car1 := Object new. car1 at: 'AssignedTo' put: emp.
+            car2 := Object new. car2 at: 'AssignedTo' put: dept.
+            car3 := Object new. car3 at: 'AssignedTo' put: depts.
+            World!cars := Bag new.
+            World!cars add: car1; add: car2; add: car3
+        """)
+        session.commit()
+        kinds = session.execute("""
+            World!cars collect: [:c | (c at: 'AssignedTo') class name]
+        """)
+        names = sorted(session.session.members_of(kinds))
+        assert names == ["Object", "Object", "Set"]
+
+
+class TestRealWorldChanges:
+    def test_one_message_many_database_updates(self, db):
+        """§2D: 'changing the times a course meets could entail both
+        insertions and deletions' — modeled as one method, one commit."""
+        session = db.login()
+        session.execute("""
+            Object subclass: #Course instVarNames: #(slots).
+            Course compile: 'moveFrom: old to: new
+                slots remove: old.
+                slots add: new'.
+            | c slots |
+            slots := Set new. slots add: 'Mon-9'; add: 'Wed-9'.
+            c := Course new. c at: 'slots' put: slots.
+            World!algebra := c
+        """)
+        session.commit()
+        t_before = db.store.last_tx_time
+        session.execute("World!algebra moveFrom: 'Mon-9' to: 'Fri-14'")
+        session.commit()
+        current = sorted(session.session.members_of(
+            session.resolve("algebra!slots")
+        ))
+        assert current == ["Fri-14", "Wed-9"]
+        # the deletion and the insertion share one transaction time, and
+        # the old state is still one dial away
+        session.time_dial.set(t_before)
+        past = sorted(session.session.members_of(
+            session.resolve("algebra!slots")
+        ))
+        assert past == ["Mon-9", "Wed-9"]
+        session.time_dial.reset()
+
+    def test_update_through_method_preserves_invariants(self, db):
+        """Encodings hide in update operations (§2D): the method keeps
+        the slot count constant; path assignment could break it, which
+        is exactly the circumvention §4.3 describes."""
+        session = db.login()
+        session.execute("""
+            Object subclass: #Roster instVarNames: #(count members).
+            Roster compile: 'hire: name
+                members add: name.
+                count := (count ifNil: [0]) + 1'.
+            | r | r := Roster new. r at: 'members' put: Set new.
+            World!roster := r
+        """)
+        session.execute("World!roster hire: 'Ellen'. World!roster hire: 'Bob'")
+        session.commit()
+        assert session.resolve("roster!count") == 2
+        assert session.execute("(World!roster at: 'members') size") == 2
+
+
+class TestUpdateAnomalies:
+    def test_renaming_shared_entity_breaks_nothing(self, db):
+        """§2D: with name-as-logical-pointer, renaming a department
+        breaks every employee row; with identity it is one write."""
+        session = db.login()
+        session.execute("""
+            | sales e1 e2 |
+            sales := Object new. sales at: 'name' put: 'Sales'.
+            e1 := Object new. e1 at: 'dept' put: sales.
+            e2 := Object new. e2 at: 'dept' put: sales.
+            World!e1 := e1. World!e2 := e2
+        """)
+        session.commit()
+        session.execute("(World!e1 at: 'dept') at: 'name' put: 'Revenue'")
+        session.commit()
+        # both employees see the rename; no key fixups anywhere
+        assert session.resolve("e1!dept!name") == "Revenue"
+        assert session.resolve("e2!dept!name") == "Revenue"
+        assert session.execute(
+            "(World!e1 at: 'dept') == (World!e2 at: 'dept')"
+        ) is True
+
+
+class TestDirectoriesUnderConflict:
+    def test_aborted_transactions_never_touch_directories(self, db):
+        session = db.login()
+        emps = session.execute("| s | s := Bag new. World!emps := s. s")
+        session.commit()
+        directory = db.create_directory(emps, "salary")
+
+        winner, loser = db.login(), db.login()
+        # both read, then write the same element -> loser aborts
+        seed = winner.execute("""
+            | e | e := Object new. e at: 'salary' put: 100.
+            World!emps add: e. World!seed := e. e
+        """)
+        winner.commit()
+        loser.abort()
+        assert directory.lookup(100) == [seed.oid]
+
+        winner.session.value_at(seed.oid, "salary")
+        loser.session.value_at(seed.oid, "salary")
+        winner.session.bind(seed.oid, "salary", 200)
+        loser.session.bind(seed.oid, "salary", 300)
+        winner.commit()
+        with pytest.raises(TransactionConflict):
+            loser.commit()
+        assert directory.lookup(200) == [seed.oid]
+        assert directory.lookup(300) == []  # the loser left no trace

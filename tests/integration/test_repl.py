@@ -1,0 +1,100 @@
+"""Tests for the OPAL console."""
+
+import io
+
+import pytest
+
+from repro import GemStone
+from repro.tools import Repl
+
+
+def run_console(lines, database=None):
+    out = io.StringIO()
+    repl = Repl(database=database or GemStone.create(track_count=2048,
+                                                     track_size=1024),
+                out=out)
+    repl.run(lines)
+    return out.getvalue(), repl
+
+
+class TestRepl:
+    def test_expression_block(self):
+        output, _ = run_console(["3 + 4", ""])
+        assert "=> 7" in output
+
+    def test_multiline_block(self):
+        output, _ = run_console([
+            "| n |",
+            "n := 0.",
+            "1 to: 5 do: [:i | n := n + i].",
+            "n",
+            "",
+        ])
+        assert "=> 15" in output
+
+    def test_two_blocks_share_a_session(self):
+        output, _ = run_console([
+            "World!x := 42", "",
+            "World!x", "",
+        ])
+        assert output.count("=> 42") == 2
+
+    def test_commit_and_time(self):
+        output, repl = run_console([
+            "World!v := 1", "",
+            ":commit",
+            ":time",
+        ])
+        assert "committed at transaction time" in output
+        assert "dial: now" in output
+
+    def test_abort(self):
+        output, repl = run_console([
+            "World!v := 1", "",
+            ":abort",
+            "World!v", "",
+        ])
+        assert "aborted" in output
+        assert "=> nil" in output
+
+    def test_dial(self):
+        db = GemStone.create(track_count=2048, track_size=1024)
+        seed = db.login()
+        seed.execute("World!v := 'old'")
+        t = seed.commit()
+        seed.execute("World!v := 'new'")
+        seed.commit()
+        output, _ = run_console([
+            f":dial {t}",
+            "World!v", "",
+            ":dial now",
+            "World!v", "",
+        ], database=db)
+        assert "=> 'old'" in output
+        assert "=> 'new'" in output
+
+    def test_errors_do_not_kill_the_console(self):
+        output, _ = run_console([
+            "3 frobnicate", "",
+            "1 + 1", "",
+        ])
+        assert "!!" in output
+        assert "=> 2" in output
+
+    def test_bad_directive(self):
+        output, _ = run_console([":nonsense"])
+        assert "unknown directive" in output
+
+    def test_report(self):
+        output, _ = run_console([":report"])
+        assert "objects:" in output
+
+    def test_quit_stops(self):
+        output, repl = run_console([":quit", "3 + 4", ""])
+        assert "bye." in output
+        assert "=> 7" not in output
+        assert not repl.running
+
+    def test_trailing_block_flushes_at_eof(self):
+        output, _ = run_console(["6 * 7"])  # no blank line, just EOF
+        assert "=> 42" in output

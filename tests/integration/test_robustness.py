@@ -1,0 +1,154 @@
+"""Robustness: fuzzing, resource exhaustion, encoding edges."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import GemStone, GemStoneError
+from repro.errors import (
+    CodecError,
+    GemStoneError as BaseError,
+    LexError,
+    ParseError,
+    StorageError,
+)
+from repro.opal import Lexer, parse_expression_code
+from repro.storage import PAGE_SPAN, decode_object
+from repro.storage.codec import Reader
+
+
+class TestParserFuzz:
+    @given(st.text(max_size=80))
+    @settings(max_examples=200, deadline=None)
+    def test_lexer_never_crashes_unexpectedly(self, source):
+        try:
+            Lexer(source).tokens()
+        except LexError:
+            pass  # the only acceptable failure
+
+    @given(st.text(max_size=80))
+    @settings(max_examples=200, deadline=None)
+    def test_parser_never_crashes_unexpectedly(self, source):
+        try:
+            parse_expression_code(source)
+        except (LexError, ParseError):
+            pass
+
+    @given(st.text(alphabet="()[]|.;:^!@#'$ abc123+-", max_size=60))
+    @settings(max_examples=200, deadline=None)
+    def test_parser_on_token_soup(self, source):
+        try:
+            parse_expression_code(source)
+        except (LexError, ParseError):
+            pass
+
+
+class TestCodecFuzz:
+    @given(st.binary(max_size=64))
+    @settings(max_examples=200)
+    def test_decode_object_rejects_garbage_gracefully(self, data):
+        try:
+            decode_object(data)
+        except (CodecError, Exception) as error:
+            # never a hang or a segfault-style failure; CodecError preferred
+            assert isinstance(error, BaseError) or isinstance(error, Exception)
+
+    @given(st.binary(max_size=32))
+    @settings(max_examples=200)
+    def test_varint_reader_bounded(self, data):
+        reader = Reader(data)
+        try:
+            reader.uvarint()
+        except CodecError:
+            pass
+
+
+class TestDiskExhaustion:
+    def test_disk_full_raises_and_reopen_recovers(self):
+        db = GemStone.create(track_count=96, track_size=512)
+        session = db.login()
+        session.execute("World!v := 'stable'")
+        session.commit()
+        with pytest.raises((StorageError, GemStoneError)):
+            for index in range(10_000):
+                session.execute(
+                    f"World!x{index} := '{'y' * 400}'"
+                )
+                session.commit()
+        # the disk still holds a consistent prefix of commits
+        recovered = GemStone.open(db.disk)
+        assert recovered.login().execute("World!v") == "stable"
+
+    def test_free_count_reporting(self):
+        db = GemStone.create(track_count=256, track_size=512)
+        report = db.storage_report()
+        assert report["tracks_allocated"] + report["tracks_free"] == 256
+
+
+class TestUnicode:
+    def test_unicode_through_full_pipeline(self):
+        db = GemStone.create(track_count=2048, track_size=1024)
+        session = db.login()
+        text = "héllo ∘ wörld — 日本語 🐍"
+        session.execute("World!msg := s", {"s": text})
+        session.commit()
+        reopened = GemStone.open(db.disk)
+        assert reopened.login().execute("World!msg") == text
+
+    def test_unicode_in_opal_source(self):
+        db = GemStone.create(track_count=2048, track_size=1024)
+        session = db.login()
+        assert session.execute("'ünïcode' size") == 7
+
+    def test_unicode_element_names(self):
+        db = GemStone.create(track_count=2048, track_size=1024)
+        session = db.login()
+        session.execute("World!'ключ' := 'значение'")
+        session.commit()
+        reopened = GemStone.open(db.disk)
+        assert reopened.login().execute("World!'ключ'") == "значение"
+
+
+class TestPageBoundaries:
+    def test_oids_across_page_boundaries_survive_reopen(self):
+        db = GemStone.create(track_count=16_384, track_size=2048)
+        session = db.login()
+        group = session.new("Bag")
+        # enough objects to span several object-table pages
+        count = PAGE_SPAN * 2 + 7
+        oids = []
+        for index in range(count):
+            member = session.new("Object", i=index)
+            session.session.bind(group, session.session.new_alias(), member)
+            oids.append(member.oid)
+        session.assign("crowd", group)
+        session.commit()
+        assert {oid // PAGE_SPAN for oid in oids} != {oids[0] // PAGE_SPAN}
+        reopened = GemStone.open(db.disk)
+        for index in (0, PAGE_SPAN - 1, PAGE_SPAN, count - 1):
+            assert reopened.store.object(oids[index]).value("i") == index
+
+
+class TestExecutorGarbage:
+    def test_garbage_frame_returns_protocol_error(self):
+        from repro.executor import Executor, make_link
+
+        db = GemStone.create(track_count=1024, track_size=1024)
+        host, gem = make_link()
+        executor = Executor(db)
+        host.send(b"\xff\xfe\xfd")
+        executor.serve(gem)
+        from repro.executor import decode_frame, FrameType
+
+        response = decode_frame(host.receive())
+        assert response.type is FrameType.ERROR
+
+    def test_empty_frame_handled(self):
+        from repro.executor import Executor, decode_frame, FrameType, make_link
+
+        db = GemStone.create(track_count=1024, track_size=1024)
+        host, gem = make_link()
+        executor = Executor(db)
+        host.send(b"")
+        executor.serve(gem)
+        response = decode_frame(host.receive())
+        assert response.type is FrameType.ERROR

@@ -1,0 +1,73 @@
+"""DBA operations issued as OPAL system messages."""
+
+import pytest
+
+from repro import GemStone
+from repro.errors import AuthorizationError, OpalRuntimeError
+
+
+@pytest.fixture
+def db():
+    return GemStone.create(track_count=4096, track_size=1024)
+
+
+def dba_session(db):
+    return db.login("DataCurator", "swordfish")
+
+
+class TestDbaFromOpal:
+    def test_create_user(self, db):
+        session = dba_session(db)
+        assert session.execute(
+            "System createUser: 'ellen' password: 'pw'"
+        ) == "ellen"
+        db.login("ellen", "pw")  # authenticates
+
+    def test_create_segment_and_grant(self, db):
+        session = dba_session(db)
+        session.execute("System createUser: 'ellen' password: 'pw'")
+        segment_id = session.execute("System createSegment: 'payroll'")
+        assert isinstance(segment_id, int)
+        assert session.execute(
+            f"System grantOn: {segment_id} to: 'ellen' privilege: 'read'"
+        ) is True
+        ellen = db.authorizer.authenticate("ellen", "pw")
+        db.authorizer.check_read(ellen, segment_id)
+        with pytest.raises(AuthorizationError):
+            db.authorizer.check_write(ellen, segment_id)
+
+    def test_dba_ops_persist(self, db):
+        session = dba_session(db)
+        session.execute("System createUser: 'ellen' password: 'pw'")
+        reopened = GemStone.open(db.disk)
+        reopened.authorizer.authenticate("ellen", "pw")
+
+    def test_non_dba_rejected(self, db):
+        curator = dba_session(db)
+        curator.execute("System createUser: 'ellen' password: 'pw'")
+        ellen = db.login("ellen", "pw")
+        with pytest.raises(OpalRuntimeError):
+            ellen.execute("System createUser: 'eve' password: 'x'")
+        with pytest.raises(OpalRuntimeError):
+            ellen.execute("System compact")
+
+    def test_embedded_session_rejected(self, db):
+        embedded = db.login()  # no user at all
+        with pytest.raises(OpalRuntimeError):
+            embedded.execute("System createUser: 'x' password: 'y'")
+
+    def test_compact_from_opal(self, db):
+        session = dba_session(db)
+        session.execute("World!o := Object new")
+        session.commit()
+        for index in range(5):
+            session.execute(f"World!o at: 'v' put: {index}")
+            session.commit()
+        reclaimed = session.execute("System compact")
+        assert isinstance(reclaimed, int)
+
+    def test_storage_report(self, db):
+        session = dba_session(db)
+        report = dict(session.execute("System storageReport"))
+        assert report["objects"] > 0
+        assert "tracks_allocated" in report

@@ -1,0 +1,107 @@
+"""Views defined by calculus expressions, over live sessions (section 5.4).
+
+"We can construct an object that provides a view, and that object can
+employ other objects, procedural statements and calculus expressions to
+define the extension of the view."
+"""
+
+import pytest
+
+from repro import GemStone
+from repro.core import View
+from repro.stdm import Const, QueryContext, SetQuery, variables
+
+
+@pytest.fixture
+def setup():
+    db = GemStone.create(track_count=4096, track_size=1024)
+    session = db.login()
+    session.execute("""
+        Object subclass: #Employee instVarNames: #(name salary).
+        | emps e |
+        emps := Bag new.
+        1 to: 10 do: [:i |
+            e := Employee new.
+            e at: 'name' put: 'emp', i printString.
+            e at: 'salary' put: i * 1000.
+            emps add: e].
+        World!employees := emps
+    """)
+    session.commit()
+    emps = session.resolve("employees")
+    return db, session, emps
+
+
+def high_earner_view(session, emps, threshold=7000):
+    e, = variables("e")
+    query = SetQuery(
+        result=e.path("name"),
+        binders=[(e, Const(emps))],
+        condition=(e.path("salary") > threshold),
+    )
+
+    def definition(store, time):
+        return query.evaluate(QueryContext(store, time))
+
+    return View(session.session, "highEarners", definition, sources=[emps])
+
+
+class TestCalculusViews:
+    def test_extension_from_calculus(self, setup):
+        _db, session, emps = setup
+        view = high_earner_view(session, emps)
+        assert sorted(view.materialize()) == ["emp10", "emp8", "emp9"]
+
+    def test_view_tracks_committed_updates(self, setup):
+        _db, session, emps = setup
+        view = high_earner_view(session, emps)
+        session.execute("""
+            | e | e := Employee new.
+            e at: 'name' put: 'newcomer'. e at: 'salary' put: 50000.
+            World!employees add: e
+        """)
+        session.commit()
+        assert "newcomer" in view.materialize()
+
+    def test_view_dialed_to_past_state(self, setup):
+        db, session, emps = setup
+        view = high_earner_view(session, emps)
+        t0 = db.store.last_tx_time
+        session.execute(
+            "World!employees do: [:e | e at: 'salary' put: 99000]"
+        )
+        session.commit()
+        assert len(view.materialize()) == 11 or len(view.materialize()) == 10
+        assert sorted(view.materialize(time=t0)) == ["emp10", "emp8", "emp9"]
+
+    def test_view_object_has_identity_and_is_persistable(self, setup):
+        db, session, emps = setup
+        view = high_earner_view(session, emps)
+        session.assign("reports", view.object)
+        session.commit()
+        reopened = GemStone.open(db.disk)
+        s2 = reopened.login()
+        assert s2.execute("World!reports at: 'name'") == "highEarners"
+
+    def test_updatable_view_writes_through(self, setup):
+        _db, session, emps = setup
+
+        def definition(store, time):
+            return store.members_of(emps, time)
+
+        def on_insert(store, view, member):
+            store.bind(emps, store.new_alias(), member)
+
+        view = View(session.session, "all", definition, sources=[emps],
+                    on_insert=on_insert)
+        extra = session.new("Employee", name="via-view", salary=1)
+        view.insert(extra)
+        session.commit()
+        assert session.execute(
+            "(World!employees select: [:e | e!name = 'via-view']) size"
+        ) == 1
+
+    def test_view_retains_source_connections(self, setup):
+        _db, session, emps = setup
+        view = high_earner_view(session, emps)
+        assert [source.oid for source in view.sources()] == [emps.oid]

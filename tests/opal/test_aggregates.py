@@ -1,0 +1,76 @@
+"""Collection aggregates and sorting in the kernel."""
+
+import pytest
+
+from repro.core import MemoryObjectManager
+from repro.errors import OpalRuntimeError
+from repro.opal import OpalEngine
+
+
+@pytest.fixture
+def engine():
+    return OpalEngine(MemoryObjectManager())
+
+
+SETUP = "| b | b := Bag new. b add: 5; add: 1; add: 9; add: 3. "
+
+
+class TestAggregates:
+    def test_sum(self, engine):
+        assert engine.execute(SETUP + "b sum") == 18
+
+    def test_average(self, engine):
+        assert engine.execute(SETUP + "b average") == 4.5
+
+    def test_max_min(self, engine):
+        assert engine.execute(SETUP + "b maxValue") == 9
+        assert engine.execute(SETUP + "b minValue") == 1
+
+    def test_count(self, engine):
+        assert engine.execute(SETUP + "b count: [:x | x > 2]") == 3
+
+    def test_sum_of_empty_is_zero(self, engine):
+        assert engine.execute("Bag new sum") == 0
+
+    def test_average_of_empty_rejected(self, engine):
+        with pytest.raises(OpalRuntimeError):
+            engine.execute("Bag new average")
+
+    def test_non_numeric_members_rejected(self, engine):
+        with pytest.raises(OpalRuntimeError):
+            engine.execute("| b | b := Bag new. b add: 'x'. b sum")
+
+
+class TestSorting:
+    def test_natural_ascending(self, engine):
+        assert engine.execute(SETUP + "b asSortedArray") == (1, 3, 5, 9)
+
+    def test_sort_block_descending(self, engine):
+        result = engine.execute(SETUP + "b asSortedArray: [:a :x | a > x]")
+        assert result == (9, 5, 3, 1)
+
+    def test_sort_strings(self, engine):
+        result = engine.execute(
+            "| b | b := Bag new. b add: 'pear'; add: 'apple'; add: 'fig'. "
+            "b asSortedArray"
+        )
+        assert result == ("apple", "fig", "pear")
+
+    def test_sort_objects_by_element(self, engine):
+        engine.execute("""
+            Object subclass: #Emp instVarNames: #(salary).
+            | b e |
+            b := Bag new.
+            #(30 10 20) do: [:s |
+                e := Emp new. e at: 'salary' put: s. b add: e].
+            World!emps := b
+        """)
+        result = engine.execute(
+            "(World!emps asSortedArray: [:a :x | a!salary < x!salary]) "
+            "collect: [:e | e!salary]"
+        )
+        assert result == (10, 20, 30)
+
+    def test_sorted_result_supports_array_protocol(self, engine):
+        assert engine.execute(SETUP + "(b asSortedArray) at: 1") == 1
+        assert engine.execute(SETUP + "(b asSortedArray) size") == 4

@@ -1,0 +1,140 @@
+"""Control-flow inlining: identical semantics, fewer closure sends."""
+
+import pytest
+
+from repro.core import MemoryObjectManager
+from repro.errors import DoesNotUnderstand, OpalRuntimeError
+from repro.opal import Compiler, Op, OpalEngine
+
+
+PROGRAMS = [
+    "(3 > 2) ifTrue: ['yes'] ifFalse: ['no']",
+    "(3 < 2) ifTrue: ['yes'] ifFalse: ['no']",
+    "(3 < 2) ifTrue: [99]",
+    "(3 < 2) ifFalse: [99]",
+    "(3 > 2) ifFalse: ['a'] ifTrue: ['b']",
+    "true and: [false]",
+    "false and: [true]",
+    "false or: [true]",
+    "true or: [false]",
+    "| hit | hit := 0. false and: [hit := 1. true]. hit",
+    "| hit | hit := 0. true or: [hit := 1. true]. hit",
+    "| i | i := 0. [i < 10] whileTrue: [i := i + 2]. i",
+    "| i | i := 0. [i >= 5] whileFalse: [i := i + 1]. i",
+    "| i | i := 0. [i := i + 1. i < 3] whileTrue. i",
+    "| n | n := 0. 1 to: 4 do: [:k | (k odd) ifTrue: [n := n + k]]. n",
+    "(1 < 2) ifTrue: [(2 < 3) ifTrue: ['both'] ifFalse: ['one']] ifFalse: ['neither']",
+    "((1 < 2) and: [2 < 3]) ifTrue: [42] ifFalse: [0]",
+]
+
+
+@pytest.mark.parametrize("source", PROGRAMS)
+def test_inlined_equals_sent(source):
+    """The inlining compiler and the plain compiler agree exactly."""
+    inlined_engine = OpalEngine(MemoryObjectManager())
+    sent_engine = OpalEngine(MemoryObjectManager())
+
+    inlined = inlined_engine.execute(source)
+
+    method = Compiler(inline_control_flow=False).compile_source(source)
+    from repro.opal.interpreter import Frame
+
+    frame = Frame(method.code, method.literals, method.slot_names,
+                  receiver=None, lexical_parent=None, home=None,
+                  is_block=False)
+    frame.method = method
+    plain = sent_engine._run_method_frame(frame)
+    assert inlined == plain
+
+
+class TestInlinedCode:
+    def test_if_true_compiles_to_jumps_not_sends(self):
+        method = Compiler().compile_source("(1 < 2) ifTrue: [3]")
+        ops = [i.op for i in method.code]
+        assert Op.JUMP_IF_FALSE in ops
+        sends = [i for i in method.code
+                 if i.op is Op.SEND and i.operand[0] == "ifTrue:"]
+        assert not sends
+        blocks = [i for i in method.code if i.op is Op.PUSH_BLOCK]
+        assert not blocks
+
+    def test_while_compiles_without_closures(self):
+        method = Compiler().compile_source(
+            "| i | i := 0. [i < 3] whileTrue: [i := i + 1]. i"
+        )
+        assert not any(i.op is Op.PUSH_BLOCK for i in method.code)
+        assert any(i.op is Op.JUMP for i in method.code)
+
+    def test_block_with_temps_not_inlined(self):
+        method = Compiler().compile_source(
+            "(1 < 2) ifTrue: [ | t | t := 9. t ]"
+        )
+        assert any(i.op is Op.PUSH_BLOCK for i in method.code)
+
+    def test_inlining_can_be_disabled(self):
+        method = Compiler(inline_control_flow=False).compile_source(
+            "(1 < 2) ifTrue: [3]"
+        )
+        assert any(
+            i.op is Op.SEND and i.operand[0] == "ifTrue:" for i in method.code
+        )
+
+
+class TestInlinedSemantics:
+    @pytest.fixture
+    def engine(self):
+        return OpalEngine(MemoryObjectManager())
+
+    def test_non_boolean_receiver_still_dnu(self, engine):
+        with pytest.raises(DoesNotUnderstand) as exc:
+            engine.execute("3 ifTrue: [1]")
+        assert exc.value.selector == "ifTrue:"
+
+    def test_non_boolean_loop_condition_still_runtime_error(self, engine):
+        with pytest.raises(OpalRuntimeError, match="Boolean"):
+            engine.execute("[3] whileTrue: [1]")
+
+    def test_non_boolean_and_still_dnu(self, engine):
+        with pytest.raises(DoesNotUnderstand):
+            engine.execute("3 and: [true]")
+
+    def test_non_local_return_through_inlined_if(self, engine):
+        engine.execute("""
+            Object subclass: #Guard instVarNames: #().
+            Guard compile: 'check: n
+                (n > 10) ifTrue: [^#big].
+                ^#small'
+        """)
+        from repro.core import Symbol
+
+        assert engine.execute("Guard new check: 99") == Symbol("big")
+        assert engine.execute("Guard new check: 1") == Symbol("small")
+
+    def test_non_local_return_through_inlined_while(self, engine):
+        engine.execute("""
+            Object subclass: #Hunter instVarNames: #().
+            Hunter compile: 'seek
+                | i | i := 0.
+                [true] whileTrue: [i := i + 1. (i = 7) ifTrue: [^i]]'
+        """)
+        assert engine.execute("Hunter new seek") == 7
+
+    def test_inlined_if_inside_real_block(self, engine):
+        """Inlining inside a block frame: ^ must still be non-local."""
+        engine.execute("""
+            Object subclass: #Finder instVarNames: #().
+            Finder compile: 'firstBig: aBag
+                aBag do: [:x | (x > 10) ifTrue: [^x]].
+                ^nil'
+        """)
+        result = engine.execute("""
+            | b | b := Bag new. b add: 3; add: 20; add: 30.
+            Finder new firstBig: b
+        """)
+        assert result == 20
+
+    def test_condition_side_effects_run_each_iteration(self, engine):
+        assert engine.execute(
+            "| calls i | calls := 0. i := 0. "
+            "[calls := calls + 1. i < 3] whileTrue: [i := i + 1]. calls"
+        ) == 4

@@ -1,0 +1,447 @@
+"""Tests for the OPAL interpreter and kernel class library."""
+
+import pytest
+
+from repro.core import Char, MemoryObjectManager, Symbol
+from repro.errors import (
+    CompileError,
+    DoesNotUnderstand,
+    OpalRuntimeError,
+)
+from repro.opal import OpalEngine
+
+
+@pytest.fixture
+def engine():
+    return OpalEngine(MemoryObjectManager())
+
+
+def run(engine, source, **bindings):
+    return engine.execute(source, bindings or None)
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("3 + 4", 7),
+            ("3 + 4 * 2", 14),          # strict left-to-right, no precedence
+            ("3 + (4 * 2)", 11),
+            ("10 - 3 - 2", 5),
+            ("7 // 2", 3),
+            ("7 \\\\ 2", 1),
+            ("6 / 3", 2),
+            ("7 / 2", 3.5),
+            ("-3 abs", 3),
+            ("3 negated", -3),
+            ("4 squared", 16),
+            ("2 max: 5", 5),
+            ("2 min: 5", 2),
+            ("3 between: 1 and: 5", True),
+            ("10 gcd: 4", 2),
+            ("5 even", False),
+            ("5 odd", True),
+            ("3.7 truncated", 3),
+            ("3.7 rounded", 4),
+            ("3 asFloat", 3.0),
+        ],
+    )
+    def test_expression(self, engine, source, expected):
+        assert run(engine, source) == expected
+
+    def test_division_by_zero(self, engine):
+        with pytest.raises(OpalRuntimeError):
+            run(engine, "1 / 0")
+
+    def test_comparisons(self, engine):
+        assert run(engine, "3 < 4") is True
+        assert run(engine, "3 >= 4") is False
+        assert run(engine, "3 = 3") is True
+        assert run(engine, "3 ~= 4") is True
+
+    def test_type_errors(self, engine):
+        with pytest.raises(OpalRuntimeError):
+            run(engine, "3 + 'x'")
+
+
+class TestControlFlow:
+    def test_if_true_if_false(self, engine):
+        assert run(engine, "(3 > 2) ifTrue: [1] ifFalse: [2]") == 1
+        assert run(engine, "(3 < 2) ifTrue: [1] ifFalse: [2]") == 2
+        assert run(engine, "(3 < 2) ifTrue: [1]") is None
+
+    def test_and_or_short_circuit(self, engine):
+        # the second block must not run when short-circuited
+        assert run(engine, "| hit | hit := false. "
+                           "false and: [hit := true. true]. hit") is False
+        assert run(engine, "| hit | hit := false. "
+                           "true or: [hit := true. true]. hit") is False
+
+    def test_boolean_operators(self, engine):
+        assert run(engine, "true & false") is False
+        assert run(engine, "true | false") is True
+        assert run(engine, "true xor: true") is False
+        assert run(engine, "false not") is True
+
+    def test_non_boolean_condition_rejected(self, engine):
+        with pytest.raises(DoesNotUnderstand):
+            run(engine, "3 ifTrue: [1]")  # Integer has no ifTrue:
+        with pytest.raises(OpalRuntimeError):
+            run(engine, "[3] whileTrue: [1]")
+
+    def test_while_true(self, engine):
+        assert run(engine, "| i | i := 0. [i < 5] whileTrue: [i := i + 1]. i") == 5
+
+    def test_while_false(self, engine):
+        assert run(engine, "| i | i := 0. [i >= 5] whileFalse: [i := i + 1]. i") == 5
+
+    def test_to_do(self, engine):
+        assert run(engine, "| n | n := 0. 1 to: 10 do: [:i | n := n + i]. n") == 55
+
+    def test_to_by_do_descending(self, engine):
+        assert run(engine, "| n | n := 0. 10 to: 1 by: -2 do: [:i | n := n + i]. n") == 30
+
+    def test_times_repeat(self, engine):
+        assert run(engine, "| n | n := 0. 3 timesRepeat: [n := n + 1]. n") == 3
+
+    def test_if_nil(self, engine):
+        assert run(engine, "nil ifNil: [42]") == 42
+        assert run(engine, "3 ifNil: [42]") == 3
+        assert run(engine, "3 ifNotNil: [:x | x + 1]") == 4
+        assert run(engine, "nil ifNotNil: [:x | x + 1]") is None
+
+
+class TestBlocks:
+    def test_value(self, engine):
+        assert run(engine, "[42] value") == 42
+        assert run(engine, "[:x | x * 2] value: 21") == 42
+        assert run(engine, "[:a :b | a + b] value: 1 value: 2") == 3
+
+    def test_wrong_arity(self, engine):
+        with pytest.raises(OpalRuntimeError):
+            run(engine, "[:x | x] value")
+
+    def test_closure_captures_temps(self, engine):
+        assert run(engine, "| n b | n := 10. b := [n + 1]. n := 20. b value") == 21
+
+    def test_closure_writes_outer(self, engine):
+        assert run(engine, "| n | n := 0. [n := 5] value. n") == 5
+
+    def test_nested_closures(self, engine):
+        source = "| make | make := [:x | [:y | x + y]]. (make value: 10) value: 5"
+        assert run(engine, source) == 15
+
+    def test_num_args(self, engine):
+        assert run(engine, "[:x :y | x] numArgs") == 2
+
+
+class TestClassesAndMethods:
+    def define_employee(self, engine):
+        run(engine, """
+            Object subclass: #Employee instVarNames: #(name salary).
+            Employee compile: 'name ^name'.
+            Employee compile: 'name: aName name := aName'.
+            Employee compile: 'salary ^salary'.
+            Employee compile: 'salary: s salary := s'.
+            Employee compile: 'raise: amount salary := salary + amount. ^salary'
+        """)
+
+    def test_define_and_use(self, engine):
+        self.define_employee(engine)
+        result = run(engine, "| e | e := Employee new. e name: 'Ellen'. e name")
+        assert result == "Ellen"
+
+    def test_method_with_argument(self, engine):
+        self.define_employee(engine)
+        assert run(engine, "| e | e := Employee new. e salary: 10. e raise: 5") == 15
+
+    def test_method_without_return_answers_self(self, engine):
+        self.define_employee(engine)
+        result = run(engine, "| e | e := Employee new. e name: 'x'")
+        assert engine.store.class_of(result).name == "Employee"
+
+    def test_uninitialized_instvar_reads_nil(self, engine):
+        self.define_employee(engine)
+        assert run(engine, "Employee new name") is None
+
+    def test_subclass_inherits_and_overrides(self, engine):
+        self.define_employee(engine)
+        run(engine, """
+            Employee subclass: #Manager instVarNames: #(dept).
+            Manager compile: 'salary ^salary * 2'
+        """)
+        assert run(engine, "| m | m := Manager new. m salary: 10. m salary") == 20
+        assert run(engine, "| e | e := Employee new. e salary: 10. e salary") == 10
+
+    def test_super_send(self, engine):
+        self.define_employee(engine)
+        run(engine, """
+            Employee subclass: #Manager instVarNames: #().
+            Manager compile: 'salary ^super salary + 1000'
+        """)
+        assert run(engine, "| m | m := Manager new. m salary: 10. m salary") == 1010
+
+    def test_non_local_return_from_block(self, engine):
+        self.define_employee(engine)
+        run(engine, "Employee compile: "
+                    "'band (salary > 100) ifTrue: [^#high]. ^#low'")
+        assert run(engine, "| e | e := Employee new. e salary: 500. e band") == Symbol("high")
+        assert run(engine, "| e | e := Employee new. e salary: 5. e band") == Symbol("low")
+
+    def test_does_not_understand(self, engine):
+        with pytest.raises(DoesNotUnderstand):
+            run(engine, "3 frobnicate")
+
+    def test_class_messages(self, engine):
+        self.define_employee(engine)
+        assert run(engine, "Employee name") == "Employee"
+        assert run(engine, "Employee superclass name") == "Object"
+
+    def test_is_kind_of(self, engine):
+        self.define_employee(engine)
+        assert run(engine, "Employee new isKindOf: Object") is True
+        assert run(engine, "3 isKindOf: Magnitude") is True
+        assert run(engine, "3 isMemberOf: Integer") is True
+
+    def test_undeclared_variable_assignment_rejected(self, engine):
+        with pytest.raises(CompileError):
+            run(engine, "undeclared := 3")
+
+    def test_undefined_global(self, engine):
+        with pytest.raises(OpalRuntimeError):
+            run(engine, "NoSuchGlobal foo")
+
+
+class TestStringsAndSymbols:
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("'abc' size", 3),
+            ("'abc' , 'def'", "abcdef"),
+            ("'abc' asUppercase", "ABC"),
+            ("'ABC' asLowercase", "abc"),
+            ("'hello' copyFrom: 2 to: 4", "ell"),
+            ("'hello' reversed", "olleh"),
+            ("'abc' < 'abd'", True),
+            ("'42' asNumber", 42),
+            ("'3.5' asNumber", 3.5),
+            ("'hello world' includesString: 'lo w'", True),
+            ("'hello' startsWith: 'he'", True),
+            ("'hello' indexOf: $l", 3),
+            ("'' isEmpty", True),
+            ("#foo asString", "foo"),
+            ("'foo' asSymbol printString", "#foo"),
+        ],
+    )
+    def test_strings(self, engine, source, expected):
+        assert run(engine, source) == expected
+
+    def test_string_at_returns_char(self, engine):
+        assert run(engine, "'abc' at: 2") == Char("b")
+
+    def test_char_protocol(self, engine):
+        assert run(engine, "$a asInteger") == 97
+        assert run(engine, "$a isVowel") is True
+        assert run(engine, "$a < $b") is True
+
+
+class TestCollections:
+    def test_set_deduplicates(self, engine):
+        assert run(engine, "| s | s := Set new. s add: 1; add: 1; add: 2. s size") == 2
+
+    def test_bag_keeps_duplicates(self, engine):
+        assert run(engine, "| b | b := Bag new. b add: 1; add: 1. b size") == 2
+        assert run(engine, "| b | b := Bag new. b add: 1; add: 1. b occurrencesOf: 1") == 2
+
+    def test_remove_is_departure_with_history(self, engine):
+        """remove: binds the alias to nil; history retains the member."""
+        om = engine.store
+        collection = run(engine, "| s | s := Set new. s add: 'x'. s")
+        t_before = om.now
+        om.tick()
+        run(engine, "s remove: 'x'. s size", s=collection)
+        assert run(engine, "s size", s=collection) == 0
+        # the past state still shows the member
+        live_then = collection.live_names(t_before)
+        assert len(live_then) == 1
+
+    def test_remove_missing_member(self, engine):
+        with pytest.raises(OpalRuntimeError):
+            run(engine, "| s | s := Set new. s remove: 99")
+
+    def test_includes(self, engine):
+        assert run(engine, "| s | s := Set new. s add: 3. s includes: 3") is True
+        assert run(engine, "| s | s := Set new. s includes: 3") is False
+
+    def test_do_collect_inject(self, engine):
+        assert run(engine, "| s n | s := Bag new. s add: 1; add: 2; add: 3. "
+                           "n := 0. s do: [:x | n := n + x]. n") == 6
+        assert run(engine, "| s | s := Bag new. s add: 1; add: 2. "
+                           "(s collect: [:x | x * 10]) size") == 2
+        assert run(engine, "| s | s := Bag new. s add: 1; add: 2; add: 3. "
+                           "s inject: 0 into: [:a :x | a + x]") == 6
+
+    def test_select_reject_detect(self, engine):
+        setup = "| s | s := Bag new. 1 to: 10 do: [:i | s add: i]. "
+        assert run(engine, setup + "(s select: [:x | x > 7]) size") == 3
+        assert run(engine, setup + "(s reject: [:x | x > 7]) size") == 7
+        assert run(engine, setup + "s detect: [:x | x > 7]") == 8
+        assert run(engine, setup + "s detect: [:x | x > 99] ifNone: [-1]") == -1
+
+    def test_detect_failure(self, engine):
+        with pytest.raises(OpalRuntimeError):
+            run(engine, "| s | s := Set new. s detect: [:x | true]")
+
+    def test_satisfy(self, engine):
+        setup = "| s | s := Bag new. s add: 2; add: 4. "
+        assert run(engine, setup + "s allSatisfy: [:x | x even]") is True
+        assert run(engine, setup + "s anySatisfy: [:x | x > 3]") is True
+
+    def test_add_all_from_literal_array(self, engine):
+        assert run(engine, "| s | s := Set new. s addAll: #(1 2 3 2). s size") == 3
+
+    def test_entity_identity_in_sets(self, engine):
+        """Two equivalent objects are distinct members (section 4.2)."""
+        run(engine, "Object subclass: #Gate instVarNames: #(kind)")
+        size = run(engine, """
+            | s a b |
+            a := Gate new. b := Gate new.
+            s := Set new. s add: a; add: b; add: a.
+            s size
+        """)
+        assert size == 2
+
+    def test_arrays(self, engine):
+        assert run(engine, "| a | a := Array new: 3. a size") == 3
+        assert run(engine, "| a | a := Array new: 3. a at: 1 put: 'x'. a at: 1") == "x"
+        assert run(engine, "| a | a := Array new: 2. a at: 1") is None
+        with pytest.raises(OpalRuntimeError):
+            run(engine, "| a | a := Array new: 2. a at: 3")
+
+    def test_array_grow(self, engine):
+        assert run(engine, "| a | a := Array new: 2. a grow: 5. a size") == 5
+        with pytest.raises(OpalRuntimeError):
+            run(engine, "| a | a := Array new: 5. a grow: 2")
+
+    def test_dictionaries(self, engine):
+        assert run(engine, "| d | d := Dictionary new. d at: 'k' put: 9. d at: 'k'") == 9
+        assert run(engine, "| d | d := Dictionary new. d at: 'k' ifAbsent: [0]") == 0
+        assert run(engine, "| d | d := Dictionary new. d at: 1 put: 'a'. "
+                           "d at: 2 put: 'b'. d size") == 2
+        assert run(engine, "| d | d := Dictionary new. d at: 'k' put: 1. "
+                           "d includesKey: 'k'") is True
+        assert run(engine, "| d | d := Dictionary new. d at: 'k' put: 1. "
+                           "d removeKey: 'k'. d includesKey: 'k'") is False
+
+    def test_literal_array_protocol(self, engine):
+        assert run(engine, "#(1 2 3) size") == 3
+        assert run(engine, "#(1 2 3) at: 2") == 2
+        assert run(engine, "#(1 2 3) includes: 2") is True
+        assert run(engine, "#(1 2) , #(3)") == (1, 2, 3)
+        assert run(engine, "#(1 2 3) select: [:x | x odd]") == (1, 3)
+        assert run(engine, "#(1 2 3) inject: 0 into: [:a :x | a + x]") == 6
+
+
+class TestPathsInOpal:
+    def test_path_fetch_and_assign(self, engine):
+        run(engine, "World!company := 'Acme'")
+        assert run(engine, "World!company") == "Acme"
+
+    def test_nested_path_assignment(self, engine):
+        run(engine, """
+            | acme | acme := Object new.
+            World!acme := acme.
+            World!acme!budget := 142000
+        """)
+        assert run(engine, "World!acme!budget") == 142000
+
+    def test_path_with_time(self, engine):
+        om = engine.store
+        run(engine, "World!president := 'Ayn Rand'")
+        t1 = om.now
+        om.tick()
+        run(engine, "World!president := 'Milton Friedman'")
+        assert run(engine, f"World!president @ {t1}") == "Ayn Rand"
+        assert run(engine, "World!president") == "Milton Friedman"
+
+    def test_path_time_expression(self, engine):
+        om = engine.store
+        run(engine, "World!x := 1")
+        om.tick()
+        run(engine, "World!x := 2")
+        now = om.now
+        assert run(engine, f"| t | t := {now}. World!x @ (t - 1)") == 1
+
+    def test_unbound_terminal_path_is_nil(self, engine):
+        assert run(engine, "World!neverBound") is None
+
+    def test_navigation_through_missing_fails(self, engine):
+        with pytest.raises(OpalRuntimeError):
+            run(engine, "World!ghost!deeper")
+
+    def test_cannot_assign_into_past(self, engine):
+        run(engine, "World!x := 1")
+        with pytest.raises(OpalRuntimeError):
+            run(engine, "World!x @ 1 := 2")
+
+    def test_path_bypasses_class_protocol(self, engine):
+        """Section 4.3: paths circumvent the message protocol."""
+        run(engine, """
+            Object subclass: #Locked instVarNames: #(secret).
+            | o | o := Locked new.
+            World!locked := o.
+            World!locked!secret := 42
+        """)
+        assert run(engine, "World!locked!secret") == 42
+
+
+class TestSystemObject:
+    def test_time_and_commit(self, engine):
+        before = run(engine, "System time")
+        assert run(engine, "System commitTransaction") is True
+        assert run(engine, "System time") == before + 1
+
+    def test_object_count(self, engine):
+        count = run(engine, "System objectCount")
+        assert count > 0
+
+    def test_unknown_system_message(self, engine):
+        with pytest.raises(DoesNotUnderstand):
+            run(engine, "System launchMissiles")
+
+
+class TestObjectProtocol:
+    def test_print_string(self, engine):
+        assert run(engine, "3 printString") == "3"
+        assert run(engine, "'x' printString") == "'x'"
+        assert run(engine, "nil printString") == "nil"
+        assert run(engine, "true printString") == "true"
+        assert run(engine, "#(1 2) printString") == "#(1 2)"
+
+    def test_identity_vs_equality(self, engine):
+        run(engine, "Object subclass: #Point instVarNames: #(x)")
+        assert run(engine, "| a b | a := Point new. b := Point new. a == b") is False
+        assert run(engine, "| a | a := Point new. a == a yourself") is True
+
+    def test_element_access_protocol(self, engine):
+        source = """
+            | o | o := Object new.
+            o at: 'color' put: 'red'.
+            o at: 'color'
+        """
+        assert run(engine, source) == "red"
+
+    def test_history_of(self, engine):
+        om = engine.store
+        obj = run(engine, "| o | o := Object new. o at: 'v' put: 1. o")
+        om.tick()
+        run(engine, "o at: 'v' put: 2", o=obj)
+        history = run(engine, "o historyOf: 'v'", o=obj)
+        assert [value for _, value in history] == [1, 2]
+
+    def test_error_message(self, engine):
+        with pytest.raises(OpalRuntimeError, match="boom"):
+            run(engine, "3 error: 'boom'")
+
+    def test_bindings_passed_to_execute(self, engine):
+        assert run(engine, "x + y", x=3, y=4) == 7

@@ -1,0 +1,252 @@
+"""Tests for the OPAL lexer and parser."""
+
+import pytest
+
+from repro.core import Char, Symbol
+from repro.errors import LexError, ParseError
+from repro.opal import (
+    Assign,
+    BlockNode,
+    Cascade,
+    Lexer,
+    Literal,
+    MessageSend,
+    PathAssign,
+    PathFetch,
+    Return,
+    TokenType,
+    VarRef,
+    parse_expression_code,
+    parse_method,
+)
+
+
+def lex(source):
+    return [(t.type, t.value) for t in Lexer(source).tokens()[:-1]]
+
+
+class TestLexer:
+    def test_identifiers_and_keywords(self):
+        assert lex("foo at: x") == [
+            (TokenType.IDENTIFIER, "foo"),
+            (TokenType.KEYWORD, "at:"),
+            (TokenType.IDENTIFIER, "x"),
+        ]
+
+    def test_numbers(self):
+        assert lex("42 3.14 16rFF 1.5e3") == [
+            (TokenType.INTEGER, 42),
+            (TokenType.FLOAT, 3.14),
+            (TokenType.INTEGER, 255),
+            (TokenType.FLOAT, 1500.0),
+        ]
+
+    def test_negative_literal_vs_subtraction(self):
+        assert lex("-5") == [(TokenType.INTEGER, -5)]
+        assert lex("x-5") == [
+            (TokenType.IDENTIFIER, "x"),
+            (TokenType.BINARY, "-"),
+            (TokenType.INTEGER, 5),
+        ]
+        assert lex("3 - 2")[1] == (TokenType.BINARY, "-")
+
+    def test_strings_with_escaped_quotes(self):
+        assert lex("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            lex("'oops")
+
+    def test_characters(self):
+        assert lex("$a $ ") == [
+            (TokenType.CHARACTER, "a"),
+            (TokenType.CHARACTER, " "),
+        ]
+
+    def test_symbols(self):
+        assert lex("#foo #at:put: #+ #'with space'") == [
+            (TokenType.SYMBOL, "foo"),
+            (TokenType.SYMBOL, "at:put:"),
+            (TokenType.SYMBOL, "+"),
+            (TokenType.SYMBOL, "with space"),
+        ]
+
+    def test_comments_are_whitespace(self):
+        assert lex('1 "a comment" + 2') == [
+            (TokenType.INTEGER, 1),
+            (TokenType.BINARY, "+"),
+            (TokenType.INTEGER, 2),
+        ]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            lex('"never ends')
+
+    def test_assignment_vs_colon(self):
+        assert lex("x := 1") == [
+            (TokenType.IDENTIFIER, "x"),
+            (TokenType.ASSIGN, ":="),
+            (TokenType.INTEGER, 1),
+        ]
+
+    def test_path_tokens(self):
+        assert lex("x!a@7") == [
+            (TokenType.IDENTIFIER, "x"),
+            (TokenType.BANG, "!"),
+            (TokenType.IDENTIFIER, "a"),
+            (TokenType.AT, "@"),
+            (TokenType.INTEGER, 7),
+        ]
+
+    def test_binary_selectors(self):
+        assert lex("a <= b ~= c // d") == [
+            (TokenType.IDENTIFIER, "a"), (TokenType.BINARY, "<="),
+            (TokenType.IDENTIFIER, "b"), (TokenType.BINARY, "~="),
+            (TokenType.IDENTIFIER, "c"), (TokenType.BINARY, "//"),
+            (TokenType.IDENTIFIER, "d"),
+        ]
+
+    def test_block_tokens(self):
+        kinds = [t for t, _ in lex("[:x | x]")]
+        assert kinds == [
+            TokenType.LBRACKET, TokenType.COLON, TokenType.IDENTIFIER,
+            TokenType.PIPE, TokenType.IDENTIFIER, TokenType.RBRACKET,
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            lex("{}")
+
+
+def first_statement(source):
+    return parse_expression_code(source).statements[0]
+
+
+class TestParser:
+    def test_unary_chain(self):
+        node = first_statement("x foo bar")
+        assert isinstance(node, MessageSend)
+        assert node.selector == "bar"
+        assert node.receiver.selector == "foo"
+
+    def test_binary_left_associative(self):
+        node = first_statement("1 + 2 * 3")
+        assert node.selector == "*"
+        assert node.receiver.selector == "+"
+
+    def test_unary_binds_tighter_than_binary(self):
+        node = first_statement("2 + 3 squared")
+        assert node.selector == "+"
+        assert node.args[0].selector == "squared"
+
+    def test_keyword_lowest_precedence(self):
+        node = first_statement("d at: 1 + 2 put: x foo")
+        assert node.selector == "at:put:"
+        assert node.args[0].selector == "+"
+        assert node.args[1].selector == "foo"
+
+    def test_parentheses(self):
+        node = first_statement("(d at: 1) foo")
+        assert node.selector == "foo"
+        assert node.receiver.selector == "at:"
+
+    def test_assignment(self):
+        node = first_statement("x := 3 + 4")
+        assert isinstance(node, Assign)
+        assert node.name == "x"
+
+    def test_assignment_to_reserved_rejected(self):
+        with pytest.raises(ParseError):
+            first_statement("self := 3")
+
+    def test_cascade(self):
+        node = first_statement("s add: 1; add: 2; size")
+        assert isinstance(node, Cascade)
+        assert node.first.selector == "add:"
+        assert [sel for sel, _ in node.rest] == ["add:", "size"]
+
+    def test_cascade_needs_message(self):
+        with pytest.raises(ParseError):
+            first_statement("3; foo")
+
+    def test_block(self):
+        node = first_statement("[:x :y | | t | t := x. t + y]")
+        assert isinstance(node, BlockNode)
+        assert node.params == ("x", "y")
+        assert node.temps == ("t",)
+        assert len(node.body) == 2
+
+    def test_block_non_local_return(self):
+        node = first_statement("[:x | ^x]")
+        assert isinstance(node.body[0], Return)
+
+    def test_path_fetch(self):
+        node = first_statement("World!'Acme Corp'!president@7!city")
+        assert isinstance(node, PathFetch)
+        names = [s.name for s in node.steps]
+        assert names == ["Acme Corp", "president", "city"]
+        assert isinstance(node.steps[1].time, Literal)
+        assert node.steps[1].time.value == 7
+
+    def test_path_after_message(self):
+        node = first_statement("x foo!bar")
+        assert isinstance(node, PathFetch)
+        assert node.base.selector == "foo"
+
+    def test_path_assignment(self):
+        node = first_statement("x!a!b := 5")
+        assert isinstance(node, PathAssign)
+        assert [s.name for s in node.steps] == ["a", "b"]
+
+    def test_path_time_expression(self):
+        node = first_statement("x!a@(t - 1)")
+        assert isinstance(node.steps[0].time, MessageSend)
+
+    def test_literal_arrays(self):
+        node = first_statement("#(1 2.5 'x' $c #sym name (3 4))")
+        assert node.value == (
+            1, 2.5, "x", Char("c"), Symbol("sym"), Symbol("name"), (3, 4),
+        )
+
+    def test_pseudo_variables_are_literals(self):
+        assert first_statement("nil").value is None
+        assert first_statement("true").value is True
+        assert first_statement("false").value is False
+
+    def test_statement_periods(self):
+        code = parse_expression_code("1. 2. 3")
+        assert len(code.statements) == 3
+
+    def test_temps_anywhere_in_code(self):
+        code = parse_expression_code("| a | a := 1. | b | b := a. b")
+        assert code.temps == ("a", "b")
+        assert len(code.statements) == 3
+
+    def test_method_unary_pattern(self):
+        method = parse_method("salary ^salary")
+        assert method.selector == "salary"
+        assert method.params == ()
+
+    def test_method_binary_pattern(self):
+        method = parse_method("+ other ^other")
+        assert method.selector == "+"
+        assert method.params == ("other",)
+
+    def test_method_keyword_pattern(self):
+        method = parse_method("at: k put: v ^v")
+        assert method.selector == "at:put:"
+        assert method.params == ("k", "v")
+
+    def test_method_with_temps(self):
+        method = parse_method("double | t | t := 2. ^t * 2")
+        assert method.body.temps == ("t",)
+
+    def test_super_flag(self):
+        method = parse_method("foo ^super foo")
+        send = method.body.statements[0].value
+        assert send.to_super
+
+    @pytest.mark.parametrize("bad", ["x := ", "(1 + 2", "[:x", "1 foo:", "x!"])
+    def test_malformed_programs(self, bad):
+        with pytest.raises(ParseError):
+            parse_expression_code(bad)

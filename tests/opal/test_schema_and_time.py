@@ -1,0 +1,167 @@
+"""Schema evolution, event time as user data, perform:/copy protocol."""
+
+import pytest
+
+from repro import GemStone
+from repro.core import MemoryObjectManager, Symbol
+from repro.errors import ClassProtocolError, OpalRuntimeError
+from repro.opal import OpalEngine
+
+
+@pytest.fixture
+def engine():
+    return OpalEngine(MemoryObjectManager())
+
+
+class TestSchemaEvolution:
+    """Design goal C: modify schemes without database restructuring."""
+
+    def test_add_instvar_to_class_with_existing_instances(self, engine):
+        engine.execute("""
+            Object subclass: #Employee instVarNames: #(name).
+            Employee compile: 'name: n name := n'.
+            | e | e := Employee new. e name: 'Ellen'. World!ellen := e
+        """)
+        engine.execute("Employee addInstVarName: 'phone'")
+        assert "phone" in engine.execute("Employee instVarNames")
+        # old instance: the new variable reads nil, costs nothing
+        assert engine.execute("World!ellen!phone") is None
+        # methods compiled after the change can use it
+        engine.execute("Employee compile: 'phone: p phone := p'")
+        engine.execute("Employee compile: 'phone ^phone'")
+        engine.execute("World!ellen phone: 3949")
+        assert engine.execute("World!ellen phone") == 3949
+
+    def test_old_instances_not_restructured(self, engine):
+        engine.execute("""
+            Object subclass: #Item instVarNames: #(a).
+            | i | i := Item new. i at: 'a' put: 1. World!item := i
+        """)
+        item = engine.execute("World!item")
+        elements_before = set(item.elements)
+        engine.execute("Item addInstVarName: 'b'")
+        assert set(item.elements) == elements_before  # no placeholder added
+
+    def test_duplicate_instvar_rejected(self, engine):
+        engine.execute("Object subclass: #Thing instVarNames: #(x)")
+        with pytest.raises(ClassProtocolError):
+            engine.execute("Thing addInstVarName: 'x'")
+
+    def test_schema_change_survives_reopen(self):
+        db = GemStone.create(track_count=2048, track_size=1024)
+        session = db.login()
+        session.execute("""
+            Object subclass: #Employee instVarNames: #(name).
+            | e | e := Employee new. World!e := e
+        """)
+        session.commit()
+        session.execute("Employee addInstVarName: 'salary'")
+        session.execute("Employee compile: 'salary: s salary := s'")
+        session.execute("Employee compile: 'salary ^salary'")
+        session.commit()
+        reopened = GemStone.open(db.disk)
+        s2 = reopened.login()
+        assert "salary" in s2.execute("Employee instVarNames")
+        s2.execute("World!e salary: 99")
+        assert s2.execute("World!e salary") == 99
+
+    def test_class_element_write_in_transaction_keeps_classness(self):
+        """Binding an element on a class twins it as a class, not a
+        bare object (GemClass.copy_shell)."""
+        db = GemStone.create(track_count=2048, track_size=1024)
+        session = db.login()
+        session.execute("Object subclass: #Doc instVarNames: #()")
+        session.commit()
+        session.execute("Doc comment: 'documents'")  # uncommitted element write
+        # the class still works as a class inside the same transaction
+        assert session.execute("Doc new class name") == "Doc"
+        session.commit()
+        assert session.execute("Doc at: 'comment'") == "documents"
+
+
+class TestEventTimeAsUserData:
+    """Section 5.3.1: event time is application data; transaction time
+    is the system's.  Classes model event time themselves."""
+
+    def test_both_times_queryable(self):
+        db = GemStone.create(track_count=2048, track_size=1024)
+        session = db.login()
+        session.execute("""
+            Object subclass: #Measurement instVarNames: #(value eventTime).
+            Measurement compile: 'value: v value := v'.
+            Measurement compile: 'eventTime: t eventTime := t'.
+            Measurement compile: 'eventTime ^eventTime'.
+            Measurement compile: 'value ^value'.
+            World!readings := Bag new
+        """)
+        session.commit()
+        # the sensor reading happened at event time 1000, but is only
+        # recorded (transaction time) later — and then corrected
+        session.execute("""
+            | m | m := Measurement new.
+            m value: 21. m eventTime: 1000.
+            World!readings add: m. World!lastReading := m
+        """)
+        t_recorded = session.commit()
+        session.execute("World!lastReading value: 23")  # correction
+        t_corrected = session.commit()
+
+        # event time: user data, freely queryable and modifiable
+        assert session.execute(
+            "(World!readings select: [:m | m!eventTime = 1000]) size"
+        ) == 1
+        # transaction time: system truth about the recording process
+        assert session.execute(
+            f"World!lastReading!value @ {t_recorded}"
+        ) == 21
+        assert session.execute(
+            f"World!lastReading!value @ {t_corrected}"
+        ) == 23
+
+    def test_event_time_is_modifiable_transaction_time_is_not(self):
+        db = GemStone.create(track_count=2048, track_size=1024)
+        session = db.login()
+        session.execute("""
+            Object subclass: #Entry instVarNames: #().
+            | e | e := Entry new. e at: 'eventTime' put: 500.
+            World!entry := e
+        """)
+        session.commit()
+        session.execute("World!entry at: 'eventTime' put: 501")  # corrected
+        session.commit()
+        assert session.resolve("entry!eventTime") == 501
+        # but the correction itself is in the (immutable) history
+        history = session.execute("World!entry historyOf: 'eventTime'")
+        assert [v for _, v in history] == [500, 501]
+        with pytest.raises(OpalRuntimeError):
+            session.execute("World!entry at: 'x' put: 1. World!entry!x @ 1 := 2")
+
+
+class TestPerformAndCopy:
+    def test_perform(self, engine):
+        assert engine.execute("3 perform: #negated") == -3
+        assert engine.execute("3 perform: #max: with: 9") == 9
+        assert engine.execute("'ab' perform: #copyFrom:to: with: 1 with: 1") == "a"
+
+    def test_copy_is_equivalent_not_identical(self, engine):
+        engine.execute("""
+            Object subclass: #Gate instVarNames: #(kind).
+            | g | g := Gate new. g at: 'kind' put: #nand. World!g := g
+        """)
+        assert engine.execute("World!g copy == World!g") is False
+        assert engine.execute("(World!g copy at: 'kind') = (World!g at: 'kind')")
+
+    def test_copy_is_shallow(self, engine):
+        engine.execute("""
+            | inner outer |
+            inner := Object new. inner at: 'v' put: 1.
+            outer := Object new. outer at: 'inner' put: inner.
+            World!outer := outer
+        """)
+        assert engine.execute(
+            "(World!outer copy at: 'inner') == (World!outer at: 'inner')"
+        ) is True
+
+    def test_copy_of_immediate_is_itself(self, engine):
+        assert engine.execute("42 copy") == 42
+        assert engine.execute("'x' copy") == "x"

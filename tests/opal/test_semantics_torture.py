@@ -1,0 +1,185 @@
+"""Harder OPAL semantics: recursion, closures, cascade values, scoping."""
+
+import pytest
+
+from repro.core import MemoryObjectManager
+from repro.errors import CompileError, OpalRuntimeError
+from repro.opal import OpalEngine
+
+
+@pytest.fixture
+def engine():
+    return OpalEngine(MemoryObjectManager())
+
+
+class TestRecursion:
+    def test_recursive_method(self, engine):
+        engine.execute("""
+            Object subclass: #Math instVarNames: #().
+            Math compile: 'factorial: n
+                n <= 1 ifTrue: [^1].
+                ^n * (self factorial: n - 1)'
+        """)
+        assert engine.execute("Math new factorial: 10") == 3628800
+
+    def test_mutual_recursion(self, engine):
+        engine.execute("""
+            Object subclass: #Parity instVarNames: #().
+            Parity compile: 'isEven: n
+                n = 0 ifTrue: [^true]. ^self isOdd: n - 1'.
+            Parity compile: 'isOdd: n
+                n = 0 ifTrue: [^false]. ^self isEven: n - 1'
+        """)
+        assert engine.execute("Parity new isEven: 10") is True
+        assert engine.execute("Parity new isOdd: 10") is False
+
+    def test_fibonacci_with_blocks(self, engine):
+        source = """
+            | fib |
+            fib := nil.
+            fib := [:n | n < 2 ifTrue: [n] ifFalse: [
+                (fib value: n - 1) + (fib value: n - 2)]].
+            fib value: 12
+        """
+        assert engine.execute(source) == 144
+
+
+class TestClosures:
+    def test_counter_factory_keeps_separate_state(self, engine):
+        source = """
+            | make c1 c2 |
+            make := [ | n | n := 0. [n := n + 1. n] ].
+            c1 := make value.
+            c2 := make value.
+            c1 value. c1 value. c2 value.
+            (c1 value * 10) + c2 value
+        """
+        assert engine.execute(source) == 32
+
+    def test_loop_variable_capture(self, engine):
+        source = """
+            | b1 b2 b3 |
+            1 to: 3 do: [:i |
+                i = 1 ifTrue: [b1 := [i]].
+                i = 2 ifTrue: [b2 := [i]].
+                i = 3 ifTrue: [b3 := [i]]].
+            (b1 value) + (b2 value) + (b3 value)
+        """
+        # to:do: calls the block afresh each iteration, so each closure
+        # captures its own frame's i (full-closure semantics): 1 + 2 + 3
+        assert engine.execute(source) == 6
+
+    def test_blocks_are_not_storable_values(self, engine):
+        """Closures live in the session, never in object elements."""
+        with pytest.raises(TypeError):
+            engine.execute("| s | s := Set new. s add: [1]")
+
+    def test_non_local_return_through_nested_blocks(self, engine):
+        engine.execute("""
+            Object subclass: #Finder instVarNames: #().
+            Finder compile: 'firstOver: limit in: aBag
+                aBag do: [:x | x > limit ifTrue: [^x]].
+                ^nil'
+        """)
+        result = engine.execute("""
+            | bag |
+            bag := Bag new.
+            bag add: 3; add: 8; add: 15.
+            Finder new firstOver: 5 in: bag
+        """)
+        assert result in (8, 15)  # bag order is insertion order: 8
+
+    def test_non_local_return_exits_loops(self, engine):
+        engine.execute("""
+            Object subclass: #Loops instVarNames: #().
+            Loops compile: 'countTo: n
+                | i | i := 0.
+                [true] whileTrue: [i := i + 1. i = n ifTrue: [^i]]'
+        """)
+        assert engine.execute("Loops new countTo: 7") == 7
+
+
+class TestCascades:
+    def test_cascade_value_is_last_message(self, engine):
+        assert engine.execute("| s | s := Set new. (s add: 1; add: 2; size)") == 2
+
+    def test_cascade_receiver_is_first_messages_receiver(self, engine):
+        # `add:` returns the argument; the cascade must keep sending to
+        # the Set, not to the argument
+        assert engine.execute(
+            "| s | s := Set new. s add: 99; add: 98. s size"
+        ) == 2
+
+    def test_cascade_in_expression(self, engine):
+        assert engine.execute(
+            "| d | d := Dictionary new. (d at: 1 put: 'a'; at: 2 put: 'b'; keys) size"
+        ) == 2
+
+
+class TestScoping:
+    def test_block_param_shadows_outer_temp(self, engine):
+        assert engine.execute(
+            "| x | x := 1. [:x | x * 10] value: 5"
+        ) == 50
+
+    def test_outer_temp_unchanged_by_shadow(self, engine):
+        assert engine.execute(
+            "| x | x := 1. [:x | x * 10] value: 5. x"
+        ) == 1
+
+    def test_method_args_assignable(self, engine):
+        engine.execute("""
+            Object subclass: #Clamp instVarNames: #().
+            Clamp compile: 'clamp: v
+                v > 10 ifTrue: [v := 10]. ^v'
+        """)
+        assert engine.execute("Clamp new clamp: 99") == 10
+        assert engine.execute("Clamp new clamp: 3") == 3
+
+    def test_duplicate_temps_rejected(self, engine):
+        with pytest.raises(CompileError):
+            engine.execute("| a a | a")
+
+    def test_instvar_vs_temp_resolution(self, engine):
+        engine.execute("""
+            Object subclass: #Shadow instVarNames: #(v).
+            Shadow compile: 'set v := 7'.
+            Shadow compile: 'confuse | v | v := 99. ^self at: ''v'''
+        """)
+        assert engine.execute("| s | s := Shadow new. s set. s confuse") == 7
+
+
+class TestStringBuilding:
+    def test_report_building(self, engine):
+        source = """
+            | out |
+            out := ''.
+            1 to: 3 do: [:i | out := out , i printString , ';'].
+            out
+        """
+        assert engine.execute(source) == "1;2;3;"
+
+    def test_print_string_of_objects(self, engine):
+        engine.execute("Object subclass: #Empty instVarNames: #()")
+        assert engine.execute("Empty new printString") == "an Empty"
+        assert engine.execute("Empty printString") == "Empty"
+
+
+class TestErrorPropagation:
+    def test_error_inside_block_inside_method(self, engine):
+        engine.execute("""
+            Object subclass: #Risky instVarNames: #().
+            Risky compile: 'go #(1 2 3) do: [:x | x = 2 ifTrue: [self error: ''two'']]'
+        """)
+        with pytest.raises(OpalRuntimeError, match="two"):
+            engine.execute("Risky new go")
+
+    def test_arity_mismatch_in_method_send(self, engine):
+        engine.execute("""
+            Object subclass: #Arity instVarNames: #().
+            Arity compile: 'needs: a and: b ^a + b'
+        """)
+        assert engine.execute("Arity new needs: 1 and: 2") == 3
+
+    def test_deep_arithmetic(self, engine):
+        assert engine.execute("((((1 + 2) * 3) - 4) * 5) \\\\ 7") == 4

@@ -1,0 +1,50 @@
+"""Shared fixtures: the section 5.1 Acme database fragment."""
+
+import pytest
+
+from repro.core import MemoryObjectManager
+
+
+class AcmeFixture:
+    """The paper's Departments/Employees fragment as GSDM objects."""
+
+    def __init__(self):
+        om = MemoryObjectManager()
+        self.om = om
+        self.sales = self._set(om, Name="Sales", Budget=142000,
+                               Managers=self._coll(om, "Nathen", "Roberts"))
+        self.research = self._set(om, Name="Research", Budget=256500,
+                                  Managers=self._coll(om, "Carter"))
+        self.departments = self._coll(om, self.sales, self.research)
+        self.burns = self._set(
+            om, Name=self._set(om, First="Ellen", Last="Burns"),
+            Salary=24650, Depts=self._coll(om, "Marketing"),
+        )
+        self.peters = self._set(
+            om, Name=self._set(om, First="Robert", Last="Peters"),
+            Salary=24000, Depts=self._coll(om, "Sales", "Planning"),
+        )
+        self.earner = self._set(
+            om, Name=self._set(om, First="Big", Last="Earner"),
+            Salary=30000, Depts=self._coll(om, "Research"),
+        )
+        self.employees = self._coll(om, self.burns, self.peters, self.earner)
+
+    @staticmethod
+    def _set(om, **elements):
+        obj = om.instantiate("Object")
+        for name, value in elements.items():
+            om.bind(obj, name, value)
+        return obj
+
+    @staticmethod
+    def _coll(om, *members):
+        obj = om.instantiate("Object")
+        for member in members:
+            om.bind(obj, om.new_alias(), member)
+        return obj
+
+
+@pytest.fixture
+def acme():
+    return AcmeFixture()

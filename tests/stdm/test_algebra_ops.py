@@ -1,0 +1,121 @@
+"""Unit tests for algebra plan mechanics and materialized set operations."""
+
+import pytest
+
+from repro.core import MemoryObjectManager
+from repro.stdm import (
+    BindScan,
+    Const,
+    ConstructResult,
+    Filter,
+    QueryContext,
+    Unit,
+    Var,
+    deduplicate,
+    difference,
+    intersection,
+    union,
+    variables,
+)
+from repro.stdm.algebra import collect_operators, plan_depth
+
+
+@pytest.fixture
+def om():
+    return MemoryObjectManager()
+
+
+def make_set(om, *values):
+    obj = om.instantiate("Object")
+    for value in values:
+        om.bind(obj, om.new_alias(), value)
+    return obj
+
+
+class TestPlanMechanics:
+    def test_unit_yields_one_empty_binding(self, om):
+        assert Unit().run(QueryContext(om)) == [{}]
+
+    def test_bindscan_streams_members(self, om):
+        collection = make_set(om, 1, 2, 3)
+        plan = BindScan(Unit(), "x", Const(collection))
+        rows = plan.run(QueryContext(om))
+        assert [r["x"] for r in rows] == [1, 2, 3]
+
+    def test_filter_counts_rows(self, om):
+        collection = make_set(om, 1, 2, 3, 4)
+        x = Var("x")
+        plan = Filter(BindScan(Unit(), "x", Const(collection)), x > 2)
+        plan.run(QueryContext(om))
+        assert plan.rows_out == 2
+        assert plan.child.rows_out == 4
+
+    def test_reset_counters(self, om):
+        collection = make_set(om, 1, 2)
+        plan = BindScan(Unit(), "x", Const(collection))
+        plan.run(QueryContext(om))
+        plan.reset_counters()
+        assert all(op.rows_out == 0 for op in collect_operators(plan))
+
+    def test_explain_includes_counters(self, om):
+        collection = make_set(om, 1)
+        plan = ConstructResult(
+            BindScan(Unit(), "x", Const(collection)), Var("x")
+        )
+        plan.run(QueryContext(om))
+        text = plan.explain()
+        assert "rows_out=1" in text
+        assert "BindScan" in text
+        assert "Unit" in text
+
+    def test_plan_depth(self, om):
+        collection = make_set(om, 1)
+        plan = ConstructResult(
+            Filter(BindScan(Unit(), "x", Const(collection)), Const(True)),
+            Var("x"),
+        )
+        assert plan_depth(plan) == 4
+
+    def test_plans_are_restartable(self, om):
+        collection = make_set(om, 1, 2)
+        plan = ConstructResult(
+            BindScan(Unit(), "x", Const(collection)), Var("x")
+        )
+        ctx = QueryContext(om)
+        assert plan.run(ctx) == plan.run(ctx) == [1, 2]
+
+    def test_bindings_do_not_leak_between_rows(self, om):
+        outer = make_set(om, 1, 2)
+        inner = make_set(om, 10)
+        x, y = variables("x", "y")
+        plan = ConstructResult(
+            BindScan(BindScan(Unit(), "x", Const(outer)), "y", Const(inner)),
+            x + y,
+        )
+        assert plan.run(QueryContext(om)) == [11, 12]
+
+
+class TestSetOperations:
+    def test_union_preserves_left_order(self):
+        assert union([3, 1], [2, 1]) == [3, 1, 2]
+
+    def test_union_of_empties(self):
+        assert union([], []) == []
+
+    def test_intersection_keeps_left_duplicates(self):
+        assert intersection([1, 1, 2], [1]) == [1, 1]
+
+    def test_difference(self):
+        assert difference([1, 2, 3], [2]) == [1, 3]
+        assert difference([], [1]) == []
+
+    def test_dedup_by_object_identity(self, om):
+        a = om.instantiate("Object")
+        b = om.instantiate("Object")
+        from repro.core import Ref
+
+        assert deduplicate([a, Ref(a.oid), b]) == [a, b]
+
+    def test_classic_identities(self):
+        a, b = [1, 2, 3], [2, 3, 4]
+        assert sorted(union(intersection(a, b), difference(a, b))) == a

@@ -1,0 +1,216 @@
+"""Tests for set-calculus semantics (the reference evaluator)."""
+
+import pytest
+
+from repro.core import MemoryObjectManager, Ref
+from repro.errors import CalculusError
+from repro.stdm import (
+    Apply,
+    Const,
+    LabeledSet,
+    NOVALUE,
+    QueryContext,
+    SetQuery,
+    Var,
+    value_equal,
+    variables,
+)
+
+
+class TestExpressions:
+    def setup_method(self):
+        self.om = MemoryObjectManager()
+        self.ctx = QueryContext(self.om)
+
+    def test_const_and_var(self):
+        assert Const(5).evaluate(self.ctx, {}) == 5
+        assert Var("x").evaluate(self.ctx, {"x": 7}) == 7
+
+    def test_unbound_var(self):
+        with pytest.raises(CalculusError):
+            Var("x").evaluate(self.ctx, {})
+
+    def test_path_apply(self):
+        obj = self.om.instantiate("Object", Salary=100)
+        e = Var("e")
+        assert e.path("Salary").evaluate(self.ctx, {"e": obj}) == 100
+
+    def test_path_apply_missing_is_novalue(self):
+        obj = self.om.instantiate("Object")
+        assert Var("e").path("Salary").evaluate(
+            self.ctx, {"e": obj}
+        ) is NOVALUE
+
+    def test_path_through_simple_value_is_novalue(self):
+        obj = self.om.instantiate("Object", x=3)
+        assert Var("e").path("x!y").evaluate(self.ctx, {"e": obj}) is NOVALUE
+
+    def test_nested_path(self):
+        name = self.om.instantiate("Object", Last="Burns")
+        obj = self.om.instantiate("Object", Name=name)
+        assert Var("e").path("Name!Last").evaluate(
+            self.ctx, {"e": obj}
+        ) == "Burns"
+
+    def test_arithmetic(self):
+        e = Var("e")
+        expr = e * 2 + Const(1)
+        assert expr.evaluate(self.ctx, {"e": 10}) == 21
+        expr = 0.5 * Var("e")
+        assert expr.evaluate(self.ctx, {"e": 10}) == 5.0
+
+    def test_arithmetic_novalue_propagates(self):
+        obj = self.om.instantiate("Object")
+        expr = Var("e").path("missing") * 2
+        assert expr.evaluate(self.ctx, {"e": obj}) is NOVALUE
+
+    def test_comparisons(self):
+        ctx, b = self.ctx, {"x": 5}
+        assert (Var("x") > 4).evaluate(ctx, b)
+        assert (Var("x") >= 5).evaluate(ctx, b)
+        assert not (Var("x") < 5).evaluate(ctx, b)
+        assert (Var("x") <= 5).evaluate(ctx, b)
+        assert Var("x").eq(5).evaluate(ctx, b)
+        assert Var("x").ne(4).evaluate(ctx, b)
+
+    def test_comparisons_with_novalue_fail(self):
+        obj = self.om.instantiate("Object")
+        b = {"e": obj}
+        missing = Var("e").path("nope")
+        assert not (missing > 1).evaluate(self.ctx, b)
+        assert not (missing < 1).evaluate(self.ctx, b)
+        assert not missing.eq(1).evaluate(self.ctx, b)
+        assert not missing.ne(1).evaluate(self.ctx, b)
+
+    def test_connectives(self):
+        t, f = Const(True), Const(False)
+        assert (t & t).evaluate(self.ctx, {})
+        assert not (t & f).evaluate(self.ctx, {})
+        assert (t | f).evaluate(self.ctx, {})
+        assert (~f).evaluate(self.ctx, {})
+
+    def test_membership_in_gsdm_set(self):
+        coll = self.om.instantiate("Object")
+        self.om.bind(coll, self.om.new_alias(), "Sales")
+        expr = Const("Sales").in_(Const(coll))
+        assert expr.evaluate(self.ctx, {})
+        assert not Const("HR").in_(Const(coll)).evaluate(self.ctx, {})
+
+    def test_membership_by_identity_for_objects(self):
+        member = self.om.instantiate("Object")
+        twin = self.om.instantiate("Object")  # equivalent, not identical
+        coll = self.om.instantiate("Object")
+        self.om.bind(coll, self.om.new_alias(), member)
+        assert Const(member).in_(Const(coll)).evaluate(self.ctx, {})
+        assert not Const(twin).in_(Const(coll)).evaluate(self.ctx, {})
+
+    def test_membership_in_labeled_set_and_list(self):
+        assert Const(1).in_(Const(LabeledSet.of(1, 2))).evaluate(self.ctx, {})
+        assert Const(1).in_(Const([1, 2])).evaluate(self.ctx, {})
+
+    def test_subset_single_construct(self):
+        """Section 5.2: subset needs one construct, not two quantifiers."""
+        a = self.om.instantiate("Object")
+        b = self.om.instantiate("Object")
+        for v in ("x", "y"):
+            self.om.bind(a, self.om.new_alias(), v)
+        for v in ("x", "y", "z"):
+            self.om.bind(b, self.om.new_alias(), v)
+        assert Const(a).subset_of(Const(b)).evaluate(self.ctx, {})
+        assert not Const(b).subset_of(Const(a)).evaluate(self.ctx, {})
+
+    def test_apply_general_computation(self):
+        nearest_payday = Apply(lambda d: d + (5 - d % 5) % 5, Var("d"))
+        assert nearest_payday.evaluate(self.ctx, {"d": 13}) == 15
+
+    def test_free_vars(self):
+        e, d = variables("e", "d")
+        expr = (e.path("Salary") > Const(0.1) * d.path("Budget"))
+        assert expr.free_vars() == {"e", "d"}
+
+    def test_value_equal_mixes_refs_and_objects(self):
+        obj = self.om.instantiate("Object")
+        assert value_equal(obj, Ref(obj.oid))
+        assert value_equal(Ref(obj.oid), obj)
+        assert not value_equal(obj, 5)
+        assert value_equal(3, 3)
+
+
+class TestSetQuery:
+    def test_paper_query(self, acme):
+        """The section 5.1 employees/managers/10%-of-budget query."""
+        e, d, m = variables("e", "d", "m")
+        query = SetQuery(
+            result={"Emp": e.path("Name!Last"), "Mgr": m},
+            binders=[
+                (e, Const(acme.employees)),
+                (d, Const(acme.departments)),
+                (m, d.path("Managers")),
+            ],
+            condition=(
+                d.path("Name").in_(e.path("Depts"))
+                & (e.path("Salary") > Const(0.10) * d.path("Budget"))
+            ),
+        )
+        results = query.evaluate(QueryContext(acme.om))
+        # Peters: in Sales, 24000 > 14200 -> two managers.
+        # Earner: in Research, 30000 > 25650 -> one manager.
+        # Burns: Marketing matches no department.
+        assert sorted((r["Emp"], r["Mgr"]) for r in results) == [
+            ("Earner", "Carter"),
+            ("Peters", "Nathen"),
+            ("Peters", "Roberts"),
+        ]
+
+    def test_dependent_binder(self, acme):
+        d, m = variables("d", "m")
+        query = SetQuery(
+            result=m,
+            binders=[(d, Const(acme.departments)), (m, d.path("Managers"))],
+        )
+        assert sorted(query.evaluate(QueryContext(acme.om))) == [
+            "Carter", "Nathen", "Roberts",
+        ]
+
+    def test_no_condition_is_product(self, acme):
+        e, d = variables("e", "d")
+        query = SetQuery(
+            result=Const(1),
+            binders=[(e, Const(acme.employees)), (d, Const(acme.departments))],
+        )
+        assert len(query.evaluate(QueryContext(acme.om))) == 6
+
+    def test_scoping_checked_at_construction(self, acme):
+        e, d = variables("e", "d")
+        with pytest.raises(CalculusError):
+            SetQuery(result=e, binders=[(e, d.path("Managers"))])
+        with pytest.raises(CalculusError):
+            SetQuery(result=d, binders=[(e, Const(acme.employees))])
+        with pytest.raises(CalculusError):
+            SetQuery(result=e, binders=[(e, Const(acme.employees))],
+                     condition=d.path("Name").eq("x"))
+
+    def test_evaluation_at_past_time(self, acme):
+        om = acme.om
+        t0 = om.now
+        om.tick()
+        om.bind(acme.peters, "Salary", 99000)
+        e, = variables("e")
+        query = SetQuery(
+            result=e.path("Name!Last"),
+            binders=[(e, Const(acme.employees))],
+            condition=(e.path("Salary") > 50000),
+        )
+        assert query.evaluate(QueryContext(om)) == ["Peters"]
+        assert query.evaluate(QueryContext(om, time=t0)) == []
+
+    def test_members_of_plain_values_rejected(self):
+        om = MemoryObjectManager()
+        ctx = QueryContext(om)
+        with pytest.raises(CalculusError):
+            list(ctx.members(42))
+
+    def test_members_of_nil_is_empty(self):
+        om = MemoryObjectManager()
+        ctx = QueryContext(om)
+        assert list(ctx.members(None)) == []

@@ -1,0 +1,125 @@
+"""Existential and universal quantifiers inside conditions."""
+
+import pytest
+
+from repro.core import MemoryObjectManager
+from repro.stdm import (
+    Const,
+    Exists,
+    ForAll,
+    QueryContext,
+    SetQuery,
+    translate,
+    variables,
+)
+
+
+@pytest.fixture
+def om():
+    return MemoryObjectManager()
+
+
+def collection(om, *values):
+    obj = om.instantiate("Object")
+    for value in values:
+        om.bind(obj, om.new_alias(), value)
+    return obj
+
+
+class TestExists:
+    def test_basic(self, om):
+        numbers = collection(om, 1, 5, 9)
+        x = variables("x")[0]
+        expr = Exists("x", Const(numbers), x > 7)
+        assert expr.evaluate(QueryContext(om), {}) is True
+        expr = Exists("x", Const(numbers), x > 100)
+        assert expr.evaluate(QueryContext(om), {}) is False
+
+    def test_empty_source_is_false(self, om):
+        empty = collection(om)
+        x = variables("x")[0]
+        assert Exists("x", Const(empty), x.eq(x)).evaluate(
+            QueryContext(om), {}
+        ) is False
+
+    def test_shadowing_outer_binding(self, om):
+        numbers = collection(om, 1, 2)
+        x = variables("x")[0]
+        expr = Exists("x", Const(numbers), x.eq(2))
+        # an outer x must not leak in or out
+        bindings = {"x": 999}
+        assert expr.evaluate(QueryContext(om), bindings) is True
+        assert bindings["x"] == 999
+
+    def test_free_vars_exclude_bound(self, om):
+        x, y = variables("x", "y")
+        expr = Exists("x", y.path("items"), x > y.path("limit"))
+        assert expr.free_vars() == {"y"}
+
+
+class TestForAll:
+    def test_basic(self, om):
+        numbers = collection(om, 2, 4, 6)
+        x = variables("x")[0]
+        ctx = QueryContext(om)
+        assert ForAll("x", Const(numbers), x > 1).evaluate(ctx, {}) is True
+        assert ForAll("x", Const(numbers), x > 3).evaluate(ctx, {}) is False
+
+    def test_vacuous_truth(self, om):
+        empty = collection(om)
+        x = variables("x")[0]
+        assert ForAll("x", Const(empty), x > 100).evaluate(
+            QueryContext(om), {}
+        ) is True
+
+
+class TestQuantifiedQueries:
+    def build_departments(self, om):
+        """Departments whose every manager is senior (the relational
+        two-quantifier headache, section 5.2, as one construct)."""
+        def dept(name, seniorities):
+            managers = om.instantiate("Object")
+            for years in seniorities:
+                member = om.instantiate("Object", years=years)
+                om.bind(managers, om.new_alias(), member)
+            return om.instantiate("Object", Name=name, Managers=managers)
+
+        return collection(
+            om,
+            dept("AllSenior", [10, 12]),
+            dept("Mixed", [15, 2]),
+            dept("NoManagers", []),
+        )
+
+    def test_departments_where_all_managers_senior(self, om):
+        departments = self.build_departments(om)
+        d, m = variables("d", "m")
+        query = SetQuery(
+            result=d.path("Name"),
+            binders=[(d, Const(departments))],
+            condition=ForAll("m", d.path("Managers"), m.path("years") >= 5),
+        )
+        results = sorted(query.evaluate(QueryContext(om)))
+        assert results == ["AllSenior", "NoManagers"]  # vacuous truth
+
+    def test_departments_with_some_junior_manager(self, om):
+        departments = self.build_departments(om)
+        d, m = variables("d", "m")
+        query = SetQuery(
+            result=d.path("Name"),
+            binders=[(d, Const(departments))],
+            condition=Exists("m", d.path("Managers"), m.path("years") < 5),
+        )
+        assert query.evaluate(QueryContext(om)) == ["Mixed"]
+
+    def test_quantifiers_translate_through_algebra(self, om):
+        departments = self.build_departments(om)
+        d = variables("d")[0]
+        m = variables("m")[0]
+        query = SetQuery(
+            result=d.path("Name"),
+            binders=[(d, Const(departments))],
+            condition=ForAll("m", d.path("Managers"), m.path("years") >= 5),
+        )
+        reference = query.evaluate(QueryContext(om))
+        assert translate(query).run(QueryContext(om)) == reference

@@ -1,0 +1,117 @@
+"""Tests for the relational encodings of section 5.2 (experiments E3/E4)."""
+
+import pytest
+
+from repro.errors import CalculusError
+from repro.stdm import (
+    LabeledSet,
+    flatten_set_valued,
+    relation_to_set,
+    set_to_relation,
+    unflatten_to_sets,
+)
+
+
+class TestRelationAsSet:
+    def test_paper_example(self):
+        """Relation {(1,3,4), (1,5,4)} over A,B,C — the paper's table."""
+        encoded = relation_to_set(["A", "B", "C"], [(1, 3, 4), (1, 5, 4)])
+        assert encoded["T1"] == LabeledSet({"A": 1, "B": 3, "C": 4})
+        assert encoded["T2"] == LabeledSet({"A": 1, "B": 5, "C": 4})
+
+    def test_roundtrip(self):
+        attrs = ["A", "B", "C"]
+        rows = [(1, 3, 4), (1, 5, 4), (2, 2, 2)]
+        back_attrs, back_rows = set_to_relation(relation_to_set(attrs, rows))
+        assert back_attrs == attrs
+        assert back_rows == rows
+
+    def test_empty_relation(self):
+        attrs, rows = set_to_relation(relation_to_set(["A"], []))
+        assert rows == []
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(CalculusError):
+            relation_to_set(["A", "B"], [(1,)])
+
+    def test_heterogeneous_tuples_rejected(self):
+        bad = LabeledSet({
+            "T1": LabeledSet({"A": 1}),
+            "T2": LabeledSet({"B": 2}),
+        })
+        with pytest.raises(CalculusError):
+            set_to_relation(bad)
+
+    def test_extra_attribute_rejected(self):
+        bad = LabeledSet({
+            "T1": LabeledSet({"A": 1}),
+            "T2": LabeledSet({"A": 2, "B": 3}),
+        })
+        with pytest.raises(CalculusError):
+            set_to_relation(bad)
+
+    def test_non_tuple_member_rejected(self):
+        with pytest.raises(CalculusError):
+            set_to_relation(LabeledSet({"T1": 42}))
+
+
+class TestChildrenFlattening:
+    def robert(self):
+        """The paper's Robert Peters example, verbatim."""
+        return LabeledSet.from_nested({
+            "Name": {"First": "Robert", "Last": "Peters"},
+            "Children": ["Olivia", "Dale", "Paul"],
+        })
+
+    def test_flatten_produces_three_tuples(self):
+        attrs, rows = flatten_set_valued(
+            [self.robert()], ["Name!First", "Name!Last"], "Children", "Child"
+        )
+        assert attrs == ["First", "Last", "Child"]
+        assert sorted(rows) == [
+            ("Robert", "Peters", "Dale"),
+            ("Robert", "Peters", "Olivia"),
+            ("Robert", "Peters", "Paul"),
+        ]
+
+    def test_redundancy_is_unavoidable(self):
+        """Scalar values repeat once per child — the paper's point."""
+        _attrs, rows = flatten_set_valued(
+            [self.robert()], ["Name!First"], "Children", "Child"
+        )
+        firsts = [row[0] for row in rows]
+        assert firsts == ["Robert"] * 3
+
+    def test_unflatten_recovers_the_set_as_an_entity(self):
+        attrs, rows = flatten_set_valued(
+            [self.robert()], ["Name!First", "Name!Last"], "Children", "Child"
+        )
+        entities = unflatten_to_sets(attrs, rows, ["First", "Last"], "Child",
+                                     "Children")
+        assert len(entities) == 1
+        children = entities[0]["Children"]
+        assert sorted(children.values()) == ["Dale", "Olivia", "Paul"]
+
+    def test_multiple_entities_keep_separate_sets(self):
+        family2 = LabeledSet.from_nested({
+            "Name": {"First": "Ellen", "Last": "Burns"},
+            "Children": ["Ada"],
+        })
+        attrs, rows = flatten_set_valued(
+            [self.robert(), family2], ["Name!First", "Name!Last"],
+            "Children", "Child",
+        )
+        assert len(rows) == 4
+        entities = unflatten_to_sets(attrs, rows, ["First", "Last"], "Child",
+                                     "Children")
+        sizes = sorted(len(e["Children"]) for e in entities)
+        assert sizes == [1, 3]
+
+    def test_flatten_non_set_attribute_rejected(self):
+        entity = LabeledSet.of(Name="x", Children=3)
+        with pytest.raises(CalculusError):
+            flatten_set_valued([entity], ["Name"], "Children", "Child")
+
+    def test_unflatten_unknown_column_rejected(self):
+        with pytest.raises(CalculusError):
+            unflatten_to_sets(["A"], [], ["Nope"], "A", "Xs")

@@ -1,0 +1,164 @@
+"""Tests for pure STDM labeled sets and the GSDM bridge."""
+
+import pytest
+
+from repro.core import MemoryObjectManager
+from repro.errors import CalculusError
+from repro.stdm import LabeledSet, format_set, materialize, snapshot
+
+
+class TestConstruction:
+    def test_of_with_labels(self):
+        dept = LabeledSet.of(Name="Sales", Budget=142000)
+        assert dept["Name"] == "Sales"
+        assert dept["Budget"] == 142000
+
+    def test_unlabeled_values_get_aliases(self):
+        managers = LabeledSet.of("Nathen", "Roberts")
+        assert len(managers) == 2
+        assert sorted(managers.values()) == ["Nathen", "Roberts"]
+        assert all(isinstance(n, str) for n in managers.names())
+
+    def test_aliases_are_unique(self):
+        s = LabeledSet()
+        a1 = s.add("x")
+        a2 = s.add("y")
+        assert a1 != a2
+
+    def test_from_nested(self):
+        data = {"Name": {"First": "Ellen"}, "Phones": [3949, 3862]}
+        s = LabeledSet.from_nested(data)
+        assert s.navigate("Name!First") == "Ellen"
+        assert sorted(s["Phones"].values()) == [3862, 3949]
+
+    def test_no_duplicate_element_names(self):
+        s = LabeledSet()
+        s["x"] = 1
+        s["x"] = 2  # replaces, like a mapping
+        assert s["x"] == 2
+        assert len(s) == 1
+
+    def test_integer_element_names_model_arrays(self):
+        """Section 5.2: arrays are sets with numbers as element names."""
+        rows = LabeledSet({1: LabeledSet.of("Anders", "Roberts"),
+                           2: LabeledSet.of("Roberts", "Ching")})
+        assert "Anders" in rows[1].values()
+
+    def test_bad_element_name(self):
+        with pytest.raises(CalculusError):
+            LabeledSet()[1.5] = "x"
+
+
+class TestNavigation:
+    def make_acme(self):
+        return LabeledSet.from_nested({
+            "Departments": {
+                "A12": {"Name": "Sales",
+                        "Managers": ["Nathen", "Roberts"],
+                        "Budget": 142000},
+                "A16": {"Name": "Research",
+                        "Managers": ["Carter"],
+                        "Budget": 256500},
+            },
+            "Employees": {
+                "E62": {"Name": {"First": "Ellen", "Last": "Burns"},
+                        "Salary": 24650, "Depts": ["Marketing"]},
+            },
+        })
+
+    def test_paper_path_examples(self):
+        acme = self.make_acme()
+        managers = acme.navigate("Departments!A16!Managers")
+        assert managers.values() == ["Carter"]
+        name = acme.navigate("Employees!E62!Name")
+        assert name["First"] == "Ellen"
+
+    def test_missing_component(self):
+        with pytest.raises(CalculusError):
+            self.make_acme().navigate("Departments!A99")
+
+    def test_through_simple_value(self):
+        with pytest.raises(CalculusError):
+            self.make_acme().navigate("Departments!A12!Budget!x")
+
+    def test_integer_path_component(self):
+        s = LabeledSet({1: LabeledSet.of("a")})
+        assert s.navigate("1").values() == ["a"]
+
+
+class TestEquality:
+    def test_structural_equivalence(self):
+        a = LabeledSet.of(Name="Sales")
+        b = LabeledSet.of(Name="Sales")
+        assert a == b
+        assert a is not b
+
+    def test_label_mismatch(self):
+        assert LabeledSet.of(Name="Sales") != LabeledSet.of(Title="Sales")
+
+    def test_nested(self):
+        a = LabeledSet.of(Name=LabeledSet.of(First="E"))
+        b = LabeledSet.of(Name=LabeledSet.of(First="E"))
+        c = LabeledSet.of(Name=LabeledSet.of(First="X"))
+        assert a == b
+        assert a != c
+
+    def test_has_member(self):
+        s = LabeledSet.of("Nathen", "Roberts")
+        assert s.has_member("Nathen")
+        assert not s.has_member("Carter")
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(LabeledSet())
+
+
+class TestFormatting:
+    def test_paper_notation(self):
+        dept = LabeledSet.of(Name="Sales", Budget=142000)
+        assert format_set(dept) == "{Name: 'Sales', Budget: 142000}"
+
+    def test_wide_sets_wrap(self):
+        s = LabeledSet({f"element_{i}": "a long value here" for i in range(6)})
+        assert "\n" in format_set(s)
+
+
+class TestBridge:
+    def test_materialize_gives_identity(self):
+        om = MemoryObjectManager()
+        data = LabeledSet.of(Name="Sales", Managers=LabeledSet.of("Nathen"))
+        obj = materialize(om, data)
+        assert om.value_at(obj, "Name") == "Sales"
+        managers = om.fetch(obj, "Managers")
+        assert managers.oid != obj.oid
+
+    def test_snapshot_round_trip(self):
+        om = MemoryObjectManager()
+        data = LabeledSet.from_nested(
+            {"Name": {"First": "Ellen"}, "Salary": 24650}
+        )
+        obj = materialize(om, data)
+        assert snapshot(om, obj) == data
+
+    def test_snapshot_respects_time(self):
+        om = MemoryObjectManager()
+        obj = materialize(om, LabeledSet.of(Salary=100))
+        t0 = om.now
+        om.tick()
+        om.bind(obj, "Salary", 200)
+        assert snapshot(om, obj)["Salary"] == 200
+        assert snapshot(om, obj, time=t0)["Salary"] == 100
+
+    def test_snapshot_rejects_cycles(self):
+        om = MemoryObjectManager()
+        a = om.instantiate("Object")
+        b = om.instantiate("Object", peer=a)
+        om.bind(a, "peer", b)
+        with pytest.raises(CalculusError):
+            snapshot(om, a)
+
+    def test_materialize_plain_python(self):
+        om = MemoryObjectManager()
+        obj = materialize(om, {"xs": [1, 2]})
+        xs = om.fetch(obj, "xs")
+        assert sorted(v for _, v in xs.items_at()) == [1, 2]

@@ -1,0 +1,319 @@
+"""Translation and optimization: equivalence with the calculus evaluator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import MemoryObjectManager, Ref
+from repro.directories import DirectoryManager
+from repro.errors import TranslationError
+from repro.stdm import (
+    BindScan,
+    Const,
+    Filter,
+    IndexEq,
+    IndexRange,
+    QueryContext,
+    SetQuery,
+    Var,
+    conjuncts,
+    deduplicate,
+    difference,
+    intersection,
+    optimize,
+    translate,
+    union,
+    variables,
+)
+from repro.stdm.algebra import collect_operators
+from repro.stdm.translate import filters_in
+
+
+def run_both(query, om, time=None, dm=None):
+    """Evaluate via calculus and via translated algebra; both result lists."""
+    reference = query.evaluate(QueryContext(om, time))
+    plan = translate(query)
+    algebra = plan.run(QueryContext(om, time, dm))
+    return reference, algebra
+
+
+class TestTranslation:
+    def test_paper_query_equivalent(self, acme):
+        e, d, m = variables("e", "d", "m")
+        query = SetQuery(
+            result={"Emp": e.path("Name!Last"), "Mgr": m},
+            binders=[
+                (e, Const(acme.employees)),
+                (d, Const(acme.departments)),
+                (m, d.path("Managers")),
+            ],
+            condition=(
+                d.path("Name").in_(e.path("Depts"))
+                & (e.path("Salary") > Const(0.10) * d.path("Budget"))
+            ),
+        )
+        reference, algebra = run_both(query, acme.om)
+        assert reference == algebra
+
+    def test_selection_pushdown(self, acme):
+        """A conjunct on e alone must sit below the d scan."""
+        e, d = variables("e", "d")
+        query = SetQuery(
+            result=e,
+            binders=[(e, Const(acme.employees)), (d, Const(acme.departments))],
+            condition=(e.path("Salary") > 24500) & (d.path("Budget") > 0),
+        )
+        plan = translate(query)
+        operators = collect_operators(plan)
+        # walk the spine: Construct, Filter(d), BindScan(d), Filter(e), BindScan(e), Unit
+        kinds = [type(op).__name__ for op in operators]
+        assert kinds == [
+            "ConstructResult", "Filter", "BindScan", "Filter", "BindScan", "Unit",
+        ]
+        # the lower filter touches only e
+        lower_filter = operators[3]
+        assert lower_filter.predicate.free_vars() == {"e"}
+
+    def test_pushdown_reduces_rows(self, acme):
+        e, d = variables("e", "d")
+        query = SetQuery(
+            result=e,
+            binders=[(e, Const(acme.employees)), (d, Const(acme.departments))],
+            condition=(e.path("Salary") > 100000),
+        )
+        plan = translate(query)
+        plan.run(QueryContext(acme.om))
+        scans = [op for op in collect_operators(plan) if isinstance(op, BindScan)]
+        d_scan = next(op for op in scans if op.var == "d")
+        assert d_scan.rows_out == 0  # filter cut everything before d
+
+    def test_filters_all_attached(self, acme):
+        e, = variables("e")
+        query = SetQuery(
+            result=e,
+            binders=[(e, Const(acme.employees))],
+            condition=(e.path("Salary") > 1) & (e.path("Salary") < 10**9),
+        )
+        plan = translate(query)
+        assert len(list(filters_in(plan))) == 2
+
+    def test_conjuncts_flattening(self):
+        a, b, c = (Const(True), Const(False), Const(True))
+        expr = (a & b) & c
+        assert len(conjuncts(expr)) == 3
+        assert conjuncts(None) == []
+
+    def test_empty_binders(self):
+        query = SetQuery(result=Const(42), binders=[])
+        assert translate(query).run(QueryContext(MemoryObjectManager())) == [42]
+
+    def test_bad_scoping_raises(self, acme):
+        # bypass SetQuery validation to hit the translator's own check
+        from repro.stdm.calculus import Binder
+
+        query = SetQuery(result=Const(1), binders=[])
+        query.binders = [Binder("e", Var("ghost").path("xs"))]
+        with pytest.raises(TranslationError):
+            translate(query)
+
+
+class TestOptimizer:
+    def make_indexed(self, acme):
+        dm = DirectoryManager(acme.om)
+        dm.create_directory(acme.employees, "Salary")
+        return dm
+
+    def query_salary_above(self, acme, threshold):
+        e, = variables("e")
+        return SetQuery(
+            result=e.path("Name!Last"),
+            binders=[(e, Const(acme.employees))],
+            condition=(e.path("Salary") > threshold),
+        )
+
+    def test_index_chosen_for_range(self, acme):
+        dm = self.make_indexed(acme)
+        plan, choices = optimize(self.query_salary_above(acme, 24500), dm)
+        assert len(choices) == 1
+        assert choices[0].kind == "range"
+        assert any(isinstance(op, IndexRange) for op in collect_operators(plan))
+        assert not any(isinstance(op, BindScan) for op in collect_operators(plan))
+
+    def test_index_plan_equivalent(self, acme):
+        dm = self.make_indexed(acme)
+        query = self.query_salary_above(acme, 24500)
+        reference = query.evaluate(QueryContext(acme.om))
+        plan, _ = optimize(query, dm)
+        assert sorted(plan.run(QueryContext(acme.om, None, dm))) == sorted(reference)
+
+    def test_equality_uses_index_eq(self, acme):
+        dm = self.make_indexed(acme)
+        e, = variables("e")
+        query = SetQuery(
+            result=e.path("Name!Last"),
+            binders=[(e, Const(acme.employees))],
+            condition=e.path("Salary").eq(24000),
+        )
+        plan, choices = optimize(query, dm)
+        assert choices[0].kind == "eq"
+        assert any(isinstance(op, IndexEq) for op in collect_operators(plan))
+        assert plan.run(QueryContext(acme.om)) == ["Peters"]
+
+    def test_reversed_comparison_also_matches(self, acme):
+        dm = self.make_indexed(acme)
+        e, = variables("e")
+        query = SetQuery(
+            result=e.path("Name!Last"),
+            binders=[(e, Const(acme.employees))],
+            condition=(Const(24500) < e.path("Salary")),
+        )
+        plan, choices = optimize(query, dm)
+        assert len(choices) == 1
+        assert sorted(plan.run(QueryContext(acme.om))) == ["Burns", "Earner"]
+
+    def test_no_directory_falls_back_to_scan(self, acme):
+        dm = DirectoryManager(acme.om)  # no directories registered
+        plan, choices = optimize(self.query_salary_above(acme, 0), dm)
+        assert choices == []
+        assert any(isinstance(op, BindScan) for op in collect_operators(plan))
+
+    def test_wrong_path_falls_back(self, acme):
+        dm = DirectoryManager(acme.om)
+        dm.create_directory(acme.employees, "Name!Last")
+        plan, choices = optimize(self.query_salary_above(acme, 0), dm)
+        assert choices == []
+
+    def test_dependent_binder_never_indexed(self, acme):
+        dm = self.make_indexed(acme)
+        d, m = variables("d", "m")
+        query = SetQuery(
+            result=m,
+            binders=[(d, Const(acme.departments)), (m, d.path("Managers"))],
+            condition=m.eq("Carter"),
+        )
+        plan, choices = optimize(query, dm)
+        assert choices == []
+        assert sorted(plan.run(QueryContext(acme.om))) == ["Carter"]
+
+    def test_remaining_conjuncts_still_filter(self, acme):
+        dm = self.make_indexed(acme)
+        e, = variables("e")
+        query = SetQuery(
+            result=e.path("Name!Last"),
+            binders=[(e, Const(acme.employees))],
+            condition=(e.path("Salary") > 100) & (e.path("Name!First").eq("Big")),
+        )
+        plan, choices = optimize(query, dm)
+        assert len(choices) == 1
+        assert any(isinstance(op, Filter) for op in collect_operators(plan))
+        assert plan.run(QueryContext(acme.om)) == ["Earner"]
+
+    def test_index_scans_fewer_rows(self, acme):
+        dm = self.make_indexed(acme)
+        query = self.query_salary_above(acme, 29000)
+        scan_plan = translate(query)
+        scan_plan.run(QueryContext(acme.om))
+        opt_plan, _ = optimize(query, dm)
+        opt_plan.run(QueryContext(acme.om))
+        scan_rows = sum(op.rows_out for op in collect_operators(scan_plan))
+        opt_rows = sum(op.rows_out for op in collect_operators(opt_plan))
+        assert opt_rows < scan_rows
+
+    def test_optimized_plan_respects_time(self, acme):
+        om = acme.om
+        dm = self.make_indexed(acme)
+        t0 = om.now
+        om.tick()
+        om.bind(acme.peters, "Salary", 99000)
+        # keep the directory in sync the way commits would
+        directory = dm.find_directory(acme.employees.oid, "Salary")
+        directory.rekey_member(om, acme.peters.oid, om.now)
+        query = self.query_salary_above(acme, 50000)
+        plan, choices = optimize(query, dm)
+        assert len(choices) == 1
+        assert plan.run(QueryContext(om)) == ["Peters"]
+        past_plan, _ = optimize(query, dm)
+        assert past_plan.run(QueryContext(om, time=t0)) == []
+
+
+class TestSetOperations:
+    def test_union_dedupes_by_identity(self):
+        om = MemoryObjectManager()
+        a = om.instantiate("Object")
+        b = om.instantiate("Object")
+        assert union([a, b], [a]) == [a, b]
+        assert union([a], [b]) == [a, b]
+
+    def test_intersection_and_difference(self):
+        om = MemoryObjectManager()
+        a, b, c = (om.instantiate("Object") for _ in range(3))
+        assert intersection([a, b], [Ref(b.oid), c]) == [b]
+        assert difference([a, b], [Ref(b.oid)]) == [a]
+
+    def test_mixed_immediates(self):
+        assert union([1, 2], [2, 3]) == [1, 2, 3]
+        assert deduplicate([1, 1, "x", "x"]) == [1, "x"]
+
+
+# -- property test: calculus == algebra on random databases ------------------
+
+@st.composite
+def random_database(draw):
+    om = MemoryObjectManager()
+    n_emps = draw(st.integers(1, 8))
+    n_depts = draw(st.integers(1, 4))
+    dept_names = [f"D{i}" for i in range(n_depts)]
+    departments = om.instantiate("Object")
+    for name in dept_names:
+        dept = om.instantiate(
+            "Object", Name=name, Budget=draw(st.integers(0, 1000))
+        )
+        om.bind(departments, om.new_alias(), dept)
+    employees = om.instantiate("Object")
+    for i in range(n_emps):
+        depts = om.instantiate("Object")
+        for name in draw(st.lists(st.sampled_from(dept_names), max_size=3,
+                                  unique=True)):
+            om.bind(depts, om.new_alias(), name)
+        emp = om.instantiate(
+            "Object", Salary=draw(st.integers(0, 1000)), Depts=depts
+        )
+        if draw(st.booleans()):  # optional element sometimes missing
+            om.bind(emp, "Bonus", draw(st.integers(0, 100)))
+        om.bind(employees, om.new_alias(), emp)
+    return om, employees, departments
+
+
+@given(random_database(), st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_translation_equivalence_property(db, threshold):
+    om, employees, departments = db
+    e, d = variables("e", "d")
+    query = SetQuery(
+        result={"s": e.path("Salary"), "b": d.path("Budget")},
+        binders=[(e, Const(employees)), (d, Const(departments))],
+        condition=(
+            d.path("Name").in_(e.path("Depts"))
+            & (e.path("Salary") > threshold)
+        ) | (e.path("Bonus") > 50),
+    )
+    reference = query.evaluate(QueryContext(om))
+    algebra = translate(query).run(QueryContext(om))
+    assert reference == algebra
+
+
+@given(random_database(), st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_optimizer_equivalence_property(db, threshold):
+    om, employees, departments = db
+    dm = DirectoryManager(om)
+    dm.create_directory(employees, "Salary")
+    e, = variables("e")
+    query = SetQuery(
+        result=e.path("Salary"),
+        binders=[(e, Const(employees))],
+        condition=(e.path("Salary") > threshold),
+    )
+    reference = sorted(query.evaluate(QueryContext(om)))
+    plan, choices = optimize(query, dm)
+    assert len(choices) == 1
+    assert sorted(plan.run(QueryContext(om))) == reference

@@ -1,0 +1,126 @@
+"""Unit tests for the simulated disk."""
+
+import pytest
+
+from repro.errors import ChecksumError, DiskCrashed, DiskError
+from repro.storage import DiskGeometry, SimulatedDisk
+
+
+@pytest.fixture
+def disk():
+    return SimulatedDisk(DiskGeometry(track_count=16, track_size=128))
+
+
+class TestBasicIO:
+    def test_unwritten_track_reads_zeroes(self, disk):
+        assert disk.read_track(3) == bytes(128)
+        assert not disk.is_written(3)
+
+    def test_write_then_read(self, disk):
+        disk.write_track(5, b"hello")
+        data = disk.read_track(5)
+        assert data.startswith(b"hello")
+        assert len(data) == 128
+        assert disk.is_written(5)
+
+    def test_whole_track_padding(self, disk):
+        disk.write_track(0, b"x")
+        assert disk.read_track(0) == b"x" + bytes(127)
+
+    def test_oversized_write_rejected(self, disk):
+        with pytest.raises(DiskError):
+            disk.write_track(0, bytes(129))
+
+    def test_exact_size_write_accepted(self, disk):
+        disk.write_track(0, bytes(128))
+
+    @pytest.mark.parametrize("track", [-1, 16, 1000])
+    def test_out_of_range(self, disk, track):
+        with pytest.raises(DiskError):
+            disk.read_track(track)
+        with pytest.raises(DiskError):
+            disk.write_track(track, b"")
+
+
+class TestAccounting:
+    def test_counters(self, disk):
+        disk.write_track(0, b"a")
+        disk.read_track(0)
+        disk.read_track(10)
+        assert disk.stats.writes == 1
+        assert disk.stats.reads == 2
+
+    def test_seek_distance_accumulates(self, disk):
+        disk.write_track(0, b"a")
+        disk.write_track(10, b"b")
+        disk.write_track(2, b"c")
+        assert disk.stats.seek_distance == 10 + 8
+
+    def test_sequential_cheaper_than_scattered(self):
+        geometry = DiskGeometry(track_count=100, track_size=64)
+        sequential = SimulatedDisk(geometry)
+        scattered = SimulatedDisk(geometry)
+        for i in range(20):
+            sequential.write_track(i, b"x")
+        for i in range(20):
+            scattered.write_track((i * 37) % 100, b"x")
+        assert sequential.stats.time_units < scattered.stats.time_units
+
+    def test_reset(self, disk):
+        disk.write_track(0, b"a")
+        disk.stats.reset()
+        assert disk.stats.writes == 0
+        assert disk.stats.time_units == 0.0
+
+
+class TestFaultInjection:
+    def test_crash_after_n_writes(self, disk):
+        disk.crash_after(2)
+        disk.write_track(0, b"a")
+        disk.write_track(1, b"b")
+        with pytest.raises(DiskCrashed):
+            disk.write_track(2, b"c")
+        assert disk.crashed
+
+    def test_crashing_write_is_lost(self, disk):
+        disk.write_track(2, b"old")
+        disk.crash_after(0)
+        with pytest.raises(DiskCrashed):
+            disk.write_track(2, b"new")
+        disk.restart()
+        assert disk.read_track(2).startswith(b"old")
+
+    def test_all_io_fails_while_down(self, disk):
+        disk.crash_after(0)
+        with pytest.raises(DiskCrashed):
+            disk.write_track(0, b"")
+        with pytest.raises(DiskCrashed):
+            disk.read_track(0)
+
+    def test_restart_preserves_surviving_tracks(self, disk):
+        disk.write_track(0, b"kept")
+        disk.crash_after(0)
+        with pytest.raises(DiskCrashed):
+            disk.write_track(1, b"lost")
+        disk.restart()
+        assert disk.read_track(0).startswith(b"kept")
+        assert not disk.is_written(1)
+
+    def test_cancel_crash(self, disk):
+        disk.crash_after(0)
+        disk.cancel_crash()
+        disk.write_track(0, b"fine")
+
+    def test_corruption_detected_by_checksum(self, disk):
+        disk.write_track(4, b"precious")
+        disk.corrupt_track(4)
+        with pytest.raises(ChecksumError):
+            disk.read_track(4)
+
+    def test_corrupting_unwritten_track_rejected(self, disk):
+        with pytest.raises(DiskError):
+            disk.corrupt_track(9)
+
+    def test_negative_crash_budget_rejected(self, disk):
+        with pytest.raises(ValueError):
+            disk.crash_after(-1)
