@@ -31,7 +31,7 @@ from ..core.object_manager import ObjectStore
 from ..core.objects import GemObject
 from ..core.values import Ref
 from ..core.timedial import TimeDial
-from ..errors import ClassProtocolError, SessionClosed
+from ..errors import ClassProtocolError, SessionClosed, StorageError
 from ..storage.linker import Creation, Write
 from .authorization import Authorizer, User
 
@@ -80,9 +80,23 @@ class SessionObjectManager(ObjectStore):
         Raises :class:`~repro.errors.TransactionConflict` if optimistic
         validation fails — the workspace is then discarded (the
         transaction is aborted) and a fresh transaction begins.
+
+        A :class:`~repro.errors.StorageError` mid-commit (an injected
+        crash, a degraded volume) also propagates, but the session
+        *survives* it: the unusable workspace is discarded and a fresh
+        transaction begins, so the same session can retry once the
+        store recovers.
         """
         self._ensure_open()
-        return self.transaction_manager.commit(self)
+        try:
+            return self.transaction_manager.commit(self)
+        except StorageError:
+            # defense in depth: the Transaction Manager normally resets
+            # us before re-raising, but a half-torn workspace must never
+            # leak into the next transaction
+            if self.write_log or self.creations:
+                self.transaction_manager.abort(self)
+            raise
 
     def abort(self) -> None:
         """Discard the workspace wholesale and begin a new transaction."""

@@ -25,7 +25,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from ..errors import TransactionConflict
+from ..errors import StorageError, TransactionConflict
 from ..storage.linker import Linker
 from .clock import TransactionClock
 
@@ -50,6 +50,7 @@ class TransactionStats:
     aborts: int = 0
     read_only_commits: int = 0
     validations: int = 0
+    storage_failures: int = 0
 
     @property
     def abort_rate(self) -> float:
@@ -131,9 +132,18 @@ class TransactionManager:
             dirty = self.linker.incorporate(creations, writes, tx_time)
             for listener in self._listeners:
                 listener(tx_time, dirty, writes, creations)
-            self.store.persist(
-                dirty, tx_time, new_classes=session.new_classes()
-            )
+            try:
+                self.store.persist(
+                    dirty, tx_time, new_classes=session.new_classes()
+                )
+            except StorageError:
+                # the storage stack failed mid-pipeline (injected crash,
+                # degraded volume): nothing became durable, so discard
+                # the workspace and begin fresh — the session object
+                # survives the failure and can retry after recovery
+                self.stats.storage_failures += 1
+                self.abort(session)
+                raise
             self._log.append(
                 CommittedTransaction(
                     tx_time=tx_time,

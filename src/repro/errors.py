@@ -129,6 +129,18 @@ class DiskCrashed(DiskError):
     """The simulated disk hit its injected crash point; writes are lost."""
 
 
+class TransientDiskError(DiskError):
+    """A retryable I/O failure (injected by a fault plan); retry may succeed."""
+
+
+class DegradedError(StorageError):
+    """A resilient volume exhausted its retry budget and went read-only."""
+
+
+class StaleReplicaError(StorageError):
+    """Every live replica holds only a superseded copy of the track."""
+
+
 class ChecksumError(StorageError):
     """A track's stored checksum does not match its contents."""
 
@@ -191,3 +203,11 @@ class DirectoryError(GemStoneError):
 
 class ProtocolError(GemStoneError):
     """A malformed frame was received on the host link."""
+
+
+class LinkCorruption(ProtocolError):
+    """A sequenced frame failed its checksum: damaged in transit, not malformed."""
+
+
+class LinkTimeout(ProtocolError):
+    """No response arrived on the host link within the retry budget."""

@@ -8,17 +8,33 @@ Compiler and Interpreter for each active user."
 opens a session with its own OPAL engine (the per-user Compiler +
 Interpreter), EXECUTE compiles and runs a block of OPAL source entirely
 inside the database system, COMMIT/ABORT drive the Transaction Manager,
-and errors return as ERROR frames rather than exceptions.
+and errors return as ERROR frames rather than exceptions.  The serve
+loop never dies on a bad frame: malformed requests are answered with
+ERROR frames, frames damaged in transit (failed envelope checksums) are
+dropped for the host to resend, and a duplicate of the last in-flight
+sequenced request replays the cached response instead of being applied
+twice — which is what makes host-side retry safe for EXECUTE and COMMIT.
 
 :class:`HostConnection` is the host-side convenience wrapper used by
 examples and tests (the "user interface program on the host machine").
+Every request carries a sequence number; when a response fails to arrive
+(a lossy or partitioned link), the connection retries, reconnects if the
+link stays silent, and relies on the Executor's replay cache for
+idempotency.  A link that never answers surfaces as the typed
+:class:`~repro.errors.LinkTimeout`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
-from ..errors import GemStoneError, ProtocolError, TransactionConflict
+from ..errors import (
+    GemStoneError,
+    LinkCorruption,
+    LinkTimeout,
+    ProtocolError,
+    TransactionConflict,
+)
 from ..opal.interpreter import OpalEngine
 from ..opal.kernel import print_string
 from . import protocol
@@ -33,12 +49,19 @@ class Executor:
         self.database = database
         self._session = None
         self._engine: Optional[OpalEngine] = None
+        #: replay cache: the last sequenced request and its response
+        self._last_seq: Optional[int] = None
+        self._last_response: Optional[bytes] = None
+        self.replays = 0
+        self.corrupt_frames = 0
 
     def serve(self, gem_end: LinkEnd) -> int:
         """Process every buffered frame; returns how many were handled.
 
         The in-process link is synchronous: hosts write a frame, then
         call :meth:`serve` (or use :class:`HostConnection`, which does).
+        The loop survives anything a frame can throw at it — only LOGOUT
+        (or an empty buffer) ends it.
         """
         handled = 0
         while True:
@@ -46,14 +69,37 @@ class Executor:
             if raw is None:
                 return handled
             handled += 1
-            try:
-                frame = protocol.decode_frame(raw)
-                response = self._handle(frame)
-            except ProtocolError as error:
-                response = protocol.encode_error("ProtocolError", str(error))
+            response, frame_type = self._respond(raw)
+            if response is None:
+                continue  # damaged in transit: dropped, the host resends
             gem_end.send(response)
-            if raw and raw[0] == FrameType.LOGOUT:
+            if frame_type is FrameType.LOGOUT:
                 return handled
+
+    def _respond(self, raw: bytes) -> tuple[Optional[bytes], Optional[FrameType]]:
+        """One request → (response bytes or None-to-drop, decoded type)."""
+        try:
+            frame = protocol.decode_frame(raw)
+        except LinkCorruption:
+            self.corrupt_frames += 1
+            return None, None
+        except Exception as error:  # malformed at the source: worth answering
+            return protocol.encode_error(type(error).__name__, str(error)), None
+        if frame.seq is not None and frame.seq == self._last_seq:
+            # a resend of the in-flight request: replay, never re-apply
+            self.replays += 1
+            return self._last_response, frame.type
+        try:
+            response = self._handle(frame)
+        except GemStoneError as error:
+            response = protocol.encode_error(type(error).__name__, str(error))
+        except Exception as error:  # never let a request kill the serve loop
+            response = protocol.encode_error(type(error).__name__, str(error))
+        if frame.seq is not None:
+            response = protocol.encode_seq(frame.seq, response)
+            self._last_seq = frame.seq
+            self._last_response = response
+        return response, frame.type
 
     def _handle(self, frame: Frame) -> bytes:
         if frame.type is FrameType.LOGIN:
@@ -98,21 +144,86 @@ class Executor:
 
 
 class HostConnection:
-    """Host-side client: login, execute blocks of OPAL, commit, logout."""
+    """Host-side client: login, execute blocks of OPAL, commit, logout.
 
-    def __init__(self, database) -> None:
-        self.host_end, gem_end = make_link()
-        self._gem_end = gem_end
+    *link_factory* builds the (host_end, gem_end) pair — pass
+    :func:`~repro.faults.link.make_faulty_link` partials to interpose a
+    lossy link.  Requests are sequence-numbered; missing responses are
+    retried up to *max_attempts* times with a reconnect once the link
+    looks dead, and the Executor's replay cache keeps the retries
+    idempotent.
+    """
+
+    def __init__(
+        self,
+        database,
+        link_factory: Callable[[], tuple] = make_link,
+        max_attempts: int = 5,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self._link_factory = link_factory
         self.executor = Executor(database)
         self.session_id: Optional[int] = None
+        self.max_attempts = max_attempts
+        self._seq = 0
+        self.retries = 0
+        self.reconnects = 0
+        self._connect()
+
+    # -- link lifecycle -----------------------------------------------------
+
+    def _connect(self) -> None:
+        self.host_end, self._gem_end = self._link_factory()
+
+    def reconnect(self) -> None:
+        """Replace the link with a fresh one; the Gem session survives."""
+        self.host_end.close()
+        self._connect()
+        self.reconnects += 1
+
+    # -- request/response ---------------------------------------------------
 
     def _round_trip(self, frame: bytes) -> Frame:
-        self.host_end.send(frame)
-        self.executor.serve(self._gem_end)
-        raw = self.host_end.receive()
-        if raw is None:
-            raise ProtocolError("no response from executor")
-        return protocol.decode_frame(raw)
+        self._seq += 1
+        wrapped = protocol.encode_seq(self._seq, frame)
+        for attempt in range(self.max_attempts):
+            if attempt:
+                self.retries += 1
+                # first miss: resend on the same link (a dropped frame);
+                # repeated misses or a closed peer: the link is dead
+                if attempt > 1 or self.host_end.peer_closed:
+                    self.reconnect()
+            try:
+                self.host_end.send(wrapped)
+            except ProtocolError:
+                self.reconnect()
+                self.host_end.send(wrapped)
+            self.executor.serve(self._gem_end)
+            response = self._receive_matching(self._seq)
+            if response is not None:
+                return response
+        raise LinkTimeout(
+            f"no response to frame seq {self._seq} "
+            f"after {self.max_attempts} attempts"
+        )
+
+    def _receive_matching(self, seq: int) -> Optional[Frame]:
+        """The next intact response for *seq*, skipping stale duplicates."""
+        while True:
+            try:
+                raw = self.host_end.receive()
+            except ProtocolError:
+                return None  # truncated tail on a dying link: retry
+            if raw is None:
+                return None
+            try:
+                frame = protocol.decode_frame(raw)
+            except ProtocolError:
+                continue  # response damaged in transit: keep draining
+            if frame.seq is None or frame.seq == seq:
+                return frame
+            # a replayed response to an earlier seq: discard it
 
     def login(self, user: str, password: str) -> int:
         """Authenticate; returns the session id."""

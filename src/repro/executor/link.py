@@ -28,12 +28,22 @@ class _Pipe:
         self._buffer += data
 
     def read_frame(self) -> bytes | None:
-        """Pop one complete frame, or None if none is buffered."""
+        """Pop one complete frame, or None if none is buffered.
+
+        A frame whose body has not fully arrived is *not* an error — the
+        sender may still be streaming it — so the partial bytes stay
+        buffered and None is returned.  Only a closed pipe with leftover
+        partial bytes is truly truncated: no more bytes can ever arrive.
+        """
         if len(self._buffer) < 4:
+            if self._buffer and self._closed:
+                raise ProtocolError("truncated frame on closed link")
             return None
         (length,) = struct.unpack_from("<I", self._buffer, 0)
         if len(self._buffer) < 4 + length:
-            raise ProtocolError("truncated frame on link")
+            if self._closed:
+                raise ProtocolError("truncated frame on closed link")
+            return None
         frame = bytes(self._buffer[4 : 4 + length])
         del self._buffer[: 4 + length]
         return frame

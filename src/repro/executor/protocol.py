@@ -10,16 +10,30 @@ carry both the value — when it is an immediate or an object reference —
 and its display string, so hosts without an object memory can still show
 something; structured objects travel as (oid, display) pairs, never by
 value.
+
+Reliability: any frame may be wrapped in a SEQ envelope —
+
+    SEQ  uvarint(sequence number)  u32 crc32(inner frame)  inner frame
+
+— which gives the host ↔ Gem conversation exactly-once semantics over a
+lossy link.  The sequence number lets the Executor recognise a resend of
+the last in-flight request and replay its cached response instead of
+applying the request twice; the checksum distinguishes a frame damaged
+in transit (:class:`~repro.errors.LinkCorruption`, silently droppable —
+the sender will retry) from one that was malformed at the source (a
+:class:`~repro.errors.ProtocolError` worth answering).
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from enum import IntEnum
 from typing import Any
+from zlib import crc32
 
 from ..core.objects import GemObject
-from ..errors import ProtocolError
+from ..errors import CodecError, LinkCorruption, ProtocolError
 from ..storage.codec import Reader, Writer, decode_value, encode_value
 
 
@@ -38,14 +52,16 @@ class FrameType(IntEnum):
     ABORTED = 10
     LOGOUT = 11
     BYE = 12
+    SEQ = 13
 
 
 @dataclass(frozen=True)
 class Frame:
-    """A decoded protocol frame."""
+    """A decoded protocol frame (``seq`` set when it arrived enveloped)."""
 
     type: FrameType
     fields: dict[str, Any]
+    seq: int | None = None
 
 
 def encode_login(user: str, password: str) -> bytes:
@@ -108,6 +124,16 @@ def encode_committed(tx_time: int) -> bytes:
     return writer.getvalue()
 
 
+def encode_seq(seq: int, inner: bytes) -> bytes:
+    """Wrap any encoded frame in a checksummed sequence envelope."""
+    writer = Writer()
+    writer.raw(bytes([FrameType.SEQ]))
+    writer.uvarint(seq)
+    writer.raw(struct.pack("<I", crc32(inner)))
+    writer.raw(inner)
+    return writer.getvalue()
+
+
 def decode_frame(data: bytes) -> Frame:
     """Decode any protocol frame."""
     if not data:
@@ -117,6 +143,19 @@ def decode_frame(data: bytes) -> Frame:
         frame_type = FrameType(reader.byte())
     except ValueError as error:
         raise ProtocolError(f"unknown frame type {data[0]}") from error
+    if frame_type is FrameType.SEQ:
+        try:
+            seq = reader.uvarint()
+            (stored_crc,) = struct.unpack("<I", reader.raw(4))
+            inner = reader.raw(reader.remaining())
+        except CodecError as error:
+            raise LinkCorruption("sequence envelope truncated in transit") from error
+        if crc32(inner) != stored_crc:
+            raise LinkCorruption(f"frame seq {seq} failed its checksum")
+        if inner and inner[0] == FrameType.SEQ:
+            raise ProtocolError("nested sequence envelopes are not allowed")
+        decoded = decode_frame(inner)
+        return Frame(decoded.type, decoded.fields, seq=seq)
     fields: dict[str, Any] = {}
     if frame_type is FrameType.LOGIN:
         fields["user"] = reader.string()

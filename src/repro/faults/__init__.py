@@ -1,0 +1,36 @@
+"""``repro.faults`` — deterministic fault injection and resilience.
+
+A chaos layer for the storage and link stack (ROADMAP: "as many
+scenarios as you can imagine"), built on three rules:
+
+* every fault schedule is a pure function of a seed (no wall clock, no
+  hidden state) — see :mod:`~repro.faults.plan`;
+* fault wrappers (:class:`FaultyDisk`, :class:`FaultyLink`) preserve the
+  exact interfaces of the components they wrap, so the whole stack runs
+  over them unchanged;
+* resilience policies (:class:`ResilientDisk`, the Executor protocol's
+  sequence envelopes) consume the faults and are tested by exhaustive
+  sweeps — :mod:`~repro.faults.soak` crashes a workload at *every* write
+  index and proves recovery each time.
+"""
+
+from .disk import FaultyDisk
+from .link import FaultyLink, make_faulty_link
+from .plan import FaultClock, FaultEvent, FaultPlan, FaultSpec
+from .resilience import ResilientDisk
+from .soak import SoakReport, SoakStep, build_workload, run_crash_sweep
+
+__all__ = [
+    "FaultClock",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyDisk",
+    "FaultyLink",
+    "ResilientDisk",
+    "SoakReport",
+    "SoakStep",
+    "build_workload",
+    "make_faulty_link",
+    "run_crash_sweep",
+]

@@ -1,0 +1,109 @@
+"""A whole-track disk wrapper that injects planned faults.
+
+:class:`FaultyDisk` preserves the :class:`~repro.storage.disk.SimulatedDisk`
+interface exactly — the Track Manager, the replication layer and the
+resilience layer all run over it unchanged — while consulting a
+:class:`~repro.faults.plan.FaultPlan` before every operation:
+
+* **transient** — the operation raises
+  :class:`~repro.errors.TransientDiskError` and (for writes) is lost;
+  a retry draws a fresh decision, so bounded retry can mask it;
+* **bit-rot** — the write lands, then one byte silently flips, so the
+  next read fails checksum verification (what read-repair must mask);
+* **latency** — the operation succeeds but charges extra simulated time
+  to the fault clock;
+* **crash** — the disk goes down exactly as ``crash_after(0)`` would:
+  the triggering write is lost and all I/O fails until ``restart()``.
+"""
+
+from __future__ import annotations
+
+from ..errors import TransientDiskError
+from .plan import FaultClock, FaultPlan
+
+
+class FaultyDisk:
+    """Injects a :class:`FaultPlan`'s disk faults under any track disk."""
+
+    def __init__(
+        self,
+        inner,
+        plan: FaultPlan,
+        clock: FaultClock | None = None,
+    ) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.clock = clock or FaultClock()
+        self.transient_errors = 0
+        self.rotted_tracks = 0
+        self.delays = 0
+
+    # -- geometry / accounting (mirrors SimulatedDisk) ----------------------
+
+    @property
+    def geometry(self):
+        return self.inner.geometry
+
+    @property
+    def track_count(self) -> int:
+        return self.inner.track_count
+
+    @property
+    def track_size(self) -> int:
+        return self.inner.track_size
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    # -- I/O ----------------------------------------------------------------
+
+    def read_track(self, track: int) -> bytes:
+        fault = self.plan.disk_fault("read", track)
+        if fault == "transient":
+            self.transient_errors += 1
+            raise TransientDiskError(f"transient read failure on track {track}")
+        if fault == "latency":
+            self.delays += 1
+            self.clock.advance(self.plan.spec.latency_cost)
+        return self.inner.read_track(track)
+
+    def write_track(self, track: int, data: bytes) -> None:
+        fault = self.plan.disk_fault("write", track)
+        if fault == "crash":
+            # fail-stop: down the disk so the triggering write is lost,
+            # exactly as an armed crash_after(0) behaves
+            self.inner.crash_after(0)
+            self.inner.write_track(track, data)
+            return  # unreachable: the inner disk raises DiskCrashed
+        if fault == "transient":
+            self.transient_errors += 1
+            raise TransientDiskError(f"transient write failure on track {track}")
+        if fault == "latency":
+            self.delays += 1
+            self.clock.advance(self.plan.spec.latency_cost)
+        self.inner.write_track(track, data)
+        if fault == "bit-rot":
+            self.rotted_tracks += 1
+            self.inner.corrupt_track(track, flip_byte=track % self.track_size)
+
+    def is_written(self, track: int) -> bool:
+        return self.inner.is_written(track)
+
+    # -- fault-injection passthrough ----------------------------------------
+
+    def crash_after(self, writes: int) -> None:
+        self.inner.crash_after(writes)
+
+    def cancel_crash(self) -> None:
+        self.inner.cancel_crash()
+
+    @property
+    def crashed(self) -> bool:
+        return self.inner.crashed
+
+    def restart(self) -> None:
+        self.inner.restart()
+
+    def corrupt_track(self, track: int, flip_byte: int = 0) -> None:
+        self.inner.corrupt_track(track, flip_byte)

@@ -1,0 +1,95 @@
+"""A host-link wrapper that injects planned frame faults.
+
+:class:`FaultyLink` mirrors the :class:`~repro.executor.link.LinkEnd`
+interface, so either side of a connection can be wrapped without the
+peer noticing.  Outgoing frames consult the plan:
+
+* **drop** — the frame vanishes (the host's retry loop must resend);
+* **duplicate** — the frame is delivered twice (the Executor's replay
+  cache must deduplicate);
+* **truncate** — a prefix of the frame is delivered as a complete wire
+  frame, so the payload checksum fails at the receiver;
+* **partition** — an explicit state (not rate-drawn): every frame sent
+  into a partition is lost until :meth:`heal`, modelling a severed
+  host ↔ Gem connection that forces a reconnect.
+"""
+
+from __future__ import annotations
+
+from ..executor.link import LinkEnd, make_link
+from .plan import FaultPlan
+
+
+class FaultyLink:
+    """Injects a :class:`FaultPlan`'s link faults on one link endpoint."""
+
+    def __init__(self, inner: LinkEnd, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.partitioned = False
+        self.dropped = 0
+        self.duplicated = 0
+        self.truncated = 0
+
+    # -- LinkEnd interface --------------------------------------------------
+
+    def send(self, frame: bytes) -> None:
+        if self.partitioned:
+            self.dropped += 1
+            return
+        fault = self.plan.link_fault(len(frame))
+        if fault == "drop":
+            self.dropped += 1
+            return
+        if fault == "truncate" and len(frame) > 1:
+            self.truncated += 1
+            self.inner.send(frame[: max(1, len(frame) // 2)])
+            return
+        self.inner.send(frame)
+        if fault == "duplicate":
+            self.duplicated += 1
+            self.inner.send(frame)
+
+    def receive(self) -> bytes | None:
+        return self.inner.receive()
+
+    def close(self) -> None:
+        self.inner.close()
+
+    @property
+    def peer_closed(self) -> bool:
+        return self.inner.peer_closed
+
+    @property
+    def frames_sent(self) -> int:
+        return self.inner.frames_sent
+
+    @property
+    def bytes_sent(self) -> int:
+        return self.inner.bytes_sent
+
+    # -- partition control --------------------------------------------------
+
+    def partition(self) -> None:
+        """Sever this direction: all sends are lost until :meth:`heal`."""
+        self.partitioned = True
+
+    def heal(self) -> None:
+        """Restore delivery after a partition."""
+        self.partitioned = False
+
+
+def make_faulty_link(
+    plan: FaultPlan,
+    host_faulty: bool = True,
+    gem_faulty: bool = True,
+) -> tuple[LinkEnd | FaultyLink, LinkEnd | FaultyLink]:
+    """A connected (host_end, gem_end) pair with faults on chosen sides."""
+    host_end, gem_end = make_link()
+    host: LinkEnd | FaultyLink = host_end
+    gem: LinkEnd | FaultyLink = gem_end
+    if host_faulty:
+        host = FaultyLink(host_end, plan)
+    if gem_faulty:
+        gem = FaultyLink(gem_end, plan)
+    return host, gem

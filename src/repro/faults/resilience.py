@@ -1,0 +1,131 @@
+"""Resilience policy: bounded retry, backoff, graceful degradation.
+
+:class:`ResilientDisk` wraps any whole-track disk (simulated, faulty, or
+replicated) and masks :class:`~repro.errors.TransientDiskError` with
+bounded retry plus exponential backoff.  Backoff is charged to a
+:class:`~repro.faults.plan.FaultClock` — simulated time, never the wall
+clock — so recovery schedules are as deterministic as the fault
+schedules that provoke them.
+
+When a *write* exhausts its retry budget the volume degrades to
+read-only mode: further writes raise the typed
+:class:`~repro.errors.DegradedError` immediately (no pointless retries),
+while reads continue to be served — the storage stack stays queryable
+even when it can no longer accept commits.  ``restore()`` re-arms
+writes after the operator (or test) repairs the underlying fault.
+
+Permanent faults are not retried: :class:`~repro.errors.DiskCrashed` is
+fail-stop until ``restart()``, and a checksum failure will not heal by
+re-reading the same platter (replication's read-repair owns that).
+"""
+
+from __future__ import annotations
+
+from ..errors import DegradedError, TransientDiskError
+from .plan import FaultClock
+
+
+class ResilientDisk:
+    """Retry + backoff + read-only degradation over any track disk."""
+
+    def __init__(
+        self,
+        inner,
+        clock: FaultClock | None = None,
+        max_retries: int = 4,
+        backoff_base: float = 1.0,
+        backoff_factor: float = 2.0,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.inner = inner
+        self.clock = clock or FaultClock()
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.retries = 0
+        self.backoff_time = 0.0
+        self._degraded = False
+
+    # -- geometry / accounting (mirrors SimulatedDisk) ----------------------
+
+    @property
+    def geometry(self):
+        return self.inner.geometry
+
+    @property
+    def track_count(self) -> int:
+        return self.inner.track_count
+
+    @property
+    def track_size(self) -> int:
+        return self.inner.track_size
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    # -- degradation --------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True once a write exhausted its retries; writes now refuse."""
+        return self._degraded
+
+    def restore(self) -> None:
+        """Leave read-only mode (the underlying fault was repaired)."""
+        self._degraded = False
+
+    # -- I/O ----------------------------------------------------------------
+
+    def read_track(self, track: int) -> bytes:
+        return self._with_retry(lambda: self.inner.read_track(track))
+
+    def write_track(self, track: int, data: bytes) -> None:
+        if self._degraded:
+            raise DegradedError(
+                f"volume is degraded to read-only; write of track {track} refused"
+            )
+        try:
+            self._with_retry(lambda: self.inner.write_track(track, data))
+        except TransientDiskError as error:
+            self._degraded = True
+            raise DegradedError(
+                f"write of track {track} failed after {self.max_retries} retries; "
+                "volume degraded to read-only"
+            ) from error
+
+    def is_written(self, track: int) -> bool:
+        return self.inner.is_written(track)
+
+    def _with_retry(self, operation):
+        delay = self.backoff_base
+        attempts = self.max_retries + 1
+        for attempt in range(attempts):
+            try:
+                return operation()
+            except TransientDiskError:
+                if attempt + 1 == attempts:
+                    raise
+                self.retries += 1
+                self.clock.advance(delay)
+                self.backoff_time += delay
+                delay *= self.backoff_factor
+
+    # -- fault-injection passthrough ----------------------------------------
+
+    def crash_after(self, writes: int) -> None:
+        self.inner.crash_after(writes)
+
+    def cancel_crash(self) -> None:
+        self.inner.cancel_crash()
+
+    @property
+    def crashed(self) -> bool:
+        return self.inner.crashed
+
+    def restart(self) -> None:
+        self.inner.restart()
+
+    def corrupt_track(self, track: int, flip_byte: int = 0) -> None:
+        self.inner.corrupt_track(track, flip_byte)

@@ -1,0 +1,172 @@
+"""Crash-recovery soak: prove every recovery path, not just one.
+
+The Commit Manager's safe-write guarantee is all-or-nothing per commit;
+the only honest way to test it is to crash at *every* write index of a
+workload and check recovery each time.  :func:`run_crash_sweep` does
+exactly that:
+
+1. format a database and snapshot the platter;
+2. replay a mixed OPAL workload once, uninterrupted, to learn the total
+   number of track writes and the expected state after each commit;
+3. for each crash index, clone the snapshot, arm the crash, replay until
+   the disk dies, restart, run recovery (``GemStone.open`` drives
+   ``CommitManager.recover``), and assert the root-epoch and
+   object-table invariants: the recovered epoch is exactly the epoch of
+   the last completed commit, and every workload key reads back the
+   value that commit gave it — never a torn mixture.
+
+Everything is deterministic: the workload is fixed, crash points are
+exact write indexes, and time is the disk's simulated cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..db import GemStone
+from ..errors import StorageError
+from ..storage.disk import DiskGeometry, SimulatedDisk
+
+
+@dataclass(frozen=True)
+class SoakStep:
+    """The outcome of one crash point."""
+
+    crash_index: int  #: write index the crash was armed on
+    commits_survived: int  #: workload commits that completed before it
+    recovered_epoch: int  #: root epoch adopted by recovery
+    recovery_time_units: float  #: simulated disk time spent recovering
+
+
+@dataclass
+class SoakReport:
+    """What an exhaustive crash sweep observed."""
+
+    total_writes: int  #: track writes in the uninterrupted workload
+    crash_points: int  #: crash indexes exercised
+    recoveries: int  #: successful recoveries (must equal crash_points)
+    torn_states: int  #: recoveries exposing a mixed commit (must be 0)
+    steps: list[SoakStep] = field(default_factory=list)
+
+    @property
+    def max_recovery_time(self) -> float:
+        return max((s.recovery_time_units for s in self.steps), default=0.0)
+
+    @property
+    def mean_recovery_time(self) -> float:
+        if not self.steps:
+            return 0.0
+        return sum(s.recovery_time_units for s in self.steps) / len(self.steps)
+
+
+def build_workload(commits: int = 12, writes_per_commit: int = 3) -> list[list[str]]:
+    """A mixed OPAL workload: *commits* batches of key assignments.
+
+    Every batch rewrites the same keys with a new generation marker, so
+    a torn commit is visible as keys disagreeing on their generation.
+    """
+    return [
+        [f"World!k{key} := 'gen{batch}_{key}'" for key in range(writes_per_commit)]
+        for batch in range(commits)
+    ]
+
+
+def _replay(db: GemStone, workload: list[list[str]]) -> int:
+    """Run batches until the storage stack fails; return completed commits."""
+    session = db.login()
+    completed = 0
+    try:
+        for batch in workload:
+            for statement in batch:
+                session.execute(statement)
+            session.commit()
+            completed += 1
+    except StorageError:
+        pass  # the armed crash fired somewhere inside a commit
+    return completed
+
+
+def run_crash_sweep(
+    commits: int = 12,
+    writes_per_commit: int = 3,
+    track_count: int = 1024,
+    track_size: int = 512,
+    stride: int = 1,
+) -> SoakReport:
+    """Crash at every write index of the workload; assert recovery each time.
+
+    Raises ``AssertionError`` on the first violated invariant; returns
+    the full :class:`SoakReport` when every crash point recovered.
+    *stride* subsamples crash indexes for quick smoke runs.
+    """
+    workload = build_workload(commits, writes_per_commit)
+    geometry = DiskGeometry(track_count=track_count, track_size=track_size)
+
+    # 1+2: base image and the uninterrupted reference run
+    base_disk = SimulatedDisk(geometry)
+    GemStone.create(disk=base_disk)
+    base_epoch = 1  # format's bootstrap commit
+    reference = base_disk.clone()
+    reference_db = GemStone.open(reference)
+    writes_before = reference.stats.writes
+    completed = _replay(reference_db, workload)
+    assert completed == len(workload), "reference run must not fail"
+    total_writes = reference.stats.writes - writes_before
+
+    report = SoakReport(
+        total_writes=total_writes,
+        crash_points=0,
+        recoveries=0,
+        torn_states=0,
+    )
+
+    # 3: the sweep — crash index i kills the (i+1)-th workload write
+    for crash_index in range(0, total_writes, stride):
+        disk = base_disk.clone()
+        db = GemStone.open(disk)
+        disk.crash_after(crash_index)
+        completed = _replay(db, workload)
+        assert completed < len(workload), (
+            f"crash index {crash_index} inside the workload never fired"
+        )
+        disk.restart()
+
+        recovery_started = disk.stats.time_units
+        recovered = GemStone.open(disk)  # CommitManager.recover + reload
+        recovery_time = disk.stats.time_units - recovery_started
+
+        expected_epoch = base_epoch + completed
+        actual_epoch = recovered.store.commit_manager.current_epoch
+        assert actual_epoch == expected_epoch, (
+            f"crash index {crash_index}: recovered epoch {actual_epoch}, "
+            f"expected {expected_epoch} ({completed} commits survived)"
+        )
+        session = recovered.login()
+        generations = set()
+        for key in range(writes_per_commit):
+            value = session.execute(f"World!k{key}")
+            expected = f"gen{completed - 1}_{key}" if completed else None
+            if value != expected:
+                report.torn_states += 1
+            if isinstance(value, str):
+                generations.add(value.split("_")[0])
+        assert len(generations) <= 1, (
+            f"crash index {crash_index}: torn commit visible, "
+            f"generations {sorted(generations)}"
+        )
+        assert report.torn_states == 0, (
+            f"crash index {crash_index}: recovered state is not the last "
+            f"completed commit's state"
+        )
+
+        report.crash_points += 1
+        report.recoveries += 1
+        report.steps.append(
+            SoakStep(
+                crash_index=crash_index,
+                commits_survived=completed,
+                recovered_epoch=actual_epoch,
+                recovery_time_units=recovery_time,
+            )
+        )
+    return report

@@ -30,7 +30,7 @@ from .commit import CommitManager, decode_root_track, encode_root_track
 from .disk import DiskGeometry, DiskStats, SimulatedDisk
 from .linker import Creation, Linker, Write
 from .object_table import Location, ObjectTable, PAGE_SPAN
-from .replication import ReplicatedDisk
+from .replication import ReplicaHealth, ReplicatedDisk
 from .stable import StableStore, read_blob, write_blob
 from .tracks import RESERVED_TRACKS, TrackManager
 
@@ -50,6 +50,7 @@ __all__ = [
     "PAGE_SPAN",
     "PackResult",
     "RESERVED_TRACKS",
+    "ReplicaHealth",
     "ReplicatedDisk",
     "SimulatedDisk",
     "StableStore",

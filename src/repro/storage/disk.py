@@ -169,6 +169,19 @@ class SimulatedDisk:
         self._check_track(track)
         return self._tracks[track] is not None
 
+    def clone(self) -> "SimulatedDisk":
+        """An independent copy of the platter's current contents.
+
+        The copy starts up (not crashed), with fresh statistics and no
+        scheduled faults — it is the platter, not the fault state.  The
+        soak harness clones one formatted base image per crash point
+        instead of re-formatting a database hundreds of times.
+        """
+        twin = SimulatedDisk(self.geometry)
+        twin._tracks = list(self._tracks)
+        twin._checksums = list(self._checksums)
+        return twin
+
     # -- internals ------------------------------------------------------------------
 
     def _ensure_up(self) -> None:

@@ -1,25 +1,47 @@
-"""Track-level replication.
+"""Track-level replication with epoch-stamped read-repair.
 
 Section 6 lists "requests for replication of data" among the database
 amenities OPAL exposes.  :class:`ReplicatedDisk` presents the same
 whole-track interface as :class:`~repro.storage.disk.SimulatedDisk` over
 N replica disks:
 
-* writes go to every live replica (write-all);
-* reads come from the first replica that returns a checksum-valid track
-  (read-any), and a damaged or stale copy is repaired in passing from a
-  good one (read-repair).
+* writes go to every live replica (write-all), and every accepted write
+  is stamped with a per-track *epoch*;
+* reads come from a replica holding the **current** epoch of the track
+  (read-any among the up-to-date), so a replica that was down during a
+  write and restarted — checksum-valid but stale — is never served;
+* both damaged (checksum-failed) and stale copies are repaired in
+  passing from a good one (read-repair), and per-replica health
+  counters record every failure and repair.
 
-A read fails only when *every* replica is down or corrupt, so the commit
-pipeline and recovery path run unchanged over a replicated volume.
+A read fails only when no replica can produce the current copy.  If a
+stale copy survives — data exists, but serving it would be silent time
+travel — the typed :class:`~repro.errors.StaleReplicaError` is raised
+(with the underlying failure as its cause); otherwise the last
+underlying error propagates.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
-from ..errors import ChecksumError, DiskCrashed, DiskError
+from ..errors import ChecksumError, DiskCrashed, DiskError, StaleReplicaError
 from .disk import SimulatedDisk
+
+
+@dataclass
+class ReplicaHealth:
+    """Per-replica failure and repair counters."""
+
+    write_failures: int = 0
+    read_failures: int = 0
+    repairs: int = 0  #: times this replica was rewritten from a good copy
+
+    @property
+    def failures(self) -> int:
+        """All recorded failures, reads and writes together."""
+        return self.write_failures + self.read_failures
 
 
 class ReplicatedDisk:
@@ -37,6 +59,12 @@ class ReplicatedDisk:
                 raise DiskError("replicas must share geometry")
         self.replicas = list(replicas)
         self.repairs = 0
+        self.stale_repairs = 0
+        self.health = [ReplicaHealth() for _ in self.replicas]
+        #: track -> the epoch of its latest accepted write
+        self._epochs: dict[int, int] = {}
+        #: per replica: track -> the epoch that replica last accepted
+        self._replica_epochs: list[dict[int, int]] = [{} for _ in self.replicas]
 
     # -- geometry (mirrors SimulatedDisk) ------------------------------------
 
@@ -53,45 +81,97 @@ class ReplicatedDisk:
     # -- I/O -------------------------------------------------------------------
 
     def write_track(self, track: int, data: bytes) -> None:
-        """Write to every live replica.
+        """Write to every live replica, stamping the track's next epoch.
 
-        A down replica is skipped (it will be repaired on later reads);
-        if *no* replica accepted the write, the failure propagates.
+        A failing replica — down, transient fault, whatever
+        :class:`DiskError` it raises — is skipped and its failure
+        recorded (it will be repaired on a later read); the epoch
+        advances only if at least one replica accepted the write.  If
+        *no* replica accepted it, the last failure propagates.
         """
+        self._check_track(track)
+        epoch = self._epochs.get(track, 0) + 1
         wrote = 0
         last_error: Exception | None = None
-        for replica in self.replicas:
+        for index, replica in enumerate(self.replicas):
             try:
                 replica.write_track(track, data)
-                wrote += 1
-            except DiskCrashed as error:
+            except DiskError as error:
+                self.health[index].write_failures += 1
                 last_error = error
+                continue
+            self._replica_epochs[index][track] = epoch
+            wrote += 1
         if wrote == 0:
             raise last_error if last_error else DiskCrashed("all replicas down")
+        self._epochs[track] = epoch
 
     def read_track(self, track: int) -> bytes:
-        """Read from the first healthy replica, repairing damaged ones."""
-        damaged: list[SimulatedDisk] = []
+        """Read the current copy, repairing damaged and stale replicas.
+
+        Only replicas stamped with the track's current epoch are served;
+        a checksum-valid but superseded copy (the replica missed a write
+        while down) is treated exactly like a damaged one — skipped, then
+        repaired from the copy that is served.
+        """
+        self._check_track(track)
+        current = self._epochs.get(track, 0)
+        stale: list[int] = []
+        damaged: list[int] = []
         last_error: Exception | None = None
-        for replica in self.replicas:
+        for index, replica in enumerate(self.replicas):
+            if current and self._replica_epochs[index].get(track, 0) != current:
+                stale.append(index)
+                continue
             try:
                 data = replica.read_track(track)
-            except (ChecksumError, DiskCrashed) as error:
+            except (ChecksumError, DiskError) as error:
+                self.health[index].read_failures += 1
                 last_error = error
                 if isinstance(error, ChecksumError):
-                    damaged.append(replica)
+                    damaged.append(index)
                 continue
-            for victim in damaged:
-                try:
-                    victim.write_track(track, data)
-                    self.repairs += 1
-                except DiskCrashed:
-                    pass
+            self._repair(track, data, damaged, stale, current)
             return data
-        raise last_error if last_error else DiskError("no replicas to read from")
+        if stale:
+            # a superseded copy exists and could have been served — the
+            # typed error says so, whatever else went wrong is the cause
+            raise StaleReplicaError(
+                f"no replica holds the current copy of track {track}"
+            ) from last_error
+        if last_error is not None:
+            raise last_error
+        raise DiskError("no replicas to read from")
+
+    def _repair(
+        self,
+        track: int,
+        data: bytes,
+        damaged: Sequence[int],
+        stale: Sequence[int],
+        epoch: int,
+    ) -> None:
+        for index in damaged:
+            if self._write_repair(index, track, data, epoch):
+                self.repairs += 1
+        for index in stale:
+            if self._write_repair(index, track, data, epoch):
+                self.repairs += 1
+                self.stale_repairs += 1
+
+    def _write_repair(self, index: int, track: int, data: bytes, epoch: int) -> bool:
+        try:
+            self.replicas[index].write_track(track, data)
+        except DiskError:
+            return False  # still down; a later read will try again
+        self.health[index].repairs += 1
+        if epoch:
+            self._replica_epochs[index][track] = epoch
+        return True
 
     def is_written(self, track: int) -> bool:
         """True if any live replica has the track."""
+        self._check_track(track)
         for replica in self.replicas:
             try:
                 if replica.is_written(track):
@@ -99,3 +179,9 @@ class ReplicatedDisk:
             except DiskCrashed:
                 continue
         return False
+
+    def _check_track(self, track: int) -> None:
+        if not 0 <= track < self.track_count:
+            raise DiskError(
+                f"track {track} out of range 0..{self.track_count - 1}"
+            )

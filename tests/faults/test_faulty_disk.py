@@ -1,0 +1,71 @@
+"""FaultyDisk: planned faults under the whole-track interface."""
+
+import pytest
+
+from repro.errors import ChecksumError, DiskCrashed, TransientDiskError
+from repro.faults import FaultClock, FaultPlan, FaultSpec, FaultyDisk
+from repro.storage import DiskGeometry, SimulatedDisk
+
+
+def make_disk(spec=None, crash_at=(), seed=42):
+    inner = SimulatedDisk(DiskGeometry(track_count=16, track_size=128))
+    clock = FaultClock()
+    plan = FaultPlan(seed=seed, spec=spec or FaultSpec(), crash_at=crash_at)
+    return FaultyDisk(inner, plan, clock), inner, clock
+
+
+class TestTransient:
+    def test_always_faulty_read_raises_transient(self):
+        disk, inner, _ = make_disk(FaultSpec(transient_rate=1.0))
+        inner.write_track(3, b"data")
+        with pytest.raises(TransientDiskError):
+            disk.read_track(3)
+        assert disk.transient_errors == 1
+
+    def test_transient_write_is_lost(self):
+        disk, inner, _ = make_disk(FaultSpec(transient_rate=1.0))
+        with pytest.raises(TransientDiskError):
+            disk.write_track(3, b"data")
+        assert not inner.is_written(3)
+
+
+class TestBitRot:
+    def test_rotted_write_fails_checksum_on_read(self):
+        disk, _, _ = make_disk(FaultSpec(bit_rot_rate=1.0))
+        disk.write_track(4, b"precious")
+        assert disk.rotted_tracks == 1
+        with pytest.raises(ChecksumError):
+            disk.read_track(4)
+
+
+class TestLatency:
+    def test_latency_charges_the_fault_clock(self):
+        disk, _, clock = make_disk(FaultSpec(latency_rate=1.0, latency_cost=7.0))
+        disk.write_track(0, b"x")
+        disk.read_track(0)
+        assert clock.now == 14.0
+        assert disk.delays == 2
+
+
+class TestCrashPoints:
+    def test_crash_at_exact_write_index(self):
+        disk, inner, _ = make_disk(crash_at={1})
+        disk.write_track(0, b"first")
+        with pytest.raises(DiskCrashed):
+            disk.write_track(1, b"second")
+        assert disk.crashed and inner.crashed
+        assert not inner.is_written(1)  # the triggering write is lost
+        disk.restart()
+        assert disk.read_track(0).startswith(b"first")
+
+
+class TestPassthrough:
+    def test_clean_plan_is_transparent(self):
+        disk, inner, _ = make_disk()
+        disk.write_track(5, b"hello")
+        assert disk.read_track(5).startswith(b"hello")
+        assert disk.is_written(5)
+        assert disk.track_count == 16
+        assert disk.track_size == 128
+        assert disk.stats is inner.stats
+        assert disk.geometry is inner.geometry

@@ -1,0 +1,176 @@
+"""FaultyLink + the sequenced protocol: exactly-once over a lossy link."""
+
+import pytest
+
+from repro import GemStone
+from repro.errors import LinkTimeout
+from repro.executor import FrameType, HostConnection, make_link
+from repro.executor import protocol
+from repro.faults import FaultPlan, FaultSpec, make_faulty_link
+
+
+@pytest.fixture
+def db():
+    return GemStone.create(track_count=1024, track_size=1024)
+
+
+def faulty_factory(spec, seed=99):
+    plan = FaultPlan(seed=seed, spec=spec)
+    return lambda: make_faulty_link(plan)
+
+
+class TestLossyLink:
+    def test_execute_survives_frame_drops(self, db):
+        conn = HostConnection(
+            db, link_factory=faulty_factory(FaultSpec(drop_rate=0.3)),
+            max_attempts=10,
+        )
+        conn.login("DataCurator", "swordfish")
+        for index in range(8):
+            value, _ = conn.execute(f"{index} + {index}")
+            assert value == 2 * index
+        assert conn.retries > 0  # drops actually happened and were masked
+
+    def test_duplicates_do_not_double_apply(self, db):
+        conn = HostConnection(
+            db, link_factory=faulty_factory(FaultSpec(duplicate_rate=0.5)),
+            max_attempts=10,
+        )
+        conn.login("DataCurator", "swordfish")
+        conn.execute("World!n := 0")
+        for _ in range(10):
+            conn.execute("World!n := World!n + 1")
+        assert conn.execute("World!n")[0] == 10
+
+    def test_truncated_frames_are_retried(self, db):
+        conn = HostConnection(
+            db, link_factory=faulty_factory(FaultSpec(truncate_rate=0.3)),
+            max_attempts=10,
+        )
+        conn.login("DataCurator", "swordfish")
+        for index in range(8):
+            assert conn.execute(f"{index} * 3")[0] == index * 3
+        assert conn.executor.corrupt_frames > 0  # damage was detected, dropped
+
+    def test_commit_exactly_once_under_loss(self, db):
+        conn = HostConnection(
+            db,
+            link_factory=faulty_factory(
+                FaultSpec(drop_rate=0.25, duplicate_rate=0.25), seed=5
+            ),
+            max_attempts=12,
+        )
+        conn.login("DataCurator", "swordfish")
+        times = []
+        for index in range(6):
+            conn.execute(f"World!step := {index}")
+            times.append(conn.commit())
+        assert all(t is not None for t in times)
+        assert times == sorted(times)  # each commit applied exactly once
+        assert conn.execute("World!step")[0] == 5
+
+
+class TestPartition:
+    def test_partition_forces_reconnect_and_completes(self, db):
+        conn = HostConnection(db, max_attempts=6)
+        conn.login("DataCurator", "swordfish")
+        # sever the host's outgoing direction mid-session
+        plan = FaultPlan(seed=0)
+        healthy = conn._link_factory
+        from repro.faults import FaultyLink
+
+        faulty_host = FaultyLink(conn.host_end, plan)
+        faulty_host.partition()
+        conn.host_end = faulty_host
+        value, _ = conn.execute("6 * 7")
+        assert value == 42
+        assert conn.reconnects > 0
+        assert healthy is make_link
+
+    def test_dead_link_times_out_with_typed_error(self, db):
+        conn = HostConnection(
+            db, link_factory=faulty_factory(FaultSpec(drop_rate=1.0)),
+            max_attempts=3,
+        )
+        with pytest.raises(LinkTimeout):
+            conn.login("DataCurator", "swordfish")
+        assert conn.retries == 2  # attempts beyond the first
+
+
+class TestReplayCache:
+    def test_resent_request_replays_cached_response(self, db):
+        """Send the same sequenced EXECUTE twice: one application, two
+        identical responses."""
+        host, gem = make_link()
+        conn = HostConnection(db)
+        conn.login("DataCurator", "swordfish")
+        executor = conn.executor
+        wrapped = protocol.encode_seq(
+            1000, protocol.encode_execute("World!hits := (World!hits ifNil: [0]) + 1")
+        )
+        host, gem = make_link()
+        host.send(wrapped)
+        executor.serve(gem)
+        first = host.receive()
+        host.send(wrapped)  # a retry of the very same request
+        executor.serve(gem)
+        second = host.receive()
+        assert first == second
+        assert executor.replays == 1
+        assert conn.execute("World!hits")[0] == 1  # applied exactly once
+
+    def test_logout_recognised_through_envelope(self, db):
+        """serve() must stop on a *decoded* LOGOUT, not a raw byte peek —
+        enveloped frames start with the SEQ byte."""
+        conn = HostConnection(db)
+        conn.login("DataCurator", "swordfish")
+        conn.logout()
+        assert conn.session_id is None
+
+
+class TestServeLoopResilience:
+    def test_unexpected_exception_becomes_error_frame(self, db, monkeypatch):
+        conn = HostConnection(db)
+        conn.login("DataCurator", "swordfish")
+
+        def explode(source):
+            raise RuntimeError("interpreter bug")
+
+        monkeypatch.setattr(conn.executor._session, "execute", explode)
+        with pytest.raises(Exception, match="interpreter bug"):
+            conn.execute("1 + 1")
+        monkeypatch.undo()
+        # the serve loop survived: the connection still works
+        assert conn.execute("2 + 2")[0] == 4
+
+    def test_partial_frame_waits_instead_of_erroring(self):
+        """A frame whose body hasn't fully arrived returns None (wait);
+        only a closed pipe with leftovers is truncated."""
+        import struct
+
+        from repro.errors import ProtocolError
+        from repro.executor.link import _Pipe
+
+        pipe = _Pipe()
+        pipe.write(struct.pack("<I", 10) + b"half")  # 4 of 10 body bytes
+        assert pipe.read_frame() is None  # waiting, not an error
+        pipe.write(b"needmo")  # the rest arrives
+        assert pipe.read_frame() == b"halfneedmo"
+
+        stuck = _Pipe()
+        stuck.write(struct.pack("<I", 10) + b"half")
+        stuck.close()
+        with pytest.raises(ProtocolError):
+            stuck.read_frame()
+
+    def test_garbage_seq_envelope_is_dropped_silently(self, db):
+        """A frame that *claims* to be sequenced but is damaged gets
+        dropped (the sender retries), not answered."""
+        host, gem = make_link()
+        from repro.executor import Executor
+
+        executor = Executor(db)
+        host.send(bytes([FrameType.SEQ]) + b"\x07garbage-without-a-valid-crc")
+        executor.serve(gem)
+        assert host.receive() is None
+        assert executor.corrupt_frames == 1

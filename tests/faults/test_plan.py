@@ -1,0 +1,79 @@
+"""FaultPlan and FaultClock: determinism is the whole point."""
+
+import pytest
+
+from repro.faults import FaultClock, FaultPlan, FaultSpec
+
+
+def drive(plan, operations=60):
+    """A fixed mixed operation sequence against a plan."""
+    for index in range(operations):
+        if index % 3 == 0:
+            plan.disk_fault("read", index % 7)
+        elif index % 3 == 1:
+            plan.disk_fault("write", index % 11)
+        else:
+            plan.link_fault(32 + index)
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_byte_identical_schedules(self):
+        spec = FaultSpec(
+            transient_rate=0.2, bit_rot_rate=0.1, latency_rate=0.2,
+            drop_rate=0.2, duplicate_rate=0.1, truncate_rate=0.1,
+        )
+        first = FaultPlan(seed=1234, spec=spec)
+        second = FaultPlan(seed=1234, spec=spec)
+        drive(first)
+        drive(second)
+        assert first.schedule_bytes() == second.schedule_bytes()
+        assert first.schedule_digest() == second.schedule_digest()
+
+    def test_different_seeds_diverge(self):
+        spec = FaultSpec(transient_rate=0.5, drop_rate=0.5)
+        first = FaultPlan(seed=1, spec=spec)
+        second = FaultPlan(seed=2, spec=spec)
+        drive(first, operations=200)
+        drive(second, operations=200)
+        assert first.schedule_bytes() != second.schedule_bytes()
+
+    def test_every_decision_is_recorded(self):
+        plan = FaultPlan(seed=7)
+        drive(plan, operations=30)
+        assert len(plan.events) == 30
+        assert [e.index for e in plan.events] == list(range(30))
+
+
+class TestCrashPoints:
+    def test_crash_fires_on_exact_write_index(self):
+        plan = FaultPlan(seed=0, crash_at={2})
+        assert plan.disk_fault("write", 10) == "none"
+        assert plan.disk_fault("write", 11) == "none"
+        assert plan.disk_fault("write", 12) == "crash"
+
+    def test_reads_do_not_consume_write_indexes(self):
+        plan = FaultPlan(seed=0, crash_at={0})
+        assert plan.disk_fault("read", 5) == "none"
+        assert plan.disk_fault("write", 5) == "crash"
+
+
+class TestBudget:
+    def test_max_faults_caps_injection(self):
+        spec = FaultSpec(transient_rate=1.0, max_faults=3)
+        plan = FaultPlan(seed=9, spec=spec)
+        faults = [plan.disk_fault("read", 0) for _ in range(10)]
+        assert faults.count("transient") == 3
+        assert faults[3:] == ["none"] * 7
+        assert plan.injected == 3
+
+
+class TestClock:
+    def test_advance_accumulates(self):
+        clock = FaultClock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.now == 4.0
+
+    def test_no_time_travel(self):
+        with pytest.raises(ValueError):
+            FaultClock().advance(-1)

@@ -1,0 +1,71 @@
+"""Crash-recovery soak: every write index is a crash point, none may tear."""
+
+from repro import GemStone
+from repro.faults import (
+    FaultPlan,
+    FaultSpec,
+    FaultyDisk,
+    ResilientDisk,
+    build_workload,
+    run_crash_sweep,
+)
+from repro.storage import DiskGeometry, SimulatedDisk
+
+
+class TestCrashSweep:
+    def test_exhaustive_sweep_never_tears(self):
+        report = run_crash_sweep(
+            commits=6, writes_per_commit=2, track_count=512, track_size=512
+        )
+        assert report.torn_states == 0
+        assert report.recoveries == report.crash_points
+        assert report.crash_points == report.total_writes
+        assert report.total_writes > 0
+
+    def test_recovery_time_is_measured(self):
+        report = run_crash_sweep(
+            commits=4, writes_per_commit=2, track_count=512, track_size=512, stride=5
+        )
+        assert report.max_recovery_time > 0
+        assert 0 < report.mean_recovery_time <= report.max_recovery_time
+        # strided sweep visits a subset of the write indexes
+        assert report.crash_points < report.total_writes
+
+    def test_steps_report_monotone_commit_progress(self):
+        report = run_crash_sweep(
+            commits=5, writes_per_commit=2, track_count=512, track_size=512
+        )
+        survived = [step.commits_survived for step in report.steps]
+        # later crash points can only preserve >= as many commits
+        assert survived == sorted(survived)
+        assert survived[0] == 0
+        assert survived[-1] >= 4
+        for step in report.steps:
+            assert step.recovered_epoch == 1 + step.commits_survived
+
+
+class TestFaultyRunDeterminism:
+    def test_seeded_faulty_runs_are_byte_identical(self):
+        """Acceptance: the same seed over the same workload yields the
+        same fault schedule, byte for byte."""
+
+        def faulty_run(seed):
+            disk = SimulatedDisk(DiskGeometry(track_count=1024, track_size=512))
+            plan = FaultPlan(
+                seed=seed, spec=FaultSpec(transient_rate=0.05, latency_rate=0.1)
+            )
+            stack = ResilientDisk(FaultyDisk(disk, plan), max_retries=8)
+            db = GemStone.create(disk=stack)
+            session = db.login()
+            for batch in build_workload(commits=4, writes_per_commit=2):
+                for statement in batch:
+                    session.execute(statement)
+                session.commit()
+            return plan.schedule_bytes(), plan.schedule_digest()
+
+        first_bytes, first_digest = faulty_run(seed=777)
+        second_bytes, second_digest = faulty_run(seed=777)
+        assert first_bytes == second_bytes
+        assert first_digest == second_digest
+        other_bytes, _ = faulty_run(seed=778)
+        assert other_bytes != first_bytes

@@ -1,0 +1,87 @@
+"""Torn-write sweep: crash at *every* write offset of one commit group.
+
+The parametrized sweep below is exhaustive, not sampled — the write
+count of the victim commit is measured at import time on a throwaway
+clone, and one test case crashes before each of those writes in turn.
+Recovery must land the previous epoch with every pre-crash value intact.
+"""
+
+import pytest
+
+from repro.core import GemObject
+from repro.errors import DiskCrashed
+from repro.storage import (
+    DiskGeometry,
+    Linker,
+    SimulatedDisk,
+    StableStore,
+    Write,
+    Creation,
+)
+
+
+def _commit(store, creations=(), writes=()):
+    tx_time = store.last_tx_time + 1
+    dirty = Linker(store).incorporate(
+        [Creation(o) for o in creations], [Write(*w) for w in writes], tx_time
+    )
+    store.persist(dirty, tx_time)
+
+
+def _update_writes(oids):
+    return [(oid, "v", f"new{i}") for i, oid in enumerate(oids)]
+
+
+def _prepare():
+    """One committed base image + the write count of the victim commit."""
+    disk = SimulatedDisk(DiskGeometry(track_count=512, track_size=512))
+    store = StableStore.format(disk)
+    objs = [
+        GemObject(oid=store.allocate_oid(), class_oid=store.classes["Object"])
+        for _ in range(4)
+    ]
+    _commit(store, objs, [(o.oid, "v", f"old{i}") for i, o in enumerate(objs)])
+    oids = [o.oid for o in objs]
+    base_epoch = store.commit_manager.current_epoch
+
+    probe_disk = disk.clone()
+    probe = StableStore.open(probe_disk)
+    before = probe_disk.stats.writes
+    _commit(probe, writes=_update_writes(oids))
+    write_count = probe_disk.stats.writes - before
+    return disk, oids, base_epoch, write_count
+
+
+_DISK, _OIDS, _BASE_EPOCH, _WRITE_COUNT = _prepare()
+
+
+def test_victim_commit_spans_multiple_tracks():
+    # the sweep is only meaningful if the commit group is multi-write
+    assert _WRITE_COUNT >= 4
+
+
+@pytest.mark.parametrize("crash_at", range(_WRITE_COUNT))
+def test_crash_at_every_offset_lands_previous_epoch(crash_at):
+    disk = _DISK.clone()
+    store = StableStore.open(disk)
+    disk.crash_after(crash_at)
+    with pytest.raises(DiskCrashed):
+        _commit(store, writes=_update_writes(_OIDS))
+    disk.restart()
+    recovered = StableStore.open(disk)
+    assert recovered.commit_manager.current_epoch == _BASE_EPOCH
+    for index, oid in enumerate(_OIDS):
+        assert recovered.object(oid).value("v") == f"old{index}"
+
+
+def test_crash_after_final_write_lands_new_epoch():
+    """One past the sweep: the whole group reached the platter."""
+    disk = _DISK.clone()
+    store = StableStore.open(disk)
+    disk.crash_after(_WRITE_COUNT)
+    _commit(store, writes=_update_writes(_OIDS))
+    disk.restart()
+    recovered = StableStore.open(disk)
+    assert recovered.commit_manager.current_epoch == _BASE_EPOCH + 1
+    for index, oid in enumerate(_OIDS):
+        assert recovered.object(oid).value("v") == f"new{index}"
