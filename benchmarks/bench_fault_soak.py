@@ -14,10 +14,12 @@ Two harnesses over the ``repro.faults`` subsystem:
 
 Run the harness:   python benchmarks/bench_fault_soak.py
 CI smoke subset:   python benchmarks/bench_fault_soak.py --smoke
+One crash point:   python benchmarks/bench_fault_soak.py --crash-points 17,42
+Reseed the faults: python benchmarks/bench_fault_soak.py --seed 7
 Run as tests:      pytest benchmarks/bench_fault_soak.py
 """
 
-import sys
+import argparse
 
 from repro import GemStone
 from repro.bench import Table
@@ -67,9 +69,21 @@ def test_smoke_endurance_masks_faults():
 
 
 def main(argv=None) -> None:
-    argv = sys.argv[1:] if argv is None else argv
-    smoke = "--smoke" in argv
-    params = SMOKE if smoke else FULL
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small, fast configuration")
+    parser.add_argument("--seed", type=int, default=1984,
+                        help="seed for the endurance run's fault schedule")
+    parser.add_argument("--crash-points", type=str, default=None,
+                        help="comma-separated write indexes to crash at "
+                             "(replaces the exhaustive sweep)")
+    args = parser.parse_args(argv)
+    smoke = args.smoke
+    params = dict(SMOKE if smoke else FULL)
+    if args.crash_points is not None:
+        params["crash_points"] = [
+            int(point) for point in args.crash_points.split(",") if point
+        ]
 
     report = run_crash_sweep(**params)
     sweep = Table(
@@ -96,7 +110,7 @@ def main(argv=None) -> None:
         ["commits", "fault rate", "retries", "backoff (units)", "degraded"],
     )
     commits = 6 if smoke else 30
-    stack, _ = flaky_endurance(commits=commits)
+    stack, _ = flaky_endurance(commits=commits, seed=args.seed)
     endurance.add(commits, "10%", stack.retries,
                   round(stack.backoff_time, 1), stack.degraded)
     endurance.note("every fault is masked by bounded retry + exponential "

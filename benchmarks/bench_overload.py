@@ -1,0 +1,107 @@
+"""Overload soak benchmark: governance under a hostile, contending herd.
+
+Drives :func:`repro.govern.soak.run_overload_soak` — 32 sessions by
+default, adversarial spinners/allocators/hoarders included, PR 1
+transient disk faults active — then re-runs the identical configuration
+to prove the whole governed stack is deterministic for a fixed seed.
+
+Usage::
+
+    python benchmarks/bench_overload.py [--smoke] [--seed N] [--clients N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench import Table  # noqa: E402
+from repro.govern.soak import run_overload_soak  # noqa: E402
+
+FULL = dict(clients=32, rounds=4, transient_rate=0.15)
+SMOKE = dict(clients=8, rounds=2, transient_rate=0.12,
+             track_count=1024, queue_capacity=24.0)
+
+
+def overload_soak(seed: int, smoke: bool, clients: int | None = None):
+    params = dict(SMOKE if smoke else FULL)
+    if clients is not None:
+        params["clients"] = clients
+    first = run_overload_soak(seed=seed, **params)
+    second = run_overload_soak(seed=seed, **params)
+    return first, second
+
+
+def test_smoke_overload_soak():
+    report, _ = overload_soak(seed=2026, smoke=True)
+    assert report.clean, report.failures
+    assert report.commits > 0
+    assert report.budget_kills > 0
+    assert report.quota_kills > 0
+
+
+def test_smoke_overload_soak_is_deterministic():
+    first, second = overload_soak(seed=7, smoke=True)
+    assert first.digest() == second.digest()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small, fast configuration")
+    parser.add_argument("--seed", type=int, default=2026,
+                        help="seed for faults, jitter and the digest")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="override the contending session count")
+    args = parser.parse_args(argv)
+
+    report, rerun = overload_soak(args.seed, args.smoke, args.clients)
+    deterministic = report.digest() == rerun.digest()
+
+    table = Table(
+        "Overload soak: %d sessions x %d rounds (seed %d)"
+        % (report.clients, report.rounds, report.seed),
+        ["metric", "value"],
+    )
+    table.add("commits", report.commits)
+    table.add("verified keys", report.verified_keys)
+    table.add("conflicts (typed, retryable)", report.conflicts)
+    table.add("overload rejections", report.overload_rejections)
+    table.add("budget kills", report.budget_kills)
+    table.add("quota kills", report.quota_kills)
+    table.add("shed logins", report.shed_logins)
+    table.add("queue sheds", report.queue_sheds)
+    table.add("client backoffs", report.client_backoffs)
+    table.add("priority grants", report.priority_grants)
+    table.add("storms detected", report.storms_detected)
+    table.add("backoff units charged", round(report.backoff_units, 2))
+    table.add("disk faults injected", report.injected_faults)
+    table.add("disk retries masked", report.disk_retries)
+    table.add("torn commits", report.torn_commits)
+    table.add("hung sessions", report.hung_sessions)
+    table.add("untyped failures", report.untyped_failures)
+    table.add("digest", report.digest())
+    table.note(
+        "invariants: torn commits = hung sessions = untyped failures = 0"
+    )
+    table.note(
+        "same-seed rerun digest %s"
+        % ("matches (deterministic)" if deterministic else "DIVERGES")
+    )
+    table.show()
+
+    if not report.clean:
+        for failure in report.failures:
+            print("FAILURE:", failure)
+        return 1
+    if not deterministic:
+        print("FAILURE: same seed produced different digests")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,11 +5,13 @@ the printed tables are the rows EXPERIMENTS.md records.
 
     python benchmarks/run_all.py            # everything
     python benchmarks/run_all.py occ safe   # substring filters
+    python benchmarks/run_all.py --smoke    # soak harnesses in smoke size
 """
 
 from __future__ import annotations
 
 import importlib
+import inspect
 import pathlib
 import sys
 import time
@@ -22,8 +24,27 @@ def discover() -> list[str]:
     )
 
 
+def run_experiment(name: str, smoke: bool) -> None:
+    """Import and run one bench module, isolating it from our argv.
+
+    Harnesses that accept an ``argv`` parameter (the soak benches:
+    ``bench_fault_soak``, ``bench_overload``) get an explicit argument
+    list — empty, or ``--smoke`` when requested — so they never parse
+    ``run_all``'s own command line.  Plain ``main()`` harnesses have no
+    CLI and run as before.
+    """
+    module = importlib.import_module(name)
+    if "argv" in inspect.signature(module.main).parameters:
+        result = module.main(["--smoke"] if smoke else [])
+        if result:
+            raise RuntimeError(f"{name} reported failure ({result})")
+    else:
+        module.main()
+
+
 def main(argv: list[str]) -> int:
-    filters = [arg.lower() for arg in argv]
+    smoke = "--smoke" in argv
+    filters = [arg.lower() for arg in argv if not arg.startswith("--")]
     names = discover()
     if filters:
         names = [n for n in names if any(f in n for f in filters)]
@@ -37,8 +58,7 @@ def main(argv: list[str]) -> int:
         print("\n" + banner.center(74, "#"))
         started = time.perf_counter()
         try:
-            module = importlib.import_module(name)
-            module.main()
+            run_experiment(name, smoke)
         except Exception as error:  # keep going; report at the end
             failures.append((name, error))
             print(f"!! {name} failed: {type(error).__name__}: {error}")

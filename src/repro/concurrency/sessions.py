@@ -32,6 +32,7 @@ from ..core.objects import GemObject
 from ..core.values import Ref
 from ..core.timedial import TimeDial
 from ..errors import ClassProtocolError, SessionClosed, StorageError
+from ..govern.quota import SessionQuota
 from ..storage.linker import Creation, Write
 from .authorization import Authorizer, User
 
@@ -47,6 +48,7 @@ class SessionObjectManager(ObjectStore):
         transaction_manager,
         user: Optional[User] = None,
         authorizer: Optional[Authorizer] = None,
+        quota: Optional["SessionQuota"] = None,
     ) -> None:
         super().__init__()
         SessionObjectManager._ids += 1
@@ -55,6 +57,7 @@ class SessionObjectManager(ObjectStore):
         self.transaction_manager = transaction_manager
         self.user = user
         self.authorizer = authorizer
+        self.quota = quota
         self.time_dial = TimeDial(safe_time_provider=transaction_manager.safe_time)
         self._closed = False
         # transaction-scoped state
@@ -162,6 +165,8 @@ class SessionObjectManager(ObjectStore):
     def register(self, obj: GemObject) -> GemObject:
         """Adopt a freshly instantiated object into the private workspace."""
         self._ensure_open()
+        if self.quota is not None:
+            self.quota.check_workspace_object(len(self.workspace))
         self.workspace[obj.oid] = obj
         self._created.add(obj.oid)
         self.creations.append(Creation(obj))
@@ -198,6 +203,10 @@ class SessionObjectManager(ObjectStore):
             twin = obj.copy_shell()
             self.workspace[oid] = twin
         stored = self.to_value(value)
+        if oid not in self._transients and self.quota is not None:
+            # enforced before the twin mutates: an over-quota write must
+            # leave the workspace exactly as it was
+            self.quota.check_staged_write(len(self.write_log))
         twin.bind(name, stored, self.write_time())
         if oid in self._transients:
             return  # workspace-only object: nothing to commit yet
@@ -216,6 +225,9 @@ class SessionObjectManager(ObjectStore):
         it references) to a real creation.
         """
         cls = self._coerce_class(gem_class)
+        self._charge_allocation()
+        if self.quota is not None:
+            self.quota.check_workspace_object(len(self.workspace))
         obj = GemObject(
             oid=self.allocate_oid(),
             class_oid=cls.oid,

@@ -22,10 +22,12 @@ listeners, e.g. the Directory Manager) → Boxer/Commit Manager via
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from ..errors import StorageError, TransactionConflict
+from ..errors import OverloadedError, StorageError, TransactionConflict
+from ..govern.backoff import CommitPolicy
 from ..storage.linker import Linker
 from .clock import TransactionClock
 
@@ -51,6 +53,12 @@ class TransactionStats:
     read_only_commits: int = 0
     validations: int = 0
     storage_failures: int = 0
+    # contention-policy counters
+    conflict_retries: int = 0
+    backoff_units: float = 0.0
+    storms_detected: int = 0
+    priority_grants: int = 0
+    priority_rejections: int = 0
 
     @property
     def abort_rate(self) -> float:
@@ -62,15 +70,49 @@ class TransactionStats:
 class TransactionManager:
     """Shared coordinator: validation, commit times, the commit pipeline."""
 
-    def __init__(self, store, clock: Optional[TransactionClock] = None) -> None:
+    def __init__(
+        self,
+        store,
+        clock: Optional[TransactionClock] = None,
+        policy: Optional[CommitPolicy] = None,
+        backoff_clock=None,
+    ) -> None:
         self.store = store
         self.clock = clock or TransactionClock(start=store.last_tx_time)
         self.linker = Linker(store)
         self.stats = TransactionStats()
+        self._policy = policy or CommitPolicy()
+        if backoff_clock is None:
+            # imported lazily: repro.faults pulls in the soak harness,
+            # which imports the full database stack
+            from ..faults.plan import FaultClock
+
+            backoff_clock = FaultClock()
+        #: deterministic clock all contention backoff is charged to
+        self.backoff_clock = backoff_clock
         self._lock = threading.RLock()
         self._log: list[CommittedTransaction] = []
         self._active: dict[int, int] = {}  # session_id -> start time
         self._listeners: list[CommitListener] = []
+        # contention-policy state
+        self._streaks: dict[int, int] = {}  # session_id -> abort streak
+        self._outcomes: deque[bool] = deque(  # True = abort
+            maxlen=self._policy.storm_window
+        )
+        self._storming = False
+        self._priority_session: Optional[int] = None
+        self._priority_granted_at = 0.0
+
+    @property
+    def policy(self) -> CommitPolicy:
+        """The contention policy; assigning one resizes the storm window."""
+        return self._policy
+
+    @policy.setter
+    def policy(self, policy: CommitPolicy) -> None:
+        self._policy = policy
+        self._outcomes = deque(self._outcomes, maxlen=policy.storm_window)
+        self._storming = False
 
     # -- listeners ---------------------------------------------------------------
 
@@ -117,14 +159,18 @@ class TransactionManager:
                 self.begin(session)
                 return self.clock.latest
 
+            self._enforce_priority(session)
             conflicts = self._validate(session)
             if conflicts:
                 self.stats.aborts += 1
+                delay = self._record_abort(session)
                 self.abort(session)
-                raise TransactionConflict(
+                error = TransactionConflict(
                     f"validation failed on {len(conflicts)} element(s)",
                     conflicts=tuple(sorted(conflicts, key=repr)),
                 )
+                error.retry_after = delay
+                raise error
 
             tx_time = self.clock.assign()
             creations = list(session.creations)
@@ -153,9 +199,101 @@ class TransactionManager:
             )
             self._trim_log()
             self.stats.commits += 1
+            self._record_success(session)
             session.reset_transaction_state()
             self.begin(session)
             return tx_time
+
+    # -- contention policy -------------------------------------------------------
+
+    def _enforce_priority(self, session) -> None:
+        """Push other committers back while a starving session holds
+        priority, so it finally validates against a quiet log."""
+        holder = self._priority_session
+        if holder is None or holder == session.session_id:
+            return
+        age = self.backoff_clock.now - self._priority_granted_at
+        if age > self.policy.priority_timeout or holder not in self._active:
+            self._priority_session = None  # the grant lapsed
+            return
+        self.stats.priority_rejections += 1
+        raise OverloadedError(
+            f"session {holder} holds commit priority",
+            retry_after=self.policy.priority_retry_after,
+        )
+
+    def _record_abort(self, session) -> float:
+        """Note a conflict: streaks, storm window, aging, backoff charge.
+
+        Returns the jittered backoff delay, already charged to the
+        deterministic clock, so the caller can carry it to the session.
+        """
+        self._note_outcome(aborted=True)
+        streak = self._streaks.get(session.session_id, 0) + 1
+        self._streaks[session.session_id] = streak
+        if (
+            streak >= self.policy.starvation_threshold
+            and self._priority_session is None
+        ):
+            self._priority_session = session.session_id
+            self._priority_granted_at = self.backoff_clock.now
+            self.stats.priority_grants += 1
+        delay = self.policy.backoff_delay(streak, self._storming)
+        self.backoff_clock.advance(delay)
+        self.stats.backoff_units += delay
+        return delay
+
+    def _record_success(self, session) -> None:
+        self._note_outcome(aborted=False)
+        self._streaks.pop(session.session_id, None)
+        if self._priority_session == session.session_id:
+            self._priority_session = None  # the grant served its purpose
+
+    def _note_outcome(self, aborted: bool) -> None:
+        self._outcomes.append(aborted)
+        window = self._outcomes
+        storming = (
+            len(window) == self.policy.storm_window
+            and sum(window) / len(window) >= self.policy.storm_threshold
+        )
+        if storming and not self._storming:
+            self.stats.storms_detected += 1
+        self._storming = storming
+
+    @property
+    def storming(self) -> bool:
+        """True while the outcome window shows an abort storm."""
+        return self._storming
+
+    def run_transaction(self, session, body: Callable[[Any], Any]) -> int:
+        """Run *body* and commit, retrying under the contention policy.
+
+        OCC discards the loser's workspace, so a conflicted transaction
+        cannot simply re-commit — *body* is re-executed against the fresh
+        state each attempt (it must therefore be idempotent in intent).
+        Backoff is charged to the deterministic clock inside ``commit``;
+        priority pushbacks wait out their ``retry_after``.  Raises the
+        last typed error when ``max_attempts`` is exhausted.
+        """
+        last_error: Optional[Exception] = None
+        for _attempt in range(self.policy.max_attempts):
+            try:
+                body(session)
+                return session.commit()
+            except TransactionConflict as error:
+                last_error = error
+                self.stats.conflict_retries += 1
+            except OverloadedError as error:
+                last_error = error
+                self.backoff_clock.advance(
+                    error.retry_after or self.policy.priority_retry_after
+                )
+                # discard the pushed-back workspace: every attempt must
+                # re-run *body* from a clean transaction, or staged
+                # read-modify-writes would compound across retries
+                session.abort()
+        assert last_error is not None
+        raise last_error
 
     def _validate(self, session) -> set:
         """Backward validation against commits since the session began."""

@@ -192,6 +192,7 @@ class ObjectStore:
         ``segment_id`` defaults to the store's default segment (0).
         """
         cls = self._coerce_class(gem_class)
+        self._charge_allocation()
         obj = GemObject(
             oid=self.allocate_oid(),
             class_oid=cls.oid,
@@ -202,6 +203,18 @@ class ObjectStore:
         for name, value in element_values.items():
             self.bind(obj, name, value)
         return obj
+
+    def _charge_allocation(self) -> None:
+        """Spend one unit of the attached engine's allocation budget.
+
+        Object creation is the one resource the interpreter cannot meter
+        from its own dispatch loop (primitives allocate directly), so the
+        store charges it here — whichever engine is bound to the store
+        pays for what its query allocates.
+        """
+        runtime = getattr(self, "opal_runtime", None)
+        if runtime is not None and runtime.budget is not None:
+            runtime.budget.charge_allocation()
 
     def instantiate_transient(
         self,

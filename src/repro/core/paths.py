@@ -66,9 +66,22 @@ def _format_name(name: Any) -> str:
     if isinstance(name, int):
         return str(name)
     text = str(name)
-    if text.isidentifier():
+    if _bare_name(text):
         return text
     return "'" + text.replace("'", "''") + "'"
+
+
+def _bare_name(text: str) -> bool:
+    # must mirror _parse_name's identifier rule exactly, NOT
+    # str.isidentifier(): the two disagree on ID_Continue characters
+    # like U+00B7 that are not alphanumeric, and an unquoted name the
+    # parser cannot read back would break the print/parse round trip
+    if not text:
+        return False
+    first = text[0]
+    if not (first.isalpha() or first == "_"):
+        return False
+    return all(char.isalnum() or char == "_" for char in text[1:])
 
 
 def parse_path(text: str) -> Path:

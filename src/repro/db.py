@@ -30,6 +30,8 @@ from .core.paths import assign as path_assign
 from .core.paths import resolve as path_resolve
 from .directories.manager import DirectoryManager
 from .errors import AuthorizationError
+from .govern.budget import BudgetSpec, QueryBudget
+from .govern.quota import QuotaSpec, SessionQuota
 from .opal.interpreter import OpalEngine
 from .opal.kernel import print_string
 from .storage.archive import ArchiveMedia
@@ -47,14 +49,27 @@ class GemSession:
 
     def __init__(self, database: "GemStone", user: Optional[User]) -> None:
         self.database = database
+        self.budget = (
+            QueryBudget(database.budget_spec)
+            if database.budget_spec is not None
+            else None
+        )
+        self.quota = (
+            SessionQuota(database.quota_spec)
+            if database.quota_spec is not None
+            else None
+        )
         self.session = SessionObjectManager(
             database.store,
             database.transaction_manager,
             user=user,
             authorizer=database.authorizer if user is not None else None,
+            quota=self.quota,
         )
         self.engine = OpalEngine(
-            self.session, directory_manager=database.directory_manager
+            self.session,
+            directory_manager=database.directory_manager,
+            budget=self.budget,
         )
         self.engine.system.database = database  # enable DBA system messages
 
@@ -132,8 +147,17 @@ class GemSession:
 class GemStone:
     """One database: disk(s), stable store, managers, sessions."""
 
-    def __init__(self, store: StableStore) -> None:
+    def __init__(
+        self,
+        store: StableStore,
+        budget_spec: Optional[BudgetSpec] = None,
+        quota_spec: Optional[QuotaSpec] = None,
+    ) -> None:
         self.store = store
+        #: governance applied to every session opened by :meth:`login`;
+        #: ``None`` leaves that axis unlimited (embedded/trusted use)
+        self.budget_spec = budget_spec
+        self.quota_spec = quota_spec
         self.transaction_manager = TransactionManager(store)
         self.directory_manager = DirectoryManager(store)
         self.transaction_manager.add_commit_listener(

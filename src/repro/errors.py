@@ -14,6 +14,36 @@ class GemStoneError(Exception):
 
 
 # --------------------------------------------------------------------------
+# Retryability taxonomy
+# --------------------------------------------------------------------------
+#
+# Robustness errors carry one of two operational verdicts, so callers can
+# write one policy instead of enumerating failure modes:
+#
+# * :class:`RetryableError` — transient.  The same request may succeed if
+#   simply retried, possibly after backing off (``retry_after`` simulated
+#   units, when the raiser knows a good delay).
+# * :class:`FatalError` — non-transient.  Retrying the identical request
+#   cannot succeed without some intervention first: an operator repairing
+#   a volume, a session aborting its transaction, a query being rewritten.
+#
+# The two are disjoint by construction; tests assert no error class ever
+# inherits both.
+
+
+class RetryableError(GemStoneError):
+    """Transient: the same request may succeed on retry (after backoff)."""
+
+    #: suggested wait before retrying, in simulated time units (None when
+    #: the raiser has no estimate)
+    retry_after: float | None = None
+
+
+class FatalError(GemStoneError):
+    """Non-transient: retrying cannot succeed without intervention."""
+
+
+# --------------------------------------------------------------------------
 # Object model (repro.core)
 # --------------------------------------------------------------------------
 
@@ -129,16 +159,20 @@ class DiskCrashed(DiskError):
     """The simulated disk hit its injected crash point; writes are lost."""
 
 
-class TransientDiskError(DiskError):
+class TransientDiskError(DiskError, RetryableError):
     """A retryable I/O failure (injected by a fault plan); retry may succeed."""
 
 
-class DegradedError(StorageError):
+class DegradedError(StorageError, FatalError):
     """A resilient volume exhausted its retry budget and went read-only."""
 
 
-class StaleReplicaError(StorageError):
-    """Every live replica holds only a superseded copy of the track."""
+class StaleReplicaError(StorageError, RetryableError):
+    """Every live replica holds only a superseded copy of the track.
+
+    Retryable: a down replica holding the current copy may come back, and
+    read-repair heals stale copies the moment a good one is served.
+    """
 
 
 class ChecksumError(StorageError):
@@ -169,8 +203,12 @@ class ConcurrencyError(GemStoneError):
     """Base class for transaction and session errors."""
 
 
-class TransactionConflict(ConcurrencyError):
-    """Optimistic validation failed: a concurrent commit invalidated reads."""
+class TransactionConflict(ConcurrencyError, RetryableError):
+    """Optimistic validation failed: a concurrent commit invalidated reads.
+
+    Retryable in the OCC sense: the workspace is discarded, but replaying
+    the transaction body against the fresh state may well succeed.
+    """
 
     def __init__(self, message: str, conflicts: tuple = ()) -> None:
         super().__init__(message)
@@ -209,5 +247,53 @@ class LinkCorruption(ProtocolError):
     """A sequenced frame failed its checksum: damaged in transit, not malformed."""
 
 
-class LinkTimeout(ProtocolError):
+class LinkTimeout(ProtocolError, RetryableError):
     """No response arrived on the host link within the retry budget."""
+
+
+# --------------------------------------------------------------------------
+# Resource governance (repro.govern)
+# --------------------------------------------------------------------------
+
+class GovernanceError(GemStoneError):
+    """Base class for resource-governance errors (budgets, quotas, load)."""
+
+
+class QueryBudgetExceeded(GovernanceError, FatalError):
+    """A query exhausted its fuel (steps, send depth, or allocations).
+
+    Fatal for the query: re-running the identical block spends the same
+    fuel.  The session survives — only the offending execution dies.
+    """
+
+    def __init__(self, limit: str, spent: int, cap: int) -> None:
+        super().__init__(f"query budget exceeded: {limit} {spent} > cap {cap}")
+        self.limit = limit
+        self.spent = spent
+        self.cap = cap
+
+
+class SessionQuotaExceeded(GovernanceError, FatalError):
+    """A session's workspace grew past its quota (staged writes/objects).
+
+    Fatal for the transaction: the same staged work cannot fit.  Aborting
+    (discarding the workspace) frees the quota and the session lives on.
+    """
+
+    def __init__(self, resource: str, used: int, cap: int) -> None:
+        super().__init__(f"session quota exceeded: {resource} {used} >= cap {cap}")
+        self.resource = resource
+        self.used = used
+        self.cap = cap
+
+
+class OverloadedError(GovernanceError, RetryableError):
+    """The system shed this request under load; retry after backing off."""
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceeded(GovernanceError, RetryableError):
+    """A request's deadline passed before it could be served."""

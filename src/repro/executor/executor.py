@@ -28,11 +28,14 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from .. import errors as _errors
 from ..errors import (
     GemStoneError,
     LinkCorruption,
     LinkTimeout,
+    OverloadedError,
     ProtocolError,
+    StorageError,
     TransactionConflict,
 )
 from ..opal.interpreter import OpalEngine
@@ -45,8 +48,11 @@ from .protocol import Frame, FrameType
 class Executor:
     """Serves one host link against a database."""
 
-    def __init__(self, database) -> None:
+    def __init__(self, database, admission=None) -> None:
         self.database = database
+        #: shared :class:`~repro.govern.admission.AdmissionController`
+        #: (None = no admission control, the embedded/trusted default)
+        self.admission = admission
         self._session = None
         self._engine: Optional[OpalEngine] = None
         #: replay cache: the last sequenced request and its response
@@ -54,6 +60,7 @@ class Executor:
         self._last_response: Optional[bytes] = None
         self.replays = 0
         self.corrupt_frames = 0
+        self.deadline_rejections = 0
 
     def serve(self, gem_end: LinkEnd) -> int:
         """Process every buffered frame; returns how many were handled.
@@ -106,14 +113,23 @@ class Executor:
             return self._login(frame.fields["user"], frame.fields["password"])
         if self._session is None:
             return protocol.encode_error("ProtocolError", "not logged in")
+        if frame.type in (FrameType.EXECUTE, FrameType.COMMIT):
+            gate = self._admit(frame)
+            if gate is not None:
+                return gate
         if frame.type is FrameType.EXECUTE:
             return self._execute(frame.fields["source"])
         if frame.type is FrameType.COMMIT:
             try:
                 tx_time = self._session.commit()
+                self._note_outcome(failed=False)
                 return protocol.encode_committed(tx_time)
             except TransactionConflict:
+                # contention, not system failure: the breaker stays shut
                 return protocol.encode_simple(FrameType.CONFLICT)
+            except StorageError as error:
+                self._note_outcome(failed=True)
+                return protocol.encode_error(type(error).__name__, str(error))
         if frame.type is FrameType.ABORT:
             self._session.abort()
             return protocol.encode_simple(FrameType.ABORTED)
@@ -121,15 +137,55 @@ class Executor:
             self._session.close()
             self._session = None
             self._engine = None
+            if self.admission is not None:
+                self.admission.release_session()
             return protocol.encode_simple(FrameType.BYE)
         return protocol.encode_error(
             "ProtocolError", f"unexpected frame {frame.type.name}"
         )
 
+    # -- admission ----------------------------------------------------------
+
+    def _admit(self, frame: Frame) -> Optional[bytes]:
+        """Run the load gates for one request; a frame means *refused*."""
+        if self.admission is None:
+            return None
+        if (
+            frame.deadline is not None
+            and self.admission.clock.now > frame.deadline
+        ):
+            self.deadline_rejections += 1
+            return protocol.encode_error(
+                "DeadlineExceeded",
+                f"deadline {frame.deadline:.1f} passed at "
+                f"{self.admission.clock.now:.1f}; not serving stale work",
+            )
+        try:
+            self.admission.admit_request()
+        except OverloadedError as error:
+            return protocol.encode_overloaded(error.retry_after)
+        return None
+
+    def _note_outcome(self, failed: bool) -> None:
+        """Feed the circuit breaker with system-level outcomes."""
+        if self.admission is None:
+            return
+        if failed:
+            self.admission.record_failure()
+        else:
+            self.admission.record_success()
+
     def _login(self, user: str, password: str) -> bytes:
+        if self.admission is not None:
+            try:
+                self.admission.admit_session()
+            except OverloadedError as error:
+                return protocol.encode_overloaded(error.retry_after)
         try:
             self._session = self.database.login(user, password)
         except GemStoneError as error:
+            if self.admission is not None:
+                self.admission.release_session()  # the slot never opened
             return protocol.encode_error(type(error).__name__, str(error))
         self._engine = self._session.engine
         return protocol.encode_login_ok(self._session.session.session_id)
@@ -137,8 +193,12 @@ class Executor:
     def _execute(self, source: str) -> bytes:
         try:
             value = self._session.execute(source)
+        except StorageError as error:
+            self._note_outcome(failed=True)
+            return protocol.encode_error(type(error).__name__, str(error))
         except GemStoneError as error:
             return protocol.encode_error(type(error).__name__, str(error))
+        self._note_outcome(failed=False)
         display = print_string(self._session.session, value)
         return protocol.encode_result(value, display)
 
@@ -159,16 +219,28 @@ class HostConnection:
         database,
         link_factory: Callable[[], tuple] = make_link,
         max_attempts: int = 5,
+        admission=None,
+        overload_attempts: int = 8,
+        request_deadline: Optional[float] = None,
     ) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
+        if overload_attempts < 1:
+            raise ValueError("overload_attempts must be at least 1")
         self._link_factory = link_factory
-        self.executor = Executor(database)
+        self.executor = Executor(database, admission=admission)
+        self.admission = admission
         self.session_id: Optional[int] = None
         self.max_attempts = max_attempts
+        #: OVERLOADED answers tolerated (each backed off) per request
+        self.overload_attempts = overload_attempts
+        #: clock units after "now" each request stays worth serving
+        #: (None = no deadline attached)
+        self.request_deadline = request_deadline
         self._seq = 0
         self.retries = 0
         self.reconnects = 0
+        self.overload_backoffs = 0
         self._connect()
 
     # -- link lifecycle -----------------------------------------------------
@@ -184,9 +256,38 @@ class HostConnection:
 
     # -- request/response ---------------------------------------------------
 
+    def _request(self, frame: bytes) -> Frame:
+        """One logical request: round trips + typed overload backoff.
+
+        An OVERLOADED answer is not a failure of the link, so it gets its
+        own (bounded) retry loop: back off for the carried retry-after on
+        the shared deterministic clock, then try again under a *new*
+        sequence number — the shed request was never applied, so replay
+        protection is not wanted.  Exhaustion surfaces as the typed,
+        retryable :class:`~repro.errors.OverloadedError`.
+        """
+        retry_after = 0.0
+        for _attempt in range(self.overload_attempts):
+            response = self._round_trip(frame)
+            if response.type is not FrameType.OVERLOADED:
+                return response
+            retry_after = response.fields["retry_after"]
+            self.overload_backoffs += 1
+            if self.admission is not None:
+                self.admission.clock.advance(max(retry_after, 0.5))
+        raise OverloadedError(
+            f"still shedding after {self.overload_attempts} backoffs",
+            retry_after=retry_after,
+        )
+
+    def _deadline(self) -> Optional[float]:
+        if self.request_deadline is None or self.admission is None:
+            return None
+        return self.admission.clock.now + self.request_deadline
+
     def _round_trip(self, frame: bytes) -> Frame:
         self._seq += 1
-        wrapped = protocol.encode_seq(self._seq, frame)
+        wrapped = protocol.encode_seq(self._seq, frame, deadline=self._deadline())
         for attempt in range(self.max_attempts):
             if attempt:
                 self.retries += 1
@@ -225,9 +326,34 @@ class HostConnection:
                 return frame
             # a replayed response to an earlier seq: discard it
 
+    @staticmethod
+    def _typed_error(error_class: str, message: str) -> GemStoneError:
+        """Rehydrate an ERROR frame into the matching typed exception.
+
+        The class name travels on the wire; when it names a
+        :class:`~repro.errors.GemStoneError` subclass constructible from
+        a bare message, the host raises exactly that type — so client
+        policy can catch :class:`~repro.errors.RetryableError` instead of
+        string-matching.  A structured constructor the wire message
+        cannot satisfy (budget/quota errors carry caps and meters) still
+        yields the right *type*, built around the message alone: the
+        taxonomy must survive the trip even when the details cannot.
+        Unknown names degrade to the base class with the name folded
+        into the message.
+        """
+        cls = getattr(_errors, error_class, None)
+        if isinstance(cls, type) and issubclass(cls, GemStoneError):
+            try:
+                return cls(message)
+            except TypeError:
+                error = cls.__new__(cls)
+                Exception.__init__(error, message)
+                return error
+        return GemStoneError(f"{error_class}: {message}")
+
     def login(self, user: str, password: str) -> int:
         """Authenticate; returns the session id."""
-        response = self._round_trip(protocol.encode_login(user, password))
+        response = self._request(protocol.encode_login(user, password))
         if response.type is FrameType.ERROR:
             raise GemStoneError(response.fields["message"])
         self.session_id = response.fields["session_id"]
@@ -240,25 +366,29 @@ class HostConnection:
         :class:`~repro.core.values.Ref`; hosts dereference through
         further OPAL, as the paper's hosts did.
         """
-        response = self._round_trip(protocol.encode_execute(source))
+        response = self._request(protocol.encode_execute(source))
         if response.type is FrameType.ERROR:
-            raise GemStoneError(
-                f"{response.fields['error_class']}: {response.fields['message']}"
+            raise self._typed_error(
+                response.fields["error_class"], response.fields["message"]
             )
         return response.fields["value"], response.fields["display"]
 
     def commit(self) -> Optional[int]:
         """Commit; returns the transaction time, or None on conflict."""
-        response = self._round_trip(protocol.encode_simple(FrameType.COMMIT))
+        response = self._request(protocol.encode_simple(FrameType.COMMIT))
         if response.type is FrameType.CONFLICT:
             return None
+        if response.type is FrameType.ERROR:
+            raise self._typed_error(
+                response.fields["error_class"], response.fields["message"]
+            )
         return response.fields["tx_time"]
 
     def abort(self) -> None:
         """Abort the current transaction."""
-        self._round_trip(protocol.encode_simple(FrameType.ABORT))
+        self._request(protocol.encode_simple(FrameType.ABORT))
 
     def logout(self) -> None:
         """End the session."""
-        self._round_trip(protocol.encode_simple(FrameType.LOGOUT))
+        self._request(protocol.encode_simple(FrameType.LOGOUT))
         self.session_id = None

@@ -13,10 +13,14 @@ value.
 
 Reliability: any frame may be wrapped in a SEQ envelope —
 
-    SEQ  uvarint(sequence number)  u32 crc32(inner frame)  inner frame
+    SEQ  uvarint(sequence number)  flags  [f64 deadline]
+         u32 crc32(inner frame)  inner frame
 
 — which gives the host ↔ Gem conversation exactly-once semantics over a
-lossy link.  The sequence number lets the Executor recognise a resend of
+lossy link.  Bit 0 of the flags byte marks an attached *deadline*: the
+simulated-clock instant after which the sender no longer wants the
+request served (the Executor answers a typed ``DeadlineExceeded`` error
+instead of doing stale work).  The sequence number lets the Executor recognise a resend of
 the last in-flight request and replay its cached response instead of
 applying the request twice; the checksum distinguishes a frame damaged
 in transit (:class:`~repro.errors.LinkCorruption`, silently droppable —
@@ -53,15 +57,17 @@ class FrameType(IntEnum):
     LOGOUT = 11
     BYE = 12
     SEQ = 13
+    OVERLOADED = 14
 
 
 @dataclass(frozen=True)
 class Frame:
-    """A decoded protocol frame (``seq`` set when it arrived enveloped)."""
+    """A decoded protocol frame (``seq``/``deadline`` set when enveloped)."""
 
     type: FrameType
     fields: dict[str, Any]
     seq: int | None = None
+    deadline: float | None = None
 
 
 def encode_login(user: str, password: str) -> bytes:
@@ -124,11 +130,26 @@ def encode_committed(tx_time: int) -> bytes:
     return writer.getvalue()
 
 
-def encode_seq(seq: int, inner: bytes) -> bytes:
+def encode_overloaded(retry_after: float) -> bytes:
+    """The load-shedding answer: come back in *retry_after* clock units."""
+    writer = Writer()
+    writer.raw(bytes([FrameType.OVERLOADED]))
+    writer.raw(struct.pack("<d", float(retry_after)))
+    return writer.getvalue()
+
+
+#: SEQ flags-byte bits
+_SEQ_HAS_DEADLINE = 0x01
+
+
+def encode_seq(seq: int, inner: bytes, deadline: float | None = None) -> bytes:
     """Wrap any encoded frame in a checksummed sequence envelope."""
     writer = Writer()
     writer.raw(bytes([FrameType.SEQ]))
     writer.uvarint(seq)
+    writer.raw(bytes([_SEQ_HAS_DEADLINE if deadline is not None else 0]))
+    if deadline is not None:
+        writer.raw(struct.pack("<d", float(deadline)))
     writer.raw(struct.pack("<I", crc32(inner)))
     writer.raw(inner)
     return writer.getvalue()
@@ -146,6 +167,10 @@ def decode_frame(data: bytes) -> Frame:
     if frame_type is FrameType.SEQ:
         try:
             seq = reader.uvarint()
+            flags = reader.byte()
+            deadline = None
+            if flags & _SEQ_HAS_DEADLINE:
+                (deadline,) = struct.unpack("<d", reader.raw(8))
             (stored_crc,) = struct.unpack("<I", reader.raw(4))
             inner = reader.raw(reader.remaining())
         except CodecError as error:
@@ -155,7 +180,7 @@ def decode_frame(data: bytes) -> Frame:
         if inner and inner[0] == FrameType.SEQ:
             raise ProtocolError("nested sequence envelopes are not allowed")
         decoded = decode_frame(inner)
-        return Frame(decoded.type, decoded.fields, seq=seq)
+        return Frame(decoded.type, decoded.fields, seq=seq, deadline=deadline)
     fields: dict[str, Any] = {}
     if frame_type is FrameType.LOGIN:
         fields["user"] = reader.string()
@@ -173,4 +198,6 @@ def decode_frame(data: bytes) -> Frame:
         fields["message"] = reader.string()
     elif frame_type is FrameType.COMMITTED:
         fields["tx_time"] = reader.uvarint()
+    elif frame_type is FrameType.OVERLOADED:
+        (fields["retry_after"],) = struct.unpack("<d", reader.raw(8))
     return Frame(frame_type, fields)

@@ -14,11 +14,14 @@ resilience layer all run over it unchanged — while consulting a
   to the fault clock;
 * **crash** — the disk goes down exactly as ``crash_after(0)`` would:
   the triggering write is lost and all I/O fails until ``restart()``.
+  A *read* crash point (``crash_reads_at``) downs the disk from this
+  layer instead, since the inner disk's crash arming is write-driven —
+  it is how a crash lands inside read-only recovery itself.
 """
 
 from __future__ import annotations
 
-from ..errors import TransientDiskError
+from ..errors import DiskCrashed, TransientDiskError
 from .plan import FaultClock, FaultPlan
 
 
@@ -37,6 +40,7 @@ class FaultyDisk:
         self.transient_errors = 0
         self.rotted_tracks = 0
         self.delays = 0
+        self._crashed = False  # read-crash points down the disk from here
 
     # -- geometry / accounting (mirrors SimulatedDisk) ----------------------
 
@@ -59,7 +63,12 @@ class FaultyDisk:
     # -- I/O ----------------------------------------------------------------
 
     def read_track(self, track: int) -> bytes:
+        if self._crashed:
+            raise DiskCrashed(f"disk is down; read of track {track} refused")
         fault = self.plan.disk_fault("read", track)
+        if fault == "crash":
+            self._crashed = True
+            raise DiskCrashed(f"disk crashed during read of track {track}")
         if fault == "transient":
             self.transient_errors += 1
             raise TransientDiskError(f"transient read failure on track {track}")
@@ -69,6 +78,8 @@ class FaultyDisk:
         return self.inner.read_track(track)
 
     def write_track(self, track: int, data: bytes) -> None:
+        if self._crashed:
+            raise DiskCrashed(f"disk is down; write of track {track} refused")
         fault = self.plan.disk_fault("write", track)
         if fault == "crash":
             # fail-stop: down the disk so the triggering write is lost,
@@ -100,9 +111,10 @@ class FaultyDisk:
 
     @property
     def crashed(self) -> bool:
-        return self.inner.crashed
+        return self._crashed or self.inner.crashed
 
     def restart(self) -> None:
+        self._crashed = False
         self.inner.restart()
 
     def corrupt_track(self, track: int, flip_byte: int = 0) -> None:

@@ -87,7 +87,9 @@ class FaultPlan:
 
     Random faults are drawn from ``spec``; *crash points* are explicit
     and exact — ``crash_at={n}`` downs the disk on the n-th write the
-    plan sees (0-based), which is what the soak harness sweeps.
+    plan sees (0-based), which is what the soak harness sweeps, and
+    ``crash_reads_at={n}`` downs it on the n-th *read* — the only way
+    to crash inside read-only paths such as recovery itself.
     """
 
     def __init__(
@@ -95,14 +97,17 @@ class FaultPlan:
         seed: int,
         spec: FaultSpec | None = None,
         crash_at: Iterable[int] = (),
+        crash_reads_at: Iterable[int] = (),
     ) -> None:
         self.seed = seed
         self.spec = spec or FaultSpec()
         self.crash_at = frozenset(crash_at)
+        self.crash_reads_at = frozenset(crash_reads_at)
         self._rng = random.Random(seed)
         self.events: list[FaultEvent] = []
         self.injected = 0
         self._write_index = 0
+        self._read_index = 0
 
     # -- decisions ----------------------------------------------------------
 
@@ -119,6 +124,10 @@ class FaultPlan:
                 ("latency", self.spec.latency_rate),
             )
         else:
+            index = self._read_index
+            self._read_index += 1
+            if index in self.crash_reads_at:
+                return self._record("disk", operation, track, "crash")
             choices = (
                 ("transient", self.spec.transient_rate),
                 ("latency", self.spec.latency_rate),

@@ -92,12 +92,16 @@ def run_crash_sweep(
     track_count: int = 1024,
     track_size: int = 512,
     stride: int = 1,
+    crash_points: list[int] | None = None,
 ) -> SoakReport:
     """Crash at every write index of the workload; assert recovery each time.
 
     Raises ``AssertionError`` on the first violated invariant; returns
     the full :class:`SoakReport` when every crash point recovered.
-    *stride* subsamples crash indexes for quick smoke runs.
+    *stride* subsamples crash indexes for quick smoke runs;
+    *crash_points* replaces the sweep with an explicit list of write
+    indexes (out-of-range points are rejected) — the handle the CLI's
+    ``--crash-points`` uses to re-run one interesting crash exactly.
     """
     workload = build_workload(commits, writes_per_commit)
     geometry = DiskGeometry(track_count=track_count, track_size=track_size)
@@ -120,8 +124,19 @@ def run_crash_sweep(
         torn_states=0,
     )
 
+    if crash_points is None:
+        sweep = range(0, total_writes, stride)
+    else:
+        bad = [p for p in crash_points if not 0 <= p < total_writes]
+        if bad:
+            raise ValueError(
+                f"crash points {bad} outside the workload's "
+                f"{total_writes} writes"
+            )
+        sweep = sorted(set(crash_points))
+
     # 3: the sweep — crash index i kills the (i+1)-th workload write
-    for crash_index in range(0, total_writes, stride):
+    for crash_index in sweep:
         disk = base_disk.clone()
         db = GemStone.open(disk)
         disk.crash_after(crash_index)

@@ -1,0 +1,184 @@
+"""Executor admission control: session gate, virtual queue, breaker.
+
+The Executor "is responsible for controlling sessions ... on behalf of
+users on host machines" (section 6); controlling them under overload
+means refusing work it cannot serve, quickly and with a typed answer.
+Three gates, all deterministic against a
+:class:`~repro.faults.plan.FaultClock`:
+
+* **session gate** — at most ``max_sessions`` concurrent logins; one
+  over raises :class:`~repro.errors.OverloadedError` with a retry-after.
+* **virtual request queue** — a leaky bucket in simulated time: each
+  admitted request adds its cost to a backlog that drains at
+  ``drain_rate`` units of cost per clock unit.  A request that would
+  push the backlog past ``queue_capacity`` is *shed* with a retry-after
+  equal to the time the bucket needs to make room — bounded queueing
+  with honest backpressure instead of unbounded latency.
+* **circuit breaker** — after ``failure_threshold`` consecutive system
+  failures (storage down, volume degraded) the breaker *opens* and
+  sheds everything for ``reset_after`` clock units: failing fast beats
+  queueing doomed work.  It then goes *half-open*, admits one probe,
+  and closes again only if the probe succeeds.
+
+Hosts see every rejection as the same retryable
+:class:`~repro.errors.OverloadedError`; the
+:class:`~repro.executor.executor.HostConnection` backs off for the
+carried ``retry_after`` and tries again.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import OverloadedError
+
+if TYPE_CHECKING:  # import lazily at runtime: repro.faults loads the
+    from ..faults.plan import FaultClock  # full db stack (soak harness)
+
+#: breaker states
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker on a deterministic clock."""
+
+    def __init__(
+        self,
+        clock: FaultClock,
+        failure_threshold: int = 5,
+        reset_after: float = 50.0,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.trips = 0
+        self._opened_at = 0.0
+
+    def allow(self) -> bool:
+        """May a request pass right now?  (Half-open admits one probe.)"""
+        if self.state == OPEN:
+            if self.clock.now - self._opened_at >= self.reset_after:
+                self.state = HALF_OPEN
+                return True
+            return False
+        return True
+
+    def retry_after(self) -> float:
+        """Clock units until the breaker will next admit a probe."""
+        if self.state != OPEN:
+            return 0.0
+        return max(0.0, self.reset_after - (self.clock.now - self._opened_at))
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = CLOSED
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or (
+            self.consecutive_failures >= self.failure_threshold
+        ):
+            if self.state != OPEN:
+                self.trips += 1
+            self.state = OPEN
+            self._opened_at = self.clock.now
+
+
+class AdmissionController:
+    """Shared load gates for every Executor serving one database."""
+
+    def __init__(
+        self,
+        clock: FaultClock | None = None,
+        max_sessions: int = 64,
+        queue_capacity: float = 128.0,
+        drain_rate: float = 1.0,
+        request_cost: float = 1.0,
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be at least 1")
+        if drain_rate <= 0:
+            raise ValueError("drain_rate must be positive")
+        if clock is None:
+            from ..faults.plan import FaultClock
+
+            clock = FaultClock()
+        self.clock = clock
+        self.max_sessions = max_sessions
+        self.queue_capacity = queue_capacity
+        self.drain_rate = drain_rate
+        self.request_cost = request_cost
+        self.breaker = breaker or CircuitBreaker(self.clock)
+        self.sessions = 0
+        self._backlog = 0.0
+        self._drained_at = self.clock.now
+        # counters
+        self.admitted = 0
+        self.shed_requests = 0
+        self.shed_sessions = 0
+        self.breaker_sheds = 0
+
+    # -- session gate --------------------------------------------------------
+
+    def admit_session(self) -> None:
+        """Claim a session slot, or shed with a typed retry-after."""
+        if self.sessions >= self.max_sessions:
+            self.shed_sessions += 1
+            raise OverloadedError(
+                f"session limit {self.max_sessions} reached",
+                retry_after=self.request_cost / self.drain_rate,
+            )
+        self.sessions += 1
+
+    def release_session(self) -> None:
+        if self.sessions > 0:
+            self.sessions -= 1
+
+    # -- virtual request queue ----------------------------------------------
+
+    @property
+    def backlog(self) -> float:
+        """Queued cost not yet drained (after catching up to the clock)."""
+        self._drain()
+        return self._backlog
+
+    def _drain(self) -> None:
+        now = self.clock.now
+        elapsed = now - self._drained_at
+        if elapsed > 0:
+            self._backlog = max(0.0, self._backlog - elapsed * self.drain_rate)
+            self._drained_at = now
+
+    def admit_request(self, cost: float | None = None) -> None:
+        """Queue one request's cost, or shed it with a typed retry-after."""
+        cost = self.request_cost if cost is None else cost
+        self._drain()
+        if not self.breaker.allow():
+            self.breaker_sheds += 1
+            raise OverloadedError(
+                "circuit breaker open: shedding until the store recovers",
+                retry_after=self.breaker.retry_after(),
+            )
+        if self._backlog + cost > self.queue_capacity:
+            self.shed_requests += 1
+            overflow = self._backlog + cost - self.queue_capacity
+            raise OverloadedError(
+                f"request queue full ({self._backlog:.0f} of "
+                f"{self.queue_capacity:.0f} cost units)",
+                retry_after=overflow / self.drain_rate,
+            )
+        self._backlog += cost
+        self.admitted += 1
+
+    # -- breaker hooks -------------------------------------------------------
+
+    def record_success(self) -> None:
+        self.breaker.record_success()
+
+    def record_failure(self) -> None:
+        self.breaker.record_failure()

@@ -1,0 +1,95 @@
+"""Query budgets: fuel for the Interpreter and declarative evaluation.
+
+The paper's Object Manager multiplexes one shared store across many user
+sessions (section 6); one runaway OPAL block — an unbounded
+``whileTrue``, a pathological send recursion, an allocation bomb — must
+not starve every other session.  A :class:`QueryBudget` is the defence:
+a fuel counter the :class:`~repro.opal.interpreter.OpalEngine` charges
+as it works, raising the typed
+:class:`~repro.errors.QueryBudgetExceeded` the instant a limit is hit.
+
+Three meters, all per *query* (one ``execute`` of a block of OPAL):
+
+* **steps** — bytecodes dispatched, plus fuel charged by the declarative
+  select-block evaluator per candidate member it examines;
+* **send depth** — nested message-send activations, bounding runaway
+  recursion well before Python's own recursion limit;
+* **allocations** — objects instantiated (persistent or transient).
+
+The budget kills the *query*, never the session: the engine unwinds, the
+workspace is intact, and the next ``execute`` starts with fresh fuel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import QueryBudgetExceeded
+
+
+@dataclass(frozen=True)
+class BudgetSpec:
+    """Per-query fuel limits; ``None`` disables that meter."""
+
+    max_steps: int | None = None
+    max_send_depth: int | None = None
+    max_allocations: int | None = None
+
+    @classmethod
+    def default(cls) -> "BudgetSpec":
+        """Generous production defaults: adversarial queries die, real
+        workloads never notice."""
+        return cls(max_steps=1_000_000, max_send_depth=200,
+                   max_allocations=100_000)
+
+
+class QueryBudget:
+    """Mutable fuel counters for one session, reset at each query."""
+
+    __slots__ = ("spec", "steps", "send_depth", "allocations",
+                 "queries", "kills")
+
+    def __init__(self, spec: BudgetSpec | None = None) -> None:
+        self.spec = spec or BudgetSpec.default()
+        self.steps = 0
+        self.send_depth = 0
+        self.allocations = 0
+        #: lifetime counters (across queries), for reports
+        self.queries = 0
+        self.kills = 0
+
+    def start_query(self) -> None:
+        """Reset the per-query meters (the engine calls this per execute)."""
+        self.steps = 0
+        self.send_depth = 0
+        self.allocations = 0
+        self.queries += 1
+
+    # -- charging ------------------------------------------------------------
+
+    def charge_steps(self, count: int = 1) -> None:
+        """Spend *count* fuel units; raises when the step cap is crossed."""
+        self.steps += count
+        cap = self.spec.max_steps
+        if cap is not None and self.steps > cap:
+            self.kills += 1
+            raise QueryBudgetExceeded("steps", self.steps, cap)
+
+    def enter_send(self) -> None:
+        """One message-send activation deeper; raises past the depth cap."""
+        self.send_depth += 1
+        cap = self.spec.max_send_depth
+        if cap is not None and self.send_depth > cap:
+            self.kills += 1
+            raise QueryBudgetExceeded("send depth", self.send_depth, cap)
+
+    def exit_send(self) -> None:
+        self.send_depth -= 1
+
+    def charge_allocation(self, count: int = 1) -> None:
+        """One more object instantiated; raises past the allocation cap."""
+        self.allocations += count
+        cap = self.spec.max_allocations
+        if cap is not None and self.allocations > cap:
+            self.kills += 1
+            raise QueryBudgetExceeded("allocations", self.allocations, cap)

@@ -1,0 +1,57 @@
+"""Session quotas: caps on a private workspace's growth.
+
+Section 6 gives every session "its own Object Manager with a private
+object space"; nothing in the paper bounds that space, and an unbounded
+workspace is how one greedy session exhausts the memory every session
+shares.  A :class:`SessionQuota` caps the two things a workspace
+accumulates between commits — staged writes and workspace objects — and
+raises the typed :class:`~repro.errors.SessionQuotaExceeded` *before*
+the over-limit entry lands, so the workspace is never half-corrupted.
+
+An exceeded quota is fatal for the transaction but not the session:
+``abort`` discards the workspace, the quota frees, and the session can
+start over with smaller transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SessionQuotaExceeded
+
+
+@dataclass(frozen=True)
+class QuotaSpec:
+    """Workspace caps; ``None`` disables that cap."""
+
+    max_staged_writes: int | None = None
+    max_workspace_objects: int | None = None
+
+    @classmethod
+    def default(cls) -> "QuotaSpec":
+        """Production defaults: far above normal transactions."""
+        return cls(max_staged_writes=50_000, max_workspace_objects=10_000)
+
+
+class SessionQuota:
+    """Quota checks + rejection counters for one session."""
+
+    __slots__ = ("spec", "rejections")
+
+    def __init__(self, spec: QuotaSpec | None = None) -> None:
+        self.spec = spec or QuotaSpec.default()
+        self.rejections = 0
+
+    def check_staged_write(self, staged: int) -> None:
+        """Called with the current write-log length before appending."""
+        cap = self.spec.max_staged_writes
+        if cap is not None and staged >= cap:
+            self.rejections += 1
+            raise SessionQuotaExceeded("staged writes", staged, cap)
+
+    def check_workspace_object(self, resident: int) -> None:
+        """Called with the current workspace size before adopting."""
+        cap = self.spec.max_workspace_objects
+        if cap is not None and resident >= cap:
+            self.rejections += 1
+            raise SessionQuotaExceeded("workspace objects", resident, cap)

@@ -1,0 +1,287 @@
+"""Overload soak: a herd of contending, adversarial sessions.
+
+The governance tentpole in one harness: ``run_overload_soak`` drives a
+configurable herd (32 sessions by default) of host connections against a
+single database through one shared :class:`AdmissionController`, over a
+disk with PR 1's seeded transient faults active.  The herd is hostile on
+purpose:
+
+* **honest clients** read a shared element and write it plus a private
+  key, then all commit back-to-back — engineered OCC contention, so
+  conflicts, abort storms, backoff and starvation aging all fire;
+* **spinners** run ``[true] whileTrue`` — the query budget must kill
+  them mid-flight without hurting the session;
+* **allocators** instantiate far past the allocation cap;
+* **hoarders** stage writes far past the session quota, then abort.
+
+Every round also sheds work at the admission queue (it is sized below
+the herd's demand) and a latecomer session over the session gate.
+
+Invariants the report asserts (and the benchmark re-checks):
+
+* **zero torn commits** — after the soak the database is reopened from
+  the platter; every key reads exactly the value of the last commit the
+  harness saw succeed for it;
+* **zero hung sessions** — every client finishes every round and logs
+  out; runaway queries died by budget, never by wedging the Gem;
+* **every rejection typed** — nothing escapes as an untyped exception:
+  sheds and conflicts are :class:`~repro.errors.RetryableError`, budget
+  and quota kills are :class:`~repro.errors.FatalError`;
+* **deterministic** — all randomness is seeded and all time simulated,
+  so a fixed seed yields a byte-identical :meth:`OverloadReport.digest`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..db import GemStone
+from ..errors import (
+    FatalError,
+    GemStoneError,
+    OverloadedError,
+    QueryBudgetExceeded,
+    RetryableError,
+    SessionQuotaExceeded,
+)
+from ..executor.executor import HostConnection
+from ..faults.disk import FaultyDisk
+from ..faults.plan import FaultClock, FaultPlan, FaultSpec
+from ..faults.resilience import ResilientDisk
+from ..storage.disk import DiskGeometry, SimulatedDisk
+from .admission import AdmissionController, CircuitBreaker
+from .backoff import CommitPolicy
+from .budget import BudgetSpec
+from .quota import QuotaSpec
+
+#: client roles, cycled by client index
+_HONEST, _SPINNER, _ALLOCATOR, _HOARDER = "honest", "spinner", "allocator", "hoarder"
+_ROLES = [_HONEST, _HONEST, _HONEST, _HONEST, _HONEST,
+          _SPINNER, _ALLOCATOR, _HOARDER]
+
+
+@dataclass
+class OverloadReport:
+    """Everything a soak run observed; the invariants live here."""
+
+    clients: int
+    rounds: int
+    seed: int
+    # progress
+    commits: int = 0
+    verified_keys: int = 0
+    # typed rejections, by kind
+    conflicts: int = 0
+    overload_rejections: int = 0
+    budget_kills: int = 0
+    quota_kills: int = 0
+    storage_rejections: int = 0
+    shed_logins: int = 0
+    # governance internals
+    client_backoffs: int = 0
+    queue_sheds: int = 0
+    priority_grants: int = 0
+    storms_detected: int = 0
+    backoff_units: float = 0.0
+    # fault layer
+    injected_faults: int = 0
+    disk_retries: int = 0
+    # invariants — all must be zero
+    torn_commits: int = 0
+    hung_sessions: int = 0
+    untyped_failures: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    def digest(self) -> str:
+        """A stable fingerprint: equal seeds must yield equal digests."""
+        body = repr((
+            self.clients, self.rounds, self.seed, self.commits,
+            self.verified_keys, self.conflicts, self.overload_rejections,
+            self.budget_kills, self.quota_kills, self.storage_rejections,
+            self.shed_logins, self.client_backoffs, self.queue_sheds,
+            self.priority_grants, self.storms_detected,
+            round(self.backoff_units, 6), self.injected_faults,
+            self.disk_retries, self.torn_commits, self.hung_sessions,
+            self.untyped_failures,
+        ))
+        return hashlib.sha256(body.encode()).hexdigest()[:16]
+
+    @property
+    def clean(self) -> bool:
+        """True when every soak invariant held."""
+        return (
+            self.torn_commits == 0
+            and self.hung_sessions == 0
+            and self.untyped_failures == 0
+        )
+
+
+def run_overload_soak(
+    clients: int = 32,
+    rounds: int = 3,
+    seed: int = 2026,
+    transient_rate: float = 0.15,
+    latency_rate: float = 0.1,
+    queue_capacity: float = 48.0,
+    track_count: int = 4096,
+    track_size: int = 512,
+) -> OverloadReport:
+    """Soak the full stack under engineered overload; see module docs."""
+    report = OverloadReport(clients=clients, rounds=rounds, seed=seed)
+    clock = FaultClock()
+
+    # PR 1 faults stay on for the whole soak: a governed system must
+    # shed load and mask transient storage faults at the same time
+    plan = FaultPlan(
+        seed=seed,
+        spec=FaultSpec(transient_rate=transient_rate, latency_rate=latency_rate),
+    )
+    platter = SimulatedDisk(
+        DiskGeometry(track_count=track_count, track_size=track_size)
+    )
+    stack = ResilientDisk(FaultyDisk(platter, plan, clock), clock, max_retries=8)
+
+    db = GemStone.create(disk=stack)
+    db.budget_spec = BudgetSpec(
+        max_steps=20_000, max_send_depth=64, max_allocations=256
+    )
+    db.quota_spec = QuotaSpec(max_staged_writes=24, max_workspace_objects=128)
+    db.transaction_manager.backoff_clock = clock
+    db.transaction_manager.policy = CommitPolicy(
+        seed=seed, starvation_threshold=3, priority_timeout=500.0
+    )
+    admission = AdmissionController(
+        clock=clock,
+        max_sessions=clients,
+        queue_capacity=queue_capacity,
+        drain_rate=1.0,
+        breaker=CircuitBreaker(clock, failure_threshold=8, reset_after=64.0),
+    )
+
+    connections = [
+        HostConnection(db, admission=admission, overload_attempts=16)
+        for _ in range(clients)
+    ]
+    for connection in connections:
+        connection.login("DataCurator", "swordfish")
+
+    # a latecomer over the full session gate: shed with a typed answer
+    latecomer = HostConnection(db, admission=admission, overload_attempts=1)
+    try:
+        latecomer.login("DataCurator", "swordfish")
+        report.failures.append("session gate admitted one over the cap")
+    except OverloadedError:
+        report.shed_logins += 1
+
+    expected: dict[str, int] = {}
+    finished = [False] * clients
+
+    def note_error(error: Exception, role: str) -> None:
+        """Classify one rejection; anything untyped is an invariant hit."""
+        if isinstance(error, QueryBudgetExceeded):
+            report.budget_kills += 1
+        elif isinstance(error, SessionQuotaExceeded):
+            report.quota_kills += 1
+        elif isinstance(error, OverloadedError):
+            report.overload_rejections += 1
+        elif isinstance(error, FatalError):
+            report.storage_rejections += 1
+        elif isinstance(error, RetryableError):
+            report.storage_rejections += 1
+        else:
+            report.untyped_failures += 1
+            report.failures.append(
+                f"{role}: untyped {type(error).__name__}: {error}"
+            )
+
+    for round_no in range(rounds):
+        staged: list[int] = []
+        # phase A: everyone works; adversaries die by budget/quota here
+        for index, connection in enumerate(connections):
+            role = _ROLES[index % len(_ROLES)]
+            try:
+                if role == _HONEST:
+                    value = round_no * 100_000 + index
+                    connection.execute(
+                        "World!shared. "
+                        f"World!c{index} := {value}. "
+                        f"World!shared := {value}"
+                    )
+                    staged.append(index)
+                elif role == _SPINNER:
+                    connection.execute("[true] whileTrue: [1 + 1]")
+                    report.failures.append("spinner survived its budget")
+                elif role == _ALLOCATOR:
+                    connection.execute("1 to: 1000 do: [:i | Object new]")
+                    report.failures.append("allocator survived its budget")
+                else:  # hoarder
+                    connection.execute("1 to: 64 do: [:i | World at: i put: i]")
+                    report.failures.append("hoarder survived its quota")
+            except GemStoneError as error:
+                note_error(error, role)
+                if isinstance(error, (SessionQuotaExceeded, OverloadedError)):
+                    connection.abort()  # free the workspace; stay logged in
+            except Exception as error:  # noqa: BLE001 — the invariant itself
+                report.untyped_failures += 1
+                report.failures.append(
+                    f"{role}: raw {type(error).__name__}: {error}"
+                )
+        # phase B: the staged herd commits back-to-back — engineered
+        # contention on World!shared; one wins, the rest take typed
+        # conflicts, backoff, and eventually priority grants
+        for index in staged:
+            connection = connections[index]
+            try:
+                tx_time = connection.commit()
+            except GemStoneError as error:
+                note_error(error, _HONEST)
+                connection.abort()
+                continue
+            except Exception as error:  # noqa: BLE001
+                report.untyped_failures += 1
+                report.failures.append(
+                    f"commit: raw {type(error).__name__}: {error}"
+                )
+                continue
+            if tx_time is None:
+                report.conflicts += 1  # CONFLICT frame: typed, retryable
+                continue
+            value = round_no * 100_000 + index
+            expected[f"c{index}"] = value
+            expected["shared"] = value
+            report.commits += 1
+
+    for index, connection in enumerate(connections):
+        try:
+            connection.logout()
+            finished[index] = True
+        except GemStoneError as error:
+            note_error(error, "logout")
+    report.hung_sessions = finished.count(False)
+
+    # governance + fault-layer counters (all deterministic)
+    stats = db.transaction_manager.stats
+    report.priority_grants = stats.priority_grants
+    report.storms_detected = stats.storms_detected
+    report.backoff_units = stats.backoff_units
+    report.client_backoffs = sum(c.overload_backoffs for c in connections)
+    report.queue_sheds = admission.shed_requests
+    report.injected_faults = plan.injected
+    report.disk_retries = stack.retries
+
+    # recovery + torn-commit audit: reopen from the platter and demand
+    # exactly the last committed value behind every key the soak tracked
+    reopened = GemStone.open(stack)
+    check = reopened.login()
+    for key, value in sorted(expected.items()):
+        found = check.execute(f"World!{key}")
+        if found != value:
+            report.torn_commits += 1
+            report.failures.append(
+                f"torn: World!{key} is {found!r}, expected {value!r}"
+            )
+        else:
+            report.verified_keys += 1
+    check.close()
+    return report

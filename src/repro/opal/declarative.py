@@ -25,7 +25,7 @@ from typing import Any, Optional
 
 from ..core.classes import GemClass
 from ..core.paths import Path, Step
-from ..errors import GemStoneError
+from ..errors import GemStoneError, QueryBudgetExceeded
 from ..stdm.calculus import (
     And,
     Apply,
@@ -219,7 +219,17 @@ def try_declarative_filter(store, collection, closure, negate: bool) -> Optional
     dial = getattr(store, "time_dial", None)
     time = dial.time if dial is not None else None
     plan = best_plan(query, engine.directory_manager)
+    budget = engine.budget
+    if budget is not None:
+        from .kernel import members
+
+        # declarative evaluation bypasses the bytecode loop, so its fuel
+        # is charged here: one unit per candidate member examined (the
+        # logical size of the input set) plus one for the plan itself
+        budget.charge_steps(1 + len(members(store, collection)))
     try:
         return plan.run(QueryContext(store, time, engine.directory_manager))
+    except QueryBudgetExceeded:
+        raise  # a dead budget must kill the query, not go procedural
     except GemStoneError:
         return None  # fall back to procedural semantics

@@ -245,12 +245,16 @@ class OpalEngine:
     """The language runtime bound to one store."""
 
     def __init__(self, store, directory_manager=None,
-                 globals_: Optional[dict[str, Any]] = None) -> None:
+                 globals_: Optional[dict[str, Any]] = None,
+                 budget=None) -> None:
         self.store = store
         self.directory_manager = directory_manager
         self.globals: dict[str, Any] = dict(globals_ or {})
         self.system = SystemObject(self)
         self._world: Optional[GemObject] = None
+        #: optional :class:`~repro.govern.budget.QueryBudget`: fuel the
+        #: dispatch loop, sends and allocations spend, reset per execute
+        self.budget = budget
         store.opal_runtime = self
         from .kernel import install_kernel
 
@@ -319,6 +323,8 @@ class OpalEngine:
         ``bindings`` pre-fill workspace variables by name.
         """
         bindings = bindings or {}
+        if self.budget is not None:
+            self.budget.start_query()  # fresh fuel for each block
         method = Compiler().compile_source(source, tuple(bindings))
         frame = Frame(
             method.code, method.literals, method.slot_names,
@@ -373,6 +379,16 @@ class OpalEngine:
 
     def send(self, receiver: Any, selector: str, *args: Any) -> Any:
         """Full OPAL dispatch, including engine-level receivers."""
+        budget = self.budget
+        if budget is None:
+            return self._dispatch(receiver, selector, args)
+        budget.enter_send()
+        try:
+            return self._dispatch(receiver, selector, args)
+        finally:
+            budget.exit_send()
+
+    def _dispatch(self, receiver: Any, selector: str, args: tuple) -> Any:
         if isinstance(receiver, SystemObject):
             return receiver.send(selector, args)
         if isinstance(receiver, BlockClosure):
@@ -478,7 +494,10 @@ class OpalEngine:
         store = self.store
         code = frame.code
         stack = frame.stack
+        budget = self.budget
         while True:
+            if budget is not None:
+                budget.charge_steps()  # fuel: one unit per bytecode
             instruction = code[frame.pc]
             frame.pc += 1
             op = instruction.op

@@ -488,8 +488,15 @@ class StableStore(ObjectStore):
     # ------------------------------------------------------------------
 
     def storage_report(self) -> dict[str, Any]:
-        """Occupancy snapshot for DBA tooling and benchmarks."""
-        return {
+        """Occupancy snapshot for DBA tooling and benchmarks.
+
+        Besides occupancy, the report walks the disk wrapper chain
+        (resilience, fault injection, replication — whatever is stacked
+        under this store) and surfaces each layer's health counters, so
+        a DBA can see masked retries, degradation, and per-replica
+        failure/repair totals without reaching into the stack.
+        """
+        report = {
             "epoch": self.commit_manager.current_epoch,
             "last_tx_time": self.last_tx_time,
             "objects": len(self.table),
@@ -498,3 +505,39 @@ class StableStore(ObjectStore):
             "cache_entries": len(self.cache),
             "cache_hit_rate": self.cache.hit_rate,
         }
+        report.update(_disk_health(self.disk))
+        return report
+
+
+def _disk_health(disk: Any) -> dict[str, Any]:
+    """Flattened health counters from every layer of a disk stack.
+
+    Layers are duck-typed by their counters, not imported by class —
+    the storage package must not depend on ``repro.faults``.  The walk
+    follows ``.inner`` through single-disk wrappers and fans out over
+    ``.replicas``/``.health`` at a replicated volume.
+    """
+    health: dict[str, Any] = {}
+    layer = disk
+    while layer is not None:
+        if hasattr(layer, "max_retries") and hasattr(layer, "backoff_time"):
+            # the resilience layer: bounded retry + read-only degradation
+            health["resilience_retries"] = layer.retries
+            health["resilience_backoff_time"] = layer.backoff_time
+            health["resilience_degraded"] = bool(layer.degraded)
+        elif hasattr(layer, "transient_errors") and hasattr(layer, "plan"):
+            # the fault-injection layer: what was actually thrown at us
+            health["faults_transient"] = layer.transient_errors
+            health["faults_rotted_tracks"] = layer.rotted_tracks
+            health["faults_delays"] = layer.delays
+        if hasattr(layer, "replicas") and hasattr(layer, "health"):
+            health["replication_repairs"] = layer.repairs
+            health["replication_stale_repairs"] = layer.stale_repairs
+            for index, replica in enumerate(layer.health):
+                prefix = f"replica{index}"
+                health[f"{prefix}_write_failures"] = replica.write_failures
+                health[f"{prefix}_read_failures"] = replica.read_failures
+                health[f"{prefix}_repairs"] = replica.repairs
+            break  # replicas are leaf SimulatedDisks; nothing below
+        layer = getattr(layer, "inner", None)
+    return health

@@ -1,0 +1,220 @@
+"""Commit contention policy: backoff, storms, starvation aging."""
+
+import pytest
+
+from repro import GemStone
+from repro.errors import OverloadedError, TransactionConflict
+from repro.govern import CommitPolicy
+
+
+def make_db(**policy_knobs):
+    db = GemStone.create(track_count=1024, track_size=512)
+    if policy_knobs:
+        db.transaction_manager.policy = CommitPolicy(**policy_knobs)
+    return db
+
+
+def conflict_pair(db):
+    """Two sessions racing on the same element; the second one loses."""
+    loser = db.login()
+    winner = db.login()
+    loser.execute("World!contested")  # recorded read
+    loser.execute("World!mine := 1")
+    winner.execute("World!contested := 99")
+    winner.commit()
+    return loser, winner
+
+
+class TestPolicyMath:
+    def test_backoff_grows_exponentially(self):
+        policy = CommitPolicy(jitter=0.0)
+        assert policy.backoff_delay(1, False) == 1.0
+        assert policy.backoff_delay(2, False) == 2.0
+        assert policy.backoff_delay(3, False) == 4.0
+
+    def test_storm_multiplier(self):
+        policy = CommitPolicy(jitter=0.0, storm_backoff_factor=4.0)
+        assert policy.backoff_delay(1, True) == 4.0
+
+    def test_jitter_is_seeded(self):
+        a = CommitPolicy(seed=7)
+        b = CommitPolicy(seed=7)
+        assert [a.backoff_delay(1, False) for _ in range(5)] == [
+            b.backoff_delay(1, False) for _ in range(5)
+        ]
+
+
+class TestConflictBackoff:
+    def test_conflict_charges_the_deterministic_clock(self):
+        db = make_db(jitter=0.0)
+        tm = db.transaction_manager
+        loser, _ = conflict_pair(db)
+        before = tm.backoff_clock.now
+        with pytest.raises(TransactionConflict) as excinfo:
+            loser.commit()
+        assert tm.backoff_clock.now == before + 1.0  # streak 1: base delay
+        assert excinfo.value.retry_after == 1.0
+        assert tm.stats.backoff_units == 1.0
+
+    def test_streak_escalates_the_delay(self):
+        db = make_db(jitter=0.0, starvation_threshold=1_000_000)
+        tm = db.transaction_manager
+        loser = db.login()
+        delays = []
+        for round_no in range(3):
+            winner = db.login()
+            loser.execute("World!contested")
+            loser.execute("World!mine := 1")
+            winner.execute("World!contested := %d" % round_no)
+            winner.commit()
+            winner.close()
+            before = tm.backoff_clock.now
+            with pytest.raises(TransactionConflict):
+                loser.commit()
+            delays.append(tm.backoff_clock.now - before)
+        assert delays == [1.0, 2.0, 4.0]
+
+    def test_success_resets_the_streak(self):
+        db = make_db(jitter=0.0)
+        tm = db.transaction_manager
+        loser, _ = conflict_pair(db)
+        with pytest.raises(TransactionConflict):
+            loser.commit()
+        loser.execute("World!mine := 2")
+        loser.commit()  # clean commit: streak cleared
+        assert tm._streaks.get(loser.session.session_id) is None
+
+
+class TestStormDetection:
+    def test_sustained_aborts_trip_the_detector(self):
+        db = make_db(jitter=0.0, storm_window=4, storm_threshold=0.5,
+                     starvation_threshold=1_000_000)
+        tm = db.transaction_manager
+        loser = db.login()
+        for round_no in range(4):
+            winner = db.login()
+            loser.execute("World!contested")
+            loser.execute("World!mine := 1")
+            winner.execute("World!contested := %d" % round_no)
+            winner.commit()
+            winner.close()
+            with pytest.raises(TransactionConflict):
+                loser.commit()
+        assert tm.storming
+        assert tm.stats.storms_detected == 1
+
+    def test_storm_multiplies_backoff(self):
+        # window of 3: the first abort ([success, abort]) is below the
+        # threshold, the second ([abort, success, abort]) crosses it
+        db = make_db(jitter=0.0, storm_window=3, storm_threshold=0.6,
+                     backoff_factor=1.0, storm_backoff_factor=8.0,
+                     starvation_threshold=1_000_000)
+        tm = db.transaction_manager
+        loser = db.login()
+        delays = []
+        for round_no in range(3):
+            winner = db.login()
+            loser.execute("World!contested")
+            loser.execute("World!mine := 1")
+            winner.execute("World!contested := %d" % round_no)
+            winner.commit()
+            winner.close()
+            before = tm.backoff_clock.now
+            with pytest.raises(TransactionConflict):
+                loser.commit()
+            delays.append(tm.backoff_clock.now - before)
+        assert delays[0] == 1.0  # window not yet stormy
+        assert delays[-1] == 8.0  # stormy window: spread the herd
+
+
+class TestStarvationAging:
+    def starve(self, db, rounds):
+        tm = db.transaction_manager
+        starving = db.login()
+        for round_no in range(rounds):
+            winner = db.login()
+            starving.execute("World!contested")
+            starving.execute("World!mine := 1")
+            winner.execute("World!contested := %d" % round_no)
+            winner.commit()
+            winner.close()
+            with pytest.raises(TransactionConflict):
+                starving.commit()
+        return tm, starving
+
+    def test_streak_earns_priority(self):
+        db = make_db(jitter=0.0, starvation_threshold=2)
+        tm, starving = self.starve(db, rounds=2)
+        assert tm._priority_session == starving.session.session_id
+        assert tm.stats.priority_grants == 1
+
+    def test_priority_pushes_other_committers_back(self):
+        db = make_db(jitter=0.0, starvation_threshold=2)
+        tm, starving = self.starve(db, rounds=2)
+        other = db.login()
+        other.execute("World!other := 5")
+        with pytest.raises(OverloadedError) as excinfo:
+            other.commit()
+        assert excinfo.value.retry_after == tm.policy.priority_retry_after
+        assert tm.stats.priority_rejections == 1
+        # the pushed-back workspace is intact: nothing was discarded
+        assert other.session.has_uncommitted_changes
+
+    def test_priority_holder_finally_commits(self):
+        db = make_db(jitter=0.0, starvation_threshold=2)
+        tm, starving = self.starve(db, rounds=2)
+        starving.execute("World!mine := 1")
+        starving.commit()  # commits against a quiet log
+        assert tm._priority_session is None
+        # the grant released: others proceed normally again
+        other = db.login()
+        other.execute("World!other := 5")
+        other.commit()
+
+    def test_grant_lapses_on_the_clock(self):
+        db = make_db(jitter=0.0, starvation_threshold=2, priority_timeout=10.0)
+        tm, starving = self.starve(db, rounds=2)
+        tm.backoff_clock.advance(11.0)
+        other = db.login()
+        other.execute("World!other := 5")
+        other.commit()  # the stale grant no longer blocks anyone
+        assert tm._priority_session is None
+
+
+class TestRunTransaction:
+    def test_retries_replay_the_body(self):
+        db = make_db(jitter=0.0, max_attempts=4)
+        tm = db.transaction_manager
+        victim = db.login()
+        rival = db.login()
+        attempts = []
+
+        def body(session):
+            attempts.append(1)
+            session.execute("World!contested")
+            session.execute("World!mine := 7")
+            if len(attempts) == 1:  # sabotage only the first attempt
+                rival.execute("World!contested := 1")
+                rival.commit()
+
+        tx_time = tm.run_transaction(victim, body)
+        assert tx_time > 0
+        assert len(attempts) == 2
+        assert tm.stats.conflict_retries == 1
+        assert victim.execute("World!mine") == 7
+
+    def test_exhaustion_raises_the_last_typed_error(self):
+        db = make_db(jitter=0.0, max_attempts=2)
+        tm = db.transaction_manager
+        victim = db.login()
+        rival = db.login()
+
+        def body(session):
+            session.execute("World!contested")
+            session.execute("World!mine := 7")
+            rival.execute("World!contested := (World!contested ifNil: [0]) + 1")
+            rival.commit()
+
+        with pytest.raises(TransactionConflict):
+            tm.run_transaction(victim, body)
+        assert tm.stats.conflict_retries == 2

@@ -1,0 +1,155 @@
+"""Query budgets: runaway queries die cleanly; the session survives."""
+
+import pytest
+
+from repro import GemStone
+from repro.core import MemoryObjectManager
+from repro.errors import QueryBudgetExceeded
+from repro.govern import BudgetSpec, QueryBudget
+from repro.opal import OpalEngine
+
+
+def governed_engine(**limits):
+    return OpalEngine(
+        MemoryObjectManager(), budget=QueryBudget(BudgetSpec(**limits))
+    )
+
+
+class TestMeters:
+    def test_step_cap(self):
+        budget = QueryBudget(BudgetSpec(max_steps=10))
+        budget.start_query()
+        budget.charge_steps(10)
+        with pytest.raises(QueryBudgetExceeded) as excinfo:
+            budget.charge_steps()
+        assert excinfo.value.limit == "steps"
+        assert budget.kills == 1
+
+    def test_send_depth_cap_and_unwind(self):
+        budget = QueryBudget(BudgetSpec(max_send_depth=2))
+        budget.start_query()
+        budget.enter_send()
+        budget.enter_send()
+        with pytest.raises(QueryBudgetExceeded):
+            budget.enter_send()
+        budget.exit_send()
+        assert budget.send_depth == 2
+
+    def test_allocation_cap(self):
+        budget = QueryBudget(BudgetSpec(max_allocations=3))
+        budget.start_query()
+        budget.charge_allocation(3)
+        with pytest.raises(QueryBudgetExceeded) as excinfo:
+            budget.charge_allocation()
+        assert excinfo.value.limit == "allocations"
+
+    def test_start_query_refuels(self):
+        budget = QueryBudget(BudgetSpec(max_steps=5))
+        budget.start_query()
+        budget.charge_steps(5)
+        budget.start_query()
+        budget.charge_steps(5)  # fresh fuel: no raise
+        assert budget.queries == 2
+
+    def test_none_disables_a_meter(self):
+        budget = QueryBudget(BudgetSpec(max_steps=None, max_send_depth=1))
+        budget.start_query()
+        budget.charge_steps(10_000_000)  # unmetered
+
+
+class TestInterpreterFuel:
+    def test_infinite_loop_is_killed(self):
+        engine = governed_engine(max_steps=5_000)
+        with pytest.raises(QueryBudgetExceeded) as excinfo:
+            engine.execute("[true] whileTrue: [1 + 1]")
+        assert excinfo.value.limit == "steps"
+
+    def test_runaway_recursion_is_killed(self):
+        engine = governed_engine(max_send_depth=50)
+        engine.execute("""
+            Object subclass: #Spinner instVarNames: #().
+            Spinner compile: 'spin ^self spin'
+        """)
+        with pytest.raises(QueryBudgetExceeded) as excinfo:
+            engine.execute("Spinner new spin")
+        assert excinfo.value.limit == "send depth"
+
+    def test_allocation_bomb_is_killed(self):
+        engine = governed_engine(max_allocations=100)
+        with pytest.raises(QueryBudgetExceeded) as excinfo:
+            engine.execute("1 to: 500 do: [:i | Object new]")
+        assert excinfo.value.limit == "allocations"
+
+    def test_honest_work_fits_the_default_budget(self):
+        engine = governed_engine(
+            **{
+                "max_steps": BudgetSpec.default().max_steps,
+                "max_send_depth": BudgetSpec.default().max_send_depth,
+                "max_allocations": BudgetSpec.default().max_allocations,
+            }
+        )
+        total = engine.execute(
+            "| sum | sum := 0. 1 to: 100 do: [:i | sum := sum + i]. sum"
+        )
+        assert total == 5050
+
+
+class TestSessionSurvival:
+    def test_kill_leaves_the_session_usable(self):
+        db = GemStone.create(track_count=512, track_size=512)
+        db.budget_spec = BudgetSpec(max_steps=5_000)
+        session = db.login()
+        with pytest.raises(QueryBudgetExceeded):
+            session.execute("[true] whileTrue: [1 + 1]")
+        # fresh fuel, intact session: normal work proceeds and commits
+        session.execute("World!answer := 42")
+        session.commit()
+        assert session.execute("World!answer") == 42
+        assert session.budget.kills == 1
+
+    def test_login_applies_the_database_spec(self):
+        db = GemStone.create(track_count=512, track_size=512)
+        db.budget_spec = BudgetSpec.default()
+        session = db.login()
+        assert session.budget is not None
+        assert session.engine.budget is session.budget
+
+    def test_no_spec_means_no_metering(self):
+        db = GemStone.create(track_count=512, track_size=512)
+        session = db.login()
+        assert session.budget is None
+
+
+class TestDeclarativeFuel:
+    def build_staff(self, engine):
+        engine.execute("""
+            Object subclass: #Employee instVarNames: #(salary).
+            Employee compile: 'salary ^salary'.
+            Employee compile: 'salary: s salary := s'.
+            | emps e |
+            emps := Bag new.
+            1 to: 20 do: [:i |
+                e := Employee new.
+                e salary: i * 100.
+                emps add: e].
+            World!employees := emps
+        """)
+
+    def test_declarative_evaluation_spends_fuel(self):
+        engine = governed_engine(max_steps=1_000_000)
+        self.build_staff(engine)
+        n = engine.execute(
+            "(World!employees select: [:e | e!salary > 1500]) size"
+        )
+        assert n == 5
+        # at least one unit per member examined, on top of the bytecodes
+        assert engine.budget.steps > 20
+
+    def test_declarative_kill_propagates(self):
+        engine = governed_engine(max_steps=1_000_000)
+        self.build_staff(engine)
+        # tighten the fuel after setup: the select alone must overspend
+        engine.budget.spec = BudgetSpec(max_steps=15)
+        with pytest.raises(QueryBudgetExceeded) as excinfo:
+            engine.execute("World!employees select: [:e | e!salary > 1500]")
+        assert excinfo.value.limit == "steps"

@@ -1,0 +1,69 @@
+"""The overload soak's invariants, at test size."""
+
+from repro.govern import run_overload_soak
+
+
+def small_soak(seed=11, **overrides):
+    params = dict(
+        clients=8,
+        rounds=2,
+        seed=seed,
+        transient_rate=0.12,
+        queue_capacity=24.0,
+        track_count=1024,
+    )
+    params.update(overrides)
+    return run_overload_soak(**params)
+
+
+class TestOverloadSoak:
+    def test_invariants_hold_under_the_storm(self):
+        report = small_soak()
+        assert report.torn_commits == 0, report.failures
+        assert report.hung_sessions == 0, report.failures
+        assert report.untyped_failures == 0, report.failures
+        assert report.clean
+
+    def test_progress_is_made_despite_adversaries(self):
+        report = small_soak()
+        assert report.commits > 0
+        assert report.verified_keys > 0
+
+    def test_adversaries_die_by_budget_and_quota(self):
+        report = small_soak()
+        # two spinner/allocator kills and hoarder quota kills per round
+        assert report.budget_kills > 0
+        assert report.quota_kills > 0
+        # none of them survived (that would be recorded as a failure)
+        assert not any("survived" in f for f in report.failures)
+
+    def test_contention_is_governed_not_ignored(self):
+        report = small_soak()
+        assert report.conflicts > 0  # the engineered OCC race fired
+        assert report.backoff_units > 0  # and was charged to the clock
+
+    def test_session_gate_sheds_the_latecomer(self):
+        report = small_soak()
+        assert report.shed_logins == 1
+
+    def test_queue_sheds_when_sized_below_demand(self):
+        report = small_soak(queue_capacity=6.0)
+        assert report.queue_sheds > 0
+        assert report.client_backoffs > 0
+        assert report.clean  # shedding never costs correctness
+
+    def test_fault_layer_stays_active_and_masked(self):
+        report = small_soak(transient_rate=0.2)
+        assert report.injected_faults > 0
+        assert report.disk_retries > 0
+        assert report.torn_commits == 0
+
+    def test_fixed_seed_is_deterministic(self):
+        first = small_soak(seed=42)
+        second = small_soak(seed=42)
+        assert first.digest() == second.digest()
+
+    def test_different_seeds_follow_different_schedules(self):
+        # not guaranteed in principle, but these seeds do diverge — a
+        # digest that never moves would mean it hashes nothing real
+        assert small_soak(seed=1).digest() != small_soak(seed=2).digest()

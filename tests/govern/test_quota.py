@@ -1,0 +1,96 @@
+"""Session quotas: a greedy workspace is refused before it corrupts."""
+
+import pytest
+
+from repro import GemStone
+from repro.errors import SessionQuotaExceeded
+from repro.govern import QuotaSpec, SessionQuota
+
+
+def governed_db(**caps):
+    db = GemStone.create(track_count=512, track_size=512)
+    db.quota_spec = QuotaSpec(**caps)
+    return db
+
+
+class TestChecks:
+    def test_staged_write_cap(self):
+        quota = SessionQuota(QuotaSpec(max_staged_writes=3))
+        quota.check_staged_write(2)
+        with pytest.raises(SessionQuotaExceeded) as excinfo:
+            quota.check_staged_write(3)
+        assert excinfo.value.resource == "staged writes"
+        assert quota.rejections == 1
+
+    def test_workspace_object_cap(self):
+        quota = SessionQuota(QuotaSpec(max_workspace_objects=2))
+        quota.check_workspace_object(1)
+        with pytest.raises(SessionQuotaExceeded):
+            quota.check_workspace_object(2)
+
+    def test_none_disables_a_cap(self):
+        quota = SessionQuota(QuotaSpec(max_staged_writes=None))
+        quota.check_staged_write(10_000_000)
+
+
+class TestStagedWrites:
+    def test_over_quota_write_is_refused(self):
+        session = governed_db(max_staged_writes=5).login()
+        with pytest.raises(SessionQuotaExceeded) as excinfo:
+            session.execute("1 to: 10 do: [:i | World at: i put: i]")
+        assert excinfo.value.resource == "staged writes"
+
+    def test_abort_frees_the_quota(self):
+        session = governed_db(max_staged_writes=5).login()
+        with pytest.raises(SessionQuotaExceeded):
+            session.execute("1 to: 10 do: [:i | World at: i put: i]")
+        session.abort()
+        # smaller transactions fit: the session lives on
+        session.execute("1 to: 3 do: [:i | World at: i put: i]")
+        session.commit()
+        assert session.execute("World at: 2") == 2
+
+    def test_workspace_never_half_mutates(self):
+        """The refused write must leave no trace in the staged state."""
+        session = governed_db(max_staged_writes=2).login()
+        with pytest.raises(SessionQuotaExceeded):
+            session.execute("1 to: 10 do: [:i | World at: i put: i]")
+        staged = len(session.session.write_log)
+        assert staged == 2  # exactly the admitted writes, nothing torn
+
+    def test_commit_resets_the_meter(self):
+        session = governed_db(max_staged_writes=4).login()
+        session.execute("1 to: 3 do: [:i | World at: i put: i]")
+        session.commit()
+        session.execute("4 to: 6 do: [:i | World at: i put: i]")
+        session.commit()
+        assert session.execute("World at: 6") == 6
+
+
+class TestWorkspaceObjects:
+    def test_creation_flood_is_refused(self):
+        session = governed_db(max_workspace_objects=10).login()
+        with pytest.raises(SessionQuotaExceeded) as excinfo:
+            session.execute("1 to: 50 do: [:i | World at: i put: Object new]")
+        assert excinfo.value.resource == "workspace objects"
+
+    def test_transient_results_also_count(self):
+        # select: materialises transient result objects in the workspace
+        session = governed_db(max_workspace_objects=8).login()
+        with pytest.raises(SessionQuotaExceeded):
+            session.execute("""
+                | bag |
+                bag := Bag new.
+                1 to: 50 do: [:i | bag add: (Object new)].
+                bag
+            """)
+
+    def test_unrelated_sessions_have_independent_quotas(self):
+        db = governed_db(max_staged_writes=5)
+        first = db.login()
+        second = db.login()
+        with pytest.raises(SessionQuotaExceeded):
+            first.execute("1 to: 10 do: [:i | World at: i put: i]")
+        # the sibling's meter is untouched
+        second.execute("1 to: 4 do: [:i | World at: i put: i]")
+        second.commit()

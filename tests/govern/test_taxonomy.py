@@ -1,0 +1,98 @@
+"""Error taxonomy: every robustness error is Retryable xor Fatal."""
+
+import inspect
+
+import pytest
+
+from repro import errors
+from repro.errors import (
+    DeadlineExceeded,
+    DegradedError,
+    FatalError,
+    GemStoneError,
+    LinkTimeout,
+    OverloadedError,
+    QueryBudgetExceeded,
+    RetryableError,
+    SessionQuotaExceeded,
+    StaleReplicaError,
+    TransactionConflict,
+    TransientDiskError,
+)
+
+
+def all_error_classes():
+    return [
+        cls
+        for _, cls in inspect.getmembers(errors, inspect.isclass)
+        if issubclass(cls, GemStoneError)
+    ]
+
+
+class TestDisjointness:
+    def test_no_class_is_both_retryable_and_fatal(self):
+        for cls in all_error_classes():
+            both = issubclass(cls, RetryableError) and issubclass(cls, FatalError)
+            assert not both, f"{cls.__name__} is both retryable and fatal"
+
+    def test_verdict_classes_are_gemstone_errors(self):
+        assert issubclass(RetryableError, GemStoneError)
+        assert issubclass(FatalError, GemStoneError)
+
+
+class TestClassification:
+    RETRYABLE = [
+        TransientDiskError,
+        StaleReplicaError,
+        TransactionConflict,
+        LinkTimeout,
+        OverloadedError,
+        DeadlineExceeded,
+    ]
+    FATAL = [DegradedError, QueryBudgetExceeded, SessionQuotaExceeded]
+
+    @pytest.mark.parametrize("cls", RETRYABLE)
+    def test_transient_failures_are_retryable(self, cls):
+        assert issubclass(cls, RetryableError)
+        assert not issubclass(cls, FatalError)
+
+    @pytest.mark.parametrize("cls", FATAL)
+    def test_terminal_failures_are_fatal(self, cls):
+        assert issubclass(cls, FatalError)
+        assert not issubclass(cls, RetryableError)
+
+    def test_original_hierarchies_survive_reclassification(self):
+        # the taxonomy is a mixin, not a move: subsystem bases still hold
+        assert issubclass(TransientDiskError, errors.DiskError)
+        assert issubclass(StaleReplicaError, errors.StorageError)
+        assert issubclass(TransactionConflict, errors.ConcurrencyError)
+        assert issubclass(LinkTimeout, errors.ProtocolError)
+        assert issubclass(OverloadedError, errors.GovernanceError)
+
+    def test_one_policy_catches_all_transients(self):
+        for cls in (TransientDiskError, TransactionConflict, LinkTimeout):
+            try:
+                raise cls("transient")
+            except RetryableError as caught:
+                assert isinstance(caught, cls)
+
+
+class TestRetryAfter:
+    def test_default_retry_after_is_unknown(self):
+        assert RetryableError("x").retry_after is None
+        assert LinkTimeout("x").retry_after is None
+
+    def test_overloaded_carries_its_hint(self):
+        err = OverloadedError("queue full", retry_after=2.5)
+        assert err.retry_after == 2.5
+
+
+class TestGovernanceErrors:
+    def test_budget_exceeded_carries_meter_state(self):
+        err = QueryBudgetExceeded("steps", 1001, 1000)
+        assert (err.limit, err.spent, err.cap) == ("steps", 1001, 1000)
+        assert "steps" in str(err)
+
+    def test_quota_exceeded_carries_resource_state(self):
+        err = SessionQuotaExceeded("staged writes", 10, 10)
+        assert (err.resource, err.used, err.cap) == ("staged writes", 10, 10)

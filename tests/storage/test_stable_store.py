@@ -265,3 +265,49 @@ class TestLinkerOrdering:
         tracks = {store.table.get(c.oid).tracks[0] for c in children}
         # 9 small objects should land on very few, adjacent tracks
         assert max(tracks) - min(tracks) <= 2
+
+
+class TestStorageReportDiskHealth:
+    def test_plain_disk_adds_no_health_keys(self, store):
+        report = store.storage_report()
+        assert "resilience_retries" not in report
+        assert "replication_repairs" not in report
+
+    def test_resilient_stack_counters_are_surfaced(self):
+        from repro.faults import FaultClock, FaultPlan, FaultSpec, FaultyDisk
+        from repro.faults.resilience import ResilientDisk
+
+        clock = FaultClock()
+        plan = FaultPlan(seed=3, spec=FaultSpec(transient_rate=0.5))
+        stack = ResilientDisk(
+            FaultyDisk(small_disk(), plan, clock), clock, max_retries=6
+        )
+        store = StableStore.format(stack)
+        obj = new_obj(store)
+        commit(store, creations=[obj], writes=[(obj.oid, "x", 1)])
+        report = store.storage_report()
+        assert report["resilience_retries"] == stack.retries > 0
+        assert report["resilience_backoff_time"] == stack.backoff_time
+        assert report["resilience_degraded"] is False
+        assert report["faults_transient"] == stack.inner.transient_errors > 0
+
+    def test_replica_health_is_reported_per_replica(self):
+        from repro.storage import ReplicatedDisk
+
+        replicas = [small_disk() for _ in range(3)]
+        volume = ReplicatedDisk(replicas)
+        store = StableStore.format(volume)
+        obj = new_obj(store)
+        commit(store, creations=[obj], writes=[(obj.oid, "x", 1)])
+        # damage one replica so a read fails checksum and gets repaired
+        track = store.table.get(obj.oid).tracks[0]
+        replicas[0].corrupt_track(track, flip_byte=5)
+        store.cache.evict(obj.oid)
+        store.flush_caches()
+        store.object(obj.oid)
+        report = store.storage_report()
+        assert report["replication_repairs"] == volume.repairs >= 1
+        assert report["replica0_read_failures"] >= 1
+        assert report["replica0_repairs"] >= 1
+        assert report["replica1_read_failures"] == 0
+        assert "replica2_repairs" in report
