@@ -21,7 +21,7 @@ import pytest
 
 from repro import GemStone
 from repro.bench import Table
-from repro.errors import TransactionConflict
+from repro.errors import OverloadedError, TransactionConflict
 
 
 def make_pool(db, size: int):
@@ -52,6 +52,11 @@ def run_contention(db, pool, sessions: int, rounds: int, seed: int = 11):
                 worker.commit()
                 commits += 1
             except TransactionConflict:
+                aborts += 1
+            except OverloadedError:
+                # a starving session holds commit priority: back off,
+                # discard the workspace, and retry in the next round
+                worker.abort()
                 aborts += 1
     for worker in workers:
         worker.close()

@@ -6,15 +6,29 @@ the printed tables are the rows EXPERIMENTS.md records.
     python benchmarks/run_all.py            # everything
     python benchmarks/run_all.py occ safe   # substring filters
     python benchmarks/run_all.py --smoke    # soak harnesses in smoke size
+    python benchmarks/run_all.py --json     # also write BENCH_results.json
+
+With ``--json``, every harness that returns a metrics dict contributes
+to ``BENCH_results.json`` at the repo root: per-bench wall time plus
+whatever the harness measured (ops/sec, cache hit rates via
+``repro.perf.stats``, ablation timings).  Any ablation whose cached
+path is *slower* than its uncached ablation (``speedup < 1.0``) is a
+regression and fails the run — the CI benchmark smoke job leans on
+this.  See ``docs/performance.md`` for how to read the file.
 """
 
 from __future__ import annotations
 
 import importlib
 import inspect
+import json
 import pathlib
+import platform
 import sys
 import time
+
+#: where --json writes the trajectory file (the repo root)
+RESULTS_PATH = pathlib.Path(__file__).parent.parent / "BENCH_results.json"
 
 
 def discover() -> list[str]:
@@ -24,26 +38,41 @@ def discover() -> list[str]:
     )
 
 
-def run_experiment(name: str, smoke: bool) -> None:
+def run_experiment(name: str, smoke: bool):
     """Import and run one bench module, isolating it from our argv.
 
-    Harnesses that accept an ``argv`` parameter (the soak benches:
-    ``bench_fault_soak``, ``bench_overload``) get an explicit argument
+    Harnesses that accept an ``argv`` parameter get an explicit argument
     list — empty, or ``--smoke`` when requested — so they never parse
-    ``run_all``'s own command line.  Plain ``main()`` harnesses have no
-    CLI and run as before.
+    ``run_all``'s own command line.  A dict return value is the bench's
+    metrics (returned to the caller); any other truthy return is a
+    failure, as before.
     """
     module = importlib.import_module(name)
     if "argv" in inspect.signature(module.main).parameters:
         result = module.main(["--smoke"] if smoke else [])
-        if result:
-            raise RuntimeError(f"{name} reported failure ({result})")
     else:
-        module.main()
+        result = module.main()
+    if isinstance(result, dict):
+        return result
+    if result:
+        raise RuntimeError(f"{name} reported failure ({result})")
+    return None
+
+
+def find_regressions(benches: dict) -> list[dict]:
+    """Ablations where the cached path lost to the uncached one."""
+    regressions = []
+    for name, entry in benches.items():
+        metrics = entry.get("metrics") or {}
+        for ablation in metrics.get("ablations", ()):
+            if ablation.get("speedup", 1.0) < 1.0:
+                regressions.append({"bench": name, **ablation})
+    return regressions
 
 
 def main(argv: list[str]) -> int:
     smoke = "--smoke" in argv
+    emit_json = "--json" in argv
     filters = [arg.lower() for arg in argv if not arg.startswith("--")]
     names = discover()
     if filters:
@@ -53,21 +82,45 @@ def main(argv: list[str]) -> int:
         return 1
     sys.path.insert(0, str(pathlib.Path(__file__).parent))
     failures = []
+    benches: dict[str, dict] = {}
     for name in names:
         banner = f"  {name}  "
         print("\n" + banner.center(74, "#"))
         started = time.perf_counter()
         try:
-            run_experiment(name, smoke)
+            metrics = run_experiment(name, smoke)
         except Exception as error:  # keep going; report at the end
             failures.append((name, error))
             print(f"!! {name} failed: {type(error).__name__}: {error}")
+            metrics = None
         finally:
-            print(f"({name} took {time.perf_counter() - started:.1f}s)")
+            elapsed = time.perf_counter() - started
+            print(f"({name} took {elapsed:.1f}s)")
+        benches[name] = {"seconds": round(elapsed, 3), "metrics": metrics}
+    regressions = find_regressions(benches)
+    for regression in regressions:
+        print(
+            f"!! cache regression in {regression['bench']}: "
+            f"{regression.get('name', '?')} speedup "
+            f"{regression.get('speedup', 0):.2f}x < 1.0x"
+        )
+    if emit_json:
+        payload = {
+            "smoke": smoke,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "benches": benches,
+            "regressions": regressions,
+        }
+        RESULTS_PATH.write_text(json.dumps(payload, indent=1, default=str) + "\n")
+        print(f"\nwrote {RESULTS_PATH}")
     if failures:
         print(f"\n{len(failures)} experiment(s) failed:")
         for name, error in failures:
             print(f"  {name}: {error}")
+        return 1
+    if regressions:
+        print(f"\n{len(regressions)} cache regression(s); see above.")
         return 1
     print(f"\nall {len(names)} experiments regenerated.")
     return 0

@@ -33,6 +33,7 @@ from ..core.values import Ref
 from ..core.timedial import TimeDial
 from ..errors import ClassProtocolError, SessionClosed, StorageError
 from ..govern.quota import SessionQuota
+from ..perf.epochs import class_epoch
 from ..storage.linker import Creation, Write
 from .authorization import Authorizer, User
 
@@ -126,6 +127,11 @@ class SessionObjectManager(ObjectStore):
         self.write_log.clear()
         self.read_set.clear()
         self.enum_reads.clear()
+        if self.classes:
+            # overlay class definitions leave scope here (abort discards
+            # them, commit merges them into the shared store) — either
+            # way, resolutions made against the overlay are now suspect
+            class_epoch.bump()
         self.classes.clear()
 
     def _ensure_open(self) -> None:

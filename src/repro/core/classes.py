@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterator, Optional
 
 from ..errors import ClassProtocolError
+from ..perf.epochs import class_epoch
 from .objects import GemObject
 from .values import Symbol
 
@@ -106,8 +107,14 @@ class GemClass(GemObject):
     # -- method dictionary ---------------------------------------------------
 
     def define_method(self, method: Method) -> Method:
-        """Install *method* in this class's instance-method dictionary."""
+        """Install *method* in this class's instance-method dictionary.
+
+        (Re)definition bumps the class-hierarchy version stamp, so every
+        method-lookup, inline and translation cache drops any resolution
+        made against the old dictionary.
+        """
         self.methods[method.selector] = method
+        class_epoch.bump()
         return method
 
     def define_primitive(self, selector: str, function: Callable[..., Any]) -> Method:
@@ -117,6 +124,7 @@ class GemClass(GemObject):
     def define_class_method(self, method: Method) -> Method:
         """Install *method* in this class's class-method dictionary."""
         self.class_methods[method.selector] = method
+        class_epoch.bump()
         return method
 
     def define_class_primitive(
@@ -127,7 +135,8 @@ class GemClass(GemObject):
 
     def remove_method(self, selector: str) -> None:
         """Remove an instance method; inherited methods become visible again."""
-        self.methods.pop(selector, None)
+        if self.methods.pop(selector, None) is not None:
+            class_epoch.bump()
 
     # -- hierarchy -----------------------------------------------------------
 
@@ -190,6 +199,9 @@ class GemClass(GemObject):
                 f"{self.name} already has instance variable {name!r}"
             )
         self.instvar_names = self.instvar_names + (name,)
+        # structure affects what a select-block translation may assume
+        # (trivial-getter recognition), so version it like behaviour
+        class_epoch.bump()
 
     def copy_shell(self) -> "GemClass":
         """A deep element copy that stays a class.

@@ -25,6 +25,8 @@ from ..errors import (
     NoSuchObject,
     TimeTravelError,
 )
+from ..perf.caches import _ABSENT, StoreCaches
+from ..perf.epochs import class_epoch
 from .classes import BOOTSTRAP_HIERARCHY, GemClass, Method, immediate_class_name
 from .history import MISSING
 from .objects import GemObject
@@ -47,6 +49,8 @@ class ObjectStore:
         #: class name -> class oid
         self.classes: dict[str, int] = {}
         self._alias_counter = 0
+        #: hot-path cache state (method lookups, plan-memo counters)
+        self.perf = StoreCaches()
 
     # -- primitives to implement -------------------------------------------
 
@@ -291,6 +295,9 @@ class ObjectStore:
         )
         self.register(cls)
         self.classes[name] = cls.oid
+        # a new class changes what names resolve and (via its placement
+        # in the hierarchy) what lookups may assume — version it
+        class_epoch.bump()
         return cls
 
     def class_of(self, value: Any) -> GemClass:
@@ -310,7 +317,36 @@ class ObjectStore:
     # -- message dispatch ---------------------------------------------------------
 
     def lookup_method(self, receiver: Any, selector: str) -> Optional[Method]:
-        """Find the method *receiver* would run for *selector*."""
+        """Find the method *receiver* would run for *selector*.
+
+        Resolutions are cached per store, keyed by the receiver's class
+        (class-side lookups by the class object itself, since GemClass is
+        a GemObject) and validated against the class-hierarchy epoch — see
+        :class:`repro.perf.caches.StoreCaches`.
+        """
+        perf = self.perf
+        if perf.enabled:
+            if type(receiver) is GemClass:
+                key = (1, receiver.oid, selector)
+            elif type(receiver) is GemObject:
+                key = (0, receiver.class_oid, selector)
+            elif not isinstance(receiver, (GemObject, Ref)):
+                key = (2, type(receiver), selector)
+            else:
+                key = None  # Ref or GemObject subclass: stay uncached
+            if key is not None:
+                entry = perf.method_get(key)
+                if entry is not _ABSENT:
+                    return entry
+                method = self._lookup_method_uncached(receiver, selector)
+                perf.method_put(key, method)
+                return method
+        return self._lookup_method_uncached(receiver, selector)
+
+    def _lookup_method_uncached(
+        self, receiver: Any, selector: str
+    ) -> Optional[Method]:
+        """The full hierarchy walk behind :meth:`lookup_method`."""
         if isinstance(receiver, GemClass):
             method = receiver.lookup_class_side(self, selector)
             if method is not None:

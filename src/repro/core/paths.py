@@ -84,13 +84,48 @@ def _bare_name(text: str) -> bool:
     return all(char.isalnum() or char == "_" for char in text[1:])
 
 
+#: parse_path memo — Path/Step are frozen, so one parse per distinct
+#: string is safe to share process-wide.  Capped; cleared on overflow.
+_PARSE_CACHE: dict[str, Path] = {}
+_PARSE_CACHE_MAX = 1024
+_parse_hits = 0
+_parse_misses = 0
+
+
+def parse_cache_stats() -> dict[str, Any]:
+    """Hit/miss counters of the :func:`parse_path` memo."""
+    total = _parse_hits + _parse_misses
+    return {
+        "entries": len(_PARSE_CACHE),
+        "hits": _parse_hits,
+        "misses": _parse_misses,
+        "hit_rate": _parse_hits / total if total else 0.0,
+    }
+
+
 def parse_path(text: str) -> Path:
     """Parse the string form of a path into a :class:`Path`.
 
     Components are separated by ``!``.  Each component is an identifier,
     an integer, or a single-quoted string (with ``''`` escaping a quote),
     optionally followed by ``@`` and an integer transaction time.
+    Results are memoized: paths are immutable and path strings repeat
+    heavily (every directory probe and OPAL path fetch re-parses).
     """
+    global _parse_hits, _parse_misses
+    cached = _PARSE_CACHE.get(text)
+    if cached is not None:
+        _parse_hits += 1
+        return cached
+    _parse_misses += 1
+    parsed = _parse_path_uncached(text)
+    if len(_PARSE_CACHE) >= _PARSE_CACHE_MAX:
+        _PARSE_CACHE.clear()
+    _PARSE_CACHE[text] = parsed
+    return parsed
+
+
+def _parse_path_uncached(text: str) -> Path:
     steps: list[Step] = []
     pos = 0
     length = len(text)
@@ -193,6 +228,9 @@ def resolve(
     """
     parsed = _coerce_path(path)
     current = root
+    # the dial is fixed for the whole resolution: read it once, so the
+    # common no-time-pin path costs one attribute fetch, not one per step
+    dial_time = dial.time if dial is not None else None
     for index, step in enumerate(parsed.steps):
         if not isinstance(current, (GemObject, Ref)):
             if default is not MISSING:
@@ -201,7 +239,7 @@ def resolve(
             raise PathError(
                 f"{prefix or '<root>'} is a simple value; cannot apply !{step}"
             )
-        time = step.at if step.at is not None else (dial.time if dial else None)
+        time = step.at if step.at is not None else dial_time
         value = store.value_at(current, step.name, time)
         if value is MISSING or (value is None and index < len(parsed.steps) - 1):
             if default is not MISSING:

@@ -143,6 +143,12 @@ class GemSession:
         """SafeTime: the latest state immune to running transactions."""
         return self.session.safe_time()
 
+    def perf_stats(self) -> dict[str, Any]:
+        """Unified cache/health report for this session's hot paths."""
+        from .perf import stats
+
+        return stats(self)
+
 
 class GemStone:
     """One database: disk(s), stable store, managers, sessions."""
@@ -335,6 +341,12 @@ class GemStone:
         report = self.store.storage_report()
         report["transactions"] = self.transaction_manager.stats
         return report
+
+    def perf_stats(self) -> dict[str, Any]:
+        """Unified cache/health report across the whole database."""
+        from .perf import stats
+
+        return stats(self)
 
     # ------------------------------------------------------------------
     # system metadata persistence

@@ -37,6 +37,9 @@ class DirectoryManager:
         self.store = store
         self._by_owner: dict[int, list[Directory]] = {}
         self._all: list[Directory] = []
+        #: bumped on every create/drop; memoized query plans embed the
+        #: epoch in their key, so an index change re-plans the query
+        self.epoch = 0
 
     def __len__(self) -> int:
         return len(self._all)
@@ -64,6 +67,7 @@ class DirectoryManager:
         directory.build(self.store, self.store.current_time())
         self._by_owner.setdefault(owner_obj.oid, []).append(directory)
         self._all.append(directory)
+        self.epoch += 1
         return directory
 
     def apply_hint(self, hint: str) -> Directory:
@@ -87,6 +91,7 @@ class DirectoryManager:
         owners = self._by_owner.get(directory.owner_oid, [])
         if directory in owners:
             owners.remove(directory)
+        self.epoch += 1
 
     # -- lookup for the query optimizer ------------------------------------------
 

@@ -24,8 +24,11 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from ..core.classes import GemClass
+from ..core.objects import GemObject
 from ..core.paths import Path, Step
+from ..core.values import Ref
 from ..errors import GemStoneError, QueryBudgetExceeded
+from ..perf.epochs import class_epoch
 from ..stdm.calculus import (
     And,
     Apply,
@@ -190,12 +193,67 @@ class BlockTranslator:
         return self.expression(node.body[0])
 
 
+#: memoized "this block cannot be translated" (distinct from None results)
+_NOT_DECLARATIVE = object()
+
+#: per-compiled-block memo caps: one translation slot per store, a
+#: handful of plans (same block over several collections); cleared
+#: wholesale on overflow since stale-epoch keys just accumulate
+_TRANSLATION_MEMO_MAX = 16
+_PLAN_MEMO_MAX = 32
+
+
+def _cached_condition(store, perf, compiled, block_ast, param):
+    """The block's calculus condition, memoized on the compiled block.
+
+    The memo key is (store token, class epoch): translation consults the
+    store's classes (trivial-getter recognition), so any hierarchy
+    change — method (re)definition, new class, overlay reset — re-runs
+    the recognizer.  Returns :data:`_NOT_DECLARATIVE` for untranslatable
+    blocks (also memoized: the failure repeats every call otherwise).
+    """
+    if perf is None or not perf.enabled:
+        try:
+            return BlockTranslator(store, param).translate(block_ast)
+        except _NotDeclarative:
+            return _NOT_DECLARATIVE
+    memo = getattr(compiled, "calc_memo", None)
+    if memo is None:
+        memo = {}
+        compiled.calc_memo = memo
+    key = (perf.store_token, class_epoch.value)
+    cached = memo.get(key)
+    if cached is not None:
+        perf.translation_hits += 1
+        return cached
+    perf.translation_misses += 1
+    try:
+        condition = BlockTranslator(store, param).translate(block_ast)
+    except _NotDeclarative:
+        condition = _NOT_DECLARATIVE
+    if len(memo) >= _TRANSLATION_MEMO_MAX:
+        memo.clear()
+    memo[key] = condition
+    return condition
+
+
+def _collection_oid(collection) -> Optional[int]:
+    """The oid when *collection* names one stored set object."""
+    if type(collection) is GemObject or isinstance(collection, Ref):
+        return collection.oid
+    if isinstance(collection, GemObject):  # GemClass etc.: don't memoize
+        return None
+    return None
+
+
 def try_declarative_filter(store, collection, closure, negate: bool) -> Optional[list]:
     """Run a select:/reject: block declaratively, or return None.
 
     Returns the chosen member list on success.  The plan is optimized
     against the engine's Directory Manager, and evaluation honours the
-    session's time dial.
+    session's time dial.  Both the block→calculus translation and the
+    optimized plan are memoized on the compiled block; see
+    ``docs/performance.md`` for the keys and invalidation triggers.
     """
     engine = getattr(store, "opal_runtime", None)
     compiled = getattr(closure, "compiled", None)
@@ -205,30 +263,54 @@ def try_declarative_filter(store, collection, closure, negate: bool) -> Optional
     if len(getattr(compiled, "params", ())) != 1:
         return None
     param = compiled.params[0]
-    try:
-        condition = BlockTranslator(store, param).translate(block_ast)
-    except _NotDeclarative:
+    perf = getattr(store, "perf", None)
+    condition = _cached_condition(store, perf, compiled, block_ast, param)
+    if condition is _NOT_DECLARATIVE:
         return None
-    if negate:
-        condition = Not(condition)
-    query = SetQuery(
-        result=Var(param),
-        binders=[(Var(param), Const(collection))],
-        condition=condition,
-    )
+    directory_manager = engine.directory_manager
+    dm_epoch = directory_manager.epoch if directory_manager is not None else -1
+    owner_oid = _collection_oid(collection)
+    plan = None
+    plan_key = None
+    if perf is not None and perf.enabled and owner_oid is not None:
+        plan_key = (
+            perf.store_token, class_epoch.value, dm_epoch, negate, owner_oid,
+        )
+        plan_memo = getattr(compiled, "plan_memo", None)
+        if plan_memo is None:
+            plan_memo = {}
+            compiled.plan_memo = plan_memo
+        plan = plan_memo.get(plan_key)
+        if plan is not None:
+            perf.plan_hits += 1
+    if plan is None:
+        if negate:
+            condition = Not(condition)
+        # bind the collection by Ref, not by instance: a cached plan
+        # must re-dereference at run time so ObjectCache evictions (and
+        # later commits) can never serve it a stale set object
+        source = Const(Ref(owner_oid)) if owner_oid is not None else Const(collection)
+        query = SetQuery(
+            result=Var(param),
+            binders=[(Var(param), source)],
+            condition=condition,
+        )
+        plan = best_plan(query, directory_manager)
+        if plan_key is not None:
+            perf.plan_misses += 1
+            plan_memo = compiled.plan_memo
+            if len(plan_memo) >= _PLAN_MEMO_MAX:
+                plan_memo.clear()
+            plan_memo[plan_key] = plan
     dial = getattr(store, "time_dial", None)
     time = dial.time if dial is not None else None
-    plan = best_plan(query, engine.directory_manager)
     budget = engine.budget
     if budget is not None:
-        from .kernel import members
-
-        # declarative evaluation bypasses the bytecode loop, so its fuel
-        # is charged here: one unit per candidate member examined (the
-        # logical size of the input set) plus one for the plan itself
-        budget.charge_steps(1 + len(members(store, collection)))
+        # one unit for the query itself; per-member fuel is charged by
+        # the context during execution (no O(n) pre-count of the input)
+        budget.charge_steps(1)
     try:
-        return plan.run(QueryContext(store, time, engine.directory_manager))
+        return plan.run(QueryContext(store, time, directory_manager, budget))
     except QueryBudgetExceeded:
         raise  # a dead budget must kill the query, not go procedural
     except GemStoneError:

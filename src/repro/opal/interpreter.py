@@ -18,14 +18,22 @@ from typing import Any, Optional
 
 from ..core.history import MISSING
 from ..core.objects import GemObject
-from ..core.values import Ref
+from ..core.values import Char, Ref, Symbol
 from ..errors import (
     DoesNotUnderstand,
     OpalRuntimeError,
     TransactionConflict,
 )
+from ..perf.epochs import class_epoch
 from .bytecodes import CompiledBlock, CompiledMethod, Op
 from .compiler import Compiler
+
+#: immediate receiver types whose Python type identifies their Gem class
+#: exactly — safe as a monomorphic inline-cache key.  ``type()`` keeps
+#: bool/int and Symbol/str apart where isinstance would not.
+_INLINE_CACHEABLE = frozenset(
+    (int, float, str, bool, Symbol, Char, type(None))
+)
 
 
 class _NonLocalReturn(Exception):
@@ -42,7 +50,7 @@ class Frame:
 
     __slots__ = (
         "code", "literals", "slots", "slot_names", "stack", "pc",
-        "receiver", "lexical_parent", "home", "is_block", "method",
+        "receiver", "lexical_parent", "home", "is_block", "method", "ics",
     )
 
     def __init__(
@@ -67,6 +75,9 @@ class Frame:
         self.is_block = is_block
         #: the CompiledMethod this frame (or its home) is executing
         self.method: Optional[CompiledMethod] = None
+        #: per-call-site inline caches, shared by every activation of the
+        #: same compiled code (lives on the compiled object)
+        self.ics: Optional[list] = None
 
     def up(self, level: int) -> "Frame":
         """The frame *level* lexical scopes out."""
@@ -330,6 +341,7 @@ class OpalEngine:
             method.code, method.literals, method.slot_names,
             receiver=None, lexical_parent=None, home=None, is_block=False,
         )
+        frame.ics = self._inline_caches(method)
         for index, name in enumerate(bindings):
             frame.slots[index] = bindings[name]
         return self._run_method_frame(frame)
@@ -346,8 +358,19 @@ class OpalEngine:
             receiver=receiver, lexical_parent=None, home=None, is_block=False,
         )
         frame.method = method
+        frame.ics = self._inline_caches(method)
         frame.slots[: len(args)] = list(args)
         return self._run_method_frame(frame)
+
+    @staticmethod
+    def _inline_caches(compiled) -> list:
+        """The compiled object's per-call-site cache list (Deutsch &
+        Schiffman): one slot per bytecode, shared by all activations."""
+        ics = getattr(compiled, "ics", None)
+        if ics is None:
+            ics = [None] * len(compiled.code)
+            compiled.ics = ics
+        return ics
 
     def _run_method_frame(self, frame: Frame) -> Any:
         try:
@@ -372,6 +395,7 @@ class OpalEngine:
             is_block=True,
         )
         frame.method = closure.home_frame.home.method
+        frame.ics = self._inline_caches(compiled)
         frame.slots[: len(args)] = list(args)
         return self.run_frame(frame)
 
@@ -495,6 +519,8 @@ class OpalEngine:
         code = frame.code
         stack = frame.stack
         budget = self.budget
+        perf = getattr(store, "perf", None)
+        ics = frame.ics if (perf is not None and perf.enabled) else None
         while True:
             if budget is not None:
                 budget.charge_steps()  # fuel: one unit per bytecode
@@ -527,7 +553,43 @@ class OpalEngine:
                 args = tuple(stack[len(stack) - argc:]) if argc else ()
                 del stack[len(stack) - argc:]
                 receiver = stack.pop()
-                stack.append(self.send(receiver, selector, *args))
+                method = None
+                if ics is not None:
+                    rtype = type(receiver)
+                    if rtype is GemObject:
+                        class_key = receiver.class_oid
+                    elif rtype in _INLINE_CACHEABLE:
+                        class_key = rtype
+                    else:
+                        class_key = None  # engine-level / exotic receiver
+                    if class_key is not None:
+                        site = frame.pc - 1
+                        entry = ics[site]
+                        epoch = class_epoch.value
+                        if (
+                            entry is not None
+                            and entry[0] == class_key
+                            and entry[1] == epoch
+                        ):
+                            perf.inline_hits += 1
+                            method = entry[2]
+                        else:
+                            perf.inline_misses += 1
+                            method = store.lookup_method(receiver, selector)
+                            if method is not None:
+                                ics[site] = (class_key, epoch, method)
+                            # DNU: fall through to full dispatch, which
+                            # raises with the receiver's class name
+                if method is None:
+                    stack.append(self.send(receiver, selector, *args))
+                elif budget is None:
+                    stack.append(method.invoke(store, receiver, args))
+                else:
+                    budget.enter_send()
+                    try:
+                        stack.append(method.invoke(store, receiver, args))
+                    finally:
+                        budget.exit_send()
             elif op is Op.SUPER_SEND:
                 selector, argc = instruction.operand
                 args = tuple(stack[len(stack) - argc:]) if argc else ()

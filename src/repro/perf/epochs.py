@@ -1,0 +1,55 @@
+"""Version stamps that make every hot-path cache provably invalidatable.
+
+The Smalltalk-80 lineage this reproduction follows (Deutsch & Schiffman's
+inline-cache JIT) validates cached method lookups against a *class
+hierarchy version*: any (re)definition bumps the stamp, and a cached
+resolution is only served while its stamp still matches.  We apply the
+same discipline to every cache in :mod:`repro.perf`:
+
+* :data:`class_epoch` — the class-hierarchy version.  Bumped by every
+  method (re)definition or removal, class definition, instance-variable
+  addition, and by any session transaction reset that discards overlay
+  class definitions (commit *and* abort).  Method-lookup caches, inline
+  caches and select-block translation caches key on it.
+* :func:`next_store_token` — a process-unique identity for each object
+  store.  Cached artifacts that depend on *which* store produced them
+  (a select-block's calculus translation scans the store's class
+  registry) carry the token so a cache entry can never cross stores,
+  even across store teardown/recreation at the same ``id()``.
+
+The stamps are deliberately coarse (one global counter, not per-class):
+a bump can only cause a cache *miss*, never a stale hit, so coarseness
+costs refills, not correctness.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+
+
+class Epoch:
+    """A monotonically increasing version stamp."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def bump(self) -> int:
+        """Advance the stamp; every dependent cache entry is now stale."""
+        self.value += 1
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"<Epoch {self.value}>"
+
+
+#: The process-wide class-hierarchy version stamp.
+class_epoch = Epoch()
+
+_store_tokens = count(1)
+
+
+def next_store_token() -> int:
+    """A process-unique identity for one object store."""
+    return next(_store_tokens)

@@ -119,6 +119,7 @@ class IndexEq(Plan):
         for binding in self.child.rows(ctx):
             key = self.value.evaluate(ctx, binding)
             for oid in self.directory.lookup(key, ctx.time):
+                ctx.charge()  # index probes bypass members(): meter here
                 out = dict(binding)
                 out[self.var] = ctx.store.object(oid)
                 yield out
@@ -162,6 +163,7 @@ class IndexRange(Plan):
             for oid in self.directory.range(
                 low, high, ctx.time, self.include_low, self.include_high
             ):
+                ctx.charge()
                 out = dict(binding)
                 out[self.var] = ctx.store.object(oid)
                 yield out

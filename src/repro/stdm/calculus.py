@@ -54,26 +54,52 @@ NOVALUE = _NoValue()
 
 
 class QueryContext:
-    """Everything evaluation needs: the store, a time, and directories."""
+    """Everything evaluation needs: the store, a time, and directories.
 
-    def __init__(self, store, time: Optional[int] = None, directory_manager=None):
+    When a *budget* is attached, evaluation meters its own fuel: one
+    unit per member drawn from any set (scans, membership tests and
+    index probes alike), so declarative work is charged by what it
+    actually examines rather than pre-charged by collection size.
+    """
+
+    def __init__(
+        self,
+        store,
+        time: Optional[int] = None,
+        directory_manager=None,
+        budget=None,
+    ):
         self.store = store
         self.time = time
         self.directory_manager = directory_manager
+        self.budget = budget
         self.dial = TimeDial()
         self.dial.set(time)
 
     def at(self, time: Optional[int]) -> "QueryContext":
         """A context like this one, dialed to *time*."""
-        return QueryContext(self.store, time, self.directory_manager)
+        return QueryContext(self.store, time, self.directory_manager, self.budget)
+
+    def charge(self, units: int = 1) -> None:
+        """Spend query fuel, when a budget is attached."""
+        if self.budget is not None:
+            self.budget.charge_steps(units)
 
     def members(self, collection: Any) -> Iterator[Any]:
         """Iterate the members of any set-like value.
 
         GSDM set objects yield their live element values (dereferenced);
         labeled sets yield their values; plain Python iterables pass
-        through.
+        through.  Each member drawn costs one unit of query fuel.
         """
+        if self.budget is None:
+            yield from self._raw_members(collection)
+            return
+        for member in self._raw_members(collection):
+            self.budget.charge_steps()
+            yield member
+
+    def _raw_members(self, collection: Any) -> Iterator[Any]:
         if isinstance(collection, Ref):
             collection = self.store.deref(collection)
         if isinstance(collection, GemObject):

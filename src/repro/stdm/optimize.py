@@ -35,6 +35,11 @@ from .calculus import Compare, Const, Expr, PathApply, SetQuery, Var
 from .translate import _attach_ready_filters, conjuncts
 
 
+#: work counter for :func:`repro.perf.stats`: a flat ``plans_built``
+#: under a repeated workload is the plan memoization demonstrably working
+planning_stats = {"plans_built": 0}
+
+
 @dataclass
 class IndexChoice:
     """A directory pick for one binder, recorded for `explain`-style tests."""
@@ -149,6 +154,7 @@ def _pick_index(directory_manager, owner_oid: int, var: str, remaining, bound):
 
 def best_plan(query: SetQuery, directory_manager=None) -> Plan:
     """The plan the system would run: optimized when directories exist."""
+    planning_stats["plans_built"] += 1
     if directory_manager is None:
         from .translate import translate
 

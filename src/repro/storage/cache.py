@@ -27,6 +27,7 @@ class ObjectCache:
         self._entries: "OrderedDict[int, GemObject]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -51,6 +52,7 @@ class ObjectCache:
         if self.capacity is not None:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                self.evictions += 1
 
     def evict(self, oid: int) -> None:
         """Drop one entry if present."""
@@ -61,9 +63,10 @@ class ObjectCache:
         self._entries.clear()
 
     def reset_stats(self) -> None:
-        """Zero the hit/miss counters."""
+        """Zero the hit/miss/eviction counters."""
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @property
     def hit_rate(self) -> float:

@@ -503,6 +503,9 @@ class StableStore(ObjectStore):
             "tracks_allocated": len(self.tracks.allocated_tracks()),
             "tracks_free": self.tracks.free_count(),
             "cache_entries": len(self.cache),
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_evictions": self.cache.evictions,
             "cache_hit_rate": self.cache.hit_rate,
         }
         report.update(_disk_health(self.disk))

@@ -1,0 +1,151 @@
+"""Cache invalidation: a stale hit from any hot-path cache is a bug.
+
+Every cache in :mod:`repro.perf` is validated against an epoch — the
+class-hierarchy epoch for method lookup and inline caches, plus the
+directory-manager epoch for memoized query plans.  These tests mutate
+behavior *after* warming the caches and assert the new behavior is
+observed immediately; an assertion failure here means a cache served a
+stale entry.
+"""
+
+import pytest
+
+from repro import GemStone
+from repro.core import MemoryObjectManager
+from repro.directories import DirectoryManager
+from repro.errors import GemStoneError
+from repro.opal import OpalEngine
+
+
+def warm_engine():
+    """An engine with a warmed send path through ``Probe>>answer``."""
+    store = MemoryObjectManager()
+    engine = OpalEngine(store)
+    engine.execute("""
+        Object subclass: #Probe instVarNames: #().
+        Probe compile: 'answer ^1'.
+        World!probe := Probe new
+    """)
+    probe = engine.execute("World!probe")
+    # warm the global method cache and the call site's inline cache
+    assert engine.execute("| s | s := 0. 1 to: 50 do: [:i | s := s + World!probe answer]. ^s") == 50
+    return store, engine, probe
+
+
+class TestMethodRedefinition:
+    def test_shared_store_redefinition_is_visible_immediately(self):
+        store, engine, probe = warm_engine()
+        engine.execute("Probe compile: 'answer ^2'")
+        assert engine.send(probe, "answer") == 2  # stale hit would answer 1
+
+    def test_warm_inline_cache_site_sees_redefinition(self):
+        store, engine, probe = warm_engine()
+        # the send inside this loop body is a single call site: warm it,
+        # redefine mid-stream, and the same site must flip to the new method
+        source = """
+            | total |
+            total := 0.
+            1 to: 10 do: [:i |
+                i = 6 ifTrue: [Probe compile: 'answer ^100'].
+                total := total + World!probe answer].
+            ^total
+        """
+        assert engine.execute(source) == 5 * 1 + 5 * 100
+
+    def test_removed_method_stops_answering(self):
+        store, engine, probe = warm_engine()
+        store.class_named("Probe").remove_method("answer")
+        with pytest.raises(GemStoneError):
+            engine.send(probe, "answer")
+
+
+class TestSessionOverlayInvalidation:
+    def test_overlay_redefinition_is_visible_immediately(self):
+        db = GemStone.create()
+        with db.login() as session:
+            session.execute("""
+                Object subclass: #Widget instVarNames: #().
+                Widget compile: 'answer ^42'
+            """)
+            assert session.execute("Widget new answer") == 42
+            session.execute("Widget compile: 'answer ^7'")
+            assert session.execute("Widget new answer") == 7
+
+    def test_abort_discards_overlay_method_definitions(self):
+        db = GemStone.create()
+        with db.login() as session:
+            session.execute("""
+                Object subclass: #Widget instVarNames: #().
+                Widget compile: 'answer ^42'
+            """)
+            # warm every layer of the send path on the doomed class
+            for _ in range(5):
+                assert session.execute("Widget new answer") == 42
+            session.abort()
+            # the overlay class died with the transaction; a cached
+            # method surviving the abort would keep answering 42
+            redefined = session.execute("""
+                Object subclass: #Widget instVarNames: #().
+                Widget compile: 'answer ^7'.
+                Widget new answer
+            """)
+            assert redefined == 7
+
+
+class TestDirectoryEpoch:
+    def build(self, n=30):
+        store = MemoryObjectManager()
+        dm = DirectoryManager(store)
+        engine = OpalEngine(store, directory_manager=dm)
+        engine.execute("""
+            Object subclass: #Employee instVarNames: #(salary).
+            Employee compile: 'salary ^salary'.
+            Employee compile: 'salary: s salary := s'.
+            Object subclass: #Desk instVarNames: #(emps).
+            Desk compile: 'emps: c emps := c'.
+            Desk compile: 'hot ^emps select: [:e | e salary < 500]'
+        """)
+        engine.execute(f"""
+            | emps e desk |
+            emps := Bag new.
+            1 to: {n} do: [:i |
+                e := Employee new.
+                e salary: i * 100.
+                emps add: e].
+            desk := Desk new.
+            desk emps: emps.
+            World!desk := desk.
+            World!emps := emps
+        """)
+        emps = engine.execute("World!emps")
+        desk = engine.execute("World!desk")
+        return store, dm, engine, emps, desk
+
+    def run_hot(self, store, engine, desk):
+        selected = engine.send(desk, "hot")
+        return sorted(m.oid for m in store.members_of(selected, None))
+
+    def test_dropping_a_directory_invalidates_memoized_plans(self):
+        store, dm, engine, emps, desk = self.build()
+        directory = dm.create_directory(emps, "salary")
+        before = self.run_hot(store, engine, desk)  # primes an indexed plan
+        assert directory.lookups == 1
+        dm.drop_directory(directory)
+        after = self.run_hot(store, engine, desk)
+        assert after == before  # a stale indexed plan would probe a dead index
+        assert directory.lookups == 1  # the dropped directory was not consulted
+
+    def test_creating_a_directory_invalidates_memoized_plans(self):
+        store, dm, engine, emps, desk = self.build()
+        before = self.run_hot(store, engine, desk)  # primes a scan plan
+        directory = dm.create_directory(emps, "salary")
+        after = self.run_hot(store, engine, desk)
+        assert after == before
+        assert directory.lookups == 1  # the new index was picked up, not the memo
+
+    def test_method_redefinition_invalidates_memoized_plans(self):
+        store, dm, engine, emps, desk = self.build()
+        assert len(self.run_hot(store, engine, desk)) == 4  # salaries 100..400
+        engine.execute("Desk compile: 'hot ^emps select: [:e | e salary < 1100]'")
+        selected = engine.send(desk, "hot")
+        assert len(list(store.members_of(selected, None))) == 10
