@@ -20,7 +20,10 @@ Quickstart::
 
 from .db import GemSession, GemStone
 from .errors import GemStoneError
+from .obs import Observability
 
 __version__ = "1.0.0"
 
-__all__ = ["GemSession", "GemStone", "GemStoneError", "__version__"]
+__all__ = [
+    "GemSession", "GemStone", "GemStoneError", "Observability", "__version__",
+]

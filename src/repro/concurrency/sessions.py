@@ -59,7 +59,12 @@ class SessionObjectManager(ObjectStore):
         self.user = user
         self.authorizer = authorizer
         self.quota = quota
-        self.time_dial = TimeDial(safe_time_provider=transaction_manager.safe_time)
+        self.time_dial = TimeDial(
+            safe_time_provider=transaction_manager.safe_time,
+            # SafeTime may never pass the latest *committed* state the
+            # shared store has durably recorded (§5.4)
+            commit_time_provider=lambda: self.store.last_tx_time,
+        )
         self._closed = False
         # transaction-scoped state
         self.workspace: dict[int, GemObject] = {}

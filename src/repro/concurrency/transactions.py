@@ -90,6 +90,9 @@ class TransactionManager:
             backoff_clock = FaultClock()
         #: deterministic clock all contention backoff is charged to
         self.backoff_clock = backoff_clock
+        #: optional :class:`~repro.obs.Observability` (wired by GemStone):
+        #: commit spans + commit/abort/retry counters land there
+        self.obs = None
         self._lock = threading.RLock()
         self._log: list[CommittedTransaction] = []
         self._active: dict[int, int] = {}  # session_id -> start time
@@ -153,6 +156,25 @@ class TransactionManager:
         transaction begun) and :class:`TransactionConflict` is raised
         carrying the conflicting (oid, element) pairs.
         """
+        obs = self.obs
+        if obs is None:
+            return self._commit(session)
+        with obs.tracer.span("txn.commit") as span:
+            try:
+                tx_time = self._commit(session)
+            except TransactionConflict:
+                obs.registry.inc("txn.aborts")
+                span.note(outcome="conflict")
+                raise
+            except StorageError:
+                obs.registry.inc("txn.storage_failures")
+                span.note(outcome="storage_failure")
+                raise
+            span.note(tx_time=tx_time)
+        obs.registry.inc("txn.commits")
+        return tx_time
+
+    def _commit(self, session) -> int:
         with self._lock:
             if not session.has_uncommitted_changes:
                 self.stats.read_only_commits += 1
@@ -283,6 +305,8 @@ class TransactionManager:
             except TransactionConflict as error:
                 last_error = error
                 self.stats.conflict_retries += 1
+                if self.obs is not None:
+                    self.obs.registry.inc("txn.conflict_retries")
             except OverloadedError as error:
                 last_error = error
                 self.backoff_clock.advance(

@@ -103,6 +103,16 @@ def parse_cache_stats() -> dict[str, Any]:
     }
 
 
+def reset_parse_cache_stats() -> None:
+    """Zero the memo's hit/miss counters (the memo itself is kept:
+    parsed paths are immutable and content-addressed, so entries are
+    safe to share across independent databases — only the *counters*
+    would make one database's hit rate depend on another's history)."""
+    global _parse_hits, _parse_misses
+    _parse_hits = 0
+    _parse_misses = 0
+
+
 def parse_path(text: str) -> Path:
     """Parse the string form of a path into a :class:`Path`.
 

@@ -18,7 +18,7 @@ layer.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Callable, Iterator, Optional
+from typing import Any, Callable, Iterator, Optional
 
 
 class TimeDial:
@@ -29,13 +29,25 @@ class TimeDial:
     to it.
     """
 
-    __slots__ = ("time", "_safe_time_provider")
+    __slots__ = (
+        "time", "_safe_time_provider", "_commit_time_provider",
+        "clamps", "on_clamp",
+    )
 
     def __init__(
-        self, safe_time_provider: Optional[Callable[[], int]] = None
+        self,
+        safe_time_provider: Optional[Callable[[], int]] = None,
+        commit_time_provider: Optional[Callable[[], int]] = None,
     ) -> None:
         self.time: Optional[int] = None
         self._safe_time_provider = safe_time_provider
+        #: the commit-clock ceiling SafeTime may never exceed (§5.4);
+        #: ``None`` trusts the SafeTime provider unconditionally
+        self._commit_time_provider = commit_time_provider
+        #: times :meth:`set_safe` had to clamp a too-new SafeTime
+        self.clamps = 0
+        #: optional observability hook, called once per clamp
+        self.on_clamp: Optional[Callable[[], Any]] = None
 
     def __repr__(self) -> str:
         setting = "now" if self.time is None else str(self.time)
@@ -59,10 +71,23 @@ class TimeDial:
 
         A read-only transaction dialed to SafeTime sees the most recent
         state no running transaction can still change (section 5.4).
+        SafeTime must never exceed the commit clock — a state that has
+        not committed yet is not "safe", it is imaginary — so a provider
+        that answers a time newer than the latest committed transaction
+        (a skewed clock, a provider wired to the wrong counter) is
+        clamped to the commit ceiling, and the clamp is counted for the
+        observability layer.
         """
         if self._safe_time_provider is None:
             raise RuntimeError("this dial has no SafeTime provider")
         safe = self._safe_time_provider()
+        if self._commit_time_provider is not None:
+            ceiling = self._commit_time_provider()
+            if safe > ceiling:
+                safe = ceiling
+                self.clamps += 1
+                if self.on_clamp is not None:
+                    self.on_clamp()
         self.time = safe
         return safe
 

@@ -32,6 +32,8 @@ from .directories.manager import DirectoryManager
 from .errors import AuthorizationError
 from .govern.budget import BudgetSpec, QueryBudget
 from .govern.quota import QuotaSpec, SessionQuota
+from .obs import Observability
+from .perf import reset_stats as perf_reset_stats
 from .opal.interpreter import OpalEngine
 from .opal.kernel import print_string
 from .storage.archive import ArchiveMedia
@@ -72,6 +74,11 @@ class GemSession:
             budget=self.budget,
         )
         self.engine.system.database = database  # enable DBA system messages
+        self.engine.obs = database.obs
+        self.session.time_dial.on_clamp = (
+            lambda: database.obs.registry.inc("safetime.clamps")
+        )
+        database.obs.register_session(self)
 
     # -- language interface ---------------------------------------------------
 
@@ -95,6 +102,7 @@ class GemSession:
 
     def close(self) -> None:
         """End the session; the workspace is discarded wholesale."""
+        self.database.obs.retire_session(self)
         self.session.close()
 
     def __enter__(self) -> "GemSession":
@@ -158,13 +166,19 @@ class GemStone:
         store: StableStore,
         budget_spec: Optional[BudgetSpec] = None,
         quota_spec: Optional[QuotaSpec] = None,
+        tracing: bool = False,
     ) -> None:
         self.store = store
         #: governance applied to every session opened by :meth:`login`;
         #: ``None`` leaves that axis unlimited (embedded/trusted use)
         self.budget_spec = budget_spec
         self.quota_spec = quota_spec
+        #: the instance-scoped observability hub (metrics, spans, slow
+        #: queries); see docs/observability.md
+        self.obs = Observability(tracing=tracing)
         self.transaction_manager = TransactionManager(store)
+        self.transaction_manager.obs = self.obs
+        self.store.obs = self.obs
         self.directory_manager = DirectoryManager(store)
         self.transaction_manager.add_commit_listener(
             self.directory_manager.on_commit
@@ -175,6 +189,10 @@ class GemStone:
         self.dba_engine = OpalEngine(
             self.store, directory_manager=self.directory_manager
         )
+        self.dba_engine.obs = self.obs
+        # the process-global perf counters leaked across instances; a
+        # fresh database starts its report from zero
+        perf_reset_stats()
 
     # ------------------------------------------------------------------
     # creation and recovery
@@ -188,6 +206,7 @@ class GemStone:
         replicas: int = 1,
         cache_capacity: Optional[int] = None,
         disk=None,
+        tracing: bool = False,
     ) -> "GemStone":
         """Format a fresh database on a new (or given) simulated disk."""
         if disk is None:
@@ -209,13 +228,15 @@ class GemStone:
             store.bind(system, "directories", "[]")
 
         store = StableStore.format(disk, cache_capacity, prepare=prepare)
-        return cls(store)
+        return cls(store, tracing=tracing)
 
     @classmethod
-    def open(cls, disk, cache_capacity: Optional[int] = None) -> "GemStone":
+    def open(
+        cls, disk, cache_capacity: Optional[int] = None, tracing: bool = False
+    ) -> "GemStone":
         """Recover a database from disk: roots, directories, methods."""
         store = StableStore.open(disk, cache_capacity)
-        database = cls(store)
+        database = cls(store, tracing=tracing)
         database.transaction_manager.clock.advance_to(store.last_tx_time)
         database._recompile_stored_methods()
         database._load_system_state()
@@ -347,6 +368,20 @@ class GemStone:
         from .perf import stats
 
         return stats(self)
+
+    def observability(self, slow: int = 10, spans: int = 20) -> dict[str, Any]:
+        """The full observability snapshot, as one JSON-ready dict.
+
+        Sections: ``transactions`` (commit/abort/retry counts),
+        ``caches`` (hit rates, store- and session-level), ``storage``
+        (occupancy + disk health), ``governance`` (admission, budgets,
+        quotas, SafeTime clamps), ``counters`` (the metrics registry),
+        ``slow_queries`` (the *slow* slowest, with captured plans) and
+        ``tracing`` (the *spans* most recent spans).  The shape is
+        pinned by ``docs/observability_schema.json``; see
+        ``docs/observability.md`` for the catalogue.
+        """
+        return self.obs.snapshot(self, slow=slow, spans=spans)
 
     # ------------------------------------------------------------------
     # system metadata persistence

@@ -53,6 +53,11 @@ class Executor:
         #: shared :class:`~repro.govern.admission.AdmissionController`
         #: (None = no admission control, the embedded/trusted default)
         self.admission = admission
+        #: the database's observability hub: request IDs are minted here,
+        #: at the edge where work enters the system (section 6's Executor)
+        self.obs = getattr(database, "obs", None)
+        if self.obs is not None and admission is not None:
+            self.obs.register_admission(admission)
         self._session = None
         self._engine: Optional[OpalEngine] = None
         #: replay cache: the last sequenced request and its response
@@ -85,28 +90,53 @@ class Executor:
 
     def _respond(self, raw: bytes) -> tuple[Optional[bytes], Optional[FrameType]]:
         """One request → (response bytes or None-to-drop, decoded type)."""
+        obs = self.obs
         try:
             frame = protocol.decode_frame(raw)
         except LinkCorruption:
             self.corrupt_frames += 1
+            if obs is not None:
+                obs.registry.inc("executor.corrupt_frames")
             return None, None
         except Exception as error:  # malformed at the source: worth answering
             return protocol.encode_error(type(error).__name__, str(error)), None
         if frame.seq is not None and frame.seq == self._last_seq:
             # a resend of the in-flight request: replay, never re-apply
             self.replays += 1
+            if obs is not None:
+                obs.registry.inc("executor.replays")
             return self._last_response, frame.type
+        request_id = None
+        if obs is not None:
+            # the request ID is born here and rides the thread (and the
+            # response envelope) through every layer the request touches
+            request_id = obs.tracer.next_request_id()
+            obs.tracer.current_request = request_id
+            obs.registry.inc("executor.requests")
         try:
-            response = self._handle(frame)
-        except GemStoneError as error:
-            response = protocol.encode_error(type(error).__name__, str(error))
-        except Exception as error:  # never let a request kill the serve loop
-            response = protocol.encode_error(type(error).__name__, str(error))
+            if obs is not None and obs.tracer.enabled:
+                with obs.tracer.span("executor.request", frame=frame.type.name):
+                    response = self._guarded_handle(frame)
+            else:
+                response = self._guarded_handle(frame)
+        finally:
+            if obs is not None:
+                obs.tracer.current_request = None
         if frame.seq is not None:
-            response = protocol.encode_seq(frame.seq, response)
+            response = protocol.encode_seq(
+                frame.seq, response, request_id=request_id
+            )
             self._last_seq = frame.seq
             self._last_response = response
         return response, frame.type
+
+    def _guarded_handle(self, frame: Frame) -> bytes:
+        try:
+            return self._handle(frame)
+        except GemStoneError as error:
+            return protocol.encode_error(type(error).__name__, str(error))
+        except Exception as error:  # never let a request kill the serve loop
+            return protocol.encode_error(type(error).__name__, str(error))
 
     def _handle(self, frame: Frame) -> bytes:
         if frame.type is FrameType.LOGIN:
@@ -155,6 +185,8 @@ class Executor:
             and self.admission.clock.now > frame.deadline
         ):
             self.deadline_rejections += 1
+            if self.obs is not None:
+                self.obs.registry.inc("executor.deadline_rejections")
             return protocol.encode_error(
                 "DeadlineExceeded",
                 f"deadline {frame.deadline:.1f} passed at "

@@ -62,12 +62,14 @@ class FrameType(IntEnum):
 
 @dataclass(frozen=True)
 class Frame:
-    """A decoded protocol frame (``seq``/``deadline`` set when enveloped)."""
+    """A decoded protocol frame (``seq``/``deadline``/``request_id``
+    set when enveloped)."""
 
     type: FrameType
     fields: dict[str, Any]
     seq: int | None = None
     deadline: float | None = None
+    request_id: int | None = None
 
 
 def encode_login(user: str, password: str) -> bytes:
@@ -140,16 +142,34 @@ def encode_overloaded(retry_after: float) -> bytes:
 
 #: SEQ flags-byte bits
 _SEQ_HAS_DEADLINE = 0x01
+_SEQ_HAS_REQUEST_ID = 0x02
 
 
-def encode_seq(seq: int, inner: bytes, deadline: float | None = None) -> bytes:
-    """Wrap any encoded frame in a checksummed sequence envelope."""
+def encode_seq(
+    seq: int,
+    inner: bytes,
+    deadline: float | None = None,
+    request_id: int | None = None,
+) -> bytes:
+    """Wrap any encoded frame in a checksummed sequence envelope.
+
+    *request_id* (flags bit 1) carries the observability request ID the
+    Executor minted for this exchange, so host-side and Gem-side trace
+    spans of one request correlate; old peers ignore the bit.
+    """
     writer = Writer()
     writer.raw(bytes([FrameType.SEQ]))
     writer.uvarint(seq)
-    writer.raw(bytes([_SEQ_HAS_DEADLINE if deadline is not None else 0]))
+    flags = 0
+    if deadline is not None:
+        flags |= _SEQ_HAS_DEADLINE
+    if request_id is not None:
+        flags |= _SEQ_HAS_REQUEST_ID
+    writer.raw(bytes([flags]))
     if deadline is not None:
         writer.raw(struct.pack("<d", float(deadline)))
+    if request_id is not None:
+        writer.uvarint(request_id)
     writer.raw(struct.pack("<I", crc32(inner)))
     writer.raw(inner)
     return writer.getvalue()
@@ -171,6 +191,9 @@ def decode_frame(data: bytes) -> Frame:
             deadline = None
             if flags & _SEQ_HAS_DEADLINE:
                 (deadline,) = struct.unpack("<d", reader.raw(8))
+            request_id = None
+            if flags & _SEQ_HAS_REQUEST_ID:
+                request_id = reader.uvarint()
             (stored_crc,) = struct.unpack("<I", reader.raw(4))
             inner = reader.raw(reader.remaining())
         except CodecError as error:
@@ -180,7 +203,10 @@ def decode_frame(data: bytes) -> Frame:
         if inner and inner[0] == FrameType.SEQ:
             raise ProtocolError("nested sequence envelopes are not allowed")
         decoded = decode_frame(inner)
-        return Frame(decoded.type, decoded.fields, seq=seq, deadline=deadline)
+        return Frame(
+            decoded.type, decoded.fields,
+            seq=seq, deadline=deadline, request_id=request_id,
+        )
     fields: dict[str, Any] = {}
     if frame_type is FrameType.LOGIN:
         fields["user"] = reader.string()

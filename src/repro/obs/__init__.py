@@ -1,0 +1,41 @@
+"""``repro.obs`` — the end-to-end observability layer.
+
+One :class:`Observability` per :class:`~repro.db.GemStone` unifies what
+used to be scattered, process-global telemetry:
+
+* :class:`MetricsRegistry` — thread-safe counters, gauges and
+  histograms, instance-scoped by default;
+* :class:`Tracer` / :data:`NULL_SPAN` — structured trace spans with
+  request IDs propagated from the executor down to storage, free when
+  disabled;
+* :class:`SlowQueryLog` — the N slowest declarative queries with their
+  select-block source, chosen plan, candidate counts and cache
+  provenance;
+* :func:`validate` — the zero-dependency schema check that pins the
+  ``GemStone.observability()`` snapshot shape in CI.
+
+See ``docs/observability.md`` for the metric catalogue and span
+taxonomy.
+"""
+
+from .core import Observability
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .schema import SchemaError, validate
+from .slowlog import SlowQueryLog, describe_plan, render_block
+from .tracing import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Observability",
+    "SchemaError",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "describe_plan",
+    "render_block",
+    "validate",
+]

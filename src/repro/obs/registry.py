@@ -1,0 +1,176 @@
+"""A process-independent, thread-safe metrics registry.
+
+The registry is the one place every subsystem reports to: counters
+(monotone event totals), gauges (last-written values) and histograms
+(wall-time summaries).  It is **instance-scoped by default** — each
+:class:`~repro.db.GemStone` owns its own
+:class:`~repro.obs.Observability`, which owns one registry — so two
+databases in one process (or two tests in one run) can never bleed
+metrics into each other the way the old process-global perf counters
+did.
+
+Thread-safety: the shared :class:`~repro.concurrency.transactions
+.TransactionManager` runs real threads, so every mutation happens under
+one registry lock.  Handles (:class:`Counter`, :class:`Gauge`,
+:class:`Histogram`) are cheap objects a hot path can hold on to —
+``counter.inc()`` is a lock acquire + integer add, nothing more.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+
+class Counter:
+    """A monotone event counter."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = lock
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.value: Any = 0
+        self._lock = lock
+
+    def set(self, value: Any) -> None:
+        with self._lock:
+            self.value = value
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """A streaming summary: count, sum, min, max (and the mean).
+
+    Enough to publish per-span wall-time distributions without keeping
+    samples; the trace ring buffer holds the raw recent spans.
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.total / self.count if self.count else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count}>"
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms behind one lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- handles ------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the counter *name* (a stable handle)."""
+        with self._lock:
+            handle = self._counters.get(name)
+            if handle is None:
+                handle = self._counters[name] = Counter(name, self._lock)
+            return handle
+
+    def gauge(self, name: str) -> Gauge:
+        """Get-or-create the gauge *name*."""
+        with self._lock:
+            handle = self._gauges.get(name)
+            if handle is None:
+                handle = self._gauges[name] = Gauge(name, self._lock)
+            return handle
+
+    def histogram(self, name: str) -> Histogram:
+        """Get-or-create the histogram *name*."""
+        with self._lock:
+            handle = self._histograms.get(name)
+            if handle is None:
+                handle = self._histograms[name] = Histogram(name, self._lock)
+            return handle
+
+    # -- convenience --------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Increment counter *name* (creating it on first use)."""
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: Any) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def count_of(self, name: str) -> int:
+        """The current value of counter *name* (0 if never touched)."""
+        with self._lock:
+            handle = self._counters.get(name)
+            return handle.value if handle is not None else 0
+
+    # -- reporting ----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """All metrics as plain JSON-ready dicts."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value for name, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: g.value for name, g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: h.summary()
+                    for name, h in sorted(self._histograms.items())
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop every metric (tests, benchmark ablations)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

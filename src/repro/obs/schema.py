@@ -1,0 +1,68 @@
+"""A zero-dependency validator for the observability snapshot schema.
+
+The snapshot's shape is a public contract: dashboards, the bench
+harness and CI all consume the same metric names, so drift must fail
+loudly.  Full ``jsonschema`` is not available in every environment this
+repo targets, so this module implements the small subset the checked-in
+schema (``docs/observability_schema.json``) actually uses:
+
+* ``type`` — ``object``, ``array``, ``string``, ``number``,
+  ``integer``, ``boolean``, ``null``, or a list of those;
+* ``properties`` + ``required`` for objects;
+* ``items`` for arrays.
+
+Anything else in a schema node is ignored, which keeps the format
+forward-compatible with real JSON Schema.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class SchemaError(AssertionError):
+    """The instance does not match the schema (message carries the path)."""
+
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value: Any, name: str) -> bool:
+    if name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    expected = _TYPES.get(name)
+    if expected is None:
+        raise SchemaError(f"unknown schema type {name!r}")
+    return isinstance(value, expected)
+
+
+def validate(instance: Any, schema: dict[str, Any], path: str = "$") -> None:
+    """Raise :class:`SchemaError` where *instance* violates *schema*."""
+    declared = schema.get("type")
+    if declared is not None:
+        names = declared if isinstance(declared, list) else [declared]
+        if not any(_type_ok(instance, name) for name in names):
+            raise SchemaError(
+                f"{path}: expected {declared}, got "
+                f"{type(instance).__name__} ({instance!r:.80})"
+            )
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                raise SchemaError(f"{path}: missing required key {key!r}")
+        for key, subschema in schema.get("properties", {}).items():
+            if key in instance:
+                validate(instance[key], subschema, f"{path}.{key}")
+    if isinstance(instance, list):
+        items = schema.get("items")
+        if items is not None:
+            for index, element in enumerate(instance):
+                validate(element, items, f"{path}[{index}]")

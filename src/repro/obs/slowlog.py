@@ -1,0 +1,176 @@
+"""The slow-query log: the N slowest declarative selects, with plans.
+
+Query-plan visibility is the lever every optimizer paper pulls (Odra's
+join fusion in PAPERS.md starts from exactly this telemetry); GemStone's
+declarative path had none.  For every ``select:``/``reject:`` that runs
+declaratively, the evaluator reports:
+
+* the **select-block source**, unparsed from the compiled block's AST;
+* the **chosen plan** — the calculus→algebra operator chain, including
+  any directory (index) the optimizer picked;
+* the **candidate count** charged via ``QueryContext.charge`` — how many
+  members the plan actually examined, which is the number that separates
+  an index probe from a full scan;
+* **cache provenance** — whether the block→calculus translation and the
+  plan came from their memos or were built fresh;
+* the elapsed wall time and the result size.
+
+The log keeps only the ``capacity`` slowest entries (plus lifetime
+totals), so it is safe to leave on in production: recording is a lock,
+a comparison, and at worst one list insert.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import insort
+from typing import Any, Optional
+
+from ..opal import nodes
+
+
+class SlowQueryLog:
+    """A bounded keep-the-slowest log of declarative query executions."""
+
+    def __init__(self, capacity: int = 32, threshold_ms: float = 0.0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        #: queries faster than this are only counted, never kept
+        self.threshold_ms = threshold_ms
+        self._lock = threading.Lock()
+        self._entries: list[tuple[float, int, dict[str, Any]]] = []
+        self._sequence = 0
+        self.total_queries = 0
+
+    def record(self, entry: dict[str, Any]) -> None:
+        """Consider one finished query for the log.
+
+        *entry* must carry ``elapsed_ms``; everything else (source, plan,
+        candidates, provenance) is kept verbatim.
+        """
+        elapsed = float(entry.get("elapsed_ms", 0.0))
+        with self._lock:
+            self.total_queries += 1
+            if elapsed < self.threshold_ms:
+                return
+            if (
+                len(self._entries) >= self.capacity
+                and elapsed <= self._entries[0][0]
+            ):
+                return  # faster than everything we already keep
+            self._sequence += 1
+            insort(self._entries, (elapsed, self._sequence, entry))
+            if len(self._entries) > self.capacity:
+                del self._entries[0]
+
+    def slowest(self, n: Optional[int] = None) -> list[dict[str, Any]]:
+        """The slowest queries, slowest first."""
+        with self._lock:
+            picked = self._entries[::-1]
+        if n is not None:
+            picked = picked[:n]
+        return [entry for _, _, entry in picked]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.total_queries = 0
+
+
+# --------------------------------------------------------------------------
+# AST → source (compiled blocks keep their AST, not their source text)
+# --------------------------------------------------------------------------
+
+def render_block(block: Any) -> str:
+    """Reconstruct OPAL source for a compiled select block's AST."""
+    if not isinstance(block, nodes.BlockNode):
+        return repr(block)
+    header = "".join(f":{p} " for p in block.params)
+    temps = "| " + " ".join(block.temps) + " | " if block.temps else ""
+    body = ". ".join(_render(statement) for statement in block.body)
+    separator = "| " if block.params else ""
+    return f"[{header}{separator}{temps}{body}]"
+
+
+def _render(node: Any) -> str:
+    if isinstance(node, nodes.Literal):
+        return _render_literal(node.value)
+    if isinstance(node, nodes.VarRef):
+        return node.name
+    if isinstance(node, nodes.PathFetch):
+        return _render(node.base) + "".join(_render_step(s) for s in node.steps)
+    if isinstance(node, nodes.PathAssign):
+        path = _render(node.base) + "".join(_render_step(s) for s in node.steps)
+        return f"{path} := {_render(node.value)}"
+    if isinstance(node, nodes.Assign):
+        return f"{node.name} := {_render(node.value)}"
+    if isinstance(node, nodes.MessageSend):
+        return _render_send(node)
+    if isinstance(node, nodes.BlockNode):
+        return render_block(node)
+    if isinstance(node, nodes.Return):
+        return f"^{_render(node.value)}"
+    return repr(node)
+
+
+def _render_literal(value: Any) -> str:
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    if value is None:
+        return "nil"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, tuple):
+        return "#(" + " ".join(_render_literal(v) for v in value) + ")"
+    return str(value)
+
+
+def _render_step(step: Any) -> str:
+    name = step.name if isinstance(step.name, str) else repr(step.name)
+    text = f"!{name}"
+    if step.time is not None:
+        text += f"@{_render(step.time)}"
+    return text
+
+
+def _render_send(node: Any) -> str:
+    receiver = _render(node.receiver)
+    if isinstance(node.receiver, (nodes.MessageSend, nodes.Assign)):
+        receiver = f"({receiver})"
+    if not node.args:
+        return f"{receiver} {node.selector}"
+    if ":" not in node.selector:  # binary
+        return f"{receiver} {node.selector} {_render_arg(node.args[0])}"
+    parts = node.selector.split(":")[:-1]
+    keywords = " ".join(
+        f"{keyword}: {_render_arg(arg)}"
+        for keyword, arg in zip(parts, node.args)
+    )
+    return f"{receiver} {keywords}"
+
+
+def _render_arg(node: Any) -> str:
+    text = _render(node)
+    # binary messages are left-associative: a send in argument position
+    # must keep its parentheses to re-parse with the same structure
+    if isinstance(node, (nodes.MessageSend, nodes.Assign)):
+        return f"({text})"
+    return text
+
+
+def describe_plan(plan: Any) -> list[str]:
+    """The operator chain of an algebra plan, outermost first."""
+    described: list[str] = []
+    node = plan
+    while node is not None:
+        describe = getattr(node, "describe", None)
+        described.append(describe() if callable(describe) else repr(node))
+        node = getattr(node, "child", None)
+    return described

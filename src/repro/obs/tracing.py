@@ -1,0 +1,152 @@
+"""Structured trace spans with request IDs and a ring-buffer log.
+
+A *span* is one timed unit of work — serving an executor frame, running
+a block of OPAL, validating a commit, safe-writing a track group.  Spans
+carry the *request ID* minted when the work entered the system (at the
+Executor for remote requests, at ``execute`` for embedded use), so one
+slow request can be followed down the whole stack:
+
+    executor.request → opal.execute → query.select
+                                    → txn.commit → storage.persist
+
+Finished spans land in a bounded ring buffer (newest win; tracing never
+grows without bound) and feed per-name wall-time histograms in the
+owning registry.
+
+**Cheap when disabled.**  ``tracer.span(...)`` returns a shared no-op
+context manager when tracing is off — no span object is allocated, no
+clock is read, no lock is taken.  Call sites guard with
+``tracer.enabled`` where even the call would be too much.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from itertools import count
+from typing import Any, Optional
+
+from .registry import MetricsRegistry
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+    def note(self, **meta: Any) -> None:
+        """Discard annotations (the live span records them)."""
+
+
+#: the singleton no-op span — ``tracer.span()`` costs no allocation
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live, timed unit of work (use via ``with tracer.span(...)``)."""
+
+    __slots__ = ("tracer", "name", "request_id", "meta", "_started", "ms")
+
+    def __init__(self, tracer: "Tracer", name: str, meta: dict[str, Any]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.request_id = tracer.current_request
+        self.meta = meta
+        self._started = 0.0
+        self.ms = 0.0
+
+    def note(self, **meta: Any) -> None:
+        """Attach metadata to the span while it runs."""
+        self.meta.update(meta)
+
+    def __enter__(self) -> "Span":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.ms = (time.perf_counter() - self._started) * 1e3
+        if exc_type is not None:
+            self.meta.setdefault("error", exc_type.__name__)
+        self.tracer._record(self)
+
+
+class Tracer:
+    """Mints request IDs, opens spans, keeps the recent-span ring."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        enabled: bool = False,
+        max_spans: int = 256,
+    ) -> None:
+        #: the master switch; flip at run time (``db.obs.enable_tracing()``)
+        self.enabled = enabled
+        self.registry = registry
+        self._spans: deque[dict[str, Any]] = deque(maxlen=max_spans)
+        self._rids = count(1)  # itertools.count: atomic under CPython
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.recorded = 0
+
+    # -- request identity ---------------------------------------------------
+
+    def next_request_id(self) -> int:
+        """Mint a process-unique request ID (thread-safe)."""
+        return next(self._rids)
+
+    @property
+    def current_request(self) -> Optional[int]:
+        """The request ID active on this thread (None outside a request)."""
+        return getattr(self._local, "request_id", None)
+
+    @current_request.setter
+    def current_request(self, request_id: Optional[int]) -> None:
+        self._local.request_id = request_id
+
+    # -- spans --------------------------------------------------------------
+
+    def span(self, name: str, **meta: Any):
+        """A timed context manager; the shared no-op while disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, meta)
+
+    def event(self, name: str, ms: float, **meta: Any) -> None:
+        """Record a span whose duration the caller already measured."""
+        if not self.enabled:
+            return
+        span = Span(self, name, meta)
+        span.ms = ms
+        self._record(span)
+
+    def _record(self, span: Span) -> None:
+        record: dict[str, Any] = {
+            "name": span.name,
+            "request_id": span.request_id,
+            "ms": span.ms,
+        }
+        if span.meta:
+            record["meta"] = span.meta
+        with self._lock:
+            self._spans.append(record)
+            self.recorded += 1
+        if self.registry is not None:
+            self.registry.observe(f"span.{span.name}.ms", span.ms)
+
+    # -- reading ------------------------------------------------------------
+
+    def recent(self, n: Optional[int] = None) -> list[dict[str, Any]]:
+        """The most recent finished spans, oldest first."""
+        spans = list(self._spans)
+        return spans if n is None else spans[-n:]
+
+    def clear(self) -> None:
+        """Drop the ring buffer (the recorded total is kept)."""
+        self._spans.clear()

@@ -21,6 +21,7 @@ Otherwise the block is procedural — correctness over speed.
 
 from __future__ import annotations
 
+import time as _time
 from typing import Any, Optional
 
 from ..core.classes import GemClass
@@ -211,12 +212,15 @@ def _cached_condition(store, perf, compiled, block_ast, param):
     change — method (re)definition, new class, overlay reset — re-runs
     the recognizer.  Returns :data:`_NOT_DECLARATIVE` for untranslatable
     blocks (also memoized: the failure repeats every call otherwise).
+
+    The second element of the returned pair is cache provenance for the
+    slow-query log: ``"memo"``, ``"fresh"``, or ``"uncached"``.
     """
     if perf is None or not perf.enabled:
         try:
-            return BlockTranslator(store, param).translate(block_ast)
+            return BlockTranslator(store, param).translate(block_ast), "uncached"
         except _NotDeclarative:
-            return _NOT_DECLARATIVE
+            return _NOT_DECLARATIVE, "uncached"
     memo = getattr(compiled, "calc_memo", None)
     if memo is None:
         memo = {}
@@ -225,7 +229,7 @@ def _cached_condition(store, perf, compiled, block_ast, param):
     cached = memo.get(key)
     if cached is not None:
         perf.translation_hits += 1
-        return cached
+        return cached, "memo"
     perf.translation_misses += 1
     try:
         condition = BlockTranslator(store, param).translate(block_ast)
@@ -234,7 +238,7 @@ def _cached_condition(store, perf, compiled, block_ast, param):
     if len(memo) >= _TRANSLATION_MEMO_MAX:
         memo.clear()
     memo[key] = condition
-    return condition
+    return condition, "fresh"
 
 
 def _collection_oid(collection) -> Optional[int]:
@@ -264,7 +268,9 @@ def try_declarative_filter(store, collection, closure, negate: bool) -> Optional
         return None
     param = compiled.params[0]
     perf = getattr(store, "perf", None)
-    condition = _cached_condition(store, perf, compiled, block_ast, param)
+    condition, translation_provenance = _cached_condition(
+        store, perf, compiled, block_ast, param
+    )
     if condition is _NOT_DECLARATIVE:
         return None
     directory_manager = engine.directory_manager
@@ -272,6 +278,7 @@ def try_declarative_filter(store, collection, closure, negate: bool) -> Optional
     owner_oid = _collection_oid(collection)
     plan = None
     plan_key = None
+    plan_provenance = "uncached"
     if perf is not None and perf.enabled and owner_oid is not None:
         plan_key = (
             perf.store_token, class_epoch.value, dm_epoch, negate, owner_oid,
@@ -283,6 +290,7 @@ def try_declarative_filter(store, collection, closure, negate: bool) -> Optional
         plan = plan_memo.get(plan_key)
         if plan is not None:
             perf.plan_hits += 1
+            plan_provenance = "memo"
     if plan is None:
         if negate:
             condition = Not(condition)
@@ -298,6 +306,7 @@ def try_declarative_filter(store, collection, closure, negate: bool) -> Optional
         plan = best_plan(query, directory_manager)
         if plan_key is not None:
             perf.plan_misses += 1
+            plan_provenance = "fresh"
             plan_memo = compiled.plan_memo
             if len(plan_memo) >= _PLAN_MEMO_MAX:
                 plan_memo.clear()
@@ -309,9 +318,60 @@ def try_declarative_filter(store, collection, closure, negate: bool) -> Optional
         # one unit for the query itself; per-member fuel is charged by
         # the context during execution (no O(n) pre-count of the input)
         budget.charge_steps(1)
+    context = QueryContext(store, time, directory_manager, budget)
+    obs = getattr(engine, "obs", None)
+    started = _time.perf_counter()
     try:
-        return plan.run(QueryContext(store, time, directory_manager, budget))
+        chosen = plan.run(context)
     except QueryBudgetExceeded:
+        if obs is not None:
+            _log_query(
+                obs, compiled, block_ast, plan, context, started,
+                negate, translation_provenance, plan_provenance,
+                outcome="killed",
+            )
         raise  # a dead budget must kill the query, not go procedural
     except GemStoneError:
         return None  # fall back to procedural semantics
+    if obs is not None:
+        _log_query(
+            obs, compiled, block_ast, plan, context, started,
+            negate, translation_provenance, plan_provenance,
+            result_count=len(chosen),
+        )
+    return chosen
+
+
+def _log_query(
+    obs, compiled, block_ast, plan, context, started,
+    negate, translation_provenance, plan_provenance,
+    result_count: Optional[int] = None, outcome: str = "ok",
+) -> None:
+    """Report one finished declarative query to the slow-query log."""
+    from ..obs.slowlog import describe_plan, render_block
+
+    elapsed_ms = (_time.perf_counter() - started) * 1e3
+    source = getattr(compiled, "rendered_source", None)
+    if source is None:
+        source = render_block(block_ast)
+        compiled.rendered_source = source  # unparse once per block
+    entry = {
+        "source": source,
+        "plan": describe_plan(plan),
+        "candidates": context.examined,
+        "elapsed_ms": elapsed_ms,
+        "negate": negate,
+        "translation": translation_provenance,
+        "plan_cache": plan_provenance,
+        "outcome": outcome,
+        "request_id": obs.tracer.current_request,
+    }
+    if result_count is not None:
+        entry["result_count"] = result_count
+    obs.slow_queries.record(entry)
+    obs.registry.inc("query.declarative")
+    if obs.tracer.enabled:
+        obs.tracer.event(
+            "query.select", elapsed_ms,
+            candidates=context.examined, outcome=outcome,
+        )

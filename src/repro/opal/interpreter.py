@@ -266,6 +266,9 @@ class OpalEngine:
         #: optional :class:`~repro.govern.budget.QueryBudget`: fuel the
         #: dispatch loop, sends and allocations spend, reset per execute
         self.budget = budget
+        #: optional :class:`~repro.obs.Observability` (wired by GemStone):
+        #: spans for execute, slow-query log for the declarative path
+        self.obs = None
         store.opal_runtime = self
         from .kernel import install_kernel
 
@@ -336,6 +339,15 @@ class OpalEngine:
         bindings = bindings or {}
         if self.budget is not None:
             self.budget.start_query()  # fresh fuel for each block
+        obs = self.obs
+        if obs is not None and obs.tracer.enabled:
+            # guarded: with tracing off this branch costs one attribute
+            # load and no span allocation
+            with obs.tracer.span("opal.execute", chars=len(source)):
+                return self._execute(source, bindings)
+        return self._execute(source, bindings)
+
+    def _execute(self, source: str, bindings: dict[str, Any]) -> Any:
         method = Compiler().compile_source(source, tuple(bindings))
         frame = Frame(
             method.code, method.literals, method.slot_names,

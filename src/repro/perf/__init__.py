@@ -14,7 +14,7 @@ read ``BENCH_results.json``.
 
 from .caches import StoreCaches, store_caches
 from .epochs import Epoch, class_epoch, next_store_token
-from .stats import object_cache_report, stats
+from .stats import object_cache_report, reset_stats, stats
 
 __all__ = [
     "Epoch",
@@ -22,6 +22,7 @@ __all__ = [
     "class_epoch",
     "next_store_token",
     "object_cache_report",
+    "reset_stats",
     "stats",
     "store_caches",
 ]

@@ -24,21 +24,33 @@ costs refills, not correctness.
 
 from __future__ import annotations
 
+import threading
 from itertools import count
 
 
 class Epoch:
-    """A monotonically increasing version stamp."""
+    """A monotonically increasing version stamp.
 
-    __slots__ = ("value",)
+    ``bump`` is atomic: the shared :class:`TransactionManager` runs real
+    threads, and an unlocked ``value += 1`` lets two racing class
+    redefinitions collapse into one bump — a cache entry stamped with
+    the lost value would then be served stale.  Reads stay lock-free
+    (a plain attribute load of an int is atomic in CPython), so the
+    hot-path validation cost is unchanged.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0
+        self._lock = threading.Lock()
 
     def bump(self) -> int:
         """Advance the stamp; every dependent cache entry is now stale."""
-        self.value += 1
-        return self.value
+        with self._lock:
+            value = self.value + 1
+            self.value = value
+            return value
 
     def __repr__(self) -> str:
         return f"<Epoch {self.value}>"

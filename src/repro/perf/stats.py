@@ -91,3 +91,26 @@ def stats(target: Any = None) -> dict[str, Any]:
         if cache is not None and hasattr(cache, "evictions"):
             report["object_cache"] = object_cache_report(cache)
     return report
+
+
+def reset_stats(target: Any = None) -> None:
+    """Zero every counter :func:`stats` folds together for *target*.
+
+    The process-global counters (the ``parse_path`` memo, the planner's
+    ``plans_built``) made hit rates order-dependent across independent
+    :class:`~repro.db.GemStone` instances and across tests; each fresh
+    database resets them at construction so its report starts from zero.
+    With a *target*, the target's own :class:`StoreCaches` counters and
+    (for a full database) its ObjectCache counters are zeroed too.
+    """
+    from ..core.paths import reset_parse_cache_stats
+    from ..stdm.optimize import reset_planning_stats
+
+    reset_parse_cache_stats()
+    reset_planning_stats()
+    store = _find_store(target)
+    if store is not None:
+        store.perf.reset_stats()
+    database = _find_database(target)
+    if database is not None:
+        database.store.cache.reset_stats()

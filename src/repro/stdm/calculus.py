@@ -60,6 +60,10 @@ class QueryContext:
     unit per member drawn from any set (scans, membership tests and
     index probes alike), so declarative work is charged by what it
     actually examines rather than pre-charged by collection size.
+
+    ``examined`` counts every charged unit whether or not a budget is
+    attached — it is the candidate count the slow-query log reports,
+    the number that separates an index probe from a full scan.
     """
 
     def __init__(
@@ -73,6 +77,7 @@ class QueryContext:
         self.time = time
         self.directory_manager = directory_manager
         self.budget = budget
+        self.examined = 0
         self.dial = TimeDial()
         self.dial.set(time)
 
@@ -81,7 +86,8 @@ class QueryContext:
         return QueryContext(self.store, time, self.directory_manager, self.budget)
 
     def charge(self, units: int = 1) -> None:
-        """Spend query fuel, when a budget is attached."""
+        """Count examined candidates; spend fuel when a budget is attached."""
+        self.examined += units
         if self.budget is not None:
             self.budget.charge_steps(units)
 
@@ -93,9 +99,12 @@ class QueryContext:
         through.  Each member drawn costs one unit of query fuel.
         """
         if self.budget is None:
-            yield from self._raw_members(collection)
+            for member in self._raw_members(collection):
+                self.examined += 1
+                yield member
             return
         for member in self._raw_members(collection):
+            self.examined += 1
             self.budget.charge_steps()
             yield member
 

@@ -40,6 +40,11 @@ from .translate import _attach_ready_filters, conjuncts
 planning_stats = {"plans_built": 0}
 
 
+def reset_planning_stats() -> None:
+    """Zero the planner work counter (scoped-reset hook for perf/obs)."""
+    planning_stats["plans_built"] = 0
+
+
 @dataclass
 class IndexChoice:
     """A directory pick for one binder, recorded for `explain`-style tests."""

@@ -104,6 +104,8 @@ class StableStore(ObjectStore):
         #: class objects, pinned for the store's lifetime: their method
         #: dictionaries are memory state that an LRU eviction would lose
         self._resident_classes: dict[int, GemObject] = {}
+        #: optional :class:`~repro.obs.Observability` (wired by GemStone)
+        self.obs = None
 
     # ------------------------------------------------------------------
     # construction
@@ -279,6 +281,23 @@ class StableStore(ObjectStore):
         already merged the transaction via the Linker; objects arrive
         parent-first for clustering.  Returns the new root epoch.
         """
+        obs = self.obs
+        if obs is not None and obs.tracer.enabled:
+            with obs.tracer.span(
+                "storage.persist", objects=len(dirty_objects), tx_time=tx_time
+            ):
+                return self._persist(
+                    dirty_objects, tx_time, new_classes, catalog_updates
+                )
+        return self._persist(dirty_objects, tx_time, new_classes, catalog_updates)
+
+    def _persist(
+        self,
+        dirty_objects: Sequence[GemObject],
+        tx_time: int,
+        new_classes: dict[str, int] | None = None,
+        catalog_updates: dict[str, int] | None = None,
+    ) -> int:
         if new_classes:
             for name, oid in new_classes.items():
                 self.classes[name] = oid

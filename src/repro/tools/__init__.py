@@ -1,10 +1,10 @@
-"""``repro.tools`` — host-side utilities (the OPAL console).
+"""``repro.tools`` — host-side utilities (OPAL console, dashboard).
 
 The console is imported lazily so ``python -m repro.tools.repl`` does
 not re-import its own module through the package.
 """
 
-__all__ = ["Repl"]
+__all__ = ["Repl", "render_dashboard", "render_snapshot"]
 
 
 def __getattr__(name):
@@ -12,4 +12,8 @@ def __getattr__(name):
         from .repl import Repl
 
         return Repl
+    if name in ("render_dashboard", "render_snapshot"):
+        from . import dashboard
+
+        return getattr(dashboard, name)
     raise AttributeError(name)

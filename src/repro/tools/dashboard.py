@@ -1,0 +1,166 @@
+"""A text dashboard over the observability snapshot.
+
+``render_dashboard(database)`` turns ``GemStone.observability()`` into
+the terminal report a DBA reads at a glance: transaction outcomes, cache
+hit rates, storage occupancy, governance counters, the slowest queries
+with their plans, and the recent trace spans when tracing is on.  The
+console exposes it as the ``:obs`` directive; scripts can print it
+directly::
+
+    from repro.tools.dashboard import render_dashboard
+    print(render_dashboard(db))
+
+Everything renders from the snapshot dict alone, so the dashboard can
+also replay a snapshot saved to JSON (``render_snapshot``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+def _pct(rate: float) -> str:
+    return f"{rate * 100.0:5.1f}%"
+
+
+def _section(title: str) -> list[str]:
+    return [title, "-" * len(title)]
+
+
+def render_snapshot(snap: dict[str, Any], width: int = 72) -> str:
+    """Render an already-taken observability snapshot as text."""
+    lines: list[str] = []
+    lines.append("=" * width)
+    lines.append("GemStone observability".center(width))
+    lines.append("=" * width)
+
+    txn = snap.get("transactions", {})
+    lines += _section("transactions")
+    lines.append(
+        f"  commits {txn.get('commits', 0)}"
+        f"  aborts {txn.get('aborts', 0)}"
+        f"  read-only {txn.get('read_only_commits', 0)}"
+        f"  retries {txn.get('conflict_retries', 0)}"
+        f"  abort-rate {_pct(txn.get('abort_rate', 0.0))}"
+    )
+    lines.append(
+        f"  active {txn.get('active_transactions', 0)}"
+        f"  storage-failures {txn.get('storage_failures', 0)}"
+        f"  storms {txn.get('storms_detected', 0)}"
+        f"  backoff {txn.get('backoff_units', 0.0):.1f}"
+    )
+
+    caches = snap.get("caches", {})
+    lines += _section("caches")
+    for name in ("method_cache", "inline_cache", "translation_cache",
+                 "plan_cache", "object_cache"):
+        report = caches.get(name)
+        if not isinstance(report, dict) or "hit_rate" not in report:
+            continue
+        lines.append(
+            f"  {name:<18} hits {report.get('hits', 0):>8}"
+            f"  misses {report.get('misses', 0):>8}"
+            f"  hit-rate {_pct(report['hit_rate'])}"
+        )
+    session_caches = caches.get("sessions", {})
+    for name, report in session_caches.items():
+        if isinstance(report, dict) and "hit_rate" in report:
+            lines.append(
+                f"  sessions.{name:<9} hits {report.get('hits', 0):>8}"
+                f"  misses {report.get('misses', 0):>8}"
+                f"  hit-rate {_pct(report['hit_rate'])}"
+            )
+
+    storage = snap.get("storage", {})
+    if storage:
+        lines += _section("storage")
+        lines.append(
+            f"  objects {storage.get('objects', 0)}"
+            f"  tracks used {storage.get('tracks_allocated', 0)}"
+            f" / free {storage.get('tracks_free', 0)}"
+            f"  epoch {storage.get('epoch', 0)}"
+            f"  last-tx {storage.get('last_tx_time', 0)}"
+        )
+
+    gov = snap.get("governance", {})
+    lines += _section("governance")
+    admission = gov.get("admission", {})
+    lines.append(
+        f"  admission: admitted {admission.get('admitted', 0)}"
+        f"  shed {admission.get('shed_requests', 0)} req"
+        f" / {admission.get('shed_sessions', 0)} sess"
+        f"  breaker sheds {admission.get('breaker_sheds', 0)}"
+        f" trips {admission.get('breaker_trips', 0)}"
+    )
+    lines.append(
+        f"  budgets: queries {gov.get('budgets', {}).get('queries', 0)}"
+        f"  kills {gov.get('budgets', {}).get('kills', 0)}"
+        f"  quota rejections {gov.get('quotas', {}).get('rejections', 0)}"
+        f"  safetime clamps {gov.get('safetime_clamps', 0)}"
+    )
+    sessions = gov.get("sessions", {})
+    lines.append(
+        f"  sessions: live {sessions.get('live', 0)}"
+        f"  opened {sessions.get('opened', 0)}"
+        f"  closed {sessions.get('closed', 0)}"
+    )
+
+    slow = snap.get("slow_queries", {})
+    lines += _section(
+        f"slow queries ({slow.get('total_queries', 0)} run, "
+        f"{slow.get('kept', 0)} kept)"
+    )
+    for entry in slow.get("slowest", []):
+        lines.append(
+            f"  {entry.get('elapsed_ms', 0.0):8.3f} ms"
+            f"  candidates {entry.get('candidates', 0):>6}"
+            f"  results {entry.get('result_count', '-'):>6}"
+            f"  [{entry.get('translation', '?')}/{entry.get('plan_cache', '?')}]"
+            f"  {entry.get('source', '')}"
+        )
+        for step in entry.get("plan", []):
+            lines.append(f"             | {step}")
+
+    tracing = snap.get("tracing", {})
+    if tracing.get("enabled"):
+        lines += _section(
+            f"tracing ({tracing.get('recorded', 0)} spans recorded)"
+        )
+        for span in tracing.get("recent_spans", []):
+            rid = span.get("request_id")
+            rid_text = f"r{rid}" if rid is not None else "-"
+            lines.append(
+                f"  {span.get('ms', 0.0):8.3f} ms  {rid_text:>6}"
+                f"  {span.get('name', '')}"
+            )
+    else:
+        lines += _section("tracing")
+        lines.append("  disabled (db.obs.enable_tracing() to record spans)")
+    return "\n".join(lines)
+
+
+def render_dashboard(
+    database: Any, slow: int = 5, spans: int = 10, width: int = 72,
+) -> str:
+    """Take a snapshot of *database* and render it as text."""
+    return render_snapshot(
+        database.observability(slow=slow, spans=spans), width=width
+    )
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Replay a saved snapshot: python -m repro.tools.dashboard FILE."""
+    import json
+    import sys
+
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 1:
+        print("usage: python -m repro.tools.dashboard snapshot.json")
+        return 2
+    with open(argv[0], "r", encoding="utf-8") as handle:
+        print(render_snapshot(json.load(handle)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

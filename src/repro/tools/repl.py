@@ -9,6 +9,7 @@ the paper prescribes.  Directives start with ``:``:
     :time        show the current transaction time (and the dial)
     :dial T      set the time dial (``:dial now`` resets)
     :report      storage report
+    :obs         observability dashboard (``:obs trace`` toggles tracing)
     :help        this text
     :quit        leave
 
@@ -24,7 +25,7 @@ from ..db import GemSession, GemStone
 from ..errors import GemStoneError, TransactionConflict
 
 _HELP = """OPAL console — type statements, submit with a blank line.
-Directives: :commit :abort :time :dial T|now :report :help :quit"""
+Directives: :commit :abort :time :dial T|now :report :obs :help :quit"""
 
 
 class Repl:
@@ -116,6 +117,15 @@ class Repl:
         elif command == "report":
             for key, value in self.database.storage_report().items():
                 self._emit(f"  {key}: {value}")
+        elif command == "obs":
+            from .dashboard import render_dashboard
+
+            if argument.strip().lower() == "trace":
+                enabled = not self.database.obs.tracer.enabled
+                self.database.obs.enable_tracing(enabled)
+                self._emit(f"tracing {'enabled' if enabled else 'disabled'}")
+            else:
+                self._emit(render_dashboard(self.database))
         else:
             self._emit(f"!! unknown directive :{command} (try :help)")
 

@@ -1,0 +1,115 @@
+"""AssociationTable boundary behavior: truncation and interval edges.
+
+Recovery rolls cached objects back with ``truncate_to`` and directories
+index past states with ``validity_interval``; both are bisect-driven,
+so the exact-boundary cases (truncate at precisely the last safe time,
+query at precisely the first binding time) are where an off-by-one
+would corrupt history silently.
+"""
+
+import pytest
+
+from repro.core.history import MISSING, AssociationTable
+from repro.errors import TimeTravelError
+
+
+def table(*pairs):
+    t = AssociationTable()
+    for time, value in pairs:
+        t.record(time, value)
+    return t
+
+
+# -- truncate_to boundaries -------------------------------------------------
+
+def test_truncate_exactly_at_last_time_drops_nothing():
+    t = table((3, "a"), (7, "b"))
+    assert t.truncate_to(7) == 0
+    assert t.times() == (3, 7)
+    assert t.value_at() == "b"
+
+
+def test_truncate_between_times_drops_the_newer_binding():
+    t = table((3, "a"), (7, "b"))
+    assert t.truncate_to(6) == 1
+    assert t.times() == (3,)
+    assert t.value_at() == "a"
+
+
+def test_truncate_exactly_at_first_time_keeps_the_first_binding():
+    t = table((3, "a"), (7, "b"), (9, "c"))
+    assert t.truncate_to(3) == 2
+    assert t.times() == (3,)
+    assert t.value_at() == "a"
+
+
+def test_truncate_before_first_time_empties_the_table():
+    t = table((3, "a"), (7, "b"))
+    assert t.truncate_to(2) == 2
+    assert t.times() == ()
+    assert t.value_at() is MISSING
+    assert t.first_time is None
+    assert t.last_time is None
+
+
+def test_record_after_truncate_continues_history():
+    t = table((3, "a"), (7, "b"))
+    t.truncate_to(5)
+    t.record(6, "rewritten")
+    assert t.times() == (3, 6)
+    assert t.value_at(6) == "rewritten"
+    assert t.value_at(5) == "a"
+    # append-only still enforced relative to the new tip
+    with pytest.raises(TimeTravelError):
+        t.record(4, "backwards")
+
+
+def test_truncate_empty_table_is_a_no_op():
+    t = AssociationTable()
+    assert t.truncate_to(10) == 0
+    assert t.times() == ()
+
+
+# -- validity_interval boundaries -------------------------------------------
+
+def test_interval_exactly_at_first_binding_time():
+    t = table((3, "a"), (7, "b"))
+    assert t.validity_interval(3) == (3, 7)
+
+
+def test_interval_just_before_first_binding_is_none():
+    t = table((3, "a"), (7, "b"))
+    assert t.validity_interval(2) is None
+
+
+def test_interval_exactly_at_a_replacement_time():
+    t = table((3, "a"), (7, "b"))
+    assert t.validity_interval(7) == (7, None)
+
+
+def test_interval_of_the_open_current_binding():
+    t = table((3, "a"), (7, "b"))
+    assert t.validity_interval(100) == (7, None)
+
+
+def test_interval_between_bindings_is_half_open():
+    t = table((3, "a"), (7, "b"))
+    start, end = t.validity_interval(6)
+    assert (start, end) == (3, 7)
+    # half-open [start, end): the value changes exactly at `end`
+    assert t.value_at(end - 1) == "a"
+    assert t.value_at(end) == "b"
+
+
+def test_interval_after_truncate_reopens_the_survivor():
+    t = table((3, "a"), (7, "b"))
+    t.truncate_to(5)
+    assert t.validity_interval(4) == (3, None)
+
+
+def test_value_at_exact_boundaries_matches_intervals():
+    t = table((3, "a"), (7, "b"))
+    assert t.value_at(2) is MISSING
+    assert t.value_at(3) == "a"
+    assert t.value_at(6) == "a"
+    assert t.value_at(7) == "b"

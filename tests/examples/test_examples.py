@@ -1,0 +1,38 @@
+"""Examples as tests: every ``examples/*.py`` must run clean.
+
+The examples are the adopter-facing face of the repo; a broken one is a
+broken promise.  Each runs in a subprocess with the repo's ``src`` on
+``PYTHONPATH``, exactly the way the README tells a reader to run them.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    assert EXAMPLES, "examples/ must not be empty"
+
+
+@pytest.mark.parametrize(
+    "example", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+)
+def test_example_runs_clean(example):
+    completed = subprocess.run(
+        [sys.executable, str(example)],
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src")},
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, (
+        f"{example.name} exited {completed.returncode}\n"
+        f"--- stdout ---\n{completed.stdout[-2000:]}\n"
+        f"--- stderr ---\n{completed.stderr[-2000:]}"
+    )

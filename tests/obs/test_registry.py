@@ -1,0 +1,80 @@
+"""MetricsRegistry: counters, gauges, histograms, thread-safety, scope."""
+
+import threading
+
+from repro.obs import MetricsRegistry
+
+
+def test_counter_get_or_create_and_increment():
+    registry = MetricsRegistry()
+    counter = registry.counter("txn.commits")
+    assert counter is registry.counter("txn.commits")
+    counter.inc()
+    counter.inc(4)
+    assert registry.count_of("txn.commits") == 5
+    assert registry.count_of("never.touched") == 0
+
+
+def test_convenience_inc_creates_on_first_use():
+    registry = MetricsRegistry()
+    registry.inc("executor.requests")
+    registry.inc("executor.requests", 2)
+    assert registry.count_of("executor.requests") == 3
+
+
+def test_gauge_last_value_wins():
+    registry = MetricsRegistry()
+    registry.set_gauge("sessions.live", 3)
+    registry.set_gauge("sessions.live", 1)
+    assert registry.snapshot()["gauges"]["sessions.live"] == 1
+
+
+def test_histogram_summary():
+    registry = MetricsRegistry()
+    for value in (2.0, 8.0, 5.0):
+        registry.observe("span.txn.commit.ms", value)
+    summary = registry.snapshot()["histograms"]["span.txn.commit.ms"]
+    assert summary["count"] == 3
+    assert summary["sum"] == 15.0
+    assert summary["min"] == 2.0
+    assert summary["max"] == 8.0
+    assert summary["mean"] == 5.0
+
+
+def test_empty_histogram_mean_is_zero():
+    registry = MetricsRegistry()
+    registry.histogram("untouched")
+    assert registry.snapshot()["histograms"]["untouched"]["mean"] == 0.0
+
+
+def test_registries_are_instance_scoped():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.inc("shared.name", 7)
+    assert b.count_of("shared.name") == 0
+
+
+def test_counter_increments_survive_thread_contention():
+    registry = MetricsRegistry()
+    counter = registry.counter("contended")
+    per_thread, thread_count = 2_000, 8
+
+    def hammer():
+        for _ in range(per_thread):
+            counter.inc()
+
+    threads = [threading.Thread(target=hammer) for _ in range(thread_count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert registry.count_of("contended") == per_thread * thread_count
+
+
+def test_reset_drops_everything():
+    registry = MetricsRegistry()
+    registry.inc("a")
+    registry.set_gauge("b", 1)
+    registry.observe("c", 1.0)
+    registry.reset()
+    snapshot = registry.snapshot()
+    assert snapshot == {"counters": {}, "gauges": {}, "histograms": {}}

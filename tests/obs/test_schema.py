@@ -1,0 +1,65 @@
+"""The zero-dependency schema validator used to pin the snapshot shape."""
+
+import pytest
+
+from repro.obs import SchemaError, validate
+
+
+def test_accepts_matching_object():
+    schema = {
+        "type": "object",
+        "required": ["a"],
+        "properties": {"a": {"type": "integer"}, "b": {"type": "string"}},
+    }
+    validate({"a": 1, "b": "x"}, schema)
+    validate({"a": 1}, schema)  # b is optional
+
+
+def test_missing_required_key_names_the_path():
+    schema = {
+        "type": "object",
+        "properties": {"outer": {"type": "object", "required": ["inner"]}},
+    }
+    with pytest.raises(SchemaError, match=r"\$\.outer.*inner"):
+        validate({"outer": {}}, schema)
+
+
+def test_wrong_type_rejected():
+    with pytest.raises(SchemaError):
+        validate("nope", {"type": "integer"})
+
+
+def test_bool_is_not_a_number_or_integer():
+    with pytest.raises(SchemaError):
+        validate(True, {"type": "integer"})
+    with pytest.raises(SchemaError):
+        validate(False, {"type": "number"})
+    validate(True, {"type": "boolean"})
+
+
+def test_integer_is_a_number():
+    validate(3, {"type": "number"})
+
+
+def test_type_union_and_null():
+    schema = {"type": ["integer", "null"]}
+    validate(None, schema)
+    validate(7, schema)
+    with pytest.raises(SchemaError):
+        validate("x", schema)
+
+
+def test_array_items_validated_with_index_in_path():
+    schema = {"type": "array", "items": {"type": "string"}}
+    validate(["a", "b"], schema)
+    with pytest.raises(SchemaError, match=r"\$\[1\]"):
+        validate(["a", 2], schema)
+
+
+def test_unknown_schema_type_is_an_error():
+    with pytest.raises(SchemaError):
+        validate(1, {"type": "decimal"})
+
+
+def test_unknown_schema_keywords_are_ignored():
+    validate(5, {"type": "integer", "minimum": 99, "format": "weird"})

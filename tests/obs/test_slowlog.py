@@ -1,0 +1,101 @@
+"""SlowQueryLog retention and the OPAL block unparser."""
+
+import pytest
+
+from repro.core import MemoryObjectManager
+from repro.obs import SlowQueryLog, describe_plan, render_block
+from repro.opal import OpalEngine
+
+
+def entry(ms, tag):
+    return {"elapsed_ms": ms, "tag": tag}
+
+
+def test_keeps_only_the_slowest_capacity_entries():
+    log = SlowQueryLog(capacity=3)
+    for ms in (5.0, 1.0, 9.0, 3.0, 7.0):
+        log.record(entry(ms, ms))
+    slowest = [e["tag"] for e in log.slowest()]
+    assert slowest == [9.0, 7.0, 5.0]
+    assert log.total_queries == 5
+    assert len(log) == 3
+
+
+def test_threshold_counts_but_does_not_keep():
+    log = SlowQueryLog(capacity=8, threshold_ms=2.0)
+    log.record(entry(1.0, "fast"))
+    log.record(entry(3.0, "slow"))
+    assert log.total_queries == 2
+    assert [e["tag"] for e in log.slowest()] == ["slow"]
+
+
+def test_slowest_n_limits_and_orders():
+    log = SlowQueryLog(capacity=10)
+    for ms in range(6):
+        log.record(entry(float(ms), ms))
+    assert [e["tag"] for e in log.slowest(2)] == [5, 4]
+
+
+def test_ties_are_kept_in_arrival_order():
+    log = SlowQueryLog(capacity=4)
+    log.record(entry(1.0, "first"))
+    log.record(entry(1.0, "second"))
+    tags = [e["tag"] for e in log.slowest()]
+    assert set(tags) == {"first", "second"}
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        SlowQueryLog(capacity=0)
+
+
+def compiled_block(source):
+    """Compile one OPAL block literal and return its compiled form."""
+    engine = OpalEngine(MemoryObjectManager())
+    closure = engine.execute(source)
+    return closure.compiled
+
+
+@pytest.mark.parametrize(
+    "source, rendered",
+    [
+        ("[:e | e!salary > 40]", "[:e | e!salary > 40]"),
+        ("[:e | (e!age >= 21) & (e!age <= 65)]",
+         "[:e | (e!age >= 21) & (e!age <= 65)]"),
+        ("[:e | e!name = 'Joe''s']", "[:e | e!name = 'Joe''s']"),
+        ("[:e | (e!tags) includes: 'vip']", "[:e | e!tags includes: 'vip']"),
+        ("[:e | (e!salary@3) > 10]", "[:e | e!salary@3 > 10]"),
+        ("[:e | (e!done) not]", "[:e | e!done not]"),
+    ],
+)
+def test_render_block_reconstructs_select_source(source, rendered):
+    block = compiled_block(source)
+    assert render_block(block.ast) == rendered
+
+
+def test_rendered_block_recompiles_to_the_same_rendering():
+    block = compiled_block("[:e | (e!dept = 'R+D') & (e!salary > 10)]")
+    rendered = render_block(block.ast)
+    again = compiled_block(rendered)
+    assert render_block(again.ast) == rendered
+
+
+def test_render_block_degrades_to_repr_off_ast():
+    assert render_block(42) == "42"
+
+
+def test_describe_plan_walks_the_operator_chain():
+    class Leaf:
+        child = None
+
+        def describe(self):
+            return "Unit"
+
+    class Root:
+        def __init__(self, child):
+            self.child = child
+
+        def describe(self):
+            return "Filter x > 1"
+
+    assert describe_plan(Root(Leaf())) == ["Filter x > 1", "Unit"]

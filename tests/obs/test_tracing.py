@@ -1,0 +1,104 @@
+"""Tracer: NULL_SPAN when disabled, spans + request IDs when enabled."""
+
+import threading
+
+from repro.obs import NULL_SPAN, MetricsRegistry, Tracer
+
+
+def test_disabled_tracer_returns_the_shared_null_span():
+    tracer = Tracer(enabled=False)
+    span = tracer.span("anything", key="value")
+    assert span is NULL_SPAN
+    with span as inner:
+        inner.note(more="meta")  # must be a silent no-op
+    assert tracer.recorded == 0
+    assert tracer.recent() == []
+
+
+def test_enabled_tracer_records_span_with_timing_and_meta():
+    tracer = Tracer(enabled=True)
+    with tracer.span("opal.execute", chars=12) as span:
+        span.note(extra=True)
+    assert tracer.recorded == 1
+    [record] = tracer.recent()
+    assert record["name"] == "opal.execute"
+    assert record["ms"] >= 0.0
+    assert record["meta"] == {"chars": 12, "extra": True}
+
+
+def test_span_captures_error_class_on_exception():
+    tracer = Tracer(enabled=True)
+    try:
+        with tracer.span("txn.commit"):
+            raise ValueError("boom")
+    except ValueError:
+        pass
+    [record] = tracer.recent()
+    assert record["meta"]["error"] == "ValueError"
+
+
+def test_spans_feed_registry_histograms():
+    registry = MetricsRegistry()
+    tracer = Tracer(registry, enabled=True)
+    with tracer.span("storage.persist"):
+        pass
+    histograms = registry.snapshot()["histograms"]
+    assert histograms["span.storage.persist.ms"]["count"] == 1
+
+
+def test_ring_buffer_is_bounded_but_recorded_total_is_not():
+    tracer = Tracer(enabled=True, max_spans=4)
+    for index in range(10):
+        with tracer.span(f"s{index}"):
+            pass
+    assert tracer.recorded == 10
+    names = [record["name"] for record in tracer.recent()]
+    assert names == ["s6", "s7", "s8", "s9"]
+
+
+def test_request_ids_are_unique_across_threads():
+    tracer = Tracer(enabled=False)
+    minted: list[int] = []
+    lock = threading.Lock()
+
+    def mint():
+        local = [tracer.next_request_id() for _ in range(500)]
+        with lock:
+            minted.extend(local)
+
+    threads = [threading.Thread(target=mint) for _ in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(minted) == len(set(minted)) == 3_000
+
+
+def test_current_request_is_thread_local():
+    tracer = Tracer(enabled=True)
+    tracer.current_request = 41
+    seen = {}
+
+    def probe():
+        seen["other_thread"] = tracer.current_request
+        tracer.current_request = 99
+
+    thread = threading.Thread(target=probe)
+    thread.start()
+    thread.join()
+    assert seen["other_thread"] is None  # never leaks across threads
+    assert tracer.current_request == 41
+
+    with tracer.span("tagged") as span:
+        assert span.request_id == 41
+
+
+def test_event_records_a_pre_measured_duration():
+    tracer = Tracer(enabled=True)
+    tracer.event("query.select", 12.5, candidates=3)
+    [record] = tracer.recent()
+    assert record["ms"] == 12.5
+    assert record["meta"] == {"candidates": 3}
+    disabled = Tracer(enabled=False)
+    disabled.event("query.select", 1.0)
+    assert disabled.recorded == 0
