@@ -1,0 +1,262 @@
+"""Build a real store (and its shadow twin) from a symbolic case spec.
+
+One :class:`CaseEnv` owns a :class:`~repro.core.object_manager.MemoryObjectManager`,
+a :class:`~repro.directories.manager.DirectoryManager`, and the oid ↔
+symbolic-id mapping.  Replay is epoch-by-epoch so the differential
+runner can interleave query evaluations with history: each epoch ticks
+the logical clock once, applies that epoch's binds, feeds the resulting
+:class:`~repro.storage.linker.Write` records to the Directory Manager
+exactly as a commit would, then applies directory create/drop events.
+
+The shadow (:class:`~repro.check.reference.ShadowStore`) is driven in
+lockstep with identical times, so at any evaluation point both sides
+hold the same prefix of history.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.object_manager import MemoryObjectManager
+from ..core.paths import Path, Step
+from ..core.values import Ref
+from ..directories.manager import DirectoryManager
+from ..stdm.calculus import (
+    And,
+    BinOp,
+    Binder,
+    Compare,
+    Const,
+    Exists,
+    Expr,
+    ForAll,
+    Not,
+    Or,
+    PathApply,
+    QueryContext,
+    SetQuery,
+    Var,
+)
+from ..storage.linker import Write
+from .reference import SHADOW_NOVALUE, ShadowStore
+from .spec import CaseSpec, QuerySpec
+
+
+class CaseEnv:
+    """A materialized case: real store, directories, and id mappings."""
+
+    def __init__(self, spec: CaseSpec, *, skip_maintenance: bool = False) -> None:
+        self.spec = spec
+        #: when set, commit-time directory maintenance is *not* run — a
+        #: deliberately injected bug the oracle must catch (test-only)
+        self.skip_maintenance = skip_maintenance
+        self.store = MemoryObjectManager()
+        self.directory_manager = DirectoryManager(self.store)
+        self.shadow = ShadowStore(spec)
+        self.coll_objs: dict[int, Any] = {}
+        self.pool_objs: dict[tuple[int, int], Any] = {}
+        self.sym_of_oid: dict[int, str] = {}
+        #: absolute transaction time of each epoch, index = epoch number
+        #: (aliased into the shadow so its pin lookups stay in lockstep)
+        self.epoch_times: list[int] = self.shadow.epoch_times
+        self.applied_epoch = -1
+        self._build_initial()
+
+    # -- construction ------------------------------------------------------
+
+    def _build_initial(self) -> None:
+        store = self.store
+        for coll in self.spec.collections:
+            store.define_class(f"C{coll.cid}")
+        for coll in self.spec.collections:
+            set_obj = store.instantiate("Object")
+            self.coll_objs[coll.cid] = set_obj
+            self.sym_of_oid[set_obj.oid] = f"@c{coll.cid}"
+            for i in range(coll.size):
+                obj = store.instantiate(f"C{coll.cid}")
+                self.pool_objs[(coll.cid, i)] = obj
+                self.sym_of_oid[obj.oid] = f"@{coll.cid}.{i}"
+        t0 = store.tick()
+        self.epoch_times.append(t0)
+        # keyed like a session workspace: one staged write per slot, so
+        # the directory manager sees real commit-shaped write sets
+        writes: dict[tuple[int, str], Write] = {}
+        for coll in self.spec.collections:
+            for i in coll.initial_members:
+                self._bind_member(coll.cid, i, True, t0, writes)
+            for i, field, value in coll.initial_values:
+                self._bind_field(coll.cid, i, field, value, t0, writes)
+        self._commit_epoch(t0, list(writes.values()), epoch=0)
+        self.applied_epoch = 0
+
+    def apply_epoch(self, epoch: int) -> None:
+        """Replay one epoch of mutations and directory events."""
+        assert epoch == self.applied_epoch + 1, "epochs replay in order"
+        t = self.store.tick()
+        self.epoch_times.append(t)
+        writes: dict[tuple[int, str], Write] = {}
+        for mutation in self.spec.mutations:
+            if mutation[1] != epoch:
+                continue
+            if mutation[0] == "member":
+                _kind, _e, cid, obj, present = mutation
+                self._bind_member(cid, obj, present, t, writes)
+            else:
+                _kind, _e, cid, obj, field, value = mutation
+                self._bind_field(cid, obj, field, value, t, writes)
+        self._commit_epoch(t, list(writes.values()), epoch)
+        self.applied_epoch = epoch
+
+    def _commit_epoch(self, t: int, writes: list[Write], epoch: int) -> None:
+        if writes and not self.skip_maintenance:
+            self.directory_manager.on_commit(t, [], writes, [])
+        for event in self.spec.dir_events:
+            kind, at_epoch, cid, path_text = event
+            if at_epoch != epoch:
+                continue
+            if kind == "create":
+                self.directory_manager.create_directory(
+                    self.coll_objs[cid], path_text
+                )
+            else:
+                directory = self.directory_manager.find_directory(
+                    self.coll_objs[cid].oid, path_text
+                )
+                if directory is not None:
+                    self.directory_manager.drop_directory(directory)
+
+    def _bind_member(
+        self, cid: int, obj: int, present: bool, t: int,
+        writes: dict[tuple[int, str], Write],
+    ) -> None:
+        set_obj = self.coll_objs[cid]
+        value = Ref(self.pool_objs[(cid, obj)].oid) if present else None
+        self.store.bind(set_obj, f"m{obj}", value)
+        writes[(set_obj.oid, f"m{obj}")] = Write(set_obj.oid, f"m{obj}", value)
+        self.shadow.record_member(cid, obj, t, present)
+
+    def _bind_field(
+        self, cid: int, obj: int, field: str, value: Any, t: int,
+        writes: dict[tuple[int, str], Write],
+    ) -> None:
+        target = self.pool_objs[(cid, obj)]
+        if isinstance(value, tuple):  # ("obj", tcid, ti)
+            stored: Any = Ref(self.pool_objs[(value[1], value[2])].oid)
+        else:
+            stored = value
+        self.store.bind(target, field, stored)
+        writes[(target.oid, field)] = Write(target.oid, field, stored)
+        self.shadow.record(("obj", cid, obj), field, t, value)
+
+    # -- times -------------------------------------------------------------
+
+    def time_of_epoch(self, epoch: Optional[int]) -> Optional[int]:
+        """The absolute transaction time an epoch pin resolves to."""
+        if epoch is None:
+            return None
+        if epoch < len(self.epoch_times):
+            return self.epoch_times[epoch]
+        # a pin past the replayed prefix reads the newest state there is
+        return self.epoch_times[0] + epoch
+
+    def context(self, at_epoch: Optional[int]) -> QueryContext:
+        return QueryContext(
+            self.store,
+            time=self.time_of_epoch(at_epoch),
+            directory_manager=self.directory_manager,
+        )
+
+    # -- compilation -------------------------------------------------------
+
+    def compile_query(self, query: QuerySpec) -> SetQuery:
+        binders = [
+            Binder(var, self.compile_expr(source))
+            for var, source in query.binders
+        ]
+        condition = (
+            self.compile_expr(query.condition)
+            if query.condition is not None
+            else None
+        )
+        if query.result[0] == "record":
+            result: Any = {
+                label: self.compile_expr(spec)
+                for label, spec in query.result[1]
+            }
+        else:
+            result = self.compile_expr(query.result)
+        return SetQuery(result=result, binders=binders, condition=condition)
+
+    def compile_expr(self, node: tuple) -> Expr:
+        kind = node[0]
+        if kind == "const":
+            return Const(node[1])
+        if kind == "coll":
+            # Const(Ref(...)) not Const(obj): the production plan memo
+            # binds constants as refs so cached plans re-deref (PR 3)
+            return Const(Ref(self.coll_objs[node[1]].oid))
+        if kind == "obj":
+            return Const(Ref(self.pool_objs[(node[1], node[2])].oid))
+        if kind == "var":
+            return Var(node[1])
+        if kind == "path":
+            steps = tuple(
+                Step(name, self.time_of_epoch(at)) for name, at in node[2]
+            )
+            return PathApply(self.compile_expr(node[1]), Path(steps))
+        if kind == "cmp":
+            return Compare(node[1], self.compile_expr(node[2]),
+                           self.compile_expr(node[3]))
+        if kind == "binop":
+            return BinOp(node[1], self.compile_expr(node[2]),
+                         self.compile_expr(node[3]))
+        if kind == "and":
+            return And(self.compile_expr(node[1]), self.compile_expr(node[2]))
+        if kind == "or":
+            return Or(self.compile_expr(node[1]), self.compile_expr(node[2]))
+        if kind == "not":
+            return Not(self.compile_expr(node[1]))
+        if kind in ("exists", "forall"):
+            cls = Exists if kind == "exists" else ForAll
+            return cls(node[1], self.compile_expr(node[2]),
+                       self.compile_expr(node[3]))
+        raise ValueError(f"unknown spec node {kind!r}")
+
+    # -- canonicalization --------------------------------------------------
+
+    def canon_real(self, value: Any) -> str:
+        """Canonical string for a value produced by the real engine."""
+        from ..core.objects import GemObject
+        from ..stdm.calculus import NOVALUE
+
+        if isinstance(value, dict):
+            return "{" + ";".join(
+                f"{k}={self.canon_real(v)}" for k, v in sorted(value.items())
+            ) + "}"
+        if isinstance(value, GemObject):
+            return self.sym_of_oid.get(value.oid, f"@?{value.oid}")
+        if isinstance(value, Ref):
+            return self.sym_of_oid.get(value.oid, f"@?{value.oid}")
+        if value is NOVALUE:
+            return "?"
+        if value is None:
+            return "nil"
+        return repr(value)
+
+
+def canon_shadow(value: Any) -> str:
+    """Canonical string for a value produced by the reference evaluator."""
+    if isinstance(value, dict):
+        return "{" + ";".join(
+            f"{k}={canon_shadow(v)}" for k, v in sorted(value.items())
+        ) + "}"
+    if isinstance(value, tuple):
+        if value[0] == "obj":
+            return f"@{value[1]}.{value[2]}"
+        if value[0] == "coll":
+            return f"@c{value[1]}"
+    if value is SHADOW_NOVALUE:
+        return "?"
+    if value is None:
+        return "nil"
+    return repr(value)

@@ -1,0 +1,248 @@
+"""The deliberately-naive reference side of the differential oracle.
+
+:class:`ShadowStore` is a brute-force temporal object model — plain
+dicts of ``field → [(time, value), …]`` lists, linear scans, no
+directories, no caches, no plan machinery.  It shares *no code* with
+:mod:`repro.stdm` or :mod:`repro.core`: the semantics are re-derived
+from the paper here (no-value fails comparisons, members are the live
+non-nil element values of a set at a time, a path step pinned ``@T``
+reads that state, ∀ is vacuously true over no-value), so agreement with
+the production evaluation paths is evidence, not tautology.
+
+Values in the shadow are symbolic: objects are ``("obj", cid, i)``
+tuples, collections are ``("coll", cid)``, nil is ``None``.  The
+differential runner maps real oids onto the same symbols before
+comparing, so both sides canonicalize to identical strings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from .spec import CaseSpec, QuerySpec
+
+#: "this field has no recorded value at that time" (distinct from nil)
+SHADOW_MISSING = object()
+
+#: "this path did not resolve" — the calculus's no-value
+SHADOW_NOVALUE = object()
+
+
+class ShadowStore:
+    """A pure-Python temporal model mirroring one materialized case."""
+
+    def __init__(self, spec: CaseSpec) -> None:
+        self.spec = spec
+        #: epoch number -> absolute commit time, shared with the replayer
+        #: (spec pins name epochs; the history records absolute times)
+        self.epoch_times: list[int] = []
+        #: symbolic id -> field -> [(time, value), ...] in time order
+        self.tables: dict[Any, dict[str, list[tuple[int, Any]]]] = {}
+        #: per collection, the slot order (mirrors alias insertion order)
+        self.slots: dict[int, list[int]] = {}
+        for coll in spec.collections:
+            self.tables[("coll", coll.cid)] = {}
+            self.slots[coll.cid] = list(range(coll.size))
+            for i in range(coll.size):
+                self.tables[("obj", coll.cid, i)] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, target: Any, field: str, time: int, value: Any) -> None:
+        history = self.tables[target].setdefault(field, [])
+        if history and history[-1][0] == time:
+            history[-1] = (time, value)
+        else:
+            history.append((time, value))
+
+    def record_member(self, cid: int, obj: int, time: int, present: bool) -> None:
+        value = ("obj", cid, obj) if present else None
+        self.record(("coll", cid), f"m{obj}", time, value)
+
+    def epoch_time(self, epoch: int) -> int:
+        """Absolute time an ``@epoch`` pin names (epochs commit in order)."""
+        if epoch < len(self.epoch_times):
+            return self.epoch_times[epoch]
+        base = self.epoch_times[0] if self.epoch_times else 0
+        return base + epoch
+
+    # -- reads -------------------------------------------------------------
+
+    def value_at(self, target: Any, field: str, time: Optional[int]) -> Any:
+        history = self.tables.get(target, {}).get(field)
+        if not history:
+            return SHADOW_MISSING
+        if time is None:
+            return history[-1][1]
+        result = SHADOW_MISSING
+        for t, value in history:  # deliberately linear: this is the oracle
+            if t > time:
+                break
+            result = value
+        return result
+
+    def members(self, cid: int, time: Optional[int]) -> Iterator[tuple]:
+        for slot in self.slots[cid]:
+            value = self.value_at(("coll", cid), f"m{slot}", time)
+            if value is SHADOW_MISSING or value is None:
+                continue
+            yield value
+
+
+# -- expression evaluation ---------------------------------------------------
+
+
+def _is_obj(value: Any) -> bool:
+    return isinstance(value, tuple) and value and value[0] in ("obj", "coll")
+
+
+def _shadow_equal(a: Any, b: Any) -> bool:
+    """Entity identity, re-deriving §3's equality: objects compare by
+    identity, and no-value fails every comparison — including ``==``
+    against another no-value."""
+    if a is SHADOW_NOVALUE or b is SHADOW_NOVALUE:
+        return False
+    return a == b
+
+
+def _eval_path(
+    shadow: ShadowStore, base: Any, steps: tuple, time: Optional[int]
+) -> Any:
+    current = base
+    if current is SHADOW_NOVALUE:
+        return SHADOW_NOVALUE
+    for name, at_time in steps:
+        if not _is_obj(current):
+            return SHADOW_NOVALUE
+        step_time = (
+            shadow.epoch_time(at_time) if at_time is not None else time
+        )
+        value = shadow.value_at(current, name, step_time)
+        if value is SHADOW_MISSING:
+            return SHADOW_NOVALUE
+        current = value
+    return current
+
+
+_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+}
+
+
+def _eval_expr(
+    shadow: ShadowStore, node: tuple, time: Optional[int], binding: dict
+) -> Any:
+    kind = node[0]
+    if kind == "const":
+        return node[1]
+    if kind == "coll":
+        return ("coll", node[1])
+    if kind == "obj":
+        return ("obj", node[1], node[2])
+    if kind == "var":
+        return binding[node[1]]
+    if kind == "path":
+        base = _eval_expr(shadow, node[1], time, binding)
+        return _eval_path(shadow, base, node[2], time)
+    if kind == "cmp":
+        return _eval_compare(shadow, node, time, binding)
+    if kind == "binop":
+        left = _eval_expr(shadow, node[2], time, binding)
+        right = _eval_expr(shadow, node[3], time, binding)
+        if left is SHADOW_NOVALUE or right is SHADOW_NOVALUE:
+            return SHADOW_NOVALUE
+        return _BINOPS[node[1]](left, right)
+    if kind == "and":
+        return bool(_eval_expr(shadow, node[1], time, binding)) and bool(
+            _eval_expr(shadow, node[2], time, binding)
+        )
+    if kind == "or":
+        return bool(_eval_expr(shadow, node[1], time, binding)) or bool(
+            _eval_expr(shadow, node[2], time, binding)
+        )
+    if kind == "not":
+        return not bool(_eval_expr(shadow, node[1], time, binding))
+    if kind in ("exists", "forall"):
+        return _eval_quantifier(shadow, node, time, binding)
+    raise ValueError(f"unknown spec node {kind!r}")
+
+
+def _eval_compare(shadow, node, time, binding) -> bool:
+    _kind, op, left_spec, right_spec = node
+    left = _eval_expr(shadow, left_spec, time, binding)
+    right = _eval_expr(shadow, right_spec, time, binding)
+    if op == "==":
+        return _shadow_equal(left, right)
+    if left is SHADOW_NOVALUE or right is SHADOW_NOVALUE:
+        return False  # no-value fails every ordering and every !=
+    if op == "!=":
+        return not _shadow_equal(left, right)
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    return left >= right
+
+
+def _eval_quantifier(shadow, node, time, binding) -> bool:
+    kind, var, source_spec, condition = node
+    source = _eval_expr(shadow, source_spec, time, binding)
+    if source is SHADOW_NOVALUE:
+        return kind == "forall"  # ∀ is vacuously true over no-value
+    assert _is_obj(source) and source[0] == "coll"
+    inner = dict(binding)
+    for member in shadow.members(source[1], time):
+        inner[var] = member
+        holds = bool(_eval_expr(shadow, condition, time, inner))
+        if kind == "exists" and holds:
+            return True
+        if kind == "forall" and not holds:
+            return False
+    return kind == "forall"
+
+
+# -- query evaluation --------------------------------------------------------
+
+
+def evaluate_reference(
+    shadow: ShadowStore, query: QuerySpec, time: Optional[int]
+) -> list[Any]:
+    """Nested-loop evaluation of *query* against the shadow at *time*.
+
+    Returns raw (un-canonicalized) rows: symbolic ids, scalars,
+    :data:`SHADOW_NOVALUE`, or dicts for record templates.
+    """
+    rows: list[Any] = []
+    _bind_loop(shadow, query, time, 0, {}, rows)
+    return rows
+
+
+def _bind_loop(shadow, query, time, depth, binding, rows) -> None:
+    if depth == len(query.binders):
+        if query.condition is None or bool(
+            _eval_expr(shadow, query.condition, time, binding)
+        ):
+            rows.append(_construct(shadow, query, time, binding))
+        return
+    var, source_spec = query.binders[depth]
+    source = _eval_expr(shadow, source_spec, time, binding)
+    if source is SHADOW_NOVALUE or source is None:
+        return
+    assert _is_obj(source) and source[0] == "coll"
+    for member in shadow.members(source[1], time):
+        binding[var] = member
+        _bind_loop(shadow, query, time, depth + 1, binding, rows)
+    binding.pop(var, None)
+
+
+def _construct(shadow, query, time, binding) -> Any:
+    if query.result[0] == "record":
+        return {
+            label: _eval_expr(shadow, spec, time, binding)
+            for label, spec in query.result[1]
+        }
+    return _eval_expr(shadow, query.result, time, binding)

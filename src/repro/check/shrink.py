@@ -1,0 +1,247 @@
+"""Greedy delta debugging over symbolic case specs.
+
+A failing case from the generator can carry dozens of irrelevant
+mutations, extra queries, and unused objects.  Because a
+:class:`~repro.check.spec.CaseSpec` is symbolic — it rebuilds the whole
+store from scratch on every run — shrinking is just rewriting the spec
+and re-asking "does it still fail?".
+
+The passes, applied to fixpoint in order:
+
+1. keep only the first failing query;
+2. drop mutations, one at a time (latest first, so histories shorten);
+3. drop directory events (a drop whose create went is dropped with it);
+4. remove trailing pool objects no remaining spec element references;
+5. simplify the failing query's condition (``and``/``or`` → one side,
+   ``not x`` → ``x``, quantifier → ``true``, whole condition → none).
+
+Every candidate is validated by re-running the predicate, so the result
+is guaranteed to still fail — a *minimal reproducer* in the ddmin
+sense: no single remaining element can be removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator, Optional
+
+from .spec import CaseSpec, CollectionSpec, QuerySpec
+
+Predicate = Callable[[CaseSpec], bool]
+
+
+def shrink_case(
+    spec: CaseSpec, still_fails: Predicate, max_probes: int = 400
+) -> CaseSpec:
+    """Greedily minimize *spec* while ``still_fails(candidate)`` holds."""
+    budget = [max_probes]
+
+    def attempt(candidate: CaseSpec) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        try:
+            return still_fails(candidate)
+        except Exception:
+            # a malformed candidate (e.g. a query over a dropped object)
+            # is simply not a reproducer; keep shrinking elsewhere
+            return False
+
+    changed = True
+    while changed and budget[0] > 0:
+        changed = False
+        for pass_fn in (
+            _shrink_queries,
+            _shrink_mutations,
+            _shrink_dir_events,
+            _shrink_members,
+            _shrink_initial_values,
+            _shrink_objects,
+            _shrink_condition,
+        ):
+            smaller = pass_fn(spec, attempt)
+            if smaller is not None:
+                spec = smaller
+                changed = True
+    return spec
+
+
+def _shrink_queries(spec: CaseSpec, attempt) -> Optional[CaseSpec]:
+    if len(spec.queries) <= 1:
+        return None
+    for index in range(len(spec.queries)):
+        candidate = spec.with_queries((spec.queries[index],))
+        if attempt(candidate):
+            return candidate
+    return None
+
+
+def _shrink_mutations(spec: CaseSpec, attempt) -> Optional[CaseSpec]:
+    for index in reversed(range(len(spec.mutations))):
+        mutations = spec.mutations[:index] + spec.mutations[index + 1:]
+        candidate = spec.with_mutations(mutations)
+        if attempt(candidate):
+            return candidate
+    return None
+
+
+def _shrink_dir_events(spec: CaseSpec, attempt) -> Optional[CaseSpec]:
+    for index in reversed(range(len(spec.dir_events))):
+        removed = spec.dir_events[index]
+        events = spec.dir_events[:index] + spec.dir_events[index + 1:]
+        if removed[0] == "create":
+            # a drop without its create is a no-op; remove it too
+            events = tuple(
+                e for e in events
+                if not (e[0] == "drop" and e[2:] == removed[2:])
+            )
+        candidate = spec.with_dir_events(events)
+        if attempt(candidate):
+            return candidate
+    return None
+
+
+def _with_collection(spec: CaseSpec, smaller: CollectionSpec) -> CaseSpec:
+    return replace(
+        spec,
+        collections=tuple(
+            smaller if c.cid == smaller.cid else c for c in spec.collections
+        ),
+    )
+
+
+def _shrink_members(spec: CaseSpec, attempt) -> Optional[CaseSpec]:
+    for coll in spec.collections:
+        for member in reversed(coll.initial_members):
+            smaller = CollectionSpec(
+                cid=coll.cid,
+                size=coll.size,
+                fields=coll.fields,
+                initial_members=tuple(
+                    i for i in coll.initial_members if i != member
+                ),
+                initial_values=coll.initial_values,
+            )
+            candidate = _with_collection(spec, smaller)
+            if attempt(candidate):
+                return candidate
+    return None
+
+
+def _shrink_initial_values(spec: CaseSpec, attempt) -> Optional[CaseSpec]:
+    for coll in spec.collections:
+        for index in reversed(range(len(coll.initial_values))):
+            smaller = CollectionSpec(
+                cid=coll.cid,
+                size=coll.size,
+                fields=coll.fields,
+                initial_members=coll.initial_members,
+                initial_values=(
+                    coll.initial_values[:index] + coll.initial_values[index + 1:]
+                ),
+            )
+            candidate = _with_collection(spec, smaller)
+            if attempt(candidate):
+                return candidate
+    return None
+
+
+def _referenced_objects(spec: CaseSpec) -> set[tuple[int, int]]:
+    used: set[tuple[int, int]] = set()
+    for mutation in spec.mutations:
+        if mutation[0] == "member":
+            used.add((mutation[2], mutation[3]))
+        else:
+            used.add((mutation[2], mutation[3]))
+            if isinstance(mutation[5], tuple):
+                used.add((mutation[5][1], mutation[5][2]))
+    for coll in spec.collections:
+        for obj, _field, value in coll.initial_values:
+            if isinstance(value, tuple):
+                used.add((value[1], value[2]))
+    for query in spec.queries:
+        used |= set(_objects_in(query.condition))
+        used |= set(_objects_in(query.result))
+        for _var, source in query.binders:
+            used |= set(_objects_in(source))
+    return used
+
+
+def _objects_in(node) -> Iterator[tuple[int, int]]:
+    if not isinstance(node, tuple) or not node:
+        return
+    if node[0] == "obj":
+        yield (node[1], node[2])
+        return
+    if node[0] == "record":
+        for _label, spec in node[1]:
+            yield from _objects_in(spec)
+        return
+    for child in node[1:]:
+        if isinstance(child, tuple):
+            yield from _objects_in(child)
+
+
+def _shrink_objects(spec: CaseSpec, attempt) -> Optional[CaseSpec]:
+    """Drop each collection's highest-index object when nothing names it."""
+    used = _referenced_objects(spec)
+    for coll in spec.collections:
+        if coll.size <= 1:
+            continue
+        last = coll.size - 1
+        if (coll.cid, last) in used:
+            continue
+        smaller = CollectionSpec(
+            cid=coll.cid,
+            size=last,
+            fields=coll.fields,
+            initial_members=tuple(i for i in coll.initial_members if i != last),
+            initial_values=tuple(
+                (obj, fieldname, value)
+                for obj, fieldname, value in coll.initial_values
+                if obj != last
+            ),
+        )
+        collections = tuple(
+            smaller if c.cid == coll.cid else c for c in spec.collections
+        )
+        candidate = replace(spec, collections=collections)
+        if attempt(candidate):
+            return candidate
+    return None
+
+
+def _condition_candidates(node) -> Iterator:
+    """Smaller conditions to try, most aggressive first."""
+    yield None
+    if not isinstance(node, tuple):
+        return
+    if node[0] in ("and", "or"):
+        yield node[1]
+        yield node[2]
+    elif node[0] == "not":
+        yield node[1]
+    elif node[0] in ("exists", "forall"):
+        yield ("const", True)
+
+
+def _shrink_condition(spec: CaseSpec, attempt) -> Optional[CaseSpec]:
+    for q_index, query in enumerate(spec.queries):
+        if query.condition is None:
+            continue
+        for smaller in _condition_candidates(query.condition):
+            candidate_query = QuerySpec(
+                binders=query.binders,
+                condition=smaller,
+                result=query.result,
+                at_epoch=query.at_epoch,
+                eval_epochs=query.eval_epochs,
+            )
+            queries = tuple(
+                candidate_query if i == q_index else q
+                for i, q in enumerate(spec.queries)
+            )
+            candidate = spec.with_queries(queries)
+            if attempt(candidate):
+                return candidate
+    return None

@@ -1,0 +1,83 @@
+"""One-call soak: all three oracles over a seed range, with a digest.
+
+``run_soak`` is the engine behind ``benchmarks/bench_check_soak.py`` and
+the CI ``check-soak`` job: it runs the differential, temporal, and
+schedule oracles over a seed range against fresh stores, raises
+:class:`~repro.check.differential.CheckFailure` on any divergence, and
+returns a metrics dict whose ``digest`` field is identical across runs
+of the same seed — the determinism contract inherited from
+:mod:`repro.faults.plan`.
+"""
+
+from __future__ import annotations
+
+from hashlib import sha256
+from typing import Any
+
+from .differential import CheckFailure, run_differential_range
+from .schedule import run_schedule_range
+from .temporal import run_temporal_range
+
+
+def _soak_database():
+    from ..db import GemStone
+
+    return GemStone.create(track_count=256, track_size=2048)
+
+
+def run_soak(
+    seed: int,
+    *,
+    diff_cases: int = 40,
+    queries_per_case: int = 3,
+    temporal_cases: int = 10,
+    schedule_cases: int = 6,
+    registry=None,
+    raise_on_failure: bool = True,
+) -> dict[str, Any]:
+    """Run every oracle; return aggregate metrics (or raise on failure)."""
+    diff = run_differential_range(
+        seed, diff_cases, queries_per_case=queries_per_case, registry=registry
+    )
+
+    database = _soak_database()
+    temporal = run_temporal_range(
+        database, seed, temporal_cases, registry=registry
+    )
+    schedule = run_schedule_range(
+        database, seed, schedule_cases, registry=registry
+    )
+
+    problems: list[str] = []
+    problems.extend(m.describe() for m in diff.mismatches)
+    problems.extend(temporal.problems)
+    problems.extend(schedule.problems)
+
+    metrics = {
+        "seed": seed,
+        "diff_cases": diff.cases,
+        "diff_queries": diff.queries,
+        "diff_evaluations": diff.evaluations,
+        "diff_memo_hits": diff.memo_hits,
+        "diff_memo_misses": diff.memo_misses,
+        "temporal_histories": temporal.histories,
+        "temporal_commits": temporal.commits,
+        "temporal_reads": temporal.reads,
+        "temporal_clamps": temporal.clamps,
+        "schedule_samples": schedule.samples,
+        "schedule_steps": schedule.steps,
+        "schedule_commits": schedule.commits,
+        "schedule_aborts": schedule.aborts,
+        "problems": len(problems),
+    }
+    metrics["digest"] = sha256(
+        (repr(sorted(metrics.items())) + schedule.digest).encode()
+    ).hexdigest()
+
+    if problems and raise_on_failure:
+        raise CheckFailure(
+            f"{len(problems)} oracle failure(s) at seed {seed}:\n"
+            + "\n\n".join(problems)
+        )
+    metrics["problem_details"] = problems
+    return metrics

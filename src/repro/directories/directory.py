@@ -89,6 +89,13 @@ class Directory:
         #: member oid -> oids traversed computing its key (incl. member)
         self.dependencies: dict[int, set[int]] = {}
         self.lookups = 0
+        #: the transaction time :meth:`build` populated the tree; interval
+        #: entries only cover states from here on, so queries dialed to an
+        #: *earlier* state are answered from the association tables instead
+        self.build_time: Optional[int] = None
+        self._store: Any = None  # kept by build() for historical fallbacks
+        #: probes answered by :meth:`_historical` rather than the tree
+        self.historical_lookups = 0
 
     def __repr__(self) -> str:
         return f"<Directory {self.name!r} on !{self.path} ({len(self.tree)} entries)>"
@@ -175,9 +182,31 @@ class Directory:
         """Member oids whose discriminator equals *value* at *time*."""
         self.lookups += 1
         key = normalize_key(value)
+        if self._predates_build(time):
+            return [
+                oid for k, oid in self._historical(time) if k == key
+            ]
         return [
             entry.member_oid
             for entry in self.tree.search(key)
+            if entry.alive_at(time)
+        ]
+
+    def lookup_unkeyed(self, time: Optional[int] = None) -> list[int]:
+        """Member oids whose discriminator did not resolve at *time*.
+
+        The scan semantics this bucket mirrors: an unresolvable path is
+        *no-value*, and two no-values are equal — so an equality probe
+        whose own key is no-value matches exactly these members.
+        """
+        self.lookups += 1
+        if self._predates_build(time):
+            return [
+                oid for k, oid in self._historical(time) if k == UNKEYED
+            ]
+        return [
+            entry.member_oid
+            for entry in self.tree.search(UNKEYED)
             if entry.alive_at(time)
         ]
 
@@ -197,6 +226,20 @@ class Directory:
         self.lookups += 1
         low_key = None if low is None else normalize_key(low)
         high_key = None if high is None else normalize_key(high)
+        if self._predates_build(time):
+            for key, oid in sorted(self._historical(time)):
+                if key == UNKEYED:
+                    continue
+                if low_key is not None and (
+                    key < low_key or (key == low_key and not include_low)
+                ):
+                    continue
+                if high_key is not None and (
+                    key > high_key or (key == high_key and not include_high)
+                ):
+                    continue
+                yield oid
+            return
         for key, entry in self.tree.range_scan(
             low_key, high_key, include_low, include_high
         ):
@@ -204,6 +247,39 @@ class Directory:
                 continue
             if entry.alive_at(time):
                 yield entry.member_oid
+
+    def _predates_build(self, time: Optional[int]) -> bool:
+        """True when *time* asks for a state older than the tree covers."""
+        return (
+            time is not None
+            and self.build_time is not None
+            and time < self.build_time
+            and self._store is not None
+        )
+
+    def _historical(self, time: int) -> Iterator[tuple[tuple, int]]:
+        """(key, member oid) pairs reconstructed from the owner's history.
+
+        :meth:`build` stamps its entries at build time, so the tree knows
+        nothing about membership *before* the directory existed.  Rather
+        than widen those intervals (which would misstate when indexed
+        maintenance began), pre-build queries walk the owner set's
+        association tables directly — the same brute force a scan plan
+        would use — so a time-dialed lookup agrees with an unindexed one.
+        """
+        self.historical_lookups += 1
+        store = self._store
+        owner = store.object(self.owner_oid)
+        seen: set[int] = set()
+        for _name, value in owner.items_at(time):
+            if not isinstance(value, Ref):
+                continue
+            member = store.deref(value)
+            if not isinstance(member, GemObject) or member.oid in seen:
+                continue
+            seen.add(member.oid)
+            key, _deps = self.compute_key(store, member, time)
+            yield key, member.oid
 
     def entry_count(self) -> int:
         """Total entries, closed intervals included."""
@@ -217,6 +293,8 @@ class Directory:
         Used when a directory is created over existing data; returns the
         number of members indexed.
         """
+        self.build_time = time
+        self._store = store
         owner = store.object(self.owner_oid)
         count = 0
         for _name, value in owner.items_at(None):

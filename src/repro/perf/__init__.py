@@ -13,6 +13,7 @@ read ``BENCH_results.json``.
 """
 
 from .caches import StoreCaches, store_caches
+from .coherence import verify_cache_coherence, verify_parse_path_memo
 from .epochs import Epoch, class_epoch, next_store_token
 from .stats import object_cache_report, reset_stats, stats
 
@@ -25,4 +26,6 @@ __all__ = [
     "reset_stats",
     "stats",
     "store_caches",
+    "verify_cache_coherence",
+    "verify_parse_path_memo",
 ]

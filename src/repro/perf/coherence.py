@@ -1,0 +1,83 @@
+"""Cache-coherence assertions: every cached answer must still be true.
+
+The perf layer's caches are all epoch-validated (docs/performance.md),
+which makes them *checkable*: for any cache entry we can recompute the
+answer from first principles and demand agreement.  The model-based
+harness (:mod:`repro.check`) calls :func:`verify_cache_coherence` after
+every differential case, so a cache serving stale entries fails the
+oracle even when no generated query happened to observe the staleness.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core import paths as paths_module
+from .epochs import class_epoch
+
+
+def verify_cache_coherence(store) -> list[str]:
+    """Recompute every checkable cache entry of *store*; list violations.
+
+    Returns human-readable problem descriptions (empty = coherent).
+    Covers the method-lookup cache (instance-side and class-side keys)
+    and the process-wide ``parse_path`` memo.  Immediate-receiver
+    entries (keyed by Python type) are skipped: recomputing them needs
+    a receiver *instance*, which the key alone does not carry.
+    """
+    problems: list[str] = []
+    problems.extend(_verify_method_cache(store))
+    problems.extend(verify_parse_path_memo())
+    return problems
+
+
+def _verify_method_cache(store) -> list[str]:
+    perf = getattr(store, "perf", None)
+    if perf is None or not perf.enabled:
+        return []
+    if perf.method_epoch != class_epoch.value:
+        # entries are invalid but known-invalid: the next lookup clears
+        # them before serving anything, so this is coherent by design
+        return []
+    problems: list[str] = []
+    for key, cached in list(perf.method_entries.items()):
+        kind = key[0]
+        if kind == 2:  # immediate receiver: not recomputable from the key
+            continue
+        class_oid, selector = key[1], key[2]
+        if not store.contains(class_oid):
+            problems.append(
+                f"method cache {key!r}: class oid {class_oid} is gone"
+            )
+            continue
+        receiver_class = store.object(class_oid)
+        if kind == 1:
+            # class-side send: the class object itself was the receiver
+            expected = store._lookup_method_uncached(receiver_class, selector)
+        else:
+            expected = receiver_class.lookup(store, selector)
+        if cached is not expected:
+            problems.append(
+                f"method cache {key!r}: cached {describe_method(cached)} "
+                f"but hierarchy resolves {describe_method(expected)}"
+            )
+    return problems
+
+
+def verify_parse_path_memo() -> list[str]:
+    """Re-parse every memoized path string; list disagreements."""
+    problems: list[str] = []
+    for text, cached in list(paths_module._PARSE_CACHE.items()):
+        fresh = paths_module._parse_path_uncached(text)
+        if cached != fresh:
+            problems.append(
+                f"parse_path memo {text!r}: cached {cached} but parses {fresh}"
+            )
+    return problems
+
+
+def describe_method(method: Any) -> str:
+    if method is None:
+        return "<does-not-understand>"
+    selector = getattr(method, "selector", None)
+    return f"<method {selector}>" if selector is not None else repr(method)

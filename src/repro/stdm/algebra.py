@@ -23,7 +23,8 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Optional, Sequence
 
-from .calculus import Expr, QueryContext, value_equal
+from ..errors import DirectoryError
+from .calculus import NOVALUE, Expr, QueryContext, value_equal
 
 
 class Plan:
@@ -118,7 +119,13 @@ class IndexEq(Plan):
     def _rows(self, ctx):
         for binding in self.child.rows(ctx):
             key = self.value.evaluate(ctx, binding)
-            for oid in self.directory.lookup(key, ctx.time):
+            if key is NOVALUE:
+                continue  # no-value fails every comparison, = included
+            try:
+                member_oids = self.directory.lookup(key, ctx.time)
+            except DirectoryError:
+                continue  # unindexable probe value: = can never hold
+            for oid in member_oids:
                 ctx.charge()  # index probes bypass members(): meter here
                 out = dict(binding)
                 out[self.var] = ctx.store.object(oid)
@@ -160,9 +167,17 @@ class IndexRange(Plan):
         for binding in self.child.rows(ctx):
             low = self.low.evaluate(ctx, binding) if self.low is not None else None
             high = self.high.evaluate(ctx, binding) if self.high is not None else None
-            for oid in self.directory.range(
-                low, high, ctx.time, self.include_low, self.include_high
-            ):
+            if low is NOVALUE or high is NOVALUE:
+                continue  # no-value fails every comparison (§5.2)
+            try:
+                member_oids = list(
+                    self.directory.range(
+                        low, high, ctx.time, self.include_low, self.include_high
+                    )
+                )
+            except DirectoryError:
+                continue  # unindexable bound: the comparison can never hold
+            for oid in member_oids:
                 ctx.charge()
                 out = dict(binding)
                 out[self.var] = ctx.store.object(oid)

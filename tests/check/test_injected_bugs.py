@@ -1,0 +1,83 @@
+"""The oracle must catch deliberately-injected bugs (and shrink them).
+
+Two test-only bugs ride in the harness itself:
+
+* ``PlanMemo(ignore_epochs=True)`` — the memo key omits the class and
+  directory epochs, so dropped directories keep being probed by cached
+  plans (the classic plan-cache staleness bug);
+* ``skip_maintenance=True`` — commits skip directory maintenance, so
+  indexes silently go stale against the base data.
+
+Each must be detected within the committed smoke seed range and shrink
+to a strictly smaller reproducer that still fails.
+"""
+
+from repro.check import generate_case, run_differential_range, shrink_case
+from repro.check.differential import PlanMemo, run_differential_case
+from repro.check.report import describe_case
+
+
+SMOKE_SEED = 2026
+HUNT_CASES = 100
+
+
+def hunt(**kwargs):
+    return run_differential_range(
+        SMOKE_SEED, HUNT_CASES, stop_at_first=True, **kwargs
+    )
+
+
+def test_clean_configuration_is_green():
+    assert hunt().ok
+
+
+def test_stale_plan_memo_is_caught():
+    report = hunt(ignore_epochs=True)
+    assert not report.ok, "epoch-less memo keying must be detected"
+    mismatch = report.mismatches[0]
+    assert mismatch.bug == "stale-memo"
+    assert "dropped directories" in mismatch.detail or mismatch.divergent_paths()
+
+
+def test_skipped_maintenance_is_caught():
+    report = hunt(skip_maintenance=True)
+    assert not report.ok, "skipping directory maintenance must be detected"
+    assert report.mismatches[0].bug == "skip-maintenance"
+    # this bug diverges behaviorally: index-served rows disagree
+    assert "memoized" in report.mismatches[0].divergent_paths() or \
+        "optimized" in report.mismatches[0].divergent_paths()
+
+
+def test_stale_memo_failure_shrinks_to_a_minimal_reproducer():
+    report = hunt(ignore_epochs=True)
+    failing = report.mismatches[0]
+    spec = generate_case(SMOKE_SEED, failing.case_index)
+
+    def still_fails(candidate):
+        rerun = run_differential_case(
+            candidate, memo=PlanMemo(ignore_epochs=True), stop_at_first=True
+        )
+        return not rerun.ok
+
+    assert still_fails(spec)
+    shrunk = shrink_case(spec, still_fails)
+    assert still_fails(shrunk), "shrinking must preserve the failure"
+    assert shrunk.size_measure() < spec.size_measure()
+    # the shrunk case keeps only what the staleness needs: the directory
+    # create/drop pair and a query evaluated on both sides of the drop
+    assert len(shrunk.queries) == 1
+    assert any(e[0] == "drop" for e in shrunk.dir_events)
+    assert describe_case(shrunk)  # renders without error
+
+
+def test_shrinking_is_deterministic():
+    report = hunt(ignore_epochs=True)
+    spec = generate_case(SMOKE_SEED, report.mismatches[0].case_index)
+
+    def still_fails(candidate):
+        rerun = run_differential_case(
+            candidate, memo=PlanMemo(ignore_epochs=True), stop_at_first=True
+        )
+        return not rerun.ok
+
+    assert shrink_case(spec, still_fails) == shrink_case(spec, still_fails)

@@ -1,0 +1,221 @@
+"""B+tree split/merge boundaries + directory temporal-edge regressions.
+
+The first half pins the structural edges of :class:`BPlusTree`: the
+exact insert that forces a leaf split, separator placement, the leaf
+chain after cascading splits, and draining buckets back to empty.  The
+second half pins two directory behaviors the differential oracle
+surfaced: reads pinned *before* a directory was built must fall back to
+the base history, and no-value discriminators land in the UNKEYED
+bucket (reachable via ``lookup_unkeyed``) rather than vanishing.
+"""
+
+import pytest
+
+from repro.core import MemoryObjectManager
+from repro.directories import BPlusTree, Directory, DirectoryManager
+
+
+ORDER = 4  # the minimum legal order: boundaries arrive fastest
+
+
+class TestLeafSplitBoundary:
+    def test_exactly_at_capacity_does_not_split(self):
+        tree = BPlusTree(order=ORDER)
+        for i in range(ORDER):
+            tree.insert(i, i)
+        assert tree.depth() == 1
+
+    def test_one_past_capacity_splits_once(self):
+        tree = BPlusTree(order=ORDER)
+        for i in range(ORDER + 1):
+            tree.insert(i, i)
+        assert tree.depth() == 2
+        assert list(tree.keys()) == list(range(ORDER + 1))
+
+    def test_split_separator_is_first_key_of_right_leaf(self):
+        tree = BPlusTree(order=ORDER)
+        for i in range(ORDER + 1):
+            tree.insert(i, i)
+        root = tree._root
+        separator = root.keys[0]
+        assert root.children[1].keys[0] == separator
+        # every key in the left leaf is strictly below the separator
+        assert all(k < separator for k in root.children[0].keys)
+
+    def test_duplicate_bucket_survives_a_split_intact(self):
+        tree = BPlusTree(order=ORDER)
+        for _ in range(3):
+            tree.insert(2, "dup")
+        for i in range(ORDER + 1):
+            tree.insert(10 + i, i)
+        assert tree.search(2) == ["dup", "dup", "dup"]
+        assert len(tree) == 3 + ORDER + 1
+
+    def test_leaf_chain_stays_ordered_after_cascading_splits(self):
+        tree = BPlusTree(order=ORDER)
+        for i in reversed(range(100)):  # adversarial: descending inserts
+            tree.insert(i, i)
+        assert list(tree.keys()) == list(range(100))
+        assert tree.depth() >= 3  # the root itself must have split
+        # range_scan walks the leaf chain across every split boundary
+        assert [k for k, _v in tree.range_scan(0, 99)] == list(range(100))
+
+    def test_range_scan_brackets_align_with_leaf_edges(self):
+        tree = BPlusTree(order=ORDER)
+        for i in range(20):
+            tree.insert(i, i)
+        root = tree._root
+        edge = root.children[-1].keys[0] if root.keys else 10
+        inclusive = [k for k, _ in tree.range_scan(edge, edge)]
+        assert inclusive == [edge]
+        exclusive = [
+            k for k, _ in tree.range_scan(edge, edge + 2, include_low=False)
+        ]
+        assert exclusive == [edge + 1, edge + 2]
+
+
+class TestRemovalBoundary:
+    def test_draining_a_bucket_removes_the_key(self):
+        tree = BPlusTree(order=ORDER)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.remove(1, "a")
+        assert 1 in tree
+        assert tree.remove(1, "b")
+        assert 1 not in tree
+        assert not tree.remove(1, "b")  # already gone
+
+    def test_emptied_leaves_stay_scannable(self):
+        tree = BPlusTree(order=ORDER)
+        for i in range(30):
+            tree.insert(i, i)
+        for i in range(10, 20):  # drain one interior region entirely
+            assert tree.remove_all(i) == 1
+        assert len(tree) == 20
+        assert [k for k, _ in tree.range_scan(0, 29)] == (
+            list(range(10)) + list(range(20, 30))
+        )
+        assert tree.min_key() == 0
+        assert tree.max_key() == 29
+
+    def test_removing_the_extremes_moves_min_and_max(self):
+        tree = BPlusTree(order=ORDER)
+        for i in range(12):
+            tree.insert(i, i)
+        tree.remove_all(0)
+        tree.remove_all(11)
+        assert tree.min_key() == 1
+        assert tree.max_key() == 10
+
+    def test_insertion_order_does_not_change_the_contents(self):
+        import random
+
+        rng = random.Random(2026)
+        keys = list(range(60))
+        shuffled = keys[:]
+        rng.shuffle(shuffled)
+        ascending, shuffled_tree = BPlusTree(order=ORDER), BPlusTree(order=ORDER)
+        for k in keys:
+            ascending.insert(k, k * 2)
+        for k in shuffled:
+            shuffled_tree.insert(k, k * 2)
+        assert list(ascending.items()) == list(shuffled_tree.items())
+
+
+@pytest.fixture
+def om():
+    return MemoryObjectManager()
+
+
+def employees(om, salaries):
+    emps = om.instantiate("Object")
+    members = []
+    for i, salary in enumerate(salaries):
+        fields = {"name": f"e{i}"}
+        if salary is not None:
+            fields["salary"] = salary
+        member = om.instantiate("Object", **fields)
+        om.bind(emps, om.new_alias(), member)
+        members.append(member)
+    return emps, members
+
+
+class TestPreCreationReads:
+    """A directory built at T answers queries pinned before T.
+
+    Found by the differential oracle: optimized plans returned [] for
+    times predating ``build()`` while scans returned the base data.  The
+    directory now detects pre-build times and falls back to a
+    brute-force walk of the owner's history.
+    """
+
+    def test_lookup_before_build_time_uses_the_base_history(self, om):
+        emps, members = employees(om, [100, 200])
+        early = om.now
+        om.tick()
+        om.tick()
+        d = Directory(emps.oid, "salary")
+        d.build(om, om.now)
+        assert d.build_time == om.now
+        assert d.lookup(200, early) == [members[1].oid]
+        assert d.historical_lookups == 1
+
+    def test_range_before_build_time(self, om):
+        emps, members = employees(om, [100, 200, 300])
+        early = om.now
+        om.tick()
+        d = Directory(emps.oid, "salary")
+        d.build(om, om.now)
+        assert list(d.range(150, 250, early)) == [members[1].oid]
+
+    def test_before_the_data_existed_is_empty(self, om):
+        genesis = om.now
+        om.tick()
+        emps, _members = employees(om, [100])
+        om.tick()
+        d = Directory(emps.oid, "salary")
+        d.build(om, om.now)
+        assert d.lookup(100, genesis) == []
+
+    def test_at_and_after_build_time_uses_the_index(self, om):
+        emps, members = employees(om, [100])
+        om.tick()
+        d = Directory(emps.oid, "salary")
+        d.build(om, om.now)
+        assert d.lookup(100, om.now) == [members[0].oid]
+        assert d.lookup(100, None) == [members[0].oid]
+        assert d.historical_lookups == 0
+
+
+class TestUnkeyedBucket:
+    def test_unresolvable_discriminators_are_reachable(self, om):
+        emps, members = employees(om, [100, None, None])
+        d = Directory(emps.oid, "salary")
+        d.build(om, om.now)
+        assert sorted(d.lookup_unkeyed(None)) == sorted(
+            m.oid for m in members[1:]
+        )
+        assert d.lookup(100, None) == [members[0].oid]
+
+    def test_unkeyed_before_build_falls_back_too(self, om):
+        emps, members = employees(om, [None])
+        early = om.now
+        om.tick()
+        d = Directory(emps.oid, "salary")
+        d.build(om, om.now)
+        assert d.lookup_unkeyed(early) == [members[0].oid]
+
+    def test_binding_the_field_moves_a_member_out_of_unkeyed(self, om):
+        emps, members = employees(om, [None])
+        d = Directory(emps.oid, "salary")
+        d.build(om, om.now)
+        dm = DirectoryManager(om)
+        dm._by_owner[emps.oid] = [d]
+        dm._all.append(d)
+        t = om.tick()
+        om.bind(members[0], "salary", 500)
+        from repro.storage.linker import Write
+
+        dm.on_commit(t, [], [Write(members[0].oid, "salary", 500)], [])
+        assert d.lookup_unkeyed(None) == []
+        assert d.lookup(500, None) == [members[0].oid]
