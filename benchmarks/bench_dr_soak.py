@@ -1,0 +1,63 @@
+"""Disaster-recovery soak: kill the primary everywhere, lose nothing.
+
+Drives :func:`repro.dr.soak.run_dr_soak`: a workload commits through
+continuous log shipping while the primary is killed at every outgoing
+frame (both before the record reaches the wire and after the replica
+stored it but before the ack), and the log-only rebuild is killed at
+every write index and replayed.  Invariants at every point: zero
+committed-transaction loss, zero torn log records, byte-identical
+rebuild (latest and point-in-time).
+
+Run the harness:   python benchmarks/bench_dr_soak.py
+CI smoke subset:   python benchmarks/bench_dr_soak.py --smoke
+One kill point:    python -m repro.dr --seed 2026 --kill 3 --mode recv
+"""
+
+import argparse
+
+from repro.bench import Table
+from repro.dr.soak import run_dr_soak
+
+FULL = dict(commits=10, writes_per_commit=4, stride=1, recovery_stride=1)
+SMOKE = dict(commits=4, writes_per_commit=2, stride=1, recovery_stride=4)
+
+
+def test_smoke_sweep_loses_nothing():
+    report = run_dr_soak(seed=2026, **SMOKE)
+    assert report.ok, [f.describe() for f in report.failures]
+    assert report.torn_rejected == 0
+    assert report.pit_recoveries > 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small, fast configuration")
+    parser.add_argument("--seed", type=int, default=2026)
+    args = parser.parse_args(argv)
+    params = dict(SMOKE if args.smoke else FULL)
+
+    report = run_dr_soak(seed=args.seed, **params)
+    table = Table(
+        "dr soak: primary killed at every frame, rebuild killed at "
+        f"every write ({params['commits']}-commit workload)",
+        ["frames", "replication kills", "recovery kills",
+         "rebuilds verified", "PIT recoveries", "torn records", "failures"],
+    )
+    table.add(
+        report.total_frames, report.replication_points,
+        report.recovery_points, report.rebuilds_verified,
+        report.pit_recoveries, report.torn_rejected, len(report.failures),
+    )
+    table.note("every client-acknowledged commit survives the disaster; "
+               "rebuilds are byte-identical to the lost primary")
+    table.show()
+    for failure in report.failures:
+        print(failure.describe())
+    assert report.ok, f"{len(report.failures)} invariant violations"
+    assert report.pit_recoveries > 0, "no point-in-time recovery exercised"
+    return {"dr_soak": report.digest()}
+
+
+if __name__ == "__main__":
+    main()

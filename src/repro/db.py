@@ -190,6 +190,10 @@ class GemStone:
             self.store, directory_manager=self.directory_manager
         )
         self.dba_engine.obs = self.obs
+        #: the continuous-replication shipper (see :meth:`enable_replication`)
+        self.log_shipper = None
+        #: the replica's log store, when replication is enabled in-process
+        self.replica_log = None
         # the process-global perf counters leaked across instances; a
         # fresh database starts its report from zero
         perf_reset_stats()
@@ -356,6 +360,74 @@ class GemStone:
             self.store.catalog[_SYSTEM_KEY],
         ] + sorted(self.store.classes.values())
         return self.store.compact(tx_time, world_first)
+
+    # ------------------------------------------------------------------
+    # disaster recovery (repro.dr)
+    # ------------------------------------------------------------------
+
+    def enable_replication(
+        self,
+        plan=None,
+        sync: bool = True,
+        link_wrapper=None,
+        replica_store=None,
+    ):
+        """Start continuous log shipping to an in-process replica.
+
+        Builds the link pair, a :class:`~repro.dr.store.ReplicaLogStore`
+        (or adopts *replica_store*), the receiver pump and the
+        :class:`~repro.dr.ship.LogShipper`; ships a bootstrap snapshot
+        of the current platter; then hooks
+        :attr:`CommitManager.log_sink` so every later commit streams a
+        delta record before it is acknowledged (*sync*; ``sync=False``
+        buffers for :meth:`~repro.dr.ship.LogShipper.catch_up`).  *plan*
+        wraps the primary's link end in
+        :class:`~repro.faults.link.FaultyLink`; *link_wrapper* stacks an
+        arbitrary wrapper over it (the soak's kill switch).  Returns the
+        shipper; the surviving store is :attr:`replica_log`.
+        """
+        from .dr.ship import LogReceiver, LogShipper
+        from .dr.store import ReplicaLogStore
+        from .executor.link import make_link
+
+        primary_end, replica_end = make_link()
+        link = primary_end
+        if plan is not None:
+            from .faults.link import FaultyLink
+
+            link = FaultyLink(link, plan)
+        if link_wrapper is not None:
+            link = link_wrapper(link)
+        store = replica_store if replica_store is not None else ReplicaLogStore()
+        receiver = LogReceiver(store, obs=self.obs)
+        shipper = LogShipper(
+            link,
+            pump=lambda: receiver.serve(replica_end),
+            obs=self.obs,
+            sync=sync,
+        )
+        shipper.bootstrap(self.disk, self.store.commit_manager.current_epoch)
+        self.store.commit_manager.log_sink = shipper.on_commit
+        self.log_shipper = shipper
+        self.replica_log = store
+        return shipper
+
+    def checkpoint_replication(self) -> int:
+        """Ship a fresh snapshot segment (lets old segments archive)."""
+        if self.log_shipper is None:
+            return 0
+        return self.log_shipper.checkpoint(
+            self.disk, self.store.commit_manager.current_epoch
+        )
+
+    def replication_report(self) -> dict[str, Any]:
+        """Shipping and replica-log counters (empty when not enabled)."""
+        report: dict[str, Any] = {"enabled": self.log_shipper is not None}
+        if self.log_shipper is not None:
+            report.update(self.log_shipper.report())
+        if self.replica_log is not None:
+            report["replica"] = self.replica_log.report()
+        return report
 
     def storage_report(self) -> dict[str, Any]:
         """Storage occupancy and transaction statistics."""

@@ -1,0 +1,269 @@
+"""Continuous log shipping over the Executor's link machinery.
+
+The primary's :class:`LogShipper` hangs off
+:attr:`~repro.storage.commit.CommitManager.log_sink`: every published
+root becomes a delta record shipped **before the commit is
+acknowledged** (sync mode, the default).  The wire is the same SEQ
+envelope the host ↔ Gem conversation uses — checksummed, exactly-once,
+and wrappable in :class:`~repro.faults.link.FaultyLink` — so replication
+inherits the whole fault model for free.  A ship that exhausts its
+retry budget raises :class:`~repro.errors.ReplicaNotAcknowledged`, a
+``StorageError``: the Transaction Manager aborts the workspace and the
+client never sees the commit succeed.  That is the zero-loss invariant
+in one sentence: *client-acknowledged implies replica-acknowledged*.
+
+The replica's :class:`LogReceiver` is a pump in the Executor's style: it
+drains its link end, validates each record into the
+:class:`~repro.dr.store.ReplicaLogStore`, and answers ``SHIP_ACK`` with
+its durably acknowledged epoch.  Damaged frames (the SEQ checksum
+catches them) are dropped silently — the shipper retries; typed errors
+(gaps, torn records) travel back as ``ERROR`` frames and are rehydrated
+into the same exception types on the primary.
+
+``suspend()``/``catch_up()`` model a replica outage: while suspended,
+records accumulate in the shipper's history; ``catch_up()`` asks the
+replica where it stopped (``SHIP_STATUS``) and resends exactly the
+missing suffix.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import (
+    LinkCorruption,
+    ProtocolError,
+    ReplicaNotAcknowledged,
+    ReplicationError,
+    GemStoneError,
+)
+from ..executor import protocol
+from ..executor.protocol import FrameType
+from .log import DeltaRecord, encode_record, snapshot_of
+from .store import ReplicaLogStore
+
+#: replay-cache entries a receiver keeps (seq -> cached response)
+_REPLAY_CACHE_SIZE = 64
+
+
+class LogReceiver:
+    """The replica-side pump: frames in, validated log records stored."""
+
+    def __init__(self, store: ReplicaLogStore, obs=None) -> None:
+        self.store = store
+        self.obs = obs
+        self.frames_served = 0
+        self.corrupt_dropped = 0
+        #: seq -> encoded response, for exactly-once replay of resends
+        self._responses: dict[int, bytes] = {}
+
+    def serve(self, link_end) -> None:
+        """Drain every pending frame on *link_end*, answering each."""
+        while True:
+            try:
+                raw = link_end.receive()
+            except ProtocolError:
+                return  # truncated tail on a dying link
+            if raw is None:
+                return
+            try:
+                frame = protocol.decode_frame(raw)
+            except LinkCorruption:
+                self.corrupt_dropped += 1
+                continue  # damaged in transit; the shipper retries
+            except ProtocolError:
+                continue
+            response = self._respond(frame)
+            if frame.seq is not None:
+                response = protocol.encode_seq(frame.seq, response)
+            link_end.send(response)
+            self.frames_served += 1
+
+    def _respond(self, frame) -> bytes:
+        if frame.seq is not None and frame.seq in self._responses:
+            return self._responses[frame.seq]  # resend: replay, don't re-apply
+        if frame.type in (FrameType.SHIP, FrameType.SNAPSHOT):
+            try:
+                acked = self.store.append(frame.fields["record"])
+            except GemStoneError as error:
+                response = protocol.encode_error(
+                    type(error).__name__, str(error)
+                )
+            else:
+                response = protocol.encode_ship_ack(acked)
+                if self.obs is not None:
+                    self.obs.registry.inc("dr.records_received")
+        elif frame.type is FrameType.SHIP_STATUS:
+            response = protocol.encode_ship_ack(self.store.acked_epoch)
+        else:
+            response = protocol.encode_error(
+                "ProtocolError", f"unexpected frame {frame.type.name}"
+            )
+        if frame.seq is not None:
+            self._responses[frame.seq] = response
+            while len(self._responses) > _REPLAY_CACHE_SIZE:
+                self._responses.pop(next(iter(self._responses)))
+        return response
+
+
+class LogShipper:
+    """The primary-side streamer: every commit becomes a shipped record."""
+
+    def __init__(
+        self,
+        link,
+        pump: Callable[[], None],
+        obs=None,
+        sync: bool = True,
+        max_attempts: int = 8,
+    ) -> None:
+        self.link = link  #: primary's link end (possibly fault-wrapped)
+        self.pump = pump  #: drains the receiver after each send
+        self.obs = obs
+        #: sync: a commit is not acknowledged until its record is; async
+        #: (False) buffers into history for a later :meth:`catch_up`
+        self.sync = sync
+        self.max_attempts = max_attempts
+        self.suspended = False
+        #: epoch -> encoded delta record, the catch-up source of truth
+        self.history: dict[int, bytes] = {}
+        self._bootstrap: Optional[tuple[int, bytes]] = None
+        self.local_epoch = 0  #: last epoch the primary published
+        self.acked_epoch = 0  #: last epoch the replica acknowledged
+        self.records_shipped = 0
+        self.retries = 0
+        self.ship_failures = 0
+        self._seq = 0
+
+    # -- the commit hook ------------------------------------------------------
+
+    def on_commit(self, epoch, root_slot, root_image, shadow_writes) -> None:
+        """The :attr:`CommitManager.log_sink` callback: ship one delta."""
+        record = encode_record(
+            DeltaRecord(
+                epoch=epoch,
+                root_slot=root_slot,
+                root_image=root_image,
+                writes=tuple(shadow_writes.items()),
+            )
+        )
+        self.history[epoch] = record
+        self.local_epoch = epoch
+        if self.suspended or not self.sync:
+            self._publish_gauges()
+            return
+        try:
+            self._ship(protocol.encode_ship(record))
+        except ReplicationError:
+            self.ship_failures += 1
+            self._publish_gauges()
+            raise
+        self._publish_gauges()
+
+    # -- bootstrap and catch-up ------------------------------------------------
+
+    def bootstrap(self, disk, epoch: int) -> int:
+        """Ship a full snapshot of *disk* at *epoch* (replica birth)."""
+        record = encode_record(snapshot_of(disk, epoch))
+        self._bootstrap = (epoch, record)
+        self.local_epoch = max(self.local_epoch, epoch)
+        acked = self._ship(protocol.encode_snapshot(record))
+        self._publish_gauges()
+        return acked
+
+    def checkpoint(self, disk, epoch: int) -> int:
+        """Ship a fresh snapshot segment (recent recovery stays local
+        even after older segments roll onto the archive)."""
+        return self.bootstrap(disk, epoch)
+
+    def suspend(self) -> None:
+        """Model a replica outage: commits buffer instead of shipping."""
+        self.suspended = True
+
+    def catch_up(self) -> int:
+        """Reconnect: ask the replica where it stopped, resend the rest."""
+        self.suspended = False
+        acked = self._ship(protocol.encode_ship_status())
+        if acked == 0 and self._bootstrap is not None:
+            # the replica lost everything: re-bootstrap, then deltas
+            acked = self._ship(protocol.encode_snapshot(self._bootstrap[1]))
+        for epoch in sorted(self.history):
+            if epoch > acked:
+                acked = self._ship(protocol.encode_ship(self.history[epoch]))
+        self._publish_gauges()
+        return acked
+
+    # -- the wire --------------------------------------------------------------
+
+    def _ship(self, frame: bytes) -> int:
+        self._seq += 1
+        envelope = protocol.encode_seq(self._seq, frame)
+        for attempt in range(self.max_attempts):
+            if attempt:
+                self.retries += 1
+                if self.obs is not None:
+                    self.obs.registry.inc("dr.ship_retries")
+            self.link.send(envelope)
+            self.pump()
+            reply = self._receive_matching(self._seq)
+            if reply is None:
+                continue  # lost or damaged somewhere: resend
+            if reply.type is FrameType.SHIP_ACK:
+                self.acked_epoch = max(self.acked_epoch, reply.fields["epoch"])
+                self.records_shipped += 1
+                if self.obs is not None:
+                    self.obs.registry.inc("dr.records_shipped")
+                return reply.fields["epoch"]
+            if reply.type is FrameType.ERROR:
+                raise protocol.rehydrate_error(
+                    reply.fields["error_class"], reply.fields["message"]
+                )
+        raise ReplicaNotAcknowledged(
+            f"no replica acknowledgement for frame seq {self._seq} "
+            f"after {self.max_attempts} attempts"
+        )
+
+    def _receive_matching(self, seq: int):
+        while True:
+            try:
+                raw = self.link.receive()
+            except ProtocolError:
+                return None  # truncated tail: retry the whole exchange
+            if raw is None:
+                return None
+            try:
+                frame = protocol.decode_frame(raw)
+            except ProtocolError:
+                continue  # damaged response: keep draining
+            if frame.seq is None or frame.seq == seq:
+                return frame
+            # a replayed response to an earlier seq: discard
+
+    # -- reporting -------------------------------------------------------------
+
+    @property
+    def replication_lag(self) -> int:
+        """Epochs the replica is behind the primary (0 when in step)."""
+        return max(0, self.local_epoch - self.acked_epoch)
+
+    def _publish_gauges(self) -> None:
+        if self.obs is None:
+            return
+        registry = self.obs.registry
+        registry.set_gauge("dr.last_shipped_epoch", self.acked_epoch)
+        registry.set_gauge("dr.local_epoch", self.local_epoch)
+        registry.set_gauge("dr.replication_lag", self.replication_lag)
+
+    def report(self) -> dict:
+        """Shipping counters for dashboards and ``replication_report``."""
+        return {
+            "sync": self.sync,
+            "suspended": self.suspended,
+            "local_epoch": self.local_epoch,
+            "acked_epoch": self.acked_epoch,
+            "replication_lag": self.replication_lag,
+            "records_shipped": self.records_shipped,
+            "retries": self.retries,
+            "ship_failures": self.ship_failures,
+            "history_records": len(self.history),
+        }

@@ -195,6 +195,30 @@ class ArchiveError(StorageError):
     """An archived (off-line) object was accessed, or archival failed."""
 
 
+class ReplicationError(StorageError):
+    """Base class for replication-log shipping and recovery errors."""
+
+
+class ReplicaNotAcknowledged(ReplicationError, RetryableError):
+    """A shipped log record was never acknowledged within the retry budget.
+
+    Retryable: the link may heal, and :meth:`LogShipper.catch_up` resends
+    everything the replica is missing from its acknowledged epoch.
+    """
+
+
+class ReplicationGapError(ReplicationError, RetryableError):
+    """A replica's log is missing epochs; a catch-up resync is required."""
+
+
+class TornLogRecord(ReplicationError):
+    """A replication log record failed its framing or checksum.
+
+    Raised when validating a record before appending it — a torn record
+    is *rejected*, never stored, so the log itself stays replayable.
+    """
+
+
 # --------------------------------------------------------------------------
 # Concurrency (repro.concurrency)
 # --------------------------------------------------------------------------

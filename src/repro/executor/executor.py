@@ -28,7 +28,6 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from .. import errors as _errors
 from ..errors import (
     GemStoneError,
     LinkCorruption,
@@ -373,15 +372,7 @@ class HostConnection:
         Unknown names degrade to the base class with the name folded
         into the message.
         """
-        cls = getattr(_errors, error_class, None)
-        if isinstance(cls, type) and issubclass(cls, GemStoneError):
-            try:
-                return cls(message)
-            except TypeError:
-                error = cls.__new__(cls)
-                Exception.__init__(error, message)
-                return error
-        return GemStoneError(f"{error_class}: {message}")
+        return protocol.rehydrate_error(error_class, message)
 
     def login(self, user: str, password: str) -> int:
         """Authenticate; returns the session id."""

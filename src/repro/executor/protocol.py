@@ -58,6 +58,10 @@ class FrameType(IntEnum):
     BYE = 12
     SEQ = 13
     OVERLOADED = 14
+    SHIP = 15
+    SHIP_ACK = 16
+    SNAPSHOT = 17
+    SHIP_STATUS = 18
 
 
 @dataclass(frozen=True)
@@ -138,6 +142,67 @@ def encode_overloaded(retry_after: float) -> bytes:
     writer.raw(bytes([FrameType.OVERLOADED]))
     writer.raw(struct.pack("<d", float(retry_after)))
     return writer.getvalue()
+
+
+# -- replication log shipping (repro.dr) -----------------------------------
+#
+# The disaster-recovery shipper reuses this protocol wholesale: SHIP and
+# SNAPSHOT frames carry self-delimiting CRC-framed log records (built by
+# repro.dr.log) as opaque payloads, wrapped in the same SEQ envelope the
+# host link uses, so they inherit exactly-once delivery, checksums, and
+# the repro.faults.link fault wrappers without any new machinery.
+
+
+def encode_ship(record: bytes) -> bytes:
+    """A delta log record bound for the replica's log store."""
+    writer = Writer()
+    writer.raw(bytes([FrameType.SHIP]))
+    writer.raw(record)
+    return writer.getvalue()
+
+
+def encode_snapshot(record: bytes) -> bytes:
+    """A snapshot log record (full-state bootstrap segment member)."""
+    writer = Writer()
+    writer.raw(bytes([FrameType.SNAPSHOT]))
+    writer.raw(record)
+    return writer.getvalue()
+
+
+def encode_ship_ack(epoch: int) -> bytes:
+    """The replica's durable-acknowledgement: log applied through *epoch*."""
+    writer = Writer()
+    writer.raw(bytes([FrameType.SHIP_ACK]))
+    writer.uvarint(epoch)
+    return writer.getvalue()
+
+
+def encode_ship_status() -> bytes:
+    """Ask the replica which epoch it has durably acknowledged."""
+    return bytes([FrameType.SHIP_STATUS])
+
+
+def rehydrate_error(error_class: str, message: str) -> Exception:
+    """Reconstruct a typed library error from its wire (class, message) pair.
+
+    Unknown classes degrade to :class:`~repro.errors.GemStoneError` so a
+    newer peer never crashes an older one.  Shared by the host connection
+    and the replication shipper.
+    """
+    from .. import errors as errors_module
+    from ..errors import GemStoneError
+
+    cls = getattr(errors_module, error_class, None)
+    if isinstance(cls, type) and issubclass(cls, GemStoneError):
+        try:
+            return cls(message)
+        except TypeError:
+            # structured constructor (caps, meters) the bare message
+            # cannot satisfy: the *type* must still survive the trip
+            error = cls.__new__(cls)
+            Exception.__init__(error, message)
+            return error
+    return GemStoneError(f"{error_class}: {message}")
 
 
 #: SEQ flags-byte bits
@@ -226,4 +291,8 @@ def decode_frame(data: bytes) -> Frame:
         fields["tx_time"] = reader.uvarint()
     elif frame_type is FrameType.OVERLOADED:
         (fields["retry_after"],) = struct.unpack("<d", reader.raw(8))
+    elif frame_type in (FrameType.SHIP, FrameType.SNAPSHOT):
+        fields["record"] = reader.raw(reader.remaining())
+    elif frame_type is FrameType.SHIP_ACK:
+        fields["epoch"] = reader.uvarint()
     return Frame(frame_type, fields)

@@ -192,6 +192,9 @@ class Observability:
         caches: dict[str, Any] = stats(database) if database is not None else {}
         storage = caches.pop("storage", {})
         storage.pop("transactions", None)  # rebuilt below in JSON-ready form
+        if database is not None and hasattr(database, "replication_report"):
+            # lag / last-shipped-epoch gauges plus replica-log counters
+            storage["replication"] = database.replication_report()
         transactions: dict[str, Any] = {}
         if database is not None:
             tx_stats = database.transaction_manager.stats

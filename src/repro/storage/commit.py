@@ -64,6 +64,13 @@ class CommitManager:
         self.tracks = track_manager
         self._current_slot: Optional[int] = None
         self._current_epoch = 0
+        #: replication hook, called after every published root with
+        #: ``(epoch, root_slot, root_image, shadow_writes)`` — the exact
+        #: framed root-track bytes and the exact shadow group, so a log
+        #: replay reproduces the platter byte-for-byte.  A raising sink
+        #: propagates out of :meth:`commit`: the root is durable locally,
+        #: but the commit is *not acknowledged* until the record ships.
+        self.log_sink = None
 
     @property
     def current_epoch(self) -> int:
@@ -87,9 +94,12 @@ class CommitManager:
         fields = dict(root_fields)
         fields["epoch"] = next_epoch
         next_slot = self._pick_next_slot()
-        self.tracks.disk.write_track(next_slot, encode_root_track(fields))
+        root_image = encode_root_track(fields)
+        self.tracks.disk.write_track(next_slot, root_image)
         self._current_slot = next_slot
         self._current_epoch = next_epoch
+        if self.log_sink is not None:
+            self.log_sink(next_epoch, next_slot, root_image, shadow_writes)
         return next_epoch
 
     def _pick_next_slot(self) -> int:

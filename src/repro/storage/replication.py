@@ -1,4 +1,4 @@
-"""Track-level replication with epoch-stamped read-repair.
+"""Track-level replication with durable epoch-stamped read-repair.
 
 Section 6 lists "requests for replication of data" among the database
 amenities OPAL exposes.  :class:`ReplicatedDisk` presents the same
@@ -6,13 +6,25 @@ whole-track interface as :class:`~repro.storage.disk.SimulatedDisk` over
 N replica disks:
 
 * writes go to every live replica (write-all), and every accepted write
-  is stamped with a per-track *epoch*;
+  is stamped with a per-track *epoch* that is **persisted in the track
+  image itself** — an 8-byte header prepended to the payload, so the
+  stamp travels in the same atomic track write as the data it protects;
 * reads come from a replica holding the **current** epoch of the track
   (read-any among the up-to-date), so a replica that was down during a
   write and restarted — checksum-valid but stale — is never served;
 * both damaged (checksum-failed) and stale copies are repaired in
   passing from a good one (read-repair), and per-replica health
   counters record every failure and repair.
+
+Because the epoch is on the platter, a *restarted process* (a fresh
+:class:`ReplicatedDisk` over the surviving platters, with no in-memory
+state) rederives each track's current epoch lazily, by scanning the
+stamps of the readable replicas on first access.  Before this, the
+epoch map lived only in process memory, so a restart could serve a
+checksum-valid-but-stale replica undetected.  The remaining blind spot
+is fundamental without a quorum: if *every* replica holding the current
+stamp is down at rederivation time, the survivors' highest stamp is
+adopted — the same exposure a single disk has to losing its platter.
 
 A read fails only when no replica can produce the current copy.  If a
 stale copy survives — data exists, but serving it would be silent time
@@ -23,11 +35,24 @@ underlying error propagates.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Sequence
 
 from ..errors import ChecksumError, DiskCrashed, DiskError, StaleReplicaError
 from .disk import SimulatedDisk
+
+#: bytes prepended to every replica track image: the track's epoch
+EPOCH_HEADER_SIZE = 8
+
+
+def _stamp(epoch: int, data: bytes) -> bytes:
+    return struct.pack("<Q", epoch) + data
+
+
+def _unstamp(image: bytes) -> tuple[int, bytes]:
+    (epoch,) = struct.unpack_from("<Q", image, 0)
+    return epoch, image[EPOCH_HEADER_SIZE:]
 
 
 @dataclass
@@ -51,6 +76,11 @@ class ReplicatedDisk:
         if not replicas:
             raise DiskError("a replicated disk needs at least one replica")
         geometry = replicas[0].geometry
+        if geometry.track_size <= EPOCH_HEADER_SIZE:
+            raise DiskError(
+                f"replica tracks must exceed the {EPOCH_HEADER_SIZE}-byte "
+                "epoch header"
+            )
         for replica in replicas[1:]:
             if (
                 replica.track_count != geometry.track_count
@@ -61,7 +91,8 @@ class ReplicatedDisk:
         self.repairs = 0
         self.stale_repairs = 0
         self.health = [ReplicaHealth() for _ in self.replicas]
-        #: track -> the epoch of its latest accepted write
+        #: track -> the epoch of its latest accepted write (a cache over
+        #: the on-platter stamps; rederived lazily after a restart)
         self._epochs: dict[int, int] = {}
         #: per replica: track -> the epoch that replica last accepted
         self._replica_epochs: list[dict[int, int]] = [{} for _ in self.replicas]
@@ -75,8 +106,42 @@ class ReplicatedDisk:
 
     @property
     def track_size(self) -> int:
-        """Bytes per track."""
-        return self.replicas[0].track_size
+        """Payload bytes per track (the epoch header claims the rest)."""
+        return self.replicas[0].track_size - EPOCH_HEADER_SIZE
+
+    # -- epoch derivation ------------------------------------------------------
+
+    def current_epoch_of(self, track: int) -> int:
+        """The track's current epoch: cached, or rederived from stamps.
+
+        Rederivation reads every replica that admits to holding the
+        track and adopts the highest on-platter stamp — the path a
+        restarted process takes on its first access to each track.
+        Returns 0 for a track no readable replica has written.
+        """
+        cached = self._epochs.get(track)
+        if cached is not None:
+            return cached
+        derived = self._derive_epoch(track)
+        if derived:
+            # never cache 0: a down replica may still hold a real write,
+            # so keep rederiving until something is learned
+            self._epochs[track] = derived
+        return derived
+
+    def _derive_epoch(self, track: int) -> int:
+        best = 0
+        for index, replica in enumerate(self.replicas):
+            try:
+                if not replica.is_written(track):
+                    continue
+                image = replica.read_track(track)
+            except (ChecksumError, DiskError):
+                continue  # down or damaged; a later access may learn more
+            epoch, _ = _unstamp(image)
+            self._replica_epochs[index][track] = epoch
+            best = max(best, epoch)
+        return best
 
     # -- I/O -------------------------------------------------------------------
 
@@ -90,12 +155,18 @@ class ReplicatedDisk:
         *no* replica accepted it, the last failure propagates.
         """
         self._check_track(track)
-        epoch = self._epochs.get(track, 0) + 1
+        if len(data) > self.track_size:
+            raise DiskError(
+                f"track write of {len(data)} bytes exceeds track size "
+                f"{self.track_size}"
+            )
+        epoch = self.current_epoch_of(track) + 1
+        image = _stamp(epoch, data)
         wrote = 0
         last_error: Exception | None = None
         for index, replica in enumerate(self.replicas):
             try:
-                replica.write_track(track, data)
+                replica.write_track(track, image)
             except DiskError as error:
                 self.health[index].write_failures += 1
                 last_error = error
@@ -115,23 +186,35 @@ class ReplicatedDisk:
         repaired from the copy that is served.
         """
         self._check_track(track)
-        current = self._epochs.get(track, 0)
+        current = self.current_epoch_of(track)
         stale: list[int] = []
         damaged: list[int] = []
         last_error: Exception | None = None
         for index, replica in enumerate(self.replicas):
-            if current and self._replica_epochs[index].get(track, 0) != current:
+            known = self._replica_epochs[index].get(track)
+            if current and known is not None and known != current:
                 stale.append(index)
                 continue
             try:
-                data = replica.read_track(track)
+                written = replica.is_written(track)
+                image = replica.read_track(track)
             except (ChecksumError, DiskError) as error:
                 self.health[index].read_failures += 1
                 last_error = error
                 if isinstance(error, ChecksumError):
                     damaged.append(index)
                 continue
-            self._repair(track, data, damaged, stale, current)
+            if not written:
+                if current:
+                    stale.append(index)  # missed every write of the track
+                    continue
+                return bytes(self.track_size)  # never written anywhere
+            epoch, data = _unstamp(image)
+            self._replica_epochs[index][track] = epoch
+            if current and epoch != current:
+                stale.append(index)
+                continue
+            self._repair(track, data, damaged, stale, current or epoch)
             return data
         if stale:
             # a superseded copy exists and could have been served — the
@@ -161,7 +244,7 @@ class ReplicatedDisk:
 
     def _write_repair(self, index: int, track: int, data: bytes, epoch: int) -> bool:
         try:
-            self.replicas[index].write_track(track, data)
+            self.replicas[index].write_track(track, _stamp(epoch, data))
         except DiskError:
             return False  # still down; a later read will try again
         self.health[index].repairs += 1

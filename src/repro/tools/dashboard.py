@@ -81,6 +81,33 @@ def render_snapshot(snap: dict[str, Any], width: int = 72) -> str:
             f"  epoch {storage.get('epoch', 0)}"
             f"  last-tx {storage.get('last_tx_time', 0)}"
         )
+        if "replication_repairs" in storage:
+            lines.append(
+                f"  volume: repairs {storage.get('replication_repairs', 0)}"
+                f"  stale-repairs {storage.get('replication_stale_repairs', 0)}"
+            )
+
+    replication = storage.get("replication", {}) if storage else {}
+    if replication.get("enabled"):
+        lines += _section("replication")
+        lines.append(
+            f"  shipped epoch {replication.get('acked_epoch', 0)}"
+            f" / local {replication.get('local_epoch', 0)}"
+            f"  lag {replication.get('replication_lag', 0)}"
+            f"  records {replication.get('records_shipped', 0)}"
+            f"  retries {replication.get('retries', 0)}"
+            f"  failures {replication.get('ship_failures', 0)}"
+            + ("  [suspended]" if replication.get("suspended") else "")
+        )
+        replica = replication.get("replica", {})
+        if replica:
+            lines.append(
+                f"  replica log: epoch {replica.get('acked_epoch', 0)}"
+                f"  segments {replica.get('segments', 0)}"
+                f" ({replica.get('archived_segments', 0)} archived)"
+                f"  torn-rejected {replica.get('torn_rejected', 0)}"
+                f"  {replica.get('bytes_stored', 0)} bytes"
+            )
 
     gov = snap.get("governance", {})
     lines += _section("governance")

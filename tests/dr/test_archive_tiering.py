@@ -1,0 +1,72 @@
+"""The log as cold storage: closed segments roll onto ArchiveMedia.
+
+Section 6's archival story, applied to the replication log: a checkpoint
+snapshot closes the old segment, the closed segment moves verbatim onto
+a removable archive volume, and from then on recent recovery works with
+the volume unmounted while pre-archive point-in-time requests surface
+the typed :class:`~repro.errors.ArchiveError` until it is mounted again.
+"""
+
+import pytest
+
+from repro.db import GemStone
+from repro.dr import byte_identical, recover_database, recover_disk
+from repro.errors import ArchiveError
+from repro.storage.archive import ArchiveMedia
+
+
+def build_tiered_primary():
+    """Three cold commits, a checkpoint, two warm commits."""
+    db = GemStone.create(track_count=1024, track_size=512)
+    db.enable_replication()
+    session = db.login()
+    clones = {}
+    for n in range(3):
+        session.execute(f"World!a{n} := 'cold{n}'")
+        session.commit()
+        clones[db.store.commit_manager.current_epoch] = db.disk.clone()
+    db.checkpoint_replication()
+    for n in range(3, 5):
+        session.execute(f"World!a{n} := 'warm{n}'")
+        session.commit()
+        clones[db.store.commit_manager.current_epoch] = db.disk.clone()
+    return db, clones
+
+
+class TestArchiveTiering:
+    def test_closed_segments_archive_and_recent_recovery_stays_local(self):
+        db, _ = build_tiered_primary()
+        store = db.replica_log
+        media = ArchiveMedia("log-tape")
+        keys = store.archive_closed_segments(media)
+        assert keys and store.report()["archived_segments"] == 1
+        # the drive has nothing mounted: recent recovery must not care
+        assert store.archive_drive.mounted is None
+        rebuilt = recover_disk(store)
+        assert byte_identical(db.disk, rebuilt)
+
+    def test_pre_archive_point_in_time_needs_the_volume(self):
+        db, clones = build_tiered_primary()
+        store = db.replica_log
+        media = ArchiveMedia("log-tape")
+        store.archive_closed_segments(media)
+        cold_epoch = sorted(clones)[0]
+        with pytest.raises(ArchiveError):
+            recover_disk(store, epoch=cold_epoch)
+        store.archive_drive.mount(media)
+        rebuilt = recover_disk(store, epoch=cold_epoch)
+        assert byte_identical(clones[cold_epoch], rebuilt)
+        recovered = recover_database(store, epoch=cold_epoch)
+        with recovered.login() as session:
+            assert session.execute("World!a0") == "cold0"
+        store.archive_drive.unmount()
+        with pytest.raises(ArchiveError):
+            recover_disk(store, epoch=cold_epoch)
+
+    def test_archived_bytes_leave_local_storage(self):
+        db, _ = build_tiered_primary()
+        store = db.replica_log
+        local_before = store.bytes_stored
+        store.archive_closed_segments(ArchiveMedia("log-tape"))
+        assert store.bytes_stored < local_before
+        assert store.records_appended > 0  # the counters keep history

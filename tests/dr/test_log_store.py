@@ -1,0 +1,179 @@
+"""The replica log store: strict admission, segments, cold storage.
+
+A log that accepts garbage cannot promise recovery, so admission is the
+store's contract: torn records are rejected *before* storage, delta
+epochs must be contiguous from the acknowledged epoch, duplicates are
+re-acknowledged idempotently, and checkpoints never rewind the log.
+"""
+
+import pytest
+
+from repro.dr import (
+    DeltaRecord,
+    ReplicaLogStore,
+    SnapshotRecord,
+    encode_record,
+)
+from repro.errors import ArchiveError, ReplicationGapError, TornLogRecord
+from repro.storage.archive import ArchiveMedia
+
+
+def snap(epoch):
+    return encode_record(
+        SnapshotRecord(epoch, track_count=16, track_size=128,
+                       tracks=((2, b"snap%d" % epoch),))
+    )
+
+
+def delta(epoch):
+    return encode_record(
+        DeltaRecord(epoch, root_slot=epoch % 2, root_image=b"root%d" % epoch,
+                    writes=((10 + epoch, b"w%d" % epoch),))
+    )
+
+
+class TestAdmission:
+    def test_delta_before_any_snapshot_is_a_gap(self):
+        store = ReplicaLogStore()
+        with pytest.raises(ReplicationGapError):
+            store.append(delta(1))
+        assert store.acked_epoch == 0
+        assert store.records_appended == 0
+
+    def test_contiguous_deltas_advance_the_ack(self):
+        store = ReplicaLogStore()
+        assert store.append(snap(1)) == 1
+        assert store.append(delta(2)) == 2
+        assert store.append(delta(3)) == 3
+        assert store.records_appended == 3
+
+    def test_skipped_epoch_is_a_gap_and_is_not_stored(self):
+        store = ReplicaLogStore()
+        store.append(snap(1))
+        with pytest.raises(ReplicationGapError):
+            store.append(delta(3))
+        assert store.acked_epoch == 1
+        assert store.records_appended == 1
+        store.append(delta(2))  # the gap closes in order
+
+    def test_duplicate_delta_is_acknowledged_idempotently(self):
+        store = ReplicaLogStore()
+        store.append(snap(1))
+        store.append(delta(2))
+        assert store.append(delta(2)) == 2  # a resend, not a new record
+        assert store.duplicates_ignored == 1
+        assert store.records_appended == 2
+
+    def test_torn_record_is_rejected_before_storage(self):
+        store = ReplicaLogStore()
+        store.append(snap(1))
+        before = store.bytes_stored
+        with pytest.raises(TornLogRecord):
+            store.append(delta(2)[:-1])
+        assert store.torn_rejected == 1
+        assert store.bytes_stored == before
+        assert store.acked_epoch == 1
+
+    def test_checkpoint_never_rewinds(self):
+        store = ReplicaLogStore()
+        store.append(snap(1))
+        store.append(delta(2))
+        store.append(delta(3))
+        assert store.append(snap(2)) == 3  # stale checkpoint: ignored
+        assert store.duplicates_ignored == 1
+        assert store.acked_epoch == 3
+
+
+class TestSegments:
+    def test_checkpoint_snapshot_opens_a_fresh_segment(self):
+        store = ReplicaLogStore()
+        store.append(snap(1))
+        store.append(delta(2))
+        store.append(snap(2))  # checkpoint at the acked epoch
+        assert len(store.segments) == 2
+        assert store.segments[0].closed
+
+    def test_rolled_segment_closes_and_the_next_delta_opens_one(self):
+        store = ReplicaLogStore()
+        store.append(snap(1))
+        store.append(delta(2))
+        store.roll_segment()
+        store.append(delta(3))
+        assert len(store.segments) == 2
+        assert store.segments[0].closed and not store.segments[1].closed
+
+    def test_plan_recovery_spans_segments(self):
+        store = ReplicaLogStore()
+        store.append(snap(1))
+        store.append(delta(2))
+        store.roll_segment()
+        store.append(delta(3))
+        plan = store.plan_recovery()
+        assert [r.epoch for r in plan] == [1, 2, 3]
+        assert isinstance(plan[0], SnapshotRecord)
+
+    def test_plan_recovery_point_in_time_stops_at_the_target(self):
+        store = ReplicaLogStore()
+        store.append(snap(1))
+        for epoch in (2, 3, 4):
+            store.append(delta(epoch))
+        assert [r.epoch for r in store.plan_recovery(epoch=2)] == [1, 2]
+
+    def test_plan_recovery_rejects_epochs_outside_the_log(self):
+        store = ReplicaLogStore()
+        store.append(snap(1))
+        store.append(delta(2))
+        for bad in (0, 3):
+            with pytest.raises(ReplicationGapError):
+                store.plan_recovery(epoch=bad)
+
+
+class TestColdStorage:
+    def build_tiered_store(self):
+        """Segment 1 (epochs 1-3) closed; segment 2 (snapshot 3, delta 4)
+        open — the shape after a checkpoint."""
+        store = ReplicaLogStore()
+        store.append(snap(1))
+        store.append(delta(2))
+        store.append(delta(3))
+        store.append(snap(3))  # checkpoint: rolls segment 1
+        store.append(delta(4))
+        return store
+
+    def test_archiving_moves_closed_segments_to_the_media(self):
+        store = self.build_tiered_store()
+        media = ArchiveMedia("log-tape")
+        local_before = store.bytes_stored
+        keys = store.archive_closed_segments(media)
+        assert len(keys) == 1 and len(media) == 1
+        assert store.segments[0].archived
+        assert store.bytes_stored < local_before  # local copy dropped
+        assert store.report()["archived_segments"] == 1
+
+    def test_recent_recovery_never_touches_the_archive(self):
+        store = self.build_tiered_store()
+        store.archive_closed_segments(ArchiveMedia("log-tape"))
+        # nothing mounted on the drive — the recent plan must still work
+        plan = store.plan_recovery()
+        assert [r.epoch for r in plan] == [3, 4]
+
+    def test_pre_archive_epoch_requires_the_volume_mounted(self):
+        store = self.build_tiered_store()
+        media = ArchiveMedia("log-tape")
+        store.archive_closed_segments(media)
+        with pytest.raises(ArchiveError):
+            store.plan_recovery(epoch=2)
+        store.archive_drive.mount(media)
+        assert [r.epoch for r in store.plan_recovery(epoch=2)] == [1, 2]
+        store.archive_drive.unmount()
+        with pytest.raises(ArchiveError):
+            store.plan_recovery(epoch=2)
+
+    def test_report_shape(self):
+        store = self.build_tiered_store()
+        report = store.report()
+        assert report["acked_epoch"] == 4
+        assert report["segments"] == 2
+        assert report["records_appended"] == 5
+        assert report["torn_rejected"] == 0
+        assert report["bytes_stored"] > 0

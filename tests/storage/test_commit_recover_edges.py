@@ -1,0 +1,117 @@
+"""CommitManager.recover edge cases the ping-pong invariant must survive.
+
+Recovery's contract is "the newest valid root wins, torn roots lose".
+Three corners exercise it where the usual happy path never goes: both
+slots valid with the *same* epoch, a torn root written over the older
+slot, and a crash at every write of the very first commit — where no
+previous root exists to fall back on.
+"""
+
+import pytest
+
+from repro.errors import DiskCrashed, RecoveryError
+from repro.storage import DiskGeometry, SimulatedDisk, StableStore
+from repro.storage.commit import ROOT_SLOTS, decode_root_track
+
+GEOMETRY = DiskGeometry(track_count=256, track_size=512)
+
+
+def fresh_store():
+    disk = SimulatedDisk(GEOMETRY)
+    return StableStore.format(disk), disk
+
+
+def slot_epochs(disk):
+    """Epoch per root slot; None where the slot holds no valid root."""
+    epochs = {}
+    for slot in ROOT_SLOTS:
+        try:
+            epochs[slot] = decode_root_track(disk.read_track(slot))["epoch"]
+        except Exception:  # noqa: BLE001 — torn or unwritten slot
+            epochs[slot] = None
+    return epochs
+
+
+class TestEqualEpochSlots:
+    def test_both_slots_valid_with_equal_epochs_adopt_that_epoch(self):
+        store, disk = fresh_store()
+        store.persist([], tx_time=2)  # epoch 2 lands on the other slot
+        epochs = slot_epochs(disk)
+        current = max(ROOT_SLOTS, key=lambda s: epochs[s])
+        other = ROOT_SLOTS[1 - current]
+        # clone the current root over the stale slot: both now epoch 2
+        disk.write_track(other, disk.read_track(current))
+        assert slot_epochs(disk) == {0: 2, 1: 2}
+        reopened = StableStore.open(disk)
+        assert reopened.commit_manager.current_epoch == 2
+
+    def test_commits_continue_cleanly_after_an_equal_epoch_recovery(self):
+        store, disk = fresh_store()
+        store.persist([], tx_time=2)
+        epochs = slot_epochs(disk)
+        current = max(ROOT_SLOTS, key=lambda s: epochs[s])
+        disk.write_track(ROOT_SLOTS[1 - current], disk.read_track(current))
+        reopened = StableStore.open(disk)
+        reopened.persist([], tx_time=3)
+        # the new root flipped to the other slot; epochs diverge again
+        assert StableStore.open(disk).commit_manager.current_epoch == 3
+
+
+class TestTornOlderSlot:
+    def test_torn_root_over_the_older_slot_keeps_the_newest(self):
+        store, disk = fresh_store()
+        store.persist([], tx_time=2)
+        epochs = slot_epochs(disk)
+        older = min(ROOT_SLOTS, key=lambda s: epochs[s])
+        disk.corrupt_track(older, flip_byte=6)  # a bit-flip inside payload
+        reopened = StableStore.open(disk)
+        assert reopened.commit_manager.current_epoch == 2
+
+    def test_truncated_root_over_the_older_slot_keeps_the_newest(self):
+        store, disk = fresh_store()
+        store.persist([], tx_time=2)
+        epochs = slot_epochs(disk)
+        older = min(ROOT_SLOTS, key=lambda s: epochs[s])
+        newer = ROOT_SLOTS[1 - older]
+        # a torn re-write: only a prefix of a valid root reached the slot
+        disk.write_track(older, disk.read_track(newer)[:12])
+        reopened = StableStore.open(disk)
+        assert reopened.commit_manager.current_epoch == 2
+
+    def test_both_slots_torn_is_a_typed_recovery_error(self):
+        store, disk = fresh_store()
+        store.persist([], tx_time=2)
+        for slot in ROOT_SLOTS:
+            if disk.is_written(slot):
+                disk.corrupt_track(slot, flip_byte=6)
+        with pytest.raises(RecoveryError):
+            StableStore.open(disk)
+
+
+class TestFirstCommitCrashSweep:
+    def test_crash_at_every_write_of_the_first_commit_is_never_torn(self):
+        # measure the clean first commit's write count on a probe disk
+        probe = SimulatedDisk(GEOMETRY)
+        StableStore.format(probe)
+        total_writes = probe.stats.writes
+        assert total_writes > 2
+
+        outcomes = {"clean": 0, "unborn": 0}
+        for crash_index in range(total_writes):
+            disk = SimulatedDisk(GEOMETRY)
+            disk.crash_after(crash_index)
+            with pytest.raises(DiskCrashed):
+                StableStore.format(disk)
+            disk.restart()
+            try:
+                reopened = StableStore.open(disk)
+            except RecoveryError:
+                # the root never landed: the database was never born —
+                # allowed, as long as it is this typed error, not torn state
+                outcomes["unborn"] += 1
+                continue
+            assert reopened.commit_manager.current_epoch == 1
+            outcomes["clean"] += 1
+        # the root write is the atomic commit point: everything before it
+        # leaves no database, and nothing in between leaves a torn one
+        assert outcomes["unborn"] + outcomes["clean"] == total_writes

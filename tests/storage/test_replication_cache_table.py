@@ -15,6 +15,7 @@ from repro.storage import (
     StableStore,
 )
 from repro.storage.object_table import decode_page_directory, encode_page_directory
+from repro.storage.replication import EPOCH_HEADER_SIZE
 
 
 def make_replicas(n=3):
@@ -27,7 +28,11 @@ class TestReplication:
         replicas = make_replicas()
         volume = ReplicatedDisk(replicas)
         volume.write_track(5, b"data")
-        assert all(r.read_track(5).startswith(b"data") for r in replicas)
+        # each platter image carries the epoch stamp, then the payload
+        assert all(
+            r.read_track(5)[EPOCH_HEADER_SIZE:].startswith(b"data")
+            for r in replicas
+        )
 
     def test_read_survives_one_corrupt_replica(self):
         replicas = make_replicas()
@@ -43,7 +48,7 @@ class TestReplication:
         replicas[0].corrupt_track(5)
         volume.read_track(5)
         assert volume.repairs == 1
-        assert replicas[0].read_track(5).startswith(b"data")
+        assert replicas[0].read_track(5)[EPOCH_HEADER_SIZE:].startswith(b"data")
 
     def test_read_survives_downed_replica(self):
         replicas = make_replicas()

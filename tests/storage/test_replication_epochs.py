@@ -85,6 +85,61 @@ class TestStaleDetection:
         assert disk.health[1].failures == 2
 
 
+class TestRestartStaleness:
+    """Per-track epochs survive a *process* restart (a fresh
+    ReplicatedDisk over the surviving platters): before the on-platter
+    stamps, a restarted process forgot every epoch and could serve a
+    checksum-valid-but-stale replica undetected."""
+
+    def make_stale_pair(self):
+        disk, (r0, r1) = make_pair()
+        disk.write_track(0, b"v1")
+        r0.crash_after(0)
+        disk.write_track(0, b"v2")  # lands only on r1
+        r0.restart()  # r0 now holds checksum-valid v1 — stale
+        return r0, r1
+
+    def test_fresh_instance_over_surviving_platters_serves_current(self):
+        r0, r1 = self.make_stale_pair()
+        restarted = ReplicatedDisk([r0, r1])  # process restart: no memory
+        assert restarted.read_track(0).startswith(b"v2")
+        assert restarted.stale_repairs == 1  # r0 repaired in passing
+
+    def test_fresh_instance_never_serves_stale_when_current_is_down(self):
+        r0, r1 = self.make_stale_pair()
+        down(r1)  # the only current copy is unreadable at rederive time
+        restarted = ReplicatedDisk([r0, r1])
+        # the survivors' highest stamp is v1 — served as a last resort,
+        # but the moment r1 is readable again its newer stamp wins
+        assert restarted.read_track(0).startswith(b"v1")
+        r1.restart()
+        fresh = ReplicatedDisk([r0, r1])
+        assert fresh.read_track(0).startswith(b"v2")
+
+    def test_writes_after_restart_continue_the_persisted_epoch(self):
+        r0, r1 = self.make_stale_pair()
+        restarted = ReplicatedDisk([r0, r1])
+        # the next write must stamp epoch 3, not restart at 1 — else the
+        # stale v1 copy would alias a "current" epoch number
+        restarted.write_track(0, b"v3")
+        assert restarted.current_epoch_of(0) == 3
+        again = ReplicatedDisk([r0, r1])
+        assert again.read_track(0).startswith(b"v3")
+
+    def test_stable_store_recovery_over_restarted_volume(self):
+        from repro.storage import StableStore
+
+        geometry = DiskGeometry(track_count=256, track_size=512)
+        replicas = [SimulatedDisk(geometry) for _ in range(2)]
+        volume = ReplicatedDisk(replicas)
+        store = StableStore.format(volume)
+        replicas[0].crash_after(0)
+        store.persist([], tx_time=2)  # epoch 2 lands only on replica 1
+        replicas[0].restart()
+        reopened = StableStore.open(ReplicatedDisk(replicas))
+        assert reopened.commit_manager.current_epoch == 2
+
+
 OPS = st.lists(
     st.one_of(
         st.tuples(st.just("write"), st.integers(0, 99)),
