@@ -1,0 +1,113 @@
+"""Shard scale-out: commit throughput against 1→4 shard workers.
+
+The paper's §6 runs GemStone on one dedicated machine; `repro.shard`
+partitions the object space across N workers (`docs/sharding.md`).
+This experiment measures what the partition buys on the commit path: a
+preloaded catalog is split N ways, so each single-shard commit links,
+boxes and safe-writes against a store 1/N the size.  Throughput must
+rise monotonically from one worker to four — the acceptance bar for
+the sharding work — while every commit keeps full per-shard OCC
+validation and safe-write durability.
+
+Run the experiment:  python benchmarks/bench_shard_scale.py
+CI smoke subset:     python benchmarks/bench_shard_scale.py --smoke
+"""
+
+import argparse
+import time
+
+from repro.bench import Table
+from repro.shard import ShardedGemStone
+
+FULL = dict(preload=400, commits=60, shard_counts=(1, 2, 3, 4), repeats=2)
+SMOKE = dict(preload=200, commits=30, shard_counts=(1, 2, 4), repeats=3)
+
+#: neighbouring counts must not regress beyond timer jitter
+_TOLERANCE = 0.97
+
+
+def measure_once(shards: int, preload: int, commits: int) -> float:
+    """Commits per second on a *shards*-worker cluster, warm catalog."""
+    cluster = ShardedGemStone(shard_count=shards)
+    session = cluster.login()
+    for i in range(preload):
+        session.execute(f"World!p{i} := {i}")
+        if i % 20 == 19:
+            session.commit()
+    session.commit()
+
+    start = time.perf_counter()
+    for j in range(commits):
+        session.execute(f"World!m{j} := {j}")
+        session.commit()
+    elapsed = time.perf_counter() - start
+    return commits / elapsed
+
+
+def measure(shards: int, preload: int, commits: int, repeats: int) -> float:
+    """Best of *repeats* fresh clusters — the least-interfered-with run."""
+    return max(
+        measure_once(shards, preload, commits) for _ in range(repeats)
+    )
+
+
+def run_scale(preload: int, commits: int, shard_counts,
+              repeats: int) -> dict[int, float]:
+    return {
+        shards: measure(shards, preload, commits, repeats)
+        for shards in shard_counts
+    }
+
+
+def check_monotone(throughput: dict[int, float]) -> None:
+    counts = sorted(throughput)
+    for previous, current in zip(counts, counts[1:]):
+        assert throughput[current] >= throughput[previous] * _TOLERANCE, (
+            f"throughput regressed {previous}→{current} shards: "
+            f"{throughput[previous]:.0f} → {throughput[current]:.0f} commits/s"
+        )
+    assert throughput[counts[-1]] > throughput[counts[0]], (
+        "scale-out bought nothing: "
+        f"{throughput[counts[0]]:.0f} commits/s at {counts[0]} shard(s) vs "
+        f"{throughput[counts[-1]]:.0f} at {counts[-1]}"
+    )
+
+
+def test_smoke_throughput_scales():
+    throughput = run_scale(**SMOKE)
+    check_monotone(throughput)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small, fast configuration")
+    args = parser.parse_args(argv)
+    params = dict(SMOKE if args.smoke else FULL)
+
+    throughput = run_scale(**params)
+    counts = sorted(throughput)
+    base = throughput[counts[0]]
+    table = Table(
+        f"commit throughput vs shard count "
+        f"({params['preload']}-binding catalog, "
+        f"{params['commits']} measured commits)",
+        ["shards", "commits/s", "speedup vs 1"],
+    )
+    for shards in counts:
+        table.add(shards, f"{throughput[shards]:.0f}",
+                  f"{throughput[shards] / base:.2f}x")
+    table.note("each worker persists a catalog 1/N the size, so the "
+               "safe-write path shortens as the partition widens")
+    table.show()
+    check_monotone(throughput)
+    return {
+        "shard_throughput": {
+            str(shards): round(throughput[shards], 1) for shards in counts
+        },
+        "shard_speedup_max": round(throughput[counts[-1]] / base, 3),
+    }
+
+
+if __name__ == "__main__":
+    main()

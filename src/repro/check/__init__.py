@@ -41,6 +41,13 @@ from .generate import generate_case
 from .reference import ShadowStore, evaluate_reference
 from .report import reproducer_command
 from .schedule import ScheduleReport, run_schedule_case, run_schedule_range
+from .sharded import (
+    ShardMismatch,
+    ShardedDifferentialReport,
+    generate_shard_workload,
+    run_sharded_case,
+    run_sharded_range,
+)
 from .shrink import shrink_case
 from .soak import run_soak
 from .spec import CaseSpec, CollectionSpec, QuerySpec, case_key
@@ -56,15 +63,20 @@ __all__ = [
     "QuerySpec",
     "ScheduleReport",
     "ShadowStore",
+    "ShardMismatch",
+    "ShardedDifferentialReport",
     "TemporalReport",
     "case_key",
     "evaluate_reference",
     "generate_case",
+    "generate_shard_workload",
     "reproducer_command",
     "run_differential_case",
     "run_differential_range",
     "run_schedule_case",
     "run_schedule_range",
+    "run_sharded_case",
+    "run_sharded_range",
     "run_soak",
     "run_temporal_case",
     "run_temporal_range",

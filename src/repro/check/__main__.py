@@ -15,6 +15,7 @@ from .differential import PlanMemo, run_differential_case
 from .generate import generate_case
 from .report import describe_case
 from .schedule import run_schedule_case
+from .sharded import run_sharded_case
 from .shrink import shrink_case
 from .soak import run_soak
 from .temporal import run_temporal_case
@@ -29,7 +30,8 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--case", type=int, default=None,
                         help="case index; omit to soak a whole range")
     parser.add_argument(
-        "--oracle", choices=("differential", "temporal", "schedule"),
+        "--oracle",
+        choices=("differential", "temporal", "schedule", "sharded"),
         default="differential",
     )
     parser.add_argument(
@@ -95,6 +97,21 @@ def _run_temporal(args) -> int:
     return 1
 
 
+def _run_sharded(args) -> int:
+    report = run_sharded_case(args.seed, args.case)
+    if report.ok:
+        print(
+            f"ok: seed={args.seed} case={args.case} "
+            f"{report.statements} statements agree on both stores "
+            f"({report.commits} commits, "
+            f"{report.cross_shard_commits} cross-shard)"
+        )
+        return 0
+    for mismatch in report.mismatches:
+        print(mismatch.describe())
+    return 1
+
+
 def _run_schedule(args) -> int:
     report = run_schedule_case(_database(), args.seed, args.case)
     if report.ok:
@@ -121,6 +138,8 @@ def main(argv=None) -> int:
         return _run_differential(args)
     if args.oracle == "temporal":
         return _run_temporal(args)
+    if args.oracle == "sharded":
+        return _run_sharded(args)
     return _run_schedule(args)
 
 

@@ -1,0 +1,205 @@
+"""Statement-level differential: sharded execution vs the single store.
+
+The sharded cluster (:mod:`repro.shard`) claims to be *transparent*: a
+session speaking OPAL through the sharded front end must observe exactly
+what it would observe against one monolithic GemStone — same statement
+results, same printStrings, same commit outcomes, same final bindings.
+This oracle checks that claim the same way the query oracle checks the
+calculus→algebra translation: generate a seeded workload, run it down
+both paths, and demand byte-identical observations.
+
+The generator only emits statements whose bindings co-reside on one
+shard (cross-shard data flow inside a *single* statement is a routing
+error by design — see ``docs/sharding.md``), but transactions freely
+span shards, so the sweep exercises both the single-shard fast path and
+presumed-abort 2PC.  Failures print ``python -m repro.check --oracle
+sharded --seed N --case K`` reproducers, like every other oracle here.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from hashlib import sha256
+from typing import Any
+
+from ..db import GemStone
+from ..errors import GemStoneError
+from ..shard import ShardedGemStone
+from ..shard.partition import shard_of
+from .report import reproducer_command
+
+#: binding pool size per case; names are short so the regex router and
+#: the catalog both see realistic, colliding-ish identifiers
+_POOL = 8
+
+
+def generate_shard_workload(
+    seed: int, case: int, *, shards: int, transactions: int
+) -> list[list[str]]:
+    """Seeded transactions of single-shard-routable OPAL statements."""
+    rng = random.Random(f"{seed}.{case}.{shards}")
+    keys = [f"sd{case}k{i}" for i in range(_POOL)]
+    by_shard: dict[int, list[str]] = {}
+    for key in keys:
+        by_shard.setdefault(shard_of(key, shards), []).append(key)
+
+    def statement() -> str:
+        target = rng.choice(keys)
+        kind = rng.randrange(5)
+        if kind == 0:
+            return f"World!{target} := {rng.randrange(100)}"
+        if kind == 1:
+            return f"World!{target} := 'v{rng.randrange(100)}'"
+        if kind == 2:  # same-binding read-modify-write
+            return (
+                f"World!{target} := "
+                f"(World!{target} ifNil: [0]) + {rng.randrange(9) + 1}"
+            )
+        if kind == 3:  # derive from a co-resident binding
+            source = rng.choice(by_shard[shard_of(target, shards)])
+            return f"World!{target} := (World!{source} ifNil: [-1])"
+        return f"World!{target}"  # plain read
+
+    return [
+        [statement() for _ in range(rng.randint(1, 4))]
+        for _ in range(transactions)
+    ]
+
+
+@dataclass
+class ShardMismatch:
+    """One divergence between the sharded path and the baseline."""
+
+    seed: int
+    case: int
+    transaction: int
+    what: str
+    baseline: Any
+    sharded: Any
+
+    def describe(self) -> str:
+        return (
+            f"sharded-vs-baseline divergence in transaction "
+            f"{self.transaction}: {self.what}\n"
+            f"  baseline: {self.baseline!r}\n"
+            f"  sharded:  {self.sharded!r}\n"
+            f"  reproduce: "
+            f"{reproducer_command(self.seed, self.case, oracle='sharded')}"
+        )
+
+
+@dataclass
+class ShardedDifferentialReport:
+    """The outcome of one sharded-vs-baseline case."""
+
+    seed: int
+    case: int
+    shards: int
+    statements: int = 0
+    commits: int = 0
+    cross_shard_commits: int = 0
+    mismatches: list[ShardMismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def digest(self) -> str:
+        return sha256(
+            repr((self.seed, self.case, self.shards, self.statements,
+                  self.commits)).encode()
+        ).hexdigest()[:12]
+
+
+def _observe(session, statements: list[str]) -> dict[str, Any]:
+    """Run one transaction; every observable it produces, as plain data."""
+    results: list[tuple[Any, str]] = []
+    try:
+        for source in statements:
+            value = session.execute(source)
+            results.append((value, session.display(value)))
+        stamp = session.commit()
+        outcome = "committed" if stamp is not None else "empty"
+    except GemStoneError as error:
+        outcome = type(error).__name__
+        session.abort()
+    return {"results": results, "outcome": outcome}
+
+
+def run_sharded_case(
+    seed: int,
+    case: int,
+    *,
+    shards: int = 3,
+    transactions: int = 10,
+    registry=None,
+) -> ShardedDifferentialReport:
+    """One seeded workload, run against both stores and compared."""
+    report = ShardedDifferentialReport(seed=seed, case=case, shards=shards)
+    workload = generate_shard_workload(
+        seed, case, shards=shards, transactions=transactions
+    )
+    baseline = GemStone.create()
+    cluster = ShardedGemStone(shard_count=shards)
+
+    def note(transaction: int, what: str, base, shard) -> None:
+        report.mismatches.append(ShardMismatch(
+            seed=seed, case=case, transaction=transaction,
+            what=what, baseline=base, sharded=shard,
+        ))
+        if registry is not None:
+            registry.inc("check.sharded.mismatches")
+
+    for t, statements in enumerate(workload):
+        base = _observe(baseline.login(), statements)
+        shard = _observe(cluster.login(), statements)
+        report.statements += len(statements)
+        if registry is not None:
+            registry.inc("check.sharded.statements", len(statements))
+        if base["outcome"] != shard["outcome"]:
+            note(t, "commit outcome", base["outcome"], shard["outcome"])
+            continue
+        if base["outcome"] == "committed":
+            report.commits += 1
+        for i, (b, s) in enumerate(zip(base["results"], shard["results"])):
+            if b[0] != s[0]:
+                note(t, f"statement {i} value ({statements[i]!r})",
+                     b[0], s[0])
+            elif b[1] != s[1]:
+                note(t, f"statement {i} display ({statements[i]!r})",
+                     b[1], s[1])
+
+    # the final state: every binding in the pool must agree
+    base_reader = baseline.login()
+    shard_reader = cluster.login()
+    for key in (f"sd{case}k{i}" for i in range(_POOL)):
+        b = base_reader.execute(f"World!{key}")
+        s = shard_reader.execute(f"World!{key}")
+        if b != s:
+            note(-1, f"final value of World!{key}", b, s)
+
+    report.cross_shard_commits = cluster.cross_shard_commits
+    return report
+
+
+def run_sharded_range(
+    seed: int,
+    cases: int,
+    *,
+    shards: int = 3,
+    transactions: int = 10,
+    registry=None,
+) -> ShardedDifferentialReport:
+    """Fold *cases* consecutive case indices into one report."""
+    folded = ShardedDifferentialReport(seed=seed, case=0, shards=shards)
+    for case in range(cases):
+        one = run_sharded_case(
+            seed, case, shards=shards, transactions=transactions,
+            registry=registry,
+        )
+        folded.statements += one.statements
+        folded.commits += one.commits
+        folded.cross_shard_commits += one.cross_shard_commits
+        folded.mismatches.extend(one.mismatches)
+    return folded

@@ -1,8 +1,8 @@
-"""One-call soak: all three oracles over a seed range, with a digest.
+"""One-call soak: all four oracles over a seed range, with a digest.
 
 ``run_soak`` is the engine behind ``benchmarks/bench_check_soak.py`` and
-the CI ``check-soak`` job: it runs the differential, temporal, and
-schedule oracles over a seed range against fresh stores, raises
+the CI ``check-soak`` job: it runs the differential, temporal, schedule,
+and sharded oracles over a seed range against fresh stores, raises
 :class:`~repro.check.differential.CheckFailure` on any divergence, and
 returns a metrics dict whose ``digest`` field is identical across runs
 of the same seed — the determinism contract inherited from
@@ -16,6 +16,7 @@ from typing import Any
 
 from .differential import CheckFailure, run_differential_range
 from .schedule import run_schedule_range
+from .sharded import run_sharded_range
 from .temporal import run_temporal_range
 
 
@@ -32,6 +33,7 @@ def run_soak(
     queries_per_case: int = 3,
     temporal_cases: int = 10,
     schedule_cases: int = 6,
+    sharded_cases: int = 3,
     registry=None,
     raise_on_failure: bool = True,
 ) -> dict[str, Any]:
@@ -47,11 +49,13 @@ def run_soak(
     schedule = run_schedule_range(
         database, seed, schedule_cases, registry=registry
     )
+    sharded = run_sharded_range(seed, sharded_cases, registry=registry)
 
     problems: list[str] = []
     problems.extend(m.describe() for m in diff.mismatches)
     problems.extend(temporal.problems)
     problems.extend(schedule.problems)
+    problems.extend(m.describe() for m in sharded.mismatches)
 
     metrics = {
         "seed": seed,
@@ -68,6 +72,9 @@ def run_soak(
         "schedule_steps": schedule.steps,
         "schedule_commits": schedule.commits,
         "schedule_aborts": schedule.aborts,
+        "sharded_statements": sharded.statements,
+        "sharded_commits": sharded.commits,
+        "sharded_cross_shard_commits": sharded.cross_shard_commits,
         "problems": len(problems),
     }
     metrics["digest"] = sha256(

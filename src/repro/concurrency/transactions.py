@@ -45,6 +45,30 @@ class CommittedTransaction:
 
 
 @dataclass
+class PreparedTransaction:
+    """Phase one of a cross-shard commit: a validated, detached workspace.
+
+    Between PREPARE and DECIDE the transaction is *in doubt*: it has
+    voted yes and must remain committable, so its full read/write
+    footprint stays registered with the Transaction Manager and every
+    concurrent validation treats it as a lock — any overlap (read-write,
+    write-read, or write-write) conflicts the later committer.  The
+    workspace content (creations, writes, new classes) is detached from
+    the session, which immediately begins a fresh transaction.
+    """
+
+    gtid: str
+    session_id: int
+    creations: list
+    write_log: list
+    new_classes: dict
+    writes: frozenset  # of (oid, element name)
+    written_oids: frozenset  # of oid
+    read_set: frozenset  # of (oid, element name)
+    enum_reads: frozenset  # of oid
+
+
+@dataclass
 class TransactionStats:
     """Counters the OCC benchmarks report."""
 
@@ -53,6 +77,10 @@ class TransactionStats:
     read_only_commits: int = 0
     validations: int = 0
     storage_failures: int = 0
+    # two-phase-commit counters (repro.shard)
+    prepares: int = 0
+    prepared_commits: int = 0
+    prepared_aborts: int = 0
     # contention-policy counters
     conflict_retries: int = 0
     backoff_units: float = 0.0
@@ -96,6 +124,8 @@ class TransactionManager:
         self._lock = threading.RLock()
         self._log: list[CommittedTransaction] = []
         self._active: dict[int, int] = {}  # session_id -> start time
+        #: in-doubt cross-shard transactions, keyed by global txn id
+        self._prepared: dict[str, PreparedTransaction] = {}
         self._listeners: list[CommitListener] = []
         # contention-policy state
         self._streaks: dict[int, int] = {}  # session_id -> abort streak
@@ -226,6 +256,117 @@ class TransactionManager:
             self.begin(session)
             return tx_time
 
+    # -- two-phase commit (repro.shard) ------------------------------------------
+
+    def prepare(self, session, gtid: str) -> Optional[PreparedTransaction]:
+        """Phase one: validate *session*'s transaction and detach it as *gtid*.
+
+        On success the workspace is detached into a
+        :class:`PreparedTransaction` that every later validation treats
+        as a lock, the session begins a fresh transaction, and the
+        participant may vote yes.  A read-only transaction returns
+        ``None`` — there is nothing to lock, the participant votes yes
+        read-only and drops out of phase two.  On conflict the workspace
+        is discarded and :class:`TransactionConflict` is raised: the
+        participant votes no.
+        """
+        with self._lock:
+            if gtid in self._prepared:
+                return self._prepared[gtid]  # idempotent re-prepare
+            if not session.has_uncommitted_changes:
+                self.begin(session)
+                return None
+            conflicts = self._validate(session)
+            if conflicts:
+                self.stats.aborts += 1
+                delay = self._record_abort(session)
+                self.abort(session)
+                error = TransactionConflict(
+                    f"prepare failed on {len(conflicts)} element(s)",
+                    conflicts=tuple(sorted(conflicts, key=repr)),
+                )
+                error.retry_after = delay
+                raise error
+            prepared = PreparedTransaction(
+                gtid=gtid,
+                session_id=session.session_id,
+                creations=list(session.creations),
+                write_log=list(session.write_log),
+                new_classes=session.new_classes(),
+                writes=frozenset((w.oid, w.name) for w in session.write_log),
+                written_oids=frozenset(w.oid for w in session.write_log),
+                read_set=frozenset(session.read_set),
+                enum_reads=frozenset(session.enum_reads),
+            )
+            self._prepared[gtid] = prepared
+            self.stats.prepares += 1
+            if self.obs is not None:
+                self.obs.registry.inc("txn.prepares")
+            session.reset_transaction_state()
+            self.begin(session)
+            return prepared
+
+    def commit_prepared(self, gtid: str, extra_dirty=None) -> int:
+        """Phase two, commit side: apply the prepared workspace durably.
+
+        *extra_dirty* is a callable ``(tx_time) -> list of objects``
+        whose result joins the same safe group write — the shard worker
+        uses it to clear its durable prepared record in the *same*
+        atomic commit, so a crash can never leave the record and the
+        data disagreeing.  Raises ``KeyError`` for an unknown gtid.
+        """
+        with self._lock:
+            prepared = self._prepared[gtid]
+            tx_time = self.clock.assign()
+            dirty = self.linker.incorporate(
+                prepared.creations, prepared.write_log, tx_time
+            )
+            for listener in self._listeners:
+                listener(tx_time, dirty, prepared.write_log, prepared.creations)
+            if extra_dirty is not None:
+                for obj in extra_dirty(tx_time):
+                    if obj not in dirty:
+                        dirty.append(obj)
+            try:
+                self.store.persist(
+                    dirty, tx_time, new_classes=prepared.new_classes
+                )
+            except StorageError:
+                # nothing became durable; the transaction stays prepared
+                # (in doubt) for a later retry or post-restart RESOLVE
+                self.stats.storage_failures += 1
+                raise
+            del self._prepared[gtid]
+            self._log.append(
+                CommittedTransaction(
+                    tx_time=tx_time,
+                    writes=prepared.writes,
+                    written_oids=prepared.written_oids,
+                )
+            )
+            self._trim_log()
+            self.stats.commits += 1
+            self.stats.prepared_commits += 1
+            if self.obs is not None:
+                self.obs.registry.inc("txn.prepared_commits")
+            return tx_time
+
+    def abort_prepared(self, gtid: str) -> bool:
+        """Phase two, abort side: drop the prepared workspace and its locks."""
+        with self._lock:
+            prepared = self._prepared.pop(gtid, None)
+            if prepared is None:
+                return False
+            self.stats.prepared_aborts += 1
+            if self.obs is not None:
+                self.obs.registry.inc("txn.prepared_aborts")
+            return True
+
+    def in_doubt(self) -> list[str]:
+        """Gtids prepared but not yet decided, in prepare order."""
+        with self._lock:
+            return list(self._prepared)
+
     # -- contention policy -------------------------------------------------------
 
     def _enforce_priority(self, session) -> None:
@@ -320,7 +461,13 @@ class TransactionManager:
         raise last_error
 
     def _validate(self, session) -> set:
-        """Backward validation against commits since the session began."""
+        """Backward validation against commits since the session began.
+
+        Prepared (in-doubt) cross-shard transactions are also checked,
+        as locks: they voted yes and must stay committable, so any
+        read-write, write-read, or write-write overlap conflicts the
+        *later* committer regardless of start times.
+        """
         self.stats.validations += 1
         conflicts: set = set()
         for committed in self._log:
@@ -329,6 +476,21 @@ class TransactionManager:
             conflicts |= committed.writes & session.read_set
             for oid in committed.written_oids & session.enum_reads:
                 conflicts.add((oid, "<enumeration>"))
+        if self._prepared:
+            session_writes = frozenset(
+                (w.oid, w.name) for w in session.write_log
+            )
+            session_written_oids = frozenset(
+                w.oid for w in session.write_log
+            )
+            for prepared in self._prepared.values():
+                conflicts |= prepared.writes & session.read_set
+                conflicts |= prepared.writes & session_writes
+                conflicts |= prepared.read_set & session_writes
+                for oid in prepared.written_oids & session.enum_reads:
+                    conflicts.add((oid, "<enumeration>"))
+                for oid in session_written_oids & prepared.enum_reads:
+                    conflicts.add((oid, "<enumeration>"))
         return conflicts
 
     def _trim_log(self) -> None:

@@ -371,6 +371,8 @@ class GemStone:
         sync: bool = True,
         link_wrapper=None,
         replica_store=None,
+        clock=None,
+        frame_deadline=None,
     ):
         """Start continuous log shipping to an in-process replica.
 
@@ -405,6 +407,8 @@ class GemStone:
             pump=lambda: receiver.serve(replica_end),
             obs=self.obs,
             sync=sync,
+            clock=clock,
+            frame_deadline=frame_deadline,
         )
         shipper.bootstrap(self.disk, self.store.commit_manager.current_epoch)
         self.store.commit_manager.log_sink = shipper.on_commit

@@ -54,8 +54,11 @@ class LogReceiver:
         self.obs = obs
         self.frames_served = 0
         self.corrupt_dropped = 0
-        #: seq -> encoded response, for exactly-once replay of resends
-        self._responses: dict[int, bytes] = {}
+        #: (channel, seq) -> encoded response, for exactly-once replay of
+        #: resends.  Keying by channel lets two logical streams (say a
+        #: SHIP conversation and a 2PC conversation) share one link and
+        #: one receiver without their sequence spaces colliding.
+        self._responses: dict[tuple[int | None, int], bytes] = {}
 
     def serve(self, link_end) -> None:
         """Drain every pending frame on *link_end*, answering each."""
@@ -75,13 +78,16 @@ class LogReceiver:
                 continue
             response = self._respond(frame)
             if frame.seq is not None:
-                response = protocol.encode_seq(frame.seq, response)
+                response = protocol.encode_seq(
+                    frame.seq, response, channel=frame.channel
+                )
             link_end.send(response)
             self.frames_served += 1
 
     def _respond(self, frame) -> bytes:
-        if frame.seq is not None and frame.seq in self._responses:
-            return self._responses[frame.seq]  # resend: replay, don't re-apply
+        key = (frame.channel, frame.seq)
+        if frame.seq is not None and key in self._responses:
+            return self._responses[key]  # resend: replay, don't re-apply
         if frame.type in (FrameType.SHIP, FrameType.SNAPSHOT):
             try:
                 acked = self.store.append(frame.fields["record"])
@@ -100,7 +106,7 @@ class LogReceiver:
                 "ProtocolError", f"unexpected frame {frame.type.name}"
             )
         if frame.seq is not None:
-            self._responses[frame.seq] = response
+            self._responses[(frame.channel, frame.seq)] = response
             while len(self._responses) > _REPLAY_CACHE_SIZE:
                 self._responses.pop(next(iter(self._responses)))
         return response
@@ -116,6 +122,9 @@ class LogShipper:
         obs=None,
         sync: bool = True,
         max_attempts: int = 8,
+        clock=None,
+        frame_deadline: Optional[float] = None,
+        retry_delay: float = 1.0,
     ) -> None:
         self.link = link  #: primary's link end (possibly fault-wrapped)
         self.pump = pump  #: drains the receiver after each send
@@ -124,6 +133,15 @@ class LogShipper:
         #: (False) buffers into history for a later :meth:`catch_up`
         self.sync = sync
         self.max_attempts = max_attempts
+        #: deterministic clock + per-frame deadline: with both set, each
+        #: shipped frame carries ``clock.now + frame_deadline`` in its
+        #: SEQ envelope and retrying stops once that instant passes, so
+        #: the commit path cannot block past its time budget even when
+        #: the retry budget would allow more attempts
+        self.clock = clock
+        self.frame_deadline = frame_deadline
+        self.retry_delay = retry_delay  #: simulated units charged per retry
+        self.deadline_failures = 0
         self.suspended = False
         #: epoch -> encoded delta record, the catch-up source of truth
         self.history: dict[int, bytes] = {}
@@ -197,12 +215,24 @@ class LogShipper:
 
     def _ship(self, frame: bytes) -> int:
         self._seq += 1
-        envelope = protocol.encode_seq(self._seq, frame)
+        deadline = None
+        if self.clock is not None and self.frame_deadline is not None:
+            deadline = self.clock.now + self.frame_deadline
+        envelope = protocol.encode_seq(self._seq, frame, deadline=deadline)
         for attempt in range(self.max_attempts):
             if attempt:
                 self.retries += 1
                 if self.obs is not None:
                     self.obs.registry.inc("dr.ship_retries")
+                if self.clock is not None:
+                    self.clock.advance(self.retry_delay)
+                if deadline is not None and self.clock.now > deadline:
+                    self.deadline_failures += 1
+                    raise ReplicaNotAcknowledged(
+                        f"frame seq {self._seq} missed its deadline "
+                        f"({self.frame_deadline} units) after "
+                        f"{attempt} attempt(s)"
+                    )
             self.link.send(envelope)
             self.pump()
             reply = self._receive_matching(self._seq)
@@ -265,5 +295,6 @@ class LogShipper:
             "records_shipped": self.records_shipped,
             "retries": self.retries,
             "ship_failures": self.ship_failures,
+            "deadline_failures": self.deadline_failures,
             "history_records": len(self.history),
         }

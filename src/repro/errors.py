@@ -220,6 +220,42 @@ class TornLogRecord(ReplicationError):
 
 
 # --------------------------------------------------------------------------
+# Sharding (repro.shard)
+# --------------------------------------------------------------------------
+
+class ShardError(GemStoneError):
+    """Base class for sharded-object-space and cross-shard-commit errors."""
+
+
+class ShardRoutingError(ShardError, FatalError):
+    """A statement could not be routed to exactly one shard.
+
+    Fatal for the statement: one statement may touch keys owned by a
+    single shard only — a transaction spans shards by issuing several
+    statements, each routable on its own.
+    """
+
+
+class ShardUnavailable(ShardError, RetryableError):
+    """A shard worker stopped answering within the retry/deadline budget."""
+
+
+class CoordinatorUnavailable(ShardError, RetryableError):
+    """The commit coordinator stopped answering; undecided work presumes abort."""
+
+
+class TransactionInDoubt(ShardError, RetryableError):
+    """A cross-shard commit lost its coordinator mid-protocol.
+
+    The outcome is unknown to the *client* (the decision log knows): a
+    prepared participant neither committed nor aborted yet.  Retryable in
+    the operational sense — once the coordinator restarts, in-doubt
+    participants RESOLVE against its durable decision log and the
+    transaction lands on exactly one side.
+    """
+
+
+# --------------------------------------------------------------------------
 # Concurrency (repro.concurrency)
 # --------------------------------------------------------------------------
 

@@ -62,6 +62,15 @@ class FrameType(IntEnum):
     SHIP_ACK = 16
     SNAPSHOT = 17
     SHIP_STATUS = 18
+    # -- sharded object space (repro.shard) --------------------------------
+    PREPARE = 19
+    VOTE = 20
+    DECIDE = 21
+    DECIDE_ACK = 22
+    RESOLVE = 23
+    RESOLVED = 24
+    SHARD_EXEC = 25
+    SHARD_COMMIT = 26
 
 
 @dataclass(frozen=True)
@@ -74,6 +83,7 @@ class Frame:
     seq: int | None = None
     deadline: float | None = None
     request_id: int | None = None
+    channel: int | None = None
 
 
 def encode_login(user: str, password: str) -> bytes:
@@ -182,15 +192,98 @@ def encode_ship_status() -> bytes:
     return bytes([FrameType.SHIP_STATUS])
 
 
+# -- sharded object space (repro.shard) -------------------------------------
+#
+# Cross-shard commit speaks presumed-abort two-phase commit over the same
+# SEQ envelope: the coordinator PREPAREs every touched shard, collects
+# VOTEs, durably logs a commit decision, and DECIDEs; a restarted shard
+# re-acquires its prepared locks and asks the coordinator to RESOLVE each
+# in-doubt transaction against the decision log.  SHARD_EXEC routes one
+# statement into a shard-side transaction; SHARD_COMMIT is the one-shard
+# fast path that skips the protocol entirely.
+
+
+def encode_prepare(gtid: str) -> bytes:
+    """Phase one: validate *gtid* and durably persist its prepared state."""
+    writer = Writer()
+    writer.raw(bytes([FrameType.PREPARE]))
+    writer.string(gtid)
+    return writer.getvalue()
+
+
+def encode_vote(gtid: str, commit: bool, read_only: bool = False) -> bytes:
+    """The participant's phase-one answer (NO is final; YES is a promise)."""
+    writer = Writer()
+    writer.raw(bytes([FrameType.VOTE]))
+    writer.string(gtid)
+    writer.raw(bytes([1 if commit else 0, 1 if read_only else 0]))
+    return writer.getvalue()
+
+
+def encode_decide(gtid: str, commit: bool) -> bytes:
+    """Phase two: apply (or discard) the prepared transaction."""
+    writer = Writer()
+    writer.raw(bytes([FrameType.DECIDE]))
+    writer.string(gtid)
+    writer.raw(bytes([1 if commit else 0]))
+    return writer.getvalue()
+
+
+def encode_decide_ack(gtid: str, epoch: int) -> bytes:
+    """The participant applied the decision; *epoch* is its local epoch."""
+    writer = Writer()
+    writer.raw(bytes([FrameType.DECIDE_ACK]))
+    writer.string(gtid)
+    writer.uvarint(epoch)
+    return writer.getvalue()
+
+
+def encode_resolve(gtid: str) -> bytes:
+    """A restarted participant asks the coordinator for *gtid*'s outcome."""
+    writer = Writer()
+    writer.raw(bytes([FrameType.RESOLVE]))
+    writer.string(gtid)
+    return writer.getvalue()
+
+
+def encode_resolved(gtid: str, commit: bool) -> bytes:
+    """The coordinator's answer: logged == commit, unlogged == presumed abort."""
+    writer = Writer()
+    writer.raw(bytes([FrameType.RESOLVED]))
+    writer.string(gtid)
+    writer.raw(bytes([1 if commit else 0]))
+    return writer.getvalue()
+
+
+def encode_shard_exec(gtid: str, source: str) -> bytes:
+    """Route one OPAL statement into shard-side transaction *gtid*."""
+    writer = Writer()
+    writer.raw(bytes([FrameType.SHARD_EXEC]))
+    writer.string(gtid)
+    writer.string(source)
+    return writer.getvalue()
+
+
+def encode_shard_commit(gtid: str) -> bytes:
+    """Single-shard fast path: commit *gtid* locally, no 2PC."""
+    writer = Writer()
+    writer.raw(bytes([FrameType.SHARD_COMMIT]))
+    writer.string(gtid)
+    return writer.getvalue()
+
+
 def rehydrate_error(error_class: str, message: str) -> Exception:
     """Reconstruct a typed library error from its wire (class, message) pair.
 
-    Unknown classes degrade to :class:`~repro.errors.GemStoneError` so a
-    newer peer never crashes an older one.  Shared by the host connection
-    and the replication shipper.
+    Unknown or unregistered classes degrade to a typed
+    :class:`~repro.errors.FatalError` with the original class name
+    preserved in the message (and on ``original_class``), so a newer peer
+    never crashes an older one — and so retry policy treats an error it
+    cannot classify as non-retryable rather than guessing.  Shared by the
+    host connection, the replication shipper, and the shard links.
     """
     from .. import errors as errors_module
-    from ..errors import GemStoneError
+    from ..errors import FatalError, GemStoneError
 
     cls = getattr(errors_module, error_class, None)
     if isinstance(cls, type) and issubclass(cls, GemStoneError):
@@ -202,12 +295,15 @@ def rehydrate_error(error_class: str, message: str) -> Exception:
             error = cls.__new__(cls)
             Exception.__init__(error, message)
             return error
-    return GemStoneError(f"{error_class}: {message}")
+    error = FatalError(f"{error_class}: {message}")
+    error.original_class = error_class
+    return error
 
 
 #: SEQ flags-byte bits
 _SEQ_HAS_DEADLINE = 0x01
 _SEQ_HAS_REQUEST_ID = 0x02
+_SEQ_HAS_CHANNEL = 0x04
 
 
 def encode_seq(
@@ -215,12 +311,20 @@ def encode_seq(
     inner: bytes,
     deadline: float | None = None,
     request_id: int | None = None,
+    channel: int | None = None,
 ) -> bytes:
     """Wrap any encoded frame in a checksummed sequence envelope.
 
     *request_id* (flags bit 1) carries the observability request ID the
     Executor minted for this exchange, so host-side and Gem-side trace
     spans of one request correlate; old peers ignore the bit.
+
+    *channel* (flags bit 2) names the logical stream the sequence number
+    belongs to, so several conversations with independent counters can
+    multiplex one link — a shard worker receives session-exec traffic and
+    2PC control traffic on the same wire, and its replay cache must never
+    answer stream A's resend with stream B's cached response.  Absent
+    means channel 0 (the single-stream conversations of older peers).
     """
     writer = Writer()
     writer.raw(bytes([FrameType.SEQ]))
@@ -230,11 +334,15 @@ def encode_seq(
         flags |= _SEQ_HAS_DEADLINE
     if request_id is not None:
         flags |= _SEQ_HAS_REQUEST_ID
+    if channel is not None:
+        flags |= _SEQ_HAS_CHANNEL
     writer.raw(bytes([flags]))
     if deadline is not None:
         writer.raw(struct.pack("<d", float(deadline)))
     if request_id is not None:
         writer.uvarint(request_id)
+    if channel is not None:
+        writer.uvarint(channel)
     writer.raw(struct.pack("<I", crc32(inner)))
     writer.raw(inner)
     return writer.getvalue()
@@ -259,6 +367,9 @@ def decode_frame(data: bytes) -> Frame:
             request_id = None
             if flags & _SEQ_HAS_REQUEST_ID:
                 request_id = reader.uvarint()
+            channel = None
+            if flags & _SEQ_HAS_CHANNEL:
+                channel = reader.uvarint()
             (stored_crc,) = struct.unpack("<I", reader.raw(4))
             inner = reader.raw(reader.remaining())
         except CodecError as error:
@@ -270,7 +381,7 @@ def decode_frame(data: bytes) -> Frame:
         decoded = decode_frame(inner)
         return Frame(
             decoded.type, decoded.fields,
-            seq=seq, deadline=deadline, request_id=request_id,
+            seq=seq, deadline=deadline, request_id=request_id, channel=channel,
         )
     fields: dict[str, Any] = {}
     if frame_type is FrameType.LOGIN:
@@ -295,4 +406,20 @@ def decode_frame(data: bytes) -> Frame:
         fields["record"] = reader.raw(reader.remaining())
     elif frame_type is FrameType.SHIP_ACK:
         fields["epoch"] = reader.uvarint()
+    elif frame_type in (FrameType.PREPARE, FrameType.RESOLVE,
+                        FrameType.SHARD_COMMIT):
+        fields["gtid"] = reader.string()
+    elif frame_type is FrameType.VOTE:
+        fields["gtid"] = reader.string()
+        fields["commit"] = reader.byte() == 1
+        fields["read_only"] = reader.byte() == 1
+    elif frame_type in (FrameType.DECIDE, FrameType.RESOLVED):
+        fields["gtid"] = reader.string()
+        fields["commit"] = reader.byte() == 1
+    elif frame_type is FrameType.DECIDE_ACK:
+        fields["gtid"] = reader.string()
+        fields["epoch"] = reader.uvarint()
+    elif frame_type is FrameType.SHARD_EXEC:
+        fields["gtid"] = reader.string()
+        fields["source"] = reader.string()
     return Frame(frame_type, fields)

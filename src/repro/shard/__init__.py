@@ -1,0 +1,42 @@
+"""repro.shard — the object space partitioned across shard workers.
+
+ROADMAP item 1: break the one-process ceiling.  The paper's GemStone is
+Session Managers in front of one Commit Manager whose safe group writes
+make commit atomic on a single disk; here the world's top-level names
+are hash-partitioned across N :class:`~repro.shard.worker.ShardWorker`
+processes (each a complete GemStone on its own platter) behind one
+:class:`~repro.shard.cluster.ShardedGemStone` front end, and a
+transaction spanning shards commits atomically through a
+**presumed-abort two-phase commit** whose decision log is durable via
+the same safe group writes (:mod:`repro.shard.decisions`).
+
+The fault story is swept, not sampled: :func:`run_shard_soak` kills the
+coordinator and each participant at every protocol window and proves —
+after restart and in-doubt resolution — zero committed-transaction
+loss, zero half-committed cross-shard state, and nothing left in doubt.
+``python -m repro.shard --seed N --kill K`` replays any failure.
+
+See docs/sharding.md for the state machine and the recovery matrix.
+"""
+
+from .cluster import ShardedGemStone, ShardedSession
+from .coordinator import TwoPhaseCoordinator
+from .decisions import DecisionLog
+from .partition import route_statement, shard_of, statement_keys
+from .soak import ShardFailure, ShardSoakReport, WindowKiller, run_shard_soak
+from .worker import ShardWorker
+
+__all__ = [
+    "DecisionLog",
+    "ShardFailure",
+    "ShardSoakReport",
+    "ShardWorker",
+    "ShardedGemStone",
+    "ShardedSession",
+    "TwoPhaseCoordinator",
+    "WindowKiller",
+    "route_statement",
+    "run_shard_soak",
+    "shard_of",
+    "statement_keys",
+]

@@ -1,0 +1,366 @@
+"""One logical GemStone over N shard workers.
+
+:class:`ShardedGemStone` assembles the pieces: a worker per partition
+(each a full GemStone on its own simulated disk), the presumed-abort
+coordinator with its durable decision log on a dedicated disk, and the
+SEQ-enveloped links between them — one link per worker carrying two
+channels (session statements, 2PC control) plus a resolution link the
+coordinator serves for restarting participants.
+
+:class:`ShardedSession` is the front end.  It quacks like
+:class:`~repro.db.GemSession` closely enough that the existing
+:class:`~repro.executor.Executor` can serve host links against a
+sharded cluster unchanged: ``execute`` routes each statement to the
+owning shard (see :mod:`repro.shard.partition`), ``commit`` takes the
+single-shard fast path when only one worker participated and otherwise
+runs full 2PC, ``abort`` rolls every participant back.
+
+The restart path mirrors :class:`~repro.db.GemStone.open`: build the
+cluster from the surviving platters (``worker_disks``/
+``decision_disk``), then call :meth:`ShardedGemStone.recover` — every
+worker re-prepares its in-doubt transactions from their durable
+records, RESOLVEs them against the decision log, and the coordinator
+re-delivers any pending logged commits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import (
+    CoordinatorUnavailable,
+    GemStoneError,
+    SessionClosed,
+)
+from ..executor import protocol
+from ..executor.link import make_link
+from ..faults.plan import FaultClock
+from ..obs import Observability
+from .coordinator import TwoPhaseCoordinator, in_doubt_error
+from .decisions import DecisionLog
+from .partition import route_statement
+from .rpc import CoordinatorKilled, RequestChannel, WorkerKilled
+from .worker import ShardWorker
+
+#: channel ids multiplexed on each worker link
+EXEC_CHANNEL = 0
+TWOPC_CHANNEL = 1
+RESOLVE_CHANNEL = 2
+
+
+class _SessionInfo:
+    """The ``session.session`` shim the Executor front end expects."""
+
+    def __init__(self, session_id: int) -> None:
+        self.session_id = session_id
+
+
+class ShardedGemStone:
+    """A cluster of shard workers behind one session interface."""
+
+    def __init__(
+        self,
+        shard_count: int = 2,
+        track_count: int = 1024,
+        track_size: int = 512,
+        killer=None,
+        clock: Optional[FaultClock] = None,
+        worker_disks=None,
+        decision_disk=None,
+        generation: int = 0,
+        deadline: float = 8.0,
+        tracing: bool = False,
+    ) -> None:
+        if worker_disks is not None:
+            shard_count = len(worker_disks)
+        self.shard_count = shard_count
+        self.generation = generation
+        self.killer = killer
+        self.clock = clock or FaultClock()
+        self.obs = Observability(tracing=tracing)
+        self._session_counter = 0
+        self._gtid_counter = 0
+        self._commit_counter = 0
+        self.single_shard_commits = 0
+        self.cross_shard_commits = 0
+
+        # workers: fresh partitions, or reopened surviving platters
+        self.workers: list[ShardWorker] = []
+        for shard_id in range(shard_count):
+            if worker_disks is None:
+                worker = ShardWorker(
+                    shard_id,
+                    track_count=track_count,
+                    track_size=track_size,
+                    killer=killer,
+                )
+            else:
+                worker = ShardWorker.reopen(
+                    shard_id, worker_disks[shard_id], killer=killer
+                )
+            self.workers.append(worker)
+
+        # the coordinator and its durable decision log
+        if decision_disk is None:
+            from ..storage.disk import DiskGeometry, SimulatedDisk
+
+            decision_disk = SimulatedDisk(
+                DiskGeometry(track_count=128, track_size=track_size)
+            )
+            log = DecisionLog.create(decision_disk)
+        else:
+            log = DecisionLog.open(decision_disk)
+        self.decision_disk = decision_disk
+        self.coordinator = TwoPhaseCoordinator(log, killer=killer, obs=self.obs)
+
+        # links: one duplex pair per worker (two channels), plus a
+        # resolution pair the coordinator serves; retries on every
+        # channel pace through govern's seeded jittered backoff
+        from ..govern import CommitPolicy
+
+        self.retry_policy = CommitPolicy(seed=self.generation)
+        self.exec_channels: list[RequestChannel] = []
+        self._resolve_channels: list[RequestChannel] = []
+        self._worker_ends = []
+        self._resolution_ends = []
+        for shard_id, worker in enumerate(self.workers):
+            client_end, worker_end = make_link()
+            self._worker_ends.append(worker_end)
+            pump = self._worker_pump(shard_id)
+            self.exec_channels.append(
+                RequestChannel(
+                    client_end, pump, self.clock,
+                    channel=EXEC_CHANNEL, deadline=deadline,
+                    policy=self.retry_policy,
+                )
+            )
+            self.coordinator.attach(
+                shard_id,
+                RequestChannel(
+                    client_end, pump, self.clock,
+                    channel=TWOPC_CHANNEL, deadline=deadline,
+                    policy=self.retry_policy,
+                ),
+            )
+            worker_res_end, coord_res_end = make_link()
+            self._resolution_ends.append(coord_res_end)
+            self._resolve_channels.append(
+                RequestChannel(
+                    worker_res_end,
+                    self._resolution_pump(shard_id),
+                    self.clock,
+                    channel=RESOLVE_CHANNEL,
+                    deadline=deadline,
+                    unavailable=CoordinatorUnavailable,
+                    policy=self.retry_policy,
+                )
+            )
+
+    # -- pumps (the in-process links are synchronous) ------------------------
+
+    def _worker_pump(self, shard_id: int):
+        def pump() -> None:
+            worker = self.workers[shard_id]
+            if not worker.alive:
+                return
+            try:
+                worker.serve(self._worker_ends[shard_id])
+            except WorkerKilled:
+                worker.alive = False
+
+        return pump
+
+    def _resolution_pump(self, shard_id: int):
+        def pump() -> None:
+            if not self.coordinator.alive:
+                return
+            self.coordinator.serve_resolution(
+                self._resolution_ends[shard_id]
+            )
+
+        return pump
+
+    # -- sessions ------------------------------------------------------------
+
+    def login(self, user=None, password=None) -> "ShardedSession":
+        """Open a sharded session (credentials accepted for Executor
+        compatibility; authorization is each worker's concern)."""
+        self._session_counter += 1
+        return ShardedSession(self, self._session_counter)
+
+    def next_gtid(self) -> str:
+        """A cluster-unique global transaction id.
+
+        The generation prefix keeps ids from a restarted cluster
+        disjoint from its previous life's in-doubt ids.
+        """
+        self._gtid_counter += 1
+        return f"g{self.generation}.{self._gtid_counter}"
+
+    # -- recovery --------------------------------------------------------------
+
+    def recover(self) -> dict[str, int]:
+        """Resolve every in-doubt transaction after a restart.
+
+        Each worker asks the coordinator about its re-prepared gtids
+        (commit if logged, abort presumed otherwise); the coordinator
+        then re-delivers DECIDE for any logged commits still pending
+        acknowledgement.  Returns ``{"resolved": ..., "settled": ...}``.
+        """
+        resolved = 0
+        for shard_id, worker in enumerate(self.workers):
+            resolved += worker.resolve_with(self._resolve_channels[shard_id])
+        settled = self.coordinator.settle()
+        self._publish_gauges()
+        return {"resolved": resolved, "settled": settled}
+
+    def in_doubt(self) -> dict[int, list[str]]:
+        """Per-shard gtids still awaiting a decision (empty when clean)."""
+        return {
+            worker.shard_id: worker.in_doubt()
+            for worker in self.workers
+            if worker.in_doubt()
+        }
+
+    # -- observability ----------------------------------------------------------
+
+    def _publish_gauges(self) -> None:
+        registry = self.obs.registry
+        registry.set_gauge(
+            "shard.in_doubt",
+            sum(len(gtids) for gtids in self.in_doubt().values()),
+        )
+        registry.set_gauge(
+            "shard.decision_log_pending", len(self.coordinator.log.pending())
+        )
+        for worker in self.workers:
+            registry.set_gauge(
+                f"shard.{worker.shard_id}.commits",
+                worker.db.transaction_manager.stats.commits,
+            )
+
+    def shard_report(self) -> dict[str, Any]:
+        """The ``shard`` observability section (see docs/sharding.md)."""
+        total = self.single_shard_commits + self.cross_shard_commits
+        return {
+            "shard_count": self.shard_count,
+            "generation": self.generation,
+            "single_shard_commits": self.single_shard_commits,
+            "cross_shard_commits": self.cross_shard_commits,
+            "cross_shard_ratio": (
+                self.cross_shard_commits / total if total else 0.0
+            ),
+            "in_doubt": sum(
+                len(gtids) for gtids in self.in_doubt().values()
+            ),
+            "coordinator": self.coordinator.report(),
+            "per_shard": [worker.report() for worker in self.workers],
+        }
+
+    def observability(self) -> dict[str, Any]:
+        """A cluster-level snapshot: counters plus the shard section."""
+        self._publish_gauges()
+        return {
+            "counters": self.obs.registry.snapshot(),
+            "shard": self.shard_report(),
+        }
+
+
+class ShardedSession:
+    """The GemSession-shaped front end over the cluster."""
+
+    def __init__(self, cluster: ShardedGemStone, session_id: int) -> None:
+        self.cluster = cluster
+        #: the Executor reads ``session.engine`` and
+        #: ``session.session.session_id``; sharded execution has no
+        #: single engine, and results print via their wire displays
+        self.engine = None
+        self.session = _SessionInfo(session_id)
+        self.last_display = ""
+        self._gtid: Optional[str] = None
+        self._participants: list[int] = []
+        self._closed = False
+
+    # -- the language interface -------------------------------------------------
+
+    def execute(self, source: str, bindings=None) -> Any:
+        """Route one statement to its owning shard and run it there."""
+        if self._closed:
+            raise SessionClosed("session is closed")
+        shard_id = route_statement(source, self.cluster.shard_count)
+        if self._gtid is None:
+            self._gtid = self.cluster.next_gtid()
+        if shard_id not in self._participants:
+            self._participants.append(shard_id)
+        reply = self.cluster.exec_channels[shard_id].request(
+            protocol.encode_shard_exec(self._gtid, source)
+        )
+        self.last_display = reply.fields["display"]
+        return reply.fields["value"]
+
+    def display(self, value: Any) -> str:
+        """The printString of the last result (wire display)."""
+        if value is None:
+            return "nil"
+        return self.last_display or repr(value)
+
+    # -- transactions --------------------------------------------------------------
+
+    def commit(self) -> Optional[int]:
+        """Commit: single-shard fast path, or presumed-abort 2PC.
+
+        Returns a monotone commit stamp.  Raises
+        :class:`~repro.errors.TransactionConflict` on a no-vote,
+        :class:`~repro.errors.ShardUnavailable` when a participant died
+        before the decision (the transaction aborted), and
+        :class:`~repro.errors.TransactionInDoubt` when the coordinator
+        died after prepares went out.
+        """
+        gtid, participants = self._gtid, self._participants
+        self._gtid, self._participants = None, []
+        if gtid is None:
+            return None  # nothing executed: trivially committed
+        cluster = self.cluster
+        if len(participants) == 1:
+            reply = cluster.exec_channels[participants[0]].request(
+                protocol.encode_shard_commit(gtid)
+            )
+            cluster.single_shard_commits += 1
+            cluster.obs.registry.inc("shard.single_shard_commits")
+            cluster._commit_counter += 1
+            return reply.fields["tx_time"]
+        try:
+            cluster.coordinator.commit(gtid, participants)
+        except CoordinatorKilled:
+            cluster.coordinator.alive = False
+            raise in_doubt_error(gtid)
+        cluster.cross_shard_commits += 1
+        cluster.obs.registry.inc("shard.cross_shard_commits")
+        cluster._commit_counter += 1
+        return cluster._commit_counter
+
+    def abort(self) -> None:
+        """Roll back every participant's piece of the transaction."""
+        gtid, participants = self._gtid, self._participants
+        self._gtid, self._participants = None, []
+        if gtid is None:
+            return
+        for shard_id in participants:
+            try:
+                self.cluster.exec_channels[shard_id].request(
+                    protocol.encode_decide(gtid, False)
+                )
+            except GemStoneError:
+                pass  # a dead shard's workspace dies with it
+
+    def close(self) -> None:
+        """End the session, discarding any in-flight work."""
+        if not self._closed:
+            self.abort()
+            self._closed = True
+
+    def __enter__(self) -> "ShardedSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,71 @@
+"""Partitioning the object space: hash of GOOP name → shard.
+
+The paper's GemStone is one process with one Commit Manager; ROADMAP
+item 1 breaks that ceiling by splitting the world's top-level names
+across N shard workers.  The partitioning unit is the *root binding*: a
+statement's ``World!name`` references name the GOOPs it touches, and a
+stable hash of the name picks the owning shard.  Everything reachable
+only through a root binding lives with it — the OverRelational
+Manifesto's "one logical object space, physically distributed".
+
+A single statement must route to exactly one shard (it executes inside
+one worker's OPAL engine).  A *transaction* spans shards by issuing
+several statements, each individually routable; the cross-shard atomic
+commit is :mod:`repro.shard.coordinator`'s job.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+
+from ..errors import ShardRoutingError
+
+#: top-level world bindings a statement touches (``World!name`` syntax)
+KEY_PATTERN = re.compile(r"World!([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def shard_of(key: str, shard_count: int) -> int:
+    """The shard owning world binding *key*: a stable content hash.
+
+    SHA-256 (not Python's randomized ``hash``) so the placement is
+    identical across processes and runs — a restarted worker must find
+    its own data.
+    """
+    if shard_count < 1:
+        raise ShardRoutingError("shard_count must be at least 1")
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shard_count
+
+
+def statement_keys(source: str) -> list[str]:
+    """The world bindings *source* references, in order, deduplicated."""
+    seen: list[str] = []
+    for key in KEY_PATTERN.findall(source):
+        if key not in seen:
+            seen.append(key)
+    return seen
+
+
+def route_statement(source: str, shard_count: int) -> int:
+    """The single shard that must execute *source*.
+
+    A statement naming no world binding routes to shard 0 (it touches
+    only temporaries).  A statement whose bindings hash to different
+    shards cannot execute anywhere and raises
+    :class:`~repro.errors.ShardRoutingError` — split it into one
+    statement per shard.
+    """
+    keys = statement_keys(source)
+    if not keys:
+        return 0
+    shards = {shard_of(key, shard_count) for key in keys}
+    if len(shards) > 1:
+        placed = ", ".join(
+            f"{key}→{shard_of(key, shard_count)}" for key in keys
+        )
+        raise ShardRoutingError(
+            f"statement touches bindings on {len(shards)} shards ({placed}); "
+            "issue one statement per shard"
+        )
+    return shards.pop()

@@ -1,0 +1,325 @@
+"""The 2PC crash sweep: kill everyone everywhere, leave nothing torn.
+
+Following :mod:`repro.dr.soak`'s discipline, robustness is *swept*, not
+sampled: a seeded workload of single- and cross-shard transactions runs
+against a cluster whose :class:`WindowKiller` counts every protocol
+window — before/after each participant's prepared-record persist,
+between votes, before/after the coordinator's decision persist, and
+between each DECIDE of the fan-out — and one run is executed per
+window, killing whichever node owns it at exactly that instant.  The
+cluster is then restarted from the surviving platters and recovered,
+and the invariants are checked:
+
+1. **no transaction left in doubt** — after recovery + resolution,
+   every shard's prepared set and durable prepared record are empty;
+2. **zero half-committed cross-shard state** — each transaction's keys
+   are all present (with the right values) or all absent, across all
+   its shards;
+3. **zero committed-transaction loss** — every commit the client saw
+   succeed is fully present after recovery;
+4. **presumed abort is safe** — a transaction the client saw fail is
+   either fully absent or fully present (the in-doubt window can land
+   either way), never split;
+5. **liveness** — the recovered cluster commits a fresh cross-shard
+   transaction.
+
+Every violated invariant carries a copy-pasteable reproducer
+(``python -m repro.shard --seed N --kill K``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import GemStoneError
+from .cluster import ShardedGemStone
+from .partition import shard_of
+from .rpc import CoordinatorKilled, WorkerKilled
+
+
+class WindowKiller:
+    """Counts protocol windows; kills one node at exactly one of them."""
+
+    def __init__(self, kill_at: Optional[int] = None) -> None:
+        self.kill_at = kill_at
+        self.count = 0
+        self.fired: Optional[tuple[str, object]] = None
+        self.log: list[tuple[str, object]] = []
+
+    def window(self, name: str, victim) -> None:
+        """One protocol window; *victim* is ``"coord"`` or a shard id."""
+        if self.fired is not None:
+            return  # the dead stay dead; recovery runs unimpeded
+        index = self.count
+        self.count += 1
+        self.log.append((name, victim))
+        if index == self.kill_at:
+            self.fired = (name, victim)
+            if victim == "coord":
+                raise CoordinatorKilled(f"coordinator died at {name}")
+            raise WorkerKilled(f"shard {victim} died at {name}")
+
+
+@dataclass
+class ShardFailure:
+    """One violated invariant, with its reproducer."""
+
+    kill_point: int
+    window: str
+    victim: str
+    invariant: str
+    detail: str
+    reproducer: str
+
+    def describe(self) -> str:
+        return (
+            f"kill={self.kill_point} ({self.window} of {self.victim}): "
+            f"{self.invariant} — {self.detail}\n"
+            f"  reproduce: {self.reproducer}"
+        )
+
+
+@dataclass
+class ShardSoakReport:
+    """What the crash sweep observed."""
+
+    seed: int
+    shards: int
+    transactions: int
+    total_windows: int  #: protocol windows in the uninterrupted run
+    kill_points_run: int = 0
+    acked_checked: int = 0
+    in_doubt_resolved: int = 0
+    liveness_commits: int = 0
+    failures: list[ShardFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def digest(self) -> dict:
+        """JSON-ready summary for benchmarks and CI."""
+        return {
+            "seed": self.seed,
+            "shards": self.shards,
+            "transactions": self.transactions,
+            "total_windows": self.total_windows,
+            "kill_points_run": self.kill_points_run,
+            "acked_checked": self.acked_checked,
+            "in_doubt_resolved": self.in_doubt_resolved,
+            "liveness_commits": self.liveness_commits,
+            "failures": len(self.failures),
+            "ok": self.ok,
+        }
+
+
+def _workload(seed: int, shards: int, transactions: int):
+    """Seeded transactions, each writing unique keys.
+
+    Key names are unique per transaction, so presence of a key proves
+    its transaction landed — atomicity and loss checks need no diffing.
+    Key counts vary so the mix exercises both the single-shard fast
+    path and genuine cross-shard 2PC.
+    """
+    rng = random.Random(seed)
+    plan = []
+    for t in range(transactions):
+        keys = [f"t{t}k{i}_{rng.randrange(1000)}" for i in range(rng.randint(1, 3))]
+        expected = {key: f"s{seed}_t{t}_{key}" for key in keys}
+        statements = [
+            f"World!{key} := '{value}'" for key, value in expected.items()
+        ]
+        plan.append((t, statements, expected))
+    return plan
+
+
+def _reproducer(seed: int, kill: int) -> str:
+    return f"python -m repro.shard --seed {seed} --kill {kill}"
+
+
+def _drive(seed, shards, transactions, kill_at, track_count, track_size):
+    """One cluster driven through the workload until the kill (if any)."""
+    killer = WindowKiller(kill_at)
+    cluster = ShardedGemStone(
+        shard_count=shards,
+        track_count=track_count,
+        track_size=track_size,
+        killer=killer,
+    )
+    session = cluster.login()
+    outcomes: dict[int, str] = {}
+    for t, statements, _expected in _workload(seed, shards, transactions):
+        try:
+            for statement in statements:
+                session.execute(statement)
+            session.commit()
+            outcomes[t] = "acked"
+        except GemStoneError as error:
+            outcomes[t] = type(error).__name__
+            try:
+                session.abort()
+            except GemStoneError:
+                pass  # a dead shard's workspace dies with it
+    return cluster, killer, outcomes
+
+
+def _check_recovered(report, kill, killer, cluster, outcomes, workload, seed):
+    """Restart from the surviving platters; verify every invariant."""
+    window, victim = killer.fired if killer.fired else ("none", "-")
+
+    def fail(invariant: str, detail: str) -> None:
+        report.failures.append(
+            ShardFailure(
+                kill, window, str(victim), invariant, detail,
+                _reproducer(seed, kill),
+            )
+        )
+
+    try:
+        recovered = ShardedGemStone(
+            worker_disks=[worker.disk for worker in cluster.workers],
+            decision_disk=cluster.decision_disk,
+            generation=cluster.generation + 1,
+        )
+        stats = recovered.recover()
+    except Exception as error:  # noqa: BLE001 — report, keep sweeping
+        fail("recovery", f"restart raised {error!r}")
+        return
+    report.in_doubt_resolved += stats["resolved"]
+
+    # 1. nothing left in doubt, in memory or durably
+    leftover = recovered.in_doubt()
+    if leftover:
+        fail("in-doubt-resolved", f"still prepared after recovery: {leftover}")
+    for worker in recovered.workers:
+        if worker._durable_prepared:
+            fail(
+                "in-doubt-resolved",
+                f"shard {worker.shard_id} kept durable prepared records "
+                f"{sorted(worker._durable_prepared)}",
+            )
+
+    # 2–4. atomicity, zero acked loss, presumed-abort safety
+    checker = recovered.login()
+    for t, _statements, expected in workload:
+        values = {key: checker.execute(f"World!{key}") for key in expected}
+        checker.abort()
+        landed = [key for key in expected if values[key] == expected[key]]
+        stray = [
+            key for key in expected
+            if values[key] is not None and values[key] != expected[key]
+        ]
+        if stray:
+            fail(
+                "atomicity",
+                f"txn {t} keys hold foreign values: "
+                + ", ".join(f"{k}={values[k]!r}" for k in stray),
+            )
+        if landed and len(landed) != len(expected):
+            fail(
+                "atomicity",
+                f"txn {t} half-committed: {len(landed)}/{len(expected)} "
+                f"keys present ({sorted(landed)})",
+            )
+        if outcomes.get(t) == "acked":
+            report.acked_checked += 1
+            if len(landed) != len(expected):
+                fail(
+                    "zero-acked-loss",
+                    f"txn {t} was client-acknowledged but only "
+                    f"{len(landed)}/{len(expected)} keys survived recovery",
+                )
+
+    # 5. liveness: a fresh cross-shard commit must succeed
+    liveness = recovered.login()
+    try:
+        probe = 0
+        placed: set[int] = set()
+        statements = []
+        while len(placed) < min(2, recovered.shard_count):
+            key = f"live{kill}_{probe}"
+            shard = shard_of(key, recovered.shard_count)
+            if shard not in placed:
+                placed.add(shard)
+                statements.append(f"World!{key} := 'alive'")
+            probe += 1
+        for statement in statements:
+            liveness.execute(statement)
+        liveness.commit()
+        report.liveness_commits += 1
+    except GemStoneError as error:
+        fail(
+            "post-recovery-liveness",
+            f"fresh cross-shard commit failed: {type(error).__name__}: {error}",
+        )
+
+
+def run_shard_soak(
+    seed: int = 2026,
+    shards: int = 3,
+    transactions: int = 6,
+    track_count: int = 1024,
+    track_size: int = 512,
+    stride: int = 1,
+    kill_points: Optional[list[int]] = None,
+) -> ShardSoakReport:
+    """Sweep every protocol window; verify the invariants at each.
+
+    *stride* subsamples windows (smoke runs); *kill_points* replaces the
+    sweep with explicit window indexes — the CLI's ``--kill`` handle.
+    """
+    workload = _workload(seed, shards, transactions)
+
+    # the uninterrupted run: the window census + a sanity baseline
+    clean_cluster, clean_killer, clean_outcomes = _drive(
+        seed, shards, transactions, None, track_count, track_size
+    )
+    total_windows = clean_killer.count
+    report = ShardSoakReport(
+        seed=seed,
+        shards=shards,
+        transactions=transactions,
+        total_windows=total_windows,
+    )
+    not_acked = [t for t, outcome in clean_outcomes.items() if outcome != "acked"]
+    if not_acked:
+        report.failures.append(
+            ShardFailure(
+                -1, "clean", "-", "clean-run",
+                f"transactions {not_acked} failed with nobody killed: "
+                f"{ {t: clean_outcomes[t] for t in not_acked} }",
+                _reproducer(seed, -1),
+            )
+        )
+        return report
+
+    if kill_points is None:
+        sweep = list(range(0, total_windows, stride))
+    else:
+        bad = [k for k in kill_points if not 0 <= k < total_windows]
+        if bad:
+            raise ValueError(
+                f"kill points {bad} outside the run's {total_windows} windows"
+            )
+        sweep = sorted(set(kill_points))
+
+    for kill in sweep:
+        report.kill_points_run += 1
+        cluster, killer, outcomes = _drive(
+            seed, shards, transactions, kill, track_count, track_size
+        )
+        if killer.fired is None:
+            report.failures.append(
+                ShardFailure(
+                    kill, "none", "-", "kill-armed",
+                    "the run finished without reaching its kill window",
+                    _reproducer(seed, kill),
+                )
+            )
+            continue
+        _check_recovered(
+            report, kill, killer, cluster, outcomes, workload, seed
+        )
+    return report

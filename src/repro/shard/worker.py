@@ -1,0 +1,273 @@
+"""A shard worker: one GemStone owning one partition of the object space.
+
+The worker is the paper's whole Session-Manager-plus-Commit-Manager
+stack, shrunk to a partition: it executes the statements routed to it
+inside its own OPAL engine and commits locally through its own safe
+group writes.  Every global transaction gets its **own worker-side
+GemSession** (created on first SHARD_EXEC, retired on commit/abort), so
+concurrent cluster sessions are isolated exactly like concurrent local
+sessions — the OCC validation and contention machinery apply unchanged.
+
+On top of that the worker is a **2PC participant**:
+
+* ``PREPARE`` validates the transaction's session with the OCC manager
+  and detaches it as a :class:`~repro.concurrency.transactions.\
+PreparedTransaction` (a lock every later validation respects), then
+  durably records the transaction's statements on the shard's system
+  object *before* voting yes — a restarted worker replays that record,
+  re-executes, re-prepares (re-acquiring its locks ahead of any new
+  traffic) and asks the coordinator to RESOLVE.
+* ``DECIDE commit`` applies the prepared workspace and clears the
+  durable prepared record in the *same* safe group write, so no crash
+  can leave the record and the data disagreeing; ``DECIDE abort``
+  drops the workspace (and rolls back an unprepared transaction's live
+  session, which doubles as the client's plain abort).
+
+Crash windows (the soak's kill points) sit exactly where the protocol
+state changes hands: before/after the prepared-record persist and
+before/after the decision apply.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..db import GemStone
+from ..errors import TransactionConflict
+from ..executor import protocol
+from ..executor.protocol import Frame, FrameType
+from ..storage.disk import DiskGeometry, SimulatedDisk
+from .rpc import ReplayServer
+
+#: system-object binding holding the durable prepared-transaction record
+PREPARED_KEY = "prepared_2pc"
+
+
+class ShardWorker:
+    """One shard: a private GemStone plus the 2PC participant protocol."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        disk=None,
+        track_count: int = 1024,
+        track_size: int = 512,
+        killer=None,
+    ) -> None:
+        self.shard_id = shard_id
+        if disk is None:
+            disk = SimulatedDisk(
+                DiskGeometry(track_count=track_count, track_size=track_size)
+            )
+            self.db = GemStone.create(disk=disk)
+        else:
+            self.db = GemStone.open(disk)
+        self.disk = disk
+        self.killer = killer
+        self.alive = True
+        #: gtid -> the worker-side session running that transaction
+        self._sessions: dict[str, object] = {}
+        #: gtid -> statements executed into the live workspace (pre-prepare)
+        self._pending: dict[str, list[str]] = {}
+        #: gtid -> statements, mirrored durably on the system object
+        self._durable_prepared: dict[str, list[str]] = {}
+        self.server = ReplayServer(self._handle)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @classmethod
+    def reopen(cls, shard_id: int, disk, killer=None) -> "ShardWorker":
+        """Restart a crashed worker from its platter.
+
+        Recovery re-acquires every in-doubt transaction's locks *before*
+        the worker serves any new traffic: the durable prepared record
+        is read back, each transaction's statements are re-executed and
+        re-prepared, and the caller then RESOLVEs each gtid against the
+        coordinator's decision log.
+        """
+        worker = cls(shard_id, disk=disk, killer=killer)
+        record = worker._system().value_at(PREPARED_KEY)
+        if isinstance(record, str) and record:
+            worker._durable_prepared = {
+                gtid: list(statements)
+                for gtid, statements in json.loads(record).items()
+            }
+        tm = worker.db.transaction_manager
+        for gtid in sorted(worker._durable_prepared):
+            session = worker.db.login()
+            for statement in worker._durable_prepared[gtid]:
+                session.execute(statement)
+            tm.prepare(session.session, gtid)
+            session.close()
+        return worker
+
+    def in_doubt(self) -> list[str]:
+        """Gtids this worker holds prepared, awaiting a decision."""
+        return self.db.transaction_manager.in_doubt()
+
+    # -- serving ------------------------------------------------------------
+
+    def serve(self, link_end) -> None:
+        """Drain the worker's link; a dead worker stops answering."""
+        if not self.alive:
+            return
+        self.server.serve(link_end)
+
+    def _window(self, name: str) -> None:
+        if self.killer is not None:
+            self.killer.window(name, self.shard_id)
+
+    def _handle(self, frame: Frame) -> bytes:
+        if frame.type is FrameType.SHARD_EXEC:
+            return self._exec(frame.fields["gtid"], frame.fields["source"])
+        if frame.type is FrameType.SHARD_COMMIT:
+            return self._local_commit(frame.fields["gtid"])
+        if frame.type is FrameType.PREPARE:
+            return self._prepare(frame.fields["gtid"])
+        if frame.type is FrameType.DECIDE:
+            return self._decide(frame.fields["gtid"], frame.fields["commit"])
+        return protocol.encode_error(
+            "ProtocolError", f"unexpected frame {frame.type.name}"
+        )
+
+    # -- statements and the single-shard fast path ---------------------------
+
+    def _session_for(self, gtid: str):
+        session = self._sessions.get(gtid)
+        if session is None:
+            session = self.db.login()
+            self._sessions[gtid] = session
+        return session
+
+    def _retire(self, gtid: str) -> None:
+        session = self._sessions.pop(gtid, None)
+        if session is not None:
+            session.close()
+        self._pending.pop(gtid, None)
+
+    def _exec(self, gtid: str, source: str) -> bytes:
+        session = self._session_for(gtid)
+        value = session.execute(source)
+        self._pending.setdefault(gtid, []).append(source)
+        return protocol.encode_result(value, session.display(value))
+
+    def _local_commit(self, gtid: str) -> bytes:
+        """A transaction whose statements all landed here commits locally
+        — one participant needs no coordinator, no decision log, no
+        second phase (the classic single-shard fast path)."""
+        session = self._session_for(gtid)
+        try:
+            tx_time = session.commit()  # conflicts raise → ERROR frame
+        finally:
+            self._retire(gtid)
+        return protocol.encode_committed(tx_time)
+
+    # -- the participant protocol --------------------------------------------
+
+    def _prepare(self, gtid: str) -> bytes:
+        tm = self.db.transaction_manager
+        session = self._sessions.get(gtid)
+        if session is None:
+            if gtid in tm.in_doubt():
+                return protocol.encode_vote(gtid, True)  # idempotent
+            # nothing ever executed here for this gtid: hold no locks
+            return protocol.encode_vote(gtid, True, read_only=True)
+        try:
+            prepared = tm.prepare(session.session, gtid)
+        except TransactionConflict:
+            self._retire(gtid)
+            return protocol.encode_vote(gtid, False)
+        if prepared is None:
+            # read-only participant: vote yes, skip phase two entirely
+            self._retire(gtid)
+            return protocol.encode_vote(gtid, True, read_only=True)
+        self._window("prepare.before_persist")
+        statements = self._pending.pop(gtid, [])
+        self._durable_prepared[gtid] = statements
+        self._persist_prepared()
+        self._window("prepare.after_persist")
+        self._retire(gtid)
+        return protocol.encode_vote(gtid, True)
+
+    def _decide(self, gtid: str, commit: bool) -> bytes:
+        tm = self.db.transaction_manager
+        if commit:
+            if gtid in tm.in_doubt():
+                self._window("decide.before_apply")
+                tm.commit_prepared(gtid, extra_dirty=self._clearing(gtid))
+                self._durable_prepared.pop(gtid, None)
+                self._window("decide.after_apply")
+            # else: already applied (a resolve or replay raced the
+            # coordinator's retry) — acknowledge idempotently
+        else:
+            if tm.abort_prepared(gtid):
+                self._durable_prepared.pop(gtid, None)
+                self._persist_prepared()
+            else:
+                # never prepared: roll back the live workspace
+                self._retire(gtid)
+        return protocol.encode_decide_ack(
+            gtid, self.db.store.commit_manager.current_epoch
+        )
+
+    def resolve_with(self, channel) -> int:
+        """Ask the coordinator about every in-doubt gtid; apply answers.
+
+        *channel* is a :class:`~repro.shard.rpc.RequestChannel` to the
+        coordinator's resolution server.  Returns how many transactions
+        were resolved; raises
+        :class:`~repro.errors.CoordinatorUnavailable` (leaving the rest
+        in doubt, still locked) when the coordinator is down.
+        """
+        resolved = 0
+        for gtid in self.in_doubt():
+            reply = channel.request(protocol.encode_resolve(gtid))
+            self._decide(gtid, reply.fields["commit"])
+            resolved += 1
+        return resolved
+
+    # -- durable prepared record ----------------------------------------------
+
+    def _system(self):
+        return self.db.store.object(self.db.store.catalog["system"])
+
+    def _clearing(self, gtid: str):
+        """An ``extra_dirty`` hook: rebind the prepared record *without*
+        *gtid* at the commit's own tx_time, joining its group write."""
+
+        def bind(tx_time: int) -> list:
+            remaining = {
+                key: value
+                for key, value in self._durable_prepared.items()
+                if key != gtid
+            }
+            system = self._system()
+            system.bind(PREPARED_KEY, json.dumps(remaining), tx_time)
+            return [system]
+
+        return bind
+
+    def _persist_prepared(self) -> None:
+        tm = self.db.transaction_manager
+        tx_time = tm.clock.assign()
+        system = self._system()
+        system.bind(PREPARED_KEY, json.dumps(self._durable_prepared), tx_time)
+        self.db.store.persist([system], tx_time)
+
+    # -- reporting -------------------------------------------------------------
+
+    def report(self) -> dict:
+        """Per-shard counters for observability and the soak digest."""
+        stats = self.db.transaction_manager.stats
+        return {
+            "shard_id": self.shard_id,
+            "alive": self.alive,
+            "commits": stats.commits,
+            "aborts": stats.aborts,
+            "prepares": stats.prepares,
+            "prepared_commits": stats.prepared_commits,
+            "prepared_aborts": stats.prepared_aborts,
+            "live_sessions": len(self._sessions),
+            "in_doubt": len(self.in_doubt()),
+            "epoch": self.db.store.commit_manager.current_epoch,
+        }

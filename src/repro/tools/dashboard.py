@@ -109,6 +109,39 @@ def render_snapshot(snap: dict[str, Any], width: int = 72) -> str:
                 f"  {replica.get('bytes_stored', 0)} bytes"
             )
 
+    shard = snap.get("shard", {})
+    if shard:
+        lines += _section(
+            f"shards ({shard.get('shard_count', 0)} workers, "
+            f"generation {shard.get('generation', 0)})"
+        )
+        lines.append(
+            f"  commits: single-shard {shard.get('single_shard_commits', 0)}"
+            f"  cross-shard {shard.get('cross_shard_commits', 0)}"
+            f"  ({_pct(shard.get('cross_shard_ratio', 0.0))} cross)"
+            f"  in-doubt {shard.get('in_doubt', 0)}"
+        )
+        coordinator = shard.get("coordinator", {})
+        lines.append(
+            f"  coordinator: decided {coordinator.get('commits', 0)} commit"
+            f" / {coordinator.get('aborts', 0)} abort"
+            f"  resolutions {coordinator.get('resolutions', 0)}"
+            f"  log pending {coordinator.get('pending', 0)}"
+            f" (forgot {coordinator.get('forgotten', 0)})"
+            + ("" if coordinator.get("alive", True) else "  [DOWN]")
+        )
+        for worker in shard.get("per_shard", []):
+            lines.append(
+                f"  shard {worker.get('shard_id', '?')}:"
+                f" commits {worker.get('commits', 0)}"
+                f"  prepares {worker.get('prepares', 0)}"
+                f" ({worker.get('prepared_commits', 0)}c"
+                f"/{worker.get('prepared_aborts', 0)}a)"
+                f"  sessions {worker.get('live_sessions', 0)}"
+                f"  in-doubt {worker.get('in_doubt', 0)}"
+                + ("" if worker.get("alive", True) else "  [DOWN]")
+            )
+
     gov = snap.get("governance", {})
     lines += _section("governance")
     admission = gov.get("admission", {})

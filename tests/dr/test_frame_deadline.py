@@ -1,0 +1,110 @@
+"""Per-frame deadlines on the shipping link: a dead replica cannot wedge
+the commit path — the SEQ deadline machinery cuts the retry loop short
+and surfaces the typed :class:`~repro.errors.ReplicaNotAcknowledged`.
+"""
+
+import pytest
+
+from repro.db import GemStone
+from repro.errors import ReplicaNotAcknowledged
+from repro.faults.plan import FaultClock
+
+
+class DeadableLink:
+    """A link wrapper with a kill switch: dead means silently dropped."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.dead = False
+        self.dropped = 0
+
+    def send(self, frame):
+        if self.dead:
+            self.dropped += 1
+            return
+        self.inner.send(frame)
+
+    def receive(self):
+        if self.dead:
+            return None
+        return self.inner.receive()
+
+
+class TestFrameDeadline:
+    def build(self, frame_deadline=3.0, max_attempts=None):
+        db = GemStone.create()
+        clock = FaultClock()
+        holder = {}
+
+        def wrap(link):
+            holder["link"] = DeadableLink(link)
+            return holder["link"]
+
+        shipper = db.enable_replication(
+            link_wrapper=wrap, clock=clock, frame_deadline=frame_deadline
+        )
+        if max_attempts is not None:
+            shipper.max_attempts = max_attempts
+        return db, shipper, holder["link"], clock
+
+    def test_dead_replica_fails_the_commit_within_the_deadline(self):
+        db, shipper, link, clock = self.build(frame_deadline=3.0)
+        session = db.login()
+        session.execute("World!before := 1")
+        session.commit()  # replica alive: ships fine
+        acked_before = shipper.acked_epoch
+        link.dead = True
+        session.execute("World!after := 2")
+        with pytest.raises(ReplicaNotAcknowledged):
+            session.commit()
+        assert shipper.deadline_failures == 1
+        # the record never reached the replica and the client never saw
+        # the commit succeed (local root durable, unacknowledged)
+        assert shipper.acked_epoch == acked_before
+        assert db.transaction_manager.stats.storage_failures == 1
+
+    def test_deadline_cuts_the_retry_budget_short(self):
+        # retry_delay=1 per attempt, deadline=3 units: the shipper must
+        # give up after ~3 retries even with a 50-attempt budget
+        db, shipper, link, clock = self.build(
+            frame_deadline=3.0, max_attempts=50
+        )
+        shipper.retry_delay = 1.0
+        link.dead = True
+        session = db.login()
+        session.execute("World!x := 1")
+        with pytest.raises(ReplicaNotAcknowledged):
+            session.commit()
+        assert shipper.retries <= 4
+        assert clock.now <= 5.0
+
+    def test_no_deadline_keeps_the_old_retry_exhaustion_contract(self):
+        db = GemStone.create()
+        holder = {}
+
+        def wrap(link):
+            holder["link"] = DeadableLink(link)
+            return holder["link"]
+
+        shipper = db.enable_replication(link_wrapper=wrap)
+        holder["link"].dead = True
+        session = db.login()
+        session.execute("World!x := 1")
+        with pytest.raises(ReplicaNotAcknowledged):
+            session.commit()
+        assert shipper.deadline_failures == 0  # exhausted attempts instead
+        assert shipper.retries == shipper.max_attempts - 1
+
+    def test_catch_up_resends_after_the_replica_returns(self):
+        db, shipper, link, clock = self.build(frame_deadline=4.0)
+        session = db.login()
+        link.dead = True
+        session.execute("World!x := 1")
+        with pytest.raises(ReplicaNotAcknowledged):
+            session.commit()
+        link.dead = False
+        shipper.catch_up()  # the stranded record resends from history
+        assert shipper.replication_lag == 0
+        session.execute("World!y := 2")
+        session.commit()
+        assert shipper.acked_epoch == shipper.local_epoch

@@ -1,0 +1,48 @@
+"""Typed-error rehydration: unknown classes degrade to a typed FatalError.
+
+Regression for the cross-version wire contract: an error class the
+receiving side does not know (a newer peer's type, or garbage) must
+come back as a *typed* :class:`~repro.errors.FatalError` with the
+original name preserved — never a ``KeyError``/``AttributeError`` on
+the receiving side, and never a bare retryable guess.
+"""
+
+from repro import errors
+from repro.executor import protocol
+
+
+class TestKnownClasses:
+    def test_known_error_class_rehydrates_as_itself(self):
+        error = protocol.rehydrate_error("TransactionConflict", "overlap")
+        assert isinstance(error, errors.TransactionConflict)
+        assert "overlap" in str(error)
+
+    def test_shard_errors_rehydrate_typed(self):
+        error = protocol.rehydrate_error("ShardUnavailable", "no reply")
+        assert isinstance(error, errors.ShardUnavailable)
+        assert isinstance(error, errors.RetryableError)
+
+
+class TestUnknownClasses:
+    def test_unknown_class_degrades_to_typed_fatal(self):
+        error = protocol.rehydrate_error("FutureQuantumError", "entangled")
+        assert isinstance(error, errors.FatalError)
+        assert not isinstance(error, errors.RetryableError)
+
+    def test_original_name_is_preserved(self):
+        error = protocol.rehydrate_error("FutureQuantumError", "entangled")
+        assert error.original_class == "FutureQuantumError"
+        assert "FutureQuantumError" in str(error)
+        assert "entangled" in str(error)
+
+    def test_non_error_module_attribute_is_not_instantiated(self):
+        # names that exist in the errors module but are not GemStone
+        # error classes must take the fallback path, not be called
+        error = protocol.rehydrate_error("annotations", "sneaky")
+        assert isinstance(error, errors.FatalError)
+
+    def test_fallback_is_still_a_gemstone_error(self):
+        # retry/abort policy upstream catches GemStoneError; the
+        # fallback must stay inside that taxonomy
+        error = protocol.rehydrate_error("NoSuchErrorClass", "boom")
+        assert isinstance(error, errors.GemStoneError)

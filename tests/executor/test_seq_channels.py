@@ -1,0 +1,142 @@
+"""SEQ channels: two logical streams multiplexed over one exactly-once
+link, reconnecting mid-conversation without replay-cache collisions.
+
+A shard worker's link carries session statements (channel 0) and 2PC
+control (channel 1); the DR wire can carry SHIP frames next to either.
+Each stream numbers its own sequence space, so after a reconnect both
+streams resend their last unacknowledged envelope — with seq-only cache
+keys, stream A's resend could be answered with stream B's cached
+response.  These tests pin the ``(channel, seq)`` keying at every
+layer: the envelope codec, the DR receiver, and the shard RPC server.
+"""
+
+from repro.dr.log import DeltaRecord, SnapshotRecord, encode_record
+from repro.dr.ship import LogReceiver
+from repro.dr.store import ReplicaLogStore
+from repro.executor import protocol
+from repro.executor.link import make_link
+from repro.executor.protocol import FrameType
+from repro.shard.worker import ShardWorker
+
+
+def ship_envelope(seq, channel, epoch):
+    record = encode_record(
+        DeltaRecord(
+            epoch=epoch, root_slot=0,
+            root_image=b"root%d" % epoch, writes=((7, b"data"),),
+        )
+    )
+    return protocol.encode_seq(seq, protocol.encode_ship(record),
+                               channel=channel)
+
+
+def bootstrapped_store():
+    """A replica store with its birth snapshot already applied."""
+    store = ReplicaLogStore()
+    store.append(encode_record(SnapshotRecord(
+        epoch=0, track_count=4, track_size=64, tracks=((0, b"seed"),),
+    )))
+    return store
+
+
+class TestEnvelope:
+    def test_channel_round_trips(self):
+        raw = protocol.encode_seq(5, protocol.encode_ship_status(), channel=3)
+        frame = protocol.decode_frame(raw)
+        assert frame.seq == 5
+        assert frame.channel == 3
+
+    def test_absent_channel_decodes_none(self):
+        raw = protocol.encode_seq(5, protocol.encode_ship_status())
+        assert protocol.decode_frame(raw).channel is None
+
+    def test_channel_composes_with_deadline_and_request_id(self):
+        raw = protocol.encode_seq(
+            9, protocol.encode_ship_status(),
+            deadline=42.5, request_id=17, channel=2,
+        )
+        frame = protocol.decode_frame(raw)
+        assert (frame.seq, frame.deadline, frame.request_id, frame.channel) \
+            == (9, 42.5, 17, 2)
+
+
+class TestReceiverReplayCache:
+    def test_same_seq_on_two_channels_does_not_collide(self):
+        # stream 0 ships epoch 1 as seq 1; stream 1 ships epoch 2, also
+        # as seq 1 — with seq-only keys the second request would be
+        # answered from the first one's cache and epoch 2 never lands
+        store = bootstrapped_store()
+        receiver = LogReceiver(store)
+        near, far = make_link()
+        near.send(ship_envelope(1, 0, 1))
+        near.send(ship_envelope(1, 1, 2))
+        receiver.serve(far)
+        first = protocol.decode_frame(near.receive())
+        second = protocol.decode_frame(near.receive())
+        assert (first.channel, first.fields["epoch"]) == (0, 1)
+        assert (second.channel, second.fields["epoch"]) == (1, 2)
+        assert store.acked_epoch == 2
+
+    def test_reconnect_resends_replay_per_channel(self):
+        # both streams reconnect and resend their last envelope; each
+        # must get its own cached answer, and nothing re-applies
+        store = bootstrapped_store()
+        receiver = LogReceiver(store)
+        near, far = make_link()
+        first, second = ship_envelope(1, 0, 1), ship_envelope(1, 1, 2)
+        near.send(first)
+        near.send(second)
+        receiver.serve(far)
+        near.receive(), near.receive()
+        segments_before = len(store.segments)
+
+        # the reconnect: identical envelopes arrive again
+        near.send(first)
+        near.send(second)
+        receiver.serve(far)
+        replay_a = protocol.decode_frame(near.receive())
+        replay_b = protocol.decode_frame(near.receive())
+        assert (replay_a.channel, replay_a.fields["epoch"]) == (0, 1)
+        assert (replay_b.channel, replay_b.fields["epoch"]) == (1, 2)
+        assert store.acked_epoch == 2
+        assert len(store.segments) == segments_before
+
+
+class TestShardServerReplayCache:
+    def test_exec_and_prepare_streams_share_one_link(self):
+        # SHARD_EXEC travels on channel 0, PREPARE on channel 1, both
+        # using seq 1 — the worker must answer each from its own stream
+        worker = ShardWorker(0)
+        near, far = make_link()
+        near.send(protocol.encode_seq(
+            1, protocol.encode_shard_exec("g0.1", "World!x := 41"),
+            channel=0,
+        ))
+        near.send(protocol.encode_seq(
+            1, protocol.encode_prepare("g0.1"), channel=1,
+        ))
+        worker.serve(far)
+        result = protocol.decode_frame(near.receive())
+        vote = protocol.decode_frame(near.receive())
+        assert result.type is FrameType.RESULT
+        assert vote.type is FrameType.VOTE
+        assert vote.fields["commit"] is True
+
+    def test_duplicate_exec_after_reconnect_is_not_reapplied(self):
+        worker = ShardWorker(0)
+        near, far = make_link()
+        envelope = protocol.encode_seq(
+            1, protocol.encode_shard_exec("g0.1", "World!n := 1"),
+            channel=0,
+        )
+        near.send(envelope)
+        worker.serve(far)
+        near.receive()
+        executed_once = len(worker._pending["g0.1"])
+
+        near.send(envelope)  # reconnect: the client resends
+        worker.serve(far)
+        replay = protocol.decode_frame(near.receive())
+        assert replay.type is FrameType.RESULT
+        assert worker.server.replays == 1
+        assert len(worker._pending["g0.1"]) == executed_once

@@ -1,0 +1,70 @@
+"""The durable decision log: presumed abort, safe writes, restartability."""
+
+from repro.shard.decisions import DecisionLog
+from repro.storage.disk import DiskGeometry, SimulatedDisk
+
+
+def fresh_disk(tracks=128, size=512):
+    return SimulatedDisk(DiskGeometry(track_count=tracks, track_size=size))
+
+
+class TestPresumedAbort:
+    def test_unknown_gtid_resolves_to_abort(self):
+        log = DecisionLog.create(fresh_disk())
+        assert log.decision("g0.99") is False
+
+    def test_recorded_commit_resolves_to_commit(self):
+        log = DecisionLog.create(fresh_disk())
+        log.record_commit("g0.1", [0, 2])
+        assert log.decision("g0.1") is True
+        assert log.pending() == {"g0.1": (0, 2)}
+
+    def test_forgotten_commit_presumes_abort_again(self):
+        # after every participant acked, the entry is dropped: nobody
+        # can ever ask again, so ABORT is a safe (if moot) answer
+        log = DecisionLog.create(fresh_disk())
+        log.record_commit("g0.1", [1])
+        log.forget("g0.1")
+        assert log.decision("g0.1") is False
+        assert log.pending() == {}
+
+    def test_forget_of_unknown_gtid_is_idempotent(self):
+        log = DecisionLog.create(fresh_disk())
+        log.forget("g0.404")
+        assert log.forgotten == 0
+
+
+class TestDurability:
+    def test_decisions_survive_reopen(self):
+        disk = fresh_disk()
+        log = DecisionLog.create(disk)
+        log.record_commit("g0.1", [0, 1])
+        log.record_commit("g0.2", [2])
+        log.forget("g0.2")
+        reopened = DecisionLog.open(disk)
+        assert reopened.decision("g0.1") is True
+        assert reopened.decision("g0.2") is False
+        assert reopened.pending() == {"g0.1": (0, 1)}
+
+    def test_empty_log_reopens_empty(self):
+        disk = fresh_disk()
+        DecisionLog.create(disk)
+        assert DecisionLog.open(disk).pending() == {}
+
+    def test_many_entries_span_multiple_tracks(self):
+        disk = fresh_disk(tracks=256, size=64)  # tiny tracks force chunking
+        log = DecisionLog.create(disk)
+        for i in range(20):
+            log.record_commit(f"g0.{i}", [i % 3, 3])
+        reopened = DecisionLog.open(disk)
+        assert len(reopened.pending()) == 20
+        assert reopened.decision("g0.19") is True
+
+    def test_report_counters(self):
+        log = DecisionLog.create(fresh_disk())
+        log.record_commit("g0.1", [0])
+        log.forget("g0.1")
+        report = log.report()
+        assert report["commits_recorded"] == 1
+        assert report["forgotten"] == 1
+        assert report["pending"] == 0

@@ -1,0 +1,175 @@
+"""Crash-and-restart: in-doubt resolution against the decision log."""
+
+import pytest
+
+from repro.errors import TransactionInDoubt
+from repro.shard import ShardedGemStone, WindowKiller
+from repro.shard.partition import shard_of
+
+
+def cross_shard_keys(shard_count, n=2):
+    picked, owners = [], set()
+    i = 0
+    while len(picked) < n:
+        key = f"rk{i}"
+        owner = shard_of(key, shard_count)
+        if owner not in owners:
+            owners.add(owner)
+            picked.append(key)
+        i += 1
+    return picked
+
+
+def window_census(drive):
+    """Run *drive* against an unarmed killer; the ordered window log."""
+    killer = WindowKiller(None)
+    cluster = ShardedGemStone(shard_count=2, killer=killer)
+    drive(cluster)
+    return killer.log
+
+
+def restart(cluster):
+    recovered = ShardedGemStone(
+        worker_disks=[worker.disk for worker in cluster.workers],
+        decision_disk=cluster.decision_disk,
+        generation=cluster.generation + 1,
+    )
+    stats = recovered.recover()
+    return recovered, stats
+
+
+class TestParticipantCrash:
+    def drive(self, cluster):
+        session = cluster.login()
+        a, b = cross_shard_keys(2)
+        session.execute(f"World!{a} := 'A'")
+        session.execute(f"World!{b} := 'B'")
+        session.commit()
+
+    def kill_at(self, window_name):
+        census = window_census(self.drive)
+        return next(
+            i for i, (name, _victim) in enumerate(census)
+            if name == window_name
+        )
+
+    def run_killed(self, kill_at):
+        killer = WindowKiller(kill_at)
+        cluster = ShardedGemStone(shard_count=2, killer=killer)
+        session = cluster.login()
+        a, b = cross_shard_keys(2)
+        session.execute(f"World!{a} := 'A'")
+        session.execute(f"World!{b} := 'B'")
+        outcome = None
+        try:
+            session.commit()
+            outcome = "acked"
+        except Exception as error:  # noqa: BLE001 — the point of the test
+            outcome = type(error).__name__
+        return cluster, killer, outcome, (a, b)
+
+    def test_crash_after_prepare_persist_resolves_on_restart(self):
+        cluster, killer, outcome, (a, b) = self.run_killed(
+            self.kill_at("prepare.after_persist")
+        )
+        assert killer.fired is not None
+        recovered, stats = restart(cluster)
+        assert recovered.in_doubt() == {}
+        reader = recovered.login()
+        values = {reader.execute(f"World!{key}") for key in (a, b)}
+        # atomic either way: both landed or neither did
+        assert values in ({"A", "B"}, {None})
+
+    def test_crash_before_prepare_persist_presumes_abort(self):
+        cluster, killer, outcome, (a, b) = self.run_killed(
+            self.kill_at("prepare.before_persist")
+        )
+        assert outcome != "acked"
+        recovered, stats = restart(cluster)
+        assert recovered.in_doubt() == {}
+        reader = recovered.login()
+        # nothing was logged: the dead participant's half must be absent
+        values = {reader.execute(f"World!{key}") for key in (a, b)}
+        assert values in ({"A", "B"}, {None})
+
+    def test_crash_before_decide_apply_commits_via_resolve(self):
+        # the decision was logged before the participant died applying
+        # it, so restart must land the transaction on the commit side
+        cluster, killer, outcome, (a, b) = self.run_killed(
+            self.kill_at("decide.before_apply")
+        )
+        recovered, stats = restart(cluster)
+        assert stats["resolved"] >= 1
+        assert recovered.in_doubt() == {}
+        reader = recovered.login()
+        assert reader.execute(f"World!{a}") == "A"
+        assert reader.execute(f"World!{b}") == "B"
+
+
+class TestCoordinatorCrash:
+    def test_mid_decide_crash_reports_in_doubt_then_commits(self):
+        census = window_census(TestParticipantCrash().drive)
+        kill_at = next(
+            i for i, (name, victim) in enumerate(census)
+            if name == "coord.mid_decide"
+        )
+        killer = WindowKiller(kill_at)
+        cluster = ShardedGemStone(shard_count=2, killer=killer)
+        session = cluster.login()
+        a, b = cross_shard_keys(2)
+        session.execute(f"World!{a} := 'A'")
+        session.execute(f"World!{b} := 'B'")
+        with pytest.raises(TransactionInDoubt):
+            session.commit()
+        # the decision WAS logged before the crash: restart commits it
+        recovered, stats = restart(cluster)
+        assert recovered.in_doubt() == {}
+        assert recovered.coordinator.log.pending() == {}
+        reader = recovered.login()
+        assert reader.execute(f"World!{a}") == "A"
+        assert reader.execute(f"World!{b}") == "B"
+
+    def test_crash_before_decision_persist_presumes_abort(self):
+        census = window_census(TestParticipantCrash().drive)
+        kill_at = next(
+            i for i, (name, victim) in enumerate(census)
+            if name == "coord.before_decision_persist"
+        )
+        killer = WindowKiller(kill_at)
+        cluster = ShardedGemStone(shard_count=2, killer=killer)
+        session = cluster.login()
+        a, b = cross_shard_keys(2)
+        session.execute(f"World!{a} := 'A'")
+        session.execute(f"World!{b} := 'B'")
+        with pytest.raises(TransactionInDoubt):
+            session.commit()
+        recovered, stats = restart(cluster)
+        assert recovered.in_doubt() == {}
+        reader = recovered.login()
+        # nothing reached the log: presumed abort on every shard
+        assert reader.execute(f"World!{a}") is None
+        assert reader.execute(f"World!{b}") is None
+
+    def test_recovered_cluster_accepts_new_cross_shard_commits(self):
+        census = window_census(TestParticipantCrash().drive)
+        kill_at = next(
+            i for i, (name, _v) in enumerate(census)
+            if name == "coord.mid_decide"
+        )
+        killer = WindowKiller(kill_at)
+        cluster = ShardedGemStone(shard_count=2, killer=killer)
+        session = cluster.login()
+        a, b = cross_shard_keys(2)
+        session.execute(f"World!{a} := 'A'")
+        session.execute(f"World!{b} := 'B'")
+        with pytest.raises(TransactionInDoubt):
+            session.commit()
+        recovered, _stats = restart(cluster)
+        fresh = recovered.login()
+        c, d = cross_shard_keys(2, n=2)
+        fresh.execute(f"World!{c} := 'C2'")
+        fresh.execute(f"World!{d} := 'D2'")
+        fresh.commit()
+        reader = recovered.login()
+        assert reader.execute(f"World!{c}") == "C2"
+        assert reader.execute(f"World!{d}") == "D2"
