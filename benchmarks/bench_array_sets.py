@@ -14,6 +14,7 @@ from repro import GemStone
 from repro.bench import Table, stopwatch
 from repro.core import MemoryObjectManager
 from repro.stdm import LabeledSet, format_set
+from repro.stdm.algebra import intersection, union
 
 
 PAPER_ARRAY = {
@@ -77,6 +78,46 @@ def test_bench_database_array_access(benchmark):
     benchmark(session.session.value_at, array.oid, 500)
 
 
+def _set_op_timing(om, size: int) -> tuple[float, float]:
+    """Best-of-3 union/intersection time over *size*-object member lists."""
+    def members(start):
+        return [
+            om.instantiate("Object", N=start + i) for i in range(size)
+        ]
+
+    a, b = members(0), members(size // 2)
+    t_union = stopwatch(lambda: union(a, b), 3)
+    t_inter = stopwatch(lambda: intersection(a, b), 3)
+    return t_union.seconds, t_inter.seconds
+
+
+def hashed_set_op_guard(om=None) -> dict:
+    """Guard: union/intersection must scale near-linearly, not O(n²).
+
+    The ``_MemberIndex`` keys members by oid hash; if someone regresses
+    it to the ``value_equal`` scan, 8x the members costs ~64x the time
+    and this trips long before CI times out.
+    """
+    om = om or MemoryObjectManager()
+    small_union, small_inter = _set_op_timing(om, 500)
+    big_union, big_inter = _set_op_timing(om, 4_000)
+    # 8x members: linear ≈ 8x, quadratic ≈ 64x; 24x is the tripwire
+    union_scale = big_union / max(small_union, 1e-9)
+    inter_scale = big_inter / max(small_inter, 1e-9)
+    assert union_scale < 24, f"union scaling looks quadratic: {union_scale:.1f}x"
+    assert inter_scale < 24, f"intersection scaling looks quadratic: {inter_scale:.1f}x"
+    return {
+        "union_scale_8x_members": union_scale,
+        "intersection_scale_8x_members": inter_scale,
+        "union_seconds_4000": big_union,
+        "intersection_seconds_4000": big_inter,
+    }
+
+
+def test_hashed_set_ops_scale_linearly():
+    hashed_set_op_guard()
+
+
 def main() -> None:
     print("E5: the paper's array, as a set with integer element names:")
     print(" ", format_set(LabeledSet.from_nested(PAPER_ARRAY)))
@@ -91,6 +132,16 @@ def main() -> None:
         sweep.add(size, timing.micros)
     sweep.note("flat: integer element names are associative, not positional")
     sweep.show()
+
+    guard = hashed_set_op_guard(om)
+    ops = Table("E5: hashed set operations guard (8x members)",
+                ["operation", "time at 4000 (ms)", "scale vs 500"])
+    ops.add("union", guard["union_seconds_4000"] * 1e3,
+            f"{guard['union_scale_8x_members']:.1f}x")
+    ops.add("intersection", guard["intersection_seconds_4000"] * 1e3,
+            f"{guard['intersection_scale_8x_members']:.1f}x")
+    ops.note("near-linear: _MemberIndex keys members by oid hash")
+    ops.show()
 
 
 if __name__ == "__main__":

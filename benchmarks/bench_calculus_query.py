@@ -22,12 +22,15 @@ from repro.opal import OpalEngine
 from repro.perf import stats
 from repro.stdm import (
     Const,
+    HashJoin,
+    IndexEq,
     QueryContext,
     SetQuery,
     optimize,
     translate,
     variables,
 )
+from repro.stdm.algebra import collect_operators
 
 
 def paper_query(employees, departments) -> SetQuery:
@@ -209,6 +212,167 @@ def test_declarative_cache_results_identical():
     assert report["results_identical"]
 
 
+def wide_scan_query(employees) -> SetQuery:
+    """A scan-dominated predicate: eight conjuncts over one scanned set.
+
+    Every conjunct passes almost every row, so the run time is the scan
+    plus per-row expression evaluation — exactly the shape the batch
+    executor is built for (one path read per batch, C-speed compares).
+    """
+    e, = variables("e")
+    s = e.path("Salary")
+    return SetQuery(
+        result=s,
+        binders=[(e, Const(employees))],
+        condition=(
+            (s > Const(500))
+            & (s < Const(90_000))
+            & (Const(2) * s > Const(3_000))
+            & (s + Const(100) < Const(95_000))
+            & (s >= Const(0))
+            & (s <= Const(100_000))
+            & s.ne(Const(77))
+            & (s + s > Const(2_000))
+        ),
+    )
+
+
+def scan_mode_ablation(n_employees: int, repeat: int = 5) -> dict:
+    """Row-at-a-time vs vectorized execution of the same optimized plan.
+
+    Both modes run the identical plan object shape and must return
+    byte-identical rows in the same order; only the executor changes.
+    """
+    om = MemoryObjectManager()
+    employees, _departments = acme_fragment(om, n_employees, 6)
+    query = wide_scan_query(employees)
+
+    def run(mode):
+        plan, _ = optimize(query, None)
+        return plan.run(QueryContext(om), mode=mode)
+
+    row = stopwatch(lambda: run("row"), repeat)
+    vectorized = stopwatch(lambda: run("vectorized"), repeat)
+    assert row.result == vectorized.result  # byte-identical, same order
+    speedup = (
+        row.seconds / vectorized.seconds
+        if vectorized.seconds
+        else float("inf")
+    )
+    return {
+        "name": "scan executor: row-at-a-time vs vectorized",
+        "n_employees": n_employees,
+        "rows_returned": len(row.result),
+        "row_seconds": row.seconds,
+        "vectorized_seconds": vectorized.seconds,
+        "speedup": speedup,
+        "results_identical": True,
+    }
+
+
+def company_fragment(om, n_employees: int, n_departments: int):
+    """Employees with a scalar DeptName foreign key, for join shapes."""
+    departments = om.instantiate("Object")
+    names = [f"Dept{i}" for i in range(n_departments)]
+    for i, name in enumerate(names):
+        dept = om.instantiate("Object", Name=name, Budget=(i + 1) * 10_000)
+        om.bind(departments, om.new_alias(), dept)
+    employees = om.instantiate("Object")
+    for i in range(n_employees):
+        emp = om.instantiate(
+            "Object", Salary=i * 100, DeptName=names[i % n_departments]
+        )
+        om.bind(employees, om.new_alias(), emp)
+    return employees, departments
+
+
+def join_query(employees, departments) -> SetQuery:
+    d, e = variables("d", "e")
+    return SetQuery(
+        result={"pay": e.path("Salary"), "budget": d.path("Budget")},
+        binders=[(d, Const(departments)), (e, Const(employees))],
+        condition=e.path("DeptName").eq(d.path("Name")),
+    )
+
+
+def join_mode_ablation(n_employees: int, n_departments: int,
+                       repeat: int = 3) -> dict:
+    """Nested scan vs HashJoin vs directory-driven index nested-loop.
+
+    The unfused plan enumerates the full cross product; the fused plans
+    must emit only matches (sub-quadratic ``rows_out``) and identical
+    result sets.
+    """
+    om = MemoryObjectManager()
+    employees, departments = company_fragment(om, n_employees, n_departments)
+    dm = DirectoryManager(om)
+    dm.create_directory(employees, "DeptName")
+    query = join_query(employees, departments)
+
+    def canon(rows):
+        return sorted(map(repr, rows))
+
+    # nested: the straight translation, no join fusion
+    nested = stopwatch(lambda: translate(query).run(QueryContext(om)), repeat)
+
+    # hash: fusion without a directory
+    hash_plan, _ = optimize(query, None)
+    operators = collect_operators(hash_plan)
+    assert any(isinstance(op, HashJoin) for op in operators)
+    hashed = stopwatch(
+        lambda: optimize(query, None)[0].run(QueryContext(om)), repeat
+    )
+
+    # index nested-loop: the directory on DeptName covers the join key
+    index_plan, _ = optimize(query, dm)
+    operators = collect_operators(index_plan)
+    assert any(isinstance(op, IndexEq) for op in operators)
+    assert not any(isinstance(op, HashJoin) for op in operators)
+    indexed = stopwatch(
+        lambda: optimize(query, dm)[0].run(QueryContext(om, None, dm)), repeat
+    )
+
+    reference = canon(nested.result)
+    assert canon(hashed.result) == reference
+    assert canon(indexed.result) == reference
+
+    # sub-quadratic: the fused operators never touch the cross product
+    hash_plan, _ = optimize(query, None)
+    results = hash_plan.run(QueryContext(om))
+    join_op = next(
+        op for op in collect_operators(hash_plan) if isinstance(op, HashJoin)
+    )
+    assert join_op.rows_out == len(results) < n_employees * n_departments
+    assert f"[rows_out={join_op.rows_out}]" in hash_plan.explain()
+
+    return {
+        "name": "join executor: nested scan vs hash vs index nested-loop",
+        "n_employees": n_employees,
+        "n_departments": n_departments,
+        "rows_returned": len(results),
+        "join_rows_out": join_op.rows_out,
+        "cross_product": n_employees * n_departments,
+        "nested_seconds": nested.seconds,
+        "hash_seconds": hashed.seconds,
+        "index_seconds": indexed.seconds,
+        "hash_speedup": nested.seconds / hashed.seconds,
+        "index_speedup": nested.seconds / indexed.seconds,
+        "results_identical": True,
+    }
+
+
+def test_scan_mode_ablation_identical():
+    report = scan_mode_ablation(n_employees=400, repeat=2)
+    assert report["results_identical"]
+    assert report["rows_returned"] > 0
+
+
+def test_join_mode_ablation_identical():
+    report = join_mode_ablation(n_employees=300, n_departments=6, repeat=2)
+    assert report["results_identical"]
+    assert report["join_rows_out"] < report["cross_product"]
+
+
 def main(argv=None) -> dict:
     smoke = argv is not None and "--smoke" in argv
     # the exact section 5.1 instance first
@@ -241,6 +405,51 @@ def main(argv=None) -> dict:
     sweep.note("who wins: the directory plan, by a growing factor")
     sweep.show()
 
+    # row-at-a-time vs vectorized execution of one scan-dominated plan
+    scan_ablation = scan_mode_ablation(
+        n_employees=1_000 if smoke else 10_000, repeat=3 if smoke else 7
+    )
+    scan_table = Table(
+        "E2: scan executor ablation (same plan, row vs vectorized)",
+        ["mode", "per query (ms)", "vs row-at-a-time"],
+    )
+    scan_table.add("row-at-a-time", scan_ablation["row_seconds"] * 1e3, "1.0x")
+    scan_table.add("vectorized", scan_ablation["vectorized_seconds"] * 1e3,
+                   ratio(scan_ablation["row_seconds"],
+                         scan_ablation["vectorized_seconds"]))
+    scan_table.note(
+        f"{scan_ablation['n_employees']} employees, "
+        f"{scan_ablation['rows_returned']} rows returned, "
+        "results byte-identical in both modes"
+    )
+    scan_table.show()
+
+    # join fusion: nested scan vs HashJoin vs index nested-loop
+    join_ablation = join_mode_ablation(
+        n_employees=300 if smoke else 2_000,
+        n_departments=6 if smoke else 20,
+        repeat=3,
+    )
+    join_table = Table(
+        "E2: join fusion ablation (equality join, three executors)",
+        ["plan", "per query (ms)", "vs nested scan"],
+    )
+    join_table.add("nested scan (cross product)",
+                   join_ablation["nested_seconds"] * 1e3, "1.0x")
+    join_table.add("HashJoin", join_ablation["hash_seconds"] * 1e3,
+                   ratio(join_ablation["nested_seconds"],
+                         join_ablation["hash_seconds"]))
+    join_table.add("index nested-loop (directory)",
+                   join_ablation["index_seconds"] * 1e3,
+                   ratio(join_ablation["nested_seconds"],
+                         join_ablation["index_seconds"]))
+    join_table.note(
+        f"join emits {join_ablation['join_rows_out']} rows vs a "
+        f"{join_ablation['cross_product']}-pair cross product; "
+        "explain() records fused rows_out"
+    )
+    join_table.show()
+
     # repeated declarative selects: translation + plan memoization
     ablation = declarative_cache_ablation(
         n_employees=60 if smoke else 300, repeat=10 if smoke else 50
@@ -272,8 +481,23 @@ def main(argv=None) -> dict:
                 "uncached_seconds": ablation["uncached_seconds"],
                 "cached_seconds": ablation["cached_seconds"],
                 "speedup": ablation["speedup"],
-            }
+            },
+            scan_ablation,
+            {
+                "name": "join fusion: nested scan vs HashJoin",
+                "nested_seconds": join_ablation["nested_seconds"],
+                "hash_seconds": join_ablation["hash_seconds"],
+                "speedup": join_ablation["hash_speedup"],
+            },
+            {
+                "name": "join fusion: nested scan vs index nested-loop",
+                "nested_seconds": join_ablation["nested_seconds"],
+                "index_seconds": join_ablation["index_seconds"],
+                "speedup": join_ablation["index_speedup"],
+            },
         ],
+        "scan_mode": scan_ablation,
+        "join_fusion": join_ablation,
         "queries_per_sec_cached": ablation["queries_per_sec_cached"],
         "queries_per_sec_uncached": ablation["queries_per_sec_uncached"],
         "results_identical": ablation["results_identical"],

@@ -16,9 +16,11 @@ evaluation families define identically:
 * some fields start unbound, so paths genuinely produce no-value.
 
 Within those rules the generator is adversarial: nested discriminators,
-time-pinned path steps, ∃/∀ brackets over second collections, directory
-creation *mid-history* (exercising pre-build temporal fallbacks) and
-directory drops (exercising plan-memo invalidation).
+time-pinned path steps, ∃/∀ brackets over second collections, equality
+join conjuncts between the two binders (exercising hash-join fusion and
+index nested-loop joins), directory creation *mid-history* (exercising
+pre-build temporal fallbacks) and directory drops (exercising plan-memo
+invalidation).
 """
 
 from __future__ import annotations
@@ -328,10 +330,40 @@ def _directory_atom(
             _const_for(rng, value_type, collections))
 
 
+def _join_atom(
+    rng: random.Random,
+    var: str,
+    spec: CollectionSpec,
+    other_var: str,
+    other_spec: CollectionSpec,
+    collections,
+    max_epoch: int,
+) -> Optional[tuple]:
+    """An equality join conjunct ``var!p == other_var!p'`` over matching
+    value types — exactly the shape join fusion rewrites into a
+    :class:`~repro.stdm.algebra.HashJoin` (or an index nested-loop join
+    when a directory covers ``var!p``)."""
+    other_paths = _paths_by_type(other_spec, collections)
+    pairs = [
+        (steps, o_steps)
+        for steps, value_type in _paths_by_type(spec, collections)
+        for o_steps, other_type in other_paths
+        if value_type == other_type
+    ]
+    if not pairs:
+        return None
+    steps, other_steps = rng.choice(pairs)
+    left = ("path", ("var", var), _maybe_pin(rng, steps, max_epoch))
+    right = ("path", ("var", other_var), _maybe_pin(rng, other_steps, max_epoch))
+    if rng.random() < 0.5:
+        left, right = right, left
+    return ("cmp", "==", left, right)
+
+
 def _generate_query(
     rng: random.Random, collections, n_epochs: int, dir_events=()
 ) -> QuerySpec:
-    n_binders = 1 if len(collections) == 1 or rng.random() < 0.6 else 2
+    n_binders = 1 if len(collections) == 1 or rng.random() < 0.5 else 2
     binders = []
     binder_specs = []
     for b in range(n_binders):
@@ -362,6 +394,13 @@ def _generate_query(
             atom = _atom(rng, var, spec, collections, max_epoch, other)
             if atom is not None:
                 atoms.append(atom)
+    if n_binders == 2 and rng.random() < 0.6:
+        join = _join_atom(
+            rng, _VAR_NAMES[1], binder_specs[1],
+            _VAR_NAMES[0], binder_specs[0], collections, max_epoch,
+        )
+        if join is not None:
+            atoms.append(join)
     if rng.random() < 0.35:
         quantified = _quantifier(
             rng, _VAR_NAMES[0], binder_specs[0], collections, max_epoch

@@ -110,6 +110,16 @@ class ObjectStore:
             return thing.ref
         return thing
 
+    def deref_column(self, values: list) -> list:
+        """Bulk :meth:`deref` over a column of stored values.
+
+        Semantically ``[self.deref(v) for v in values]``; memory stores
+        override it with a direct table scan so the vectorized executor
+        pays no per-row method dispatch.
+        """
+        deref = self.deref
+        return [deref(value) for value in values]
+
     # -- element access -------------------------------------------------------
 
     def _resolve_target(self, target: Any) -> GemObject:
@@ -130,6 +140,18 @@ class ObjectStore:
         obj = self._resolve_target(target)
         self.note_read(obj.oid, name)
         return obj.value_at(name, time)
+
+    def values_at_column(
+        self, targets: list, name: Any, time: int | None = None
+    ) -> list[Any]:
+        """Bulk :meth:`value_at` over a column of object designators.
+
+        Semantically identical to ``[self.value_at(t, name, time) for t
+        in targets]`` — the vectorized algebra executor calls this once
+        per path step per batch so stores can amortize per-read overhead.
+        """
+        value_at = self.value_at
+        return [value_at(target, name, time) for target in targets]
 
     def fetch(self, target: Any, name: Any, time: int | None = None) -> Any:
         """Like :meth:`value_at` but dereferences Refs to objects."""
@@ -394,6 +416,9 @@ class MemoryObjectManager(ObjectStore):
     def __init__(self, bootstrap: bool = True) -> None:
         super().__init__()
         self._objects: dict[int, GemObject] = {}
+        #: oid -> (collection object, its version, member column) — see
+        #: :meth:`members_of`
+        self._member_columns: dict[int, tuple[GemObject, int, list]] = {}
         self._next_oid = 1
         self.now = 1
         self._read_observer: Optional[Callable[[int, Any], None]] = None
@@ -412,6 +437,18 @@ class MemoryObjectManager(ObjectStore):
 
     def contains(self, oid: int) -> bool:
         return oid in self._objects
+
+    def deref_column(self, values: list) -> list:
+        # direct table hits; the rare dangling Ref falls back to the
+        # per-row path so the error carries the right oid
+        objects = self._objects
+        try:
+            return [
+                objects[value.oid] if type(value) is Ref else value
+                for value in values
+            ]
+        except KeyError:
+            return super().deref_column(values)
 
     def register(self, obj: GemObject) -> GemObject:
         self._objects[obj.oid] = obj
@@ -432,6 +469,84 @@ class MemoryObjectManager(ObjectStore):
     def note_write(self, oid: int, name: Any) -> None:
         if self._write_observer is not None:
             self._write_observer(oid, name)
+
+    #: member columns below this size aren't worth caching
+    _MEMBER_COLUMN_MIN = 32
+    #: cap on cached member columns before wholesale eviction
+    _MEMBER_COLUMN_CAP = 512
+
+    def members_of(self, target: Any, time: int | None = None) -> list[Any]:
+        # Scan-loop fast path: one pass over the element tables with the
+        # "now" lookup inlined (sessions keep the generic implementation —
+        # they substitute time dials and workspace twins).  Large member
+        # columns are cached, validated by the collection object's write
+        # version — so direct ``GemObject.bind`` writers (the commit
+        # linker, shard workers) invalidate them without any hook.
+        if time is not None:
+            return super().members_of(target, time)
+        obj = self._resolve_target(target)
+        self.note_enumeration(obj.oid)
+        entry = self._member_columns.get(obj.oid)
+        if entry is not None and entry[0] is obj and entry[1] == obj.version:
+            return list(entry[2])
+        objects = self._objects
+        out: list[Any] = []
+        append = out.append
+        for table in obj.elements.values():
+            values = table._values
+            if not values:
+                continue
+            value = values[-1]
+            if value is None or value is MISSING:
+                continue
+            if isinstance(value, Ref):
+                resolved = objects.get(value.oid)
+                if resolved is None:
+                    raise NoSuchObject(value.oid)
+                value = resolved
+            append(value)
+        if len(out) >= self._MEMBER_COLUMN_MIN:
+            if len(self._member_columns) >= self._MEMBER_COLUMN_CAP:
+                self._member_columns.clear()
+            self._member_columns[obj.oid] = (obj, obj.version, out)
+            return list(out)
+        return out
+
+    def values_at_column(
+        self, targets: list, name: Any, time: int | None = None
+    ) -> list[Any]:
+        # The hot loop of the vectorized executor.  With no workspace
+        # twins and no time dial, value_at reduces to note_read plus a
+        # history lookup; inlining that here keeps the per-row cost to a
+        # couple of dict/list operations.
+        observer = self._read_observer
+        if time is None and observer is None:
+            # "now" reads skip the bisect entirely: the in-force value is
+            # the last record (AssociationTable internals, same package)
+            return [
+                values[-1]
+                if (table := obj.elements.get(name)) is not None
+                and (values := table._values)
+                else MISSING
+                for obj in targets
+            ]
+        out: list[Any] = []
+        append = out.append
+        if time is None:
+            for obj in targets:
+                observer(obj.oid, name)
+                table = obj.elements.get(name)
+                if table is None or not table._values:
+                    append(MISSING)
+                else:
+                    append(table._values[-1])
+            return out
+        for obj in targets:
+            if observer is not None:
+                observer(obj.oid, name)
+            table = obj.elements.get(name)
+            append(MISSING if table is None else table.value_at(time))
+        return out
 
     # -- clock ---------------------------------------------------------------------
 

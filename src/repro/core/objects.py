@@ -29,7 +29,9 @@ class GemObject:
     the authorization segment.
     """
 
-    __slots__ = ("oid", "class_oid", "segment_id", "elements", "created_at")
+    __slots__ = (
+        "oid", "class_oid", "segment_id", "elements", "created_at", "version",
+    )
 
     def __init__(
         self,
@@ -44,6 +46,10 @@ class GemObject:
         self.created_at = created_at
         #: element name -> AssociationTable
         self.elements: dict[Any, AssociationTable] = {}
+        #: bumped on every element write — derived structures (member
+        #: columns, caches) validate against it instead of write hooks,
+        #: so direct ``GemObject.bind`` callers invalidate them too
+        self.version = 0
 
     def __repr__(self) -> str:
         names = ", ".join(repr(n) for n in list(self.elements)[:6])
@@ -71,6 +77,7 @@ class GemObject:
             table = AssociationTable()
             self.elements[name] = table
         table.record(time, value)
+        self.version += 1
 
     def unbind(self, name: Any, time: int) -> None:
         """Record departure of an element by binding it to nil.

@@ -10,21 +10,103 @@ streams of variable bindings:
   bind a variable to each member of a set-valued expression;
 * :class:`IndexEq` / :class:`IndexRange` — associative variants that
   draw members from a directory instead of scanning;
+* :class:`HashJoin` — a fused equality join: the build side is keyed
+  once, each input row probes instead of rescanning (O(n+m), not O(n·m));
 * :class:`Filter` — restriction by a calculus predicate;
 * :class:`ConstructResult` — build the output tuples.
 
+Plans execute in one of two modes.  ``"row"`` streams one dict per
+binding (the original interpreter, kept as the differential baseline);
+``"vectorized"`` — the default — streams :class:`BindingBatch` blocks of
+:data:`DEFAULT_BATCH_SIZE` rows, evaluating predicates and paths over
+whole columns via :meth:`Expr.evaluate_column` so interpreter dispatch
+is amortized out of the inner loop.  Both modes produce identical
+results, identical ``rows_out`` totals and identical fuel charges; the
+``repro.check`` differential oracle holds them to that.
+
 Each node counts the rows it produces, so plans self-report their work
-(the benchmarks compare scan vs. index plans with these counters).
-Materialized set operations (union, difference, intersection) with
-entity-identity semantics round out the algebra.
+(the benchmarks compare scan vs. index vs. fused plans with these
+counters).  Materialized set operations (union, difference,
+intersection) with entity-identity semantics round out the algebra.
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterator, Optional, Sequence
 
+from ..core.objects import GemObject
+from ..core.values import Ref
 from ..errors import DirectoryError
-from .calculus import NOVALUE, Expr, QueryContext, value_equal
+from .calculus import BindingBatch, Expr, NOVALUE, QueryContext, value_equal
+
+#: Rows per batch in vectorized mode.  Big enough to amortize the
+#: per-batch Python overhead (a few dict/list constructions), small
+#: enough that budget kills land within one batch of the row-mode point
+#: and memory stays bounded on wide joins.
+DEFAULT_BATCH_SIZE = 1024
+
+#: Reserved column carrying constructed results through batch streams.
+RESULT_COLUMN = "__result__"
+
+EXECUTOR_MODES = ("row", "vectorized")
+
+_EXECUTOR_MODE = "vectorized"
+
+
+def executor_mode() -> str:
+    """The process-wide default execution mode for :meth:`Plan.run`."""
+    return _EXECUTOR_MODE
+
+
+def set_executor_mode(mode: str) -> str:
+    """Set the default execution mode; returns the previous one.
+
+    Plan caches must key on this (the ``perf`` memo keys carry an
+    executor-mode token) since the mode changes how a cached plan runs.
+    """
+    global _EXECUTOR_MODE
+    if mode not in EXECUTOR_MODES:
+        raise ValueError(f"unknown executor mode {mode!r}")
+    previous = _EXECUTOR_MODE
+    _EXECUTOR_MODE = mode
+    return previous
+
+
+_UNSET = object()
+
+
+def _same_key(a: Any, b: Any) -> bool:
+    """Conservative "same probe key" test for consecutive-key reuse."""
+    if a is b:
+        return True
+    if type(a) is not type(b):
+        return False
+    try:
+        return bool(a == b)
+    except Exception:
+        return False
+
+
+def _expand(
+    batch: BindingBatch,
+    take: list[int],
+    var: str,
+    values: list[Any],
+    batch_size: int,
+) -> Iterator[BindingBatch]:
+    """Extend *batch*: output row j is input row ``take[j]`` plus
+    ``var=values[j]``, re-chunked to at most *batch_size* rows."""
+    total = len(values)
+    columns = batch.columns
+    for start in range(0, total, batch_size):
+        stop = min(start + batch_size, total)
+        chunk = take[start:stop]
+        out = {
+            name: [column[i] for i in chunk]
+            for name, column in columns.items()
+        }
+        out[var] = values[start:stop]
+        yield BindingBatch(out, stop - start)
 
 
 class Plan:
@@ -42,9 +124,51 @@ class Plan:
     def _rows(self, ctx: QueryContext) -> Iterator[dict[str, Any]]:
         raise NotImplementedError
 
-    def run(self, ctx: QueryContext) -> list[Any]:
-        """Execute to completion; meaningful only on a result-producing root."""
-        return [binding for binding in self.rows(ctx)]
+    def batches(
+        self, ctx: QueryContext, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[BindingBatch]:
+        """Stream of binding batches; subclasses implement `_batches`."""
+        for batch in self._batches(ctx, batch_size):
+            if batch.size:
+                self.rows_out += batch.size
+                yield batch
+
+    def _batches(
+        self, ctx: QueryContext, batch_size: int
+    ) -> Iterator[BindingBatch]:
+        # Fallback-to-row rule: an operator with no columnar
+        # implementation still composes in a vectorized plan by chunking
+        # its row stream.  (All built-in operators override this.)
+        buffer: list[dict[str, Any]] = []
+        for binding in self._rows(ctx):
+            buffer.append(binding)
+            if len(buffer) >= batch_size:
+                yield BindingBatch.from_rows(buffer)
+                buffer = []
+        if buffer:
+            yield BindingBatch.from_rows(buffer)
+
+    def run(self, ctx: QueryContext, mode: Optional[str] = None) -> list[Any]:
+        """Execute to completion; meaningful only on a result-producing root.
+
+        *mode* overrides the process-wide :func:`executor_mode` —
+        ``"row"`` for the one-dict-per-binding interpreter, or
+        ``"vectorized"`` for the batched executor.
+        """
+        if mode is None:
+            mode = _EXECUTOR_MODE
+        if mode == "row":
+            return [binding for binding in self.rows(ctx)]
+        if mode != "vectorized":
+            raise ValueError(f"unknown executor mode {mode!r}")
+        results: list[Any] = []
+        for batch in self.batches(ctx):
+            column = batch.columns.get(RESULT_COLUMN)
+            if column is not None:
+                results.extend(column)
+            else:
+                results.extend(batch.rows())
+        return results
 
     def reset_counters(self) -> None:
         """Zero `rows_out` on this node and its inputs."""
@@ -74,6 +198,9 @@ class Unit(Plan):
     def _rows(self, ctx):
         yield {}
 
+    def _batches(self, ctx, batch_size):
+        yield BindingBatch({}, 1)
+
     def describe(self):
         return "Unit"
 
@@ -99,6 +226,37 @@ class BindScan(Plan):
                 out[self.var] = member
                 yield out
 
+    def _batches(self, ctx, batch_size):
+        var = self.var
+        source = self.source
+        constant = not source.free_vars()
+        members: Optional[list[Any]] = None
+        for batch in self.child.batches(ctx, batch_size):
+            take: list[int] = []
+            values: list[Any] = []
+            if constant:
+                # Hoist: a constant source is materialized once per
+                # execution; fuel still charges per member *per input
+                # row*, exactly as the row-mode members() stream does.
+                if members is None:
+                    collection = source.evaluate(ctx, {})
+                    members = ctx.raw_member_list(collection)
+                ctx.charge(len(members) * batch.size)
+                count = len(members)
+                for i in range(batch.size):
+                    take.extend([i] * count)
+                    values.extend(members)
+            else:
+                charged = 0
+                column = source.evaluate_column(ctx, batch)
+                for i, collection in enumerate(column):
+                    drawn = ctx.raw_member_list(collection)
+                    charged += len(drawn)
+                    take.extend([i] * len(drawn))
+                    values.extend(drawn)
+                ctx.charge(charged)
+            yield from _expand(batch, take, var, values, batch_size)
+
     def children(self):
         return (self.child,)
 
@@ -107,7 +265,12 @@ class BindScan(Plan):
 
 
 class IndexEq(Plan):
-    """Associative access: bind *var* to members whose key equals a value."""
+    """Associative access: bind *var* to members whose key equals a value.
+
+    When *value* refers to earlier variables, this is the probe side of
+    an index nested-loop join — the optimizer emits exactly that shape
+    for join conjuncts covered by a directory.
+    """
 
     def __init__(self, child: Plan, var: str, directory, value: Expr) -> None:
         super().__init__()
@@ -116,20 +279,61 @@ class IndexEq(Plan):
         self.directory = directory
         self.value = value
 
+    def _probe_oids(self, ctx, key) -> Sequence[int]:
+        if key is NOVALUE:
+            return ()  # no-value fails every comparison, = included
+        try:
+            return self.directory.lookup(key, ctx.time)
+        except DirectoryError:
+            return ()  # unindexable probe value: = can never hold
+
     def _rows(self, ctx):
         for binding in self.child.rows(ctx):
             key = self.value.evaluate(ctx, binding)
-            if key is NOVALUE:
-                continue  # no-value fails every comparison, = included
-            try:
-                member_oids = self.directory.lookup(key, ctx.time)
-            except DirectoryError:
-                continue  # unindexable probe value: = can never hold
-            for oid in member_oids:
+            for oid in self._probe_oids(ctx, key):
                 ctx.charge()  # index probes bypass members(): meter here
                 out = dict(binding)
                 out[self.var] = ctx.store.object(oid)
                 yield out
+
+    def _batches(self, ctx, batch_size):
+        store_object = ctx.store.object
+        value = self.value
+        constant = not value.free_vars()
+        const_members: Optional[list[Any]] = None
+        last_key: Any = _UNSET
+        last_members: Optional[list[Any]] = None
+        for batch in self.child.batches(ctx, batch_size):
+            if constant:
+                if const_members is None:
+                    key = value.evaluate(ctx, {})
+                    const_members = [
+                        store_object(oid)
+                        for oid in self._probe_oids(ctx, key)
+                    ]
+                keys = None
+            else:
+                keys = value.evaluate_column(ctx, batch)
+            take: list[int] = []
+            values: list[Any] = []
+            for i in range(batch.size):
+                if constant:
+                    matched = const_members
+                else:
+                    key = keys[i]
+                    if last_members is not None and _same_key(key, last_key):
+                        matched = last_members  # consecutive-key reuse
+                    else:
+                        matched = [
+                            store_object(oid)
+                            for oid in self._probe_oids(ctx, key)
+                        ]
+                        last_key, last_members = key, matched
+                if matched:
+                    take.extend([i] * len(matched))
+                    values.extend(matched)
+            ctx.charge(len(values))
+            yield from _expand(batch, take, self.var, values, batch_size)
 
     def children(self):
         return (self.child,)
@@ -163,25 +367,91 @@ class IndexRange(Plan):
         self.include_low = include_low
         self.include_high = include_high
 
+    def _bounds(self, ctx, binding) -> Any:
+        low = self.low.evaluate(ctx, binding) if self.low is not None else None
+        high = self.high.evaluate(ctx, binding) if self.high is not None else None
+        if low is NOVALUE or high is NOVALUE:
+            return None  # no-value fails every comparison (§5.2)
+        return low, high
+
+    def _open_range(self, ctx, low, high):
+        """Start a range scan; (first_oid, rest) or None when empty/unindexable."""
+        stream = self.directory.range(
+            low, high, ctx.time, self.include_low, self.include_high
+        )
+        try:
+            first = next(stream)
+        except StopIteration:
+            return None
+        except DirectoryError:
+            return None  # unindexable bound: the comparison can never hold
+        return first, stream
+
     def _rows(self, ctx):
+        store_object = ctx.store.object
+        last_bounds: Any = _UNSET
+        cached: Optional[list[int]] = None
         for binding in self.child.rows(ctx):
-            low = self.low.evaluate(ctx, binding) if self.low is not None else None
-            high = self.high.evaluate(ctx, binding) if self.high is not None else None
-            if low is NOVALUE or high is NOVALUE:
-                continue  # no-value fails every comparison (§5.2)
-            try:
-                member_oids = list(
-                    self.directory.range(
-                        low, high, ctx.time, self.include_low, self.include_high
-                    )
-                )
-            except DirectoryError:
-                continue  # unindexable bound: the comparison can never hold
-            for oid in member_oids:
+            bounds = self._bounds(ctx, binding)
+            if bounds is None:
+                continue
+            if cached is not None and _same_key(bounds, last_bounds):
+                # identical consecutive bounds reuse the previous probe
+                for oid in cached:
+                    ctx.charge()
+                    out = dict(binding)
+                    out[self.var] = store_object(oid)
+                    yield out
+                continue
+            last_bounds = bounds
+            opened = self._open_range(ctx, *bounds)
+            if opened is None:
+                cached = []
+                continue
+            first, rest = opened
+            # stream the range — rows flow (and fuel meters) as the scan
+            # advances instead of after a full materialization
+            collected = [first]
+            ctx.charge()
+            out = dict(binding)
+            out[self.var] = store_object(first)
+            yield out
+            for oid in rest:
+                collected.append(oid)
                 ctx.charge()
                 out = dict(binding)
-                out[self.var] = ctx.store.object(oid)
+                out[self.var] = store_object(oid)
                 yield out
+            cached = collected
+
+    def _batches(self, ctx, batch_size):
+        store_object = ctx.store.object
+        last_bounds: Any = _UNSET
+        cached: Optional[list[Any]] = None
+        for batch in self.child.batches(ctx, batch_size):
+            take: list[int] = []
+            values: list[Any] = []
+            for i in range(batch.size):
+                bounds = self._bounds(ctx, batch.row(i))
+                if bounds is None:
+                    continue
+                if cached is not None and _same_key(bounds, last_bounds):
+                    matched = cached
+                else:
+                    last_bounds = bounds
+                    opened = self._open_range(ctx, *bounds)
+                    if opened is None:
+                        cached = []
+                        continue
+                    first, rest = opened
+                    matched = [store_object(first)]
+                    matched.extend(store_object(oid) for oid in rest)
+                    cached = matched
+                if matched:
+                    take.extend([i] * len(matched))
+                    values.extend(matched)
+            ctx.charge(len(values))
+            yield from _expand(batch, take, self.var, values, batch_size)
 
     def children(self):
         return (self.child,)
@@ -192,6 +462,153 @@ class IndexRange(Plan):
         return (
             f"IndexRange {self.var} via {self.directory.name!r} "
             f"on !{self.directory.path} {lo}{self.low!r}, {self.high!r}{hi}"
+        )
+
+
+# --------------------------------------------------------------------------
+# hash keys with value_equal semantics
+# --------------------------------------------------------------------------
+
+_UNHASHABLE = object()
+_OID_KEY = object()  # tag for oid-keyed entries; never equals a user value
+
+
+def _unmatchable(value: Any) -> bool:
+    """True for values that fail *every* ``value_equal`` comparison."""
+    return value is NOVALUE or (isinstance(value, float) and value != value)
+
+
+def _hash_key(value: Any) -> Any:
+    """A dict/set key consistent with :func:`value_equal`, or _UNHASHABLE.
+
+    Objects and Refs key by oid (entity identity); everything else keys
+    by the value itself (Python guarantees ``hash`` consistency with
+    ``==`` across int/bool/float).  Callers must screen NOVALUE and NaN
+    first via :func:`_unmatchable`.
+    """
+    if isinstance(value, (GemObject, Ref)):
+        return (_OID_KEY, value.oid)
+    try:
+        hash(value)
+    except TypeError:
+        return _UNHASHABLE
+    return value
+
+
+class HashJoin(Plan):
+    """Fused equality join: build the inner side once, probe per row.
+
+    The optimizer rewrites a dependent ``BindScan`` + ``Filter`` pair
+    whose conjunct equates an expression over *var* (``member_key``)
+    with an expression over earlier variables (``probe_key``) — the
+    O(n·m) nested rescan — into this operator.  The inner collection is
+    materialized and keyed once per execution, charging one fuel unit
+    per member (one scan of the build side); each input row then emits
+    its matches in member order, charging one unit per emitted candidate
+    (the ``IndexEq`` precedent: probes bypass ``members()``).
+
+    Keys follow ``value_equal``: objects/Refs join by oid, NOVALUE and
+    NaN match nothing, and unhashable key values fall back to a linear
+    ``value_equal`` scan so exotic :class:`Apply` keys stay correct.
+    """
+
+    def __init__(
+        self,
+        child: Plan,
+        var: str,
+        source: Expr,
+        probe_key: Expr,
+        member_key: Expr,
+        conjunct: Optional[Expr] = None,
+    ) -> None:
+        super().__init__()
+        self.child = child
+        self.var = var
+        self.source = source
+        self.probe_key = probe_key
+        self.member_key = member_key
+        self.conjunct = conjunct
+
+    def _build(self, ctx):
+        collection = self.source.evaluate(ctx, {})
+        members = list(ctx.members(collection))  # one charged build-side scan
+        batch = BindingBatch({self.var: members}, len(members))
+        keys = self.member_key.evaluate_column(ctx, batch)
+        table: dict[Any, list] = {}
+        fallback: list[tuple[int, Any, Any]] = []
+        pairs: list[tuple[int, Any, Any]] = []
+        for pos, (member, key) in enumerate(zip(members, keys)):
+            if _unmatchable(key):
+                continue
+            pairs.append((pos, member, key))
+            hkey = _hash_key(key)
+            if hkey is _UNHASHABLE:
+                fallback.append((pos, member, key))
+            else:
+                table.setdefault(hkey, []).append((pos, member))
+        return table, fallback, pairs
+
+    def _matches(self, built, key) -> Sequence[Any]:
+        """Members joining *key*, in member (build) order."""
+        table, fallback, pairs = built
+        if _unmatchable(key):
+            return ()
+        hkey = _hash_key(key)
+        if hkey is _UNHASHABLE:
+            # unhashable probe: row-mode semantics are a full scan
+            return [m for _pos, m, k in pairs if value_equal(key, k)]
+        bucket = table.get(hkey, ())
+        if not fallback:
+            return [m for _pos, m in bucket]
+        extra = [
+            (pos, m) for pos, m, k in fallback if value_equal(key, k)
+        ]
+        if not extra:
+            return [m for _pos, m in bucket]
+        merged = sorted([*bucket, *extra], key=lambda pm: pm[0])
+        return [m for _pos, m in merged]
+
+    def _rows(self, ctx):
+        built = None
+        for binding in self.child.rows(ctx):
+            if built is None:
+                built = self._build(ctx)  # lazy: no input rows, no build
+            key = self.probe_key.evaluate(ctx, binding)
+            for member in self._matches(built, key):
+                ctx.charge()
+                out = dict(binding)
+                out[self.var] = member
+                yield out
+
+    def _batches(self, ctx, batch_size):
+        built = None
+        last_key: Any = _UNSET
+        last_matches: Optional[Sequence[Any]] = None
+        for batch in self.child.batches(ctx, batch_size):
+            if built is None:
+                built = self._build(ctx)
+            keys = self.probe_key.evaluate_column(ctx, batch)
+            take: list[int] = []
+            values: list[Any] = []
+            for i, key in enumerate(keys):
+                if last_matches is not None and _same_key(key, last_key):
+                    matched = last_matches
+                else:
+                    matched = self._matches(built, key)
+                    last_key, last_matches = key, matched
+                if matched:
+                    take.extend([i] * len(matched))
+                    values.extend(matched)
+            ctx.charge(len(values))
+            yield from _expand(batch, take, self.var, values, batch_size)
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self):
+        return (
+            f"HashJoin {self.var} ∈ {self.source!r} "
+            f"on {self.member_key!r} == {self.probe_key!r}"
         )
 
 
@@ -207,6 +624,19 @@ class Filter(Plan):
         for binding in self.child.rows(ctx):
             if bool(self.predicate.evaluate(ctx, binding)):
                 yield binding
+
+    def _batches(self, ctx, batch_size):
+        predicate = self.predicate
+        for batch in self.child.batches(ctx, batch_size):
+            column = predicate.evaluate_column(ctx, batch)
+            # boolean mask + compress keeps the whole keep/gather loop
+            # at C speed (truthiness, count, and per-column gather)
+            mask = list(map(bool, column))
+            live = sum(mask)
+            if live == batch.size:
+                yield batch
+            elif live:
+                yield batch.select_mask(mask, live)
 
     def children(self):
         return (self.child,)
@@ -233,6 +663,30 @@ class ConstructResult(Plan):
             else:
                 yield self.result.evaluate(ctx, binding)
 
+    def _batches(self, ctx, batch_size):
+        result = self.result
+        if isinstance(result, dict):
+            items = list(result.items())
+            labels = [label for label, _ in items]
+            for batch in self.child.batches(ctx, batch_size):
+                columns = [
+                    expr.evaluate_column(ctx, batch) for _, expr in items
+                ]
+                # dict(zip(...)) builds each row at C speed — far cheaper
+                # than a per-row dict comprehension indexing the columns
+                if columns:
+                    built = [
+                        dict(zip(labels, row_values))
+                        for row_values in zip(*columns)
+                    ]
+                else:
+                    built = [{} for _ in range(batch.size)]
+                yield BindingBatch({RESULT_COLUMN: built}, batch.size)
+        else:
+            for batch in self.child.batches(ctx, batch_size):
+                column = result.evaluate_column(ctx, batch)
+                yield BindingBatch({RESULT_COLUMN: list(column)}, batch.size)
+
     def children(self):
         return (self.child,)
 
@@ -248,33 +702,75 @@ def _contains(members: list, value: Any) -> bool:
     return any(value_equal(value, m) for m in members)
 
 
+class _MemberIndex:
+    """Hash-accelerated ``value_equal`` membership over a member list.
+
+    Keys members by oid/value hash; unhashable members land in a
+    fallback list scanned with :func:`value_equal`.  NOVALUE and NaN are
+    never members of anything (they fail every comparison), so they are
+    neither indexed nor matched.
+    """
+
+    __slots__ = ("keyed", "unkeyed")
+
+    def __init__(self, members=()) -> None:
+        self.keyed: set = set()
+        self.unkeyed: list = []
+        for member in members:
+            self.add(member)
+
+    def add(self, member: Any) -> None:
+        if _unmatchable(member):
+            return
+        hkey = _hash_key(member)
+        if hkey is _UNHASHABLE:
+            self.unkeyed.append(member)
+        else:
+            self.keyed.add(hkey)
+
+    def __contains__(self, value: Any) -> bool:
+        if _unmatchable(value):
+            return False
+        hkey = _hash_key(value)
+        if hkey is _UNHASHABLE:
+            return _contains(self.unkeyed, value)
+        if hkey in self.keyed:
+            return True
+        # an unhashable member may still value_equal a hashable probe
+        return bool(self.unkeyed) and _contains(self.unkeyed, value)
+
+
 def union(a, b) -> list:
     """Members of *a* or *b*, identity-deduplicated, order-preserving."""
     result = list(a)
+    index = _MemberIndex(result)
     for member in b:
-        if not _contains(result, member):
+        if member not in index:
             result.append(member)
+            index.add(member)
     return result
 
 
 def intersection(a, b) -> list:
     """Members of *a* also in *b*."""
-    b_members = list(b)
-    return [m for m in a if _contains(b_members, m)]
+    index = _MemberIndex(b)
+    return [m for m in a if m in index]
 
 
 def difference(a, b) -> list:
     """Members of *a* not in *b*."""
-    b_members = list(b)
-    return [m for m in a if not _contains(b_members, m)]
+    index = _MemberIndex(b)
+    return [m for m in a if m not in index]
 
 
 def deduplicate(members) -> list:
     """Identity-deduplicate a member list."""
     result: list = []
+    index = _MemberIndex()
     for member in members:
-        if not _contains(result, member):
+        if member not in index:
             result.append(member)
+            index.add(member)
     return result
 
 

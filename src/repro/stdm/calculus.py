@@ -25,15 +25,23 @@ for equivalence against it.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
+from itertools import compress
 from typing import Any, Callable, Iterator, Optional, Sequence
 
+from ..core.history import MISSING
 from ..core.objects import GemObject
 from ..core.paths import Path, parse_path
 from ..core.timedial import TimeDial
 from ..core.values import Ref
 from ..errors import CalculusError
 from .sets import LabeledSet
+
+#: exact types the batched path navigator treats as already-resolved
+#: objects; subclasses (none today) simply take the generic gather path
+_NAVIGABLE_TYPES = frozenset((GemObject,))
+_MISSING_TYPE = type(MISSING)
 
 
 class _NoValue:
@@ -51,6 +59,11 @@ class _NoValue:
 
 
 NOVALUE = _NoValue()
+
+#: value types with non-``==`` comparison semantics (oid identity for
+#: entities, universal failure for NOVALUE); a column free of these can
+#: be compared with plain operators instead of per-row ``value_equal``
+_IDENTITY_TYPES = frozenset((GemObject, Ref, _NoValue))
 
 
 class QueryContext:
@@ -108,6 +121,16 @@ class QueryContext:
             self.budget.charge_steps()
             yield member
 
+    def raw_member_list(self, collection: Any) -> list[Any]:
+        """Materialize members without charging — bulk callers charge once."""
+        if isinstance(collection, Ref):
+            collection = self.store.deref(collection)
+        if isinstance(collection, GemObject):
+            return self.store.members_of(collection, self.time)
+        if isinstance(collection, (list, tuple, set, frozenset)):
+            return list(collection)
+        return list(self._raw_members(collection))
+
     def _raw_members(self, collection: Any) -> Iterator[Any]:
         if isinstance(collection, Ref):
             collection = self.store.deref(collection)
@@ -121,6 +144,85 @@ class QueryContext:
             return
         else:
             raise CalculusError(f"{collection!r} is not a set-like value")
+
+
+class BindingBatch:
+    """A column-oriented block of variable bindings.
+
+    The vectorized executor streams these instead of one dict per row:
+    ``columns`` maps each variable name to a parallel list of values and
+    ``size`` is the row count.  Row dicts are materialized lazily (and
+    cached) only when an expression has no columnar implementation and
+    falls back to per-row :meth:`Expr.evaluate`.
+    """
+
+    __slots__ = ("columns", "size", "_row_cache", "_expr_cache")
+
+    def __init__(self, columns: dict[str, list], size: int) -> None:
+        self.columns = columns
+        self.size = size
+        self._row_cache: Optional[list] = None
+        # computed columns for repeated sub-expressions (e.g. ``e!Salary``
+        # appearing in several conjuncts), keyed structurally; valid for
+        # this batch's lifetime because queries never write the store
+        self._expr_cache: dict[tuple, list] = {}
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[dict[str, Any]]) -> "BindingBatch":
+        """Transpose row dicts into columns (all rows share one key set)."""
+        if not rows:
+            return cls({}, 0)
+        columns = {name: [row[name] for row in rows] for name in rows[0]}
+        return cls(columns, len(rows))
+
+    def row(self, index: int) -> dict[str, Any]:
+        """The *index*-th binding as a dict (cached; callers must not mutate)."""
+        cache = self._row_cache
+        if cache is None:
+            cache = self._row_cache = [None] * self.size
+        row = cache[index]
+        if row is None:
+            row = cache[index] = {
+                name: column[index] for name, column in self.columns.items()
+            }
+        return row
+
+    def rows(self) -> list[dict[str, Any]]:
+        """All bindings as row dicts (row-mode compatible output)."""
+        return [self.row(i) for i in range(self.size)]
+
+    def select(self, indices: Sequence[int]) -> "BindingBatch":
+        """A new batch keeping only the rows at *indices* (in order)."""
+        columns = {
+            name: [column[i] for i in indices]
+            for name, column in self.columns.items()
+        }
+        selected = BindingBatch(columns, len(indices))
+        # carry computed columns along: a gather is far cheaper than
+        # re-reading the store for the surviving rows
+        selected._expr_cache = {
+            key: [column[i] for i in indices]
+            for key, column in self._expr_cache.items()
+        }
+        return selected
+
+    def select_mask(self, mask: Sequence[bool], count: int) -> "BindingBatch":
+        """Like :meth:`select` but driven by a boolean mask.
+
+        ``itertools.compress`` gathers each column at C speed, so callers
+        that already hold a truth column (``Filter``) should prefer this
+        over materializing an index list.  *count* is ``sum(mask)``.
+        """
+        columns = {
+            name: list(compress(column, mask))
+            for name, column in self.columns.items()
+        }
+        selected = BindingBatch(columns, count)
+        selected._expr_cache = {
+            key: list(compress(column, mask))
+            for key, column in self._expr_cache.items()
+        }
+        return selected
 
 
 def value_equal(a: Any, b: Any) -> bool:
@@ -144,6 +246,28 @@ class Expr:
     def evaluate(self, ctx: QueryContext, bindings: dict[str, Any]) -> Any:
         """The expression's value under *bindings*."""
         raise NotImplementedError
+
+    def evaluate_column(self, ctx: QueryContext,
+                        batch: "BindingBatch") -> list[Any]:
+        """The expression's value for every row of *batch*, as one list.
+
+        The default falls back to per-row :meth:`evaluate`, which keeps
+        fuel charging and short-circuit semantics bit-identical for the
+        node types that meter their own work (``In``/``Subset``/
+        ``Exists``/``ForAll``).  Pure node types override this with loops
+        that hoist dispatch out of the row.
+        """
+        evaluate = self.evaluate
+        return [evaluate(ctx, batch.row(i)) for i in range(batch.size)]
+
+    def const_value(self) -> tuple[bool, Any]:
+        """``(True, value)`` when this expression is row-independent.
+
+        The batched executor hoists such sub-expressions out of the inner
+        loop: ``0.10 * d!Budget`` keeps a per-row path, but ``10 * 3000``
+        collapses to one scalar broadcast per batch.
+        """
+        return (False, None)
 
     def free_vars(self) -> frozenset[str]:
         """Variables this expression refers to."""
@@ -222,6 +346,12 @@ class Const(Expr):
     def evaluate(self, ctx, bindings):
         return self.value
 
+    def evaluate_column(self, ctx, batch):
+        return [self.value] * batch.size
+
+    def const_value(self):
+        return (True, self.value)
+
     def free_vars(self):
         return frozenset()
 
@@ -240,6 +370,12 @@ class Var(Expr):
             raise CalculusError(f"unbound variable {self.name!r}")
         return bindings[self.name]
 
+    def evaluate_column(self, ctx, batch):
+        column = batch.columns.get(self.name)
+        if column is None:
+            raise CalculusError(f"unbound variable {self.name!r}")
+        return column
+
     def free_vars(self):
         return frozenset({self.name})
 
@@ -253,6 +389,16 @@ class PathApply(Expr):
     def __init__(self, base: Expr, path: "str | Path") -> None:
         self.base = base
         self.path_expr: Path = parse_path(path) if isinstance(path, str) else path
+        # structural identity for batch-level CSE: two PathApply nodes
+        # over the same variable and path yield the same column.  Chained
+        # navigations (``e!Name!Last`` built as nested PathApply) compose
+        # their keys so every prefix shares one cached column.
+        if isinstance(base, Var):
+            self._column_key = ("path", base.name, str(self.path_expr))
+        elif isinstance(base, PathApply) and base._column_key is not None:
+            self._column_key = base._column_key + (str(self.path_expr),)
+        else:
+            self._column_key = None
 
     def evaluate(self, ctx, bindings):
         start = self.base.evaluate(ctx, bindings)
@@ -264,11 +410,63 @@ class PathApply(Expr):
                 return NOVALUE
             time = step.at if step.at is not None else ctx.time
             value = ctx.store.value_at(current, step.name, time)
-            from ..core.history import MISSING
-
             if value is MISSING:
                 return NOVALUE
             current = ctx.store.deref(value)
+        return current
+
+    def evaluate_column(self, ctx, batch):
+        key = self._column_key
+        if key is not None:
+            cached = batch._expr_cache.get(key)
+            if cached is not None:
+                return cached
+        current = self.base.evaluate_column(ctx, batch)
+        store = ctx.store
+        deref = store.deref
+        values_at_column = store.values_at_column
+        if not self.path_expr.steps:
+            return [deref(v) if isinstance(v, Ref) else v for v in current]
+        for step in self.path_expr.steps:
+            time = step.at if step.at is not None else ctx.time
+            if set(map(type, current)) <= _NAVIGABLE_TYPES:
+                # every row is already a navigable object (the common
+                # case right after a scan): no gather/scatter needed.
+                # ``set(map(type, ...))`` runs at C speed, unlike an
+                # ``all(isinstance(...))`` pass over the column.
+                values = values_at_column(current, step.name, time)
+                value_types = set(map(type, values))
+                if _MISSING_TYPE in value_types:
+                    values = [
+                        NOVALUE if value is MISSING else value
+                        for value in values
+                    ]
+                if Ref in value_types:
+                    values = store.deref_column(values)
+                current = values
+                continue
+            # Gather the rows that are still navigable objects, read the
+            # whole column through the store in one call, scatter back;
+            # everything else becomes NOVALUE (a path that fails to
+            # resolve fails every condition, §5.2).
+            positions: list[int] = []
+            targets: list[Any] = []
+            nxt: list[Any] = [NOVALUE] * len(current)
+            for i, value in enumerate(current):
+                if isinstance(value, GemObject):
+                    positions.append(i)
+                    targets.append(value)
+                elif isinstance(value, Ref):
+                    positions.append(i)
+                    targets.append(deref(value))
+            for pos, value in zip(
+                positions, values_at_column(targets, step.name, time)
+            ):
+                if value is not MISSING:
+                    nxt[pos] = deref(value)
+            current = nxt
+        if key is not None:
+            batch._expr_cache[key] = current
         return current
 
     def free_vars(self):
@@ -287,10 +485,10 @@ class BinOp(Expr):
     right: Expr
 
     _FUNCTIONS = {
-        "+": lambda a, b: a + b,
-        "-": lambda a, b: a - b,
-        "*": lambda a, b: a * b,
-        "/": lambda a, b: a / b,
+        "+": operator.add,
+        "-": operator.sub,
+        "*": operator.mul,
+        "/": operator.truediv,
     }
 
     def evaluate(self, ctx, bindings):
@@ -299,6 +497,88 @@ class BinOp(Expr):
         if left is NOVALUE or right is NOVALUE:
             return NOVALUE
         return self._FUNCTIONS[self.op](left, right)
+
+    def evaluate_column(self, ctx, batch):
+        fn = self._FUNCTIONS[self.op]
+        l_const, l_value = self.left.const_value()
+        r_const, r_value = self.right.const_value()
+        if l_const and r_const:
+            value = (
+                NOVALUE if (l_value is NOVALUE or r_value is NOVALUE)
+                else fn(l_value, r_value)
+            )
+            return [value] * batch.size
+        op = self.op
+        if r_const and r_value is not NOVALUE:
+            left = self.left.evaluate_column(ctx, batch)
+            r = r_value
+            # explicit per-op loops: an inline BINARY_OP beats a C-level
+            # function call in the innermost loop; columns with no
+            # NOVALUE (one C-speed type pass) also drop the row guard
+            if _NoValue not in set(map(type, left)):
+                if op == "+":
+                    return [a + r for a in left]
+                if op == "-":
+                    return [a - r for a in left]
+                if op == "*":
+                    return [a * r for a in left]
+                return [fn(a, r) for a in left]
+            if op == "+":
+                return [NOVALUE if a is NOVALUE else a + r for a in left]
+            if op == "-":
+                return [NOVALUE if a is NOVALUE else a - r for a in left]
+            if op == "*":
+                return [NOVALUE if a is NOVALUE else a * r for a in left]
+            return [NOVALUE if a is NOVALUE else fn(a, r) for a in left]
+        if l_const and l_value is not NOVALUE:
+            right = self.right.evaluate_column(ctx, batch)
+            lv = l_value
+            if _NoValue not in set(map(type, right)):
+                if op == "+":
+                    return [lv + b for b in right]
+                if op == "-":
+                    return [lv - b for b in right]
+                if op == "*":
+                    return [lv * b for b in right]
+                return [fn(lv, b) for b in right]
+            if op == "+":
+                return [NOVALUE if b is NOVALUE else lv + b for b in right]
+            if op == "-":
+                return [NOVALUE if b is NOVALUE else lv - b for b in right]
+            if op == "*":
+                return [NOVALUE if b is NOVALUE else lv * b for b in right]
+            return [NOVALUE if b is NOVALUE else fn(lv, b) for b in right]
+        left = self.left.evaluate_column(ctx, batch)
+        right = self.right.evaluate_column(ctx, batch)
+        if _NoValue not in set(map(type, left)) and _NoValue not in set(
+            map(type, right)
+        ):
+            if op == "+":
+                return [a + b for a, b in zip(left, right)]
+            if op == "-":
+                return [a - b for a, b in zip(left, right)]
+            if op == "*":
+                return [a * b for a, b in zip(left, right)]
+            return [fn(a, b) for a, b in zip(left, right)]
+        return [
+            NOVALUE if (a is NOVALUE or b is NOVALUE) else fn(a, b)
+            for a, b in zip(left, right)
+        ]
+
+    def const_value(self):
+        l_const, l_value = self.left.const_value()
+        if not l_const:
+            return (False, None)
+        r_const, r_value = self.right.const_value()
+        if not r_const:
+            return (False, None)
+        if l_value is NOVALUE or r_value is NOVALUE:
+            return (True, NOVALUE)
+        try:
+            return (True, self._FUNCTIONS[self.op](l_value, r_value))
+        except Exception:
+            # let the generic path raise row-by-row, as row mode would
+            return (False, None)
 
     def free_vars(self):
         return self.left.free_vars() | self.right.free_vars()
@@ -335,6 +615,99 @@ class Compare(Expr):
         if self.op == ">=":
             return left >= right
         raise CalculusError(f"unknown comparison {self.op!r}")
+
+    _ORDERINGS = {
+        "<": operator.lt,
+        "<=": operator.le,
+        ">": operator.gt,
+        ">=": operator.ge,
+    }
+
+    def evaluate_column(self, ctx, batch):
+        op = self.op
+        r_const, r_value = self.right.const_value()
+        if r_const:
+            left = self.left.evaluate_column(ctx, batch)
+            # one C-speed type pass tells us whether any row needs
+            # identity/NOVALUE semantics; plain columns then compare
+            # with a bare operator instead of per-row ``value_equal``
+            left_types = set(map(type, left))
+            plain = not (left_types & _IDENTITY_TYPES) and not (
+                isinstance(r_value, (GemObject, Ref)) or r_value is NOVALUE
+            )
+            r = r_value
+            if op == "==":
+                if plain:
+                    return [a == r for a in left]
+                return [value_equal(a, r_value) for a in left]
+            if op == "!=":
+                if r_value is NOVALUE:
+                    return [False] * batch.size
+                if plain:
+                    return [not (a == r) for a in left]
+                return [
+                    a is not NOVALUE and not value_equal(a, r_value)
+                    for a in left
+                ]
+            if op not in self._ORDERINGS:
+                raise CalculusError(f"unknown comparison {op!r}")
+            if r_value is NOVALUE:
+                return [False] * batch.size
+            # explicit per-op loops: an inline COMPARE_OP beats a C-level
+            # function call in the innermost loop
+            if _NoValue not in left_types:
+                if op == ">":
+                    return [a > r for a in left]
+                if op == "<":
+                    return [a < r for a in left]
+                if op == ">=":
+                    return [a >= r for a in left]
+                return [a <= r for a in left]
+            if op == ">":
+                return [False if a is NOVALUE else a > r for a in left]
+            if op == "<":
+                return [False if a is NOVALUE else a < r for a in left]
+            if op == ">=":
+                return [False if a is NOVALUE else a >= r for a in left]
+            return [False if a is NOVALUE else a <= r for a in left]
+        l_const, l_value = self.left.const_value()
+        if l_const:
+            right = self.right.evaluate_column(ctx, batch)
+            if op == "==":
+                return [value_equal(l_value, b) for b in right]
+            if op == "!=":
+                if l_value is NOVALUE:
+                    return [False] * batch.size
+                return [
+                    b is not NOVALUE and not value_equal(l_value, b)
+                    for b in right
+                ]
+            fn = self._ORDERINGS.get(op)
+            if fn is None:
+                raise CalculusError(f"unknown comparison {op!r}")
+            if l_value is NOVALUE:
+                return [False] * batch.size
+            return [
+                False if b is NOVALUE else fn(l_value, b) for b in right
+            ]
+        left = self.left.evaluate_column(ctx, batch)
+        right = self.right.evaluate_column(ctx, batch)
+        if op == "==":
+            return [value_equal(a, b) for a, b in zip(left, right)]
+        if op == "!=":
+            return [
+                False
+                if (a is NOVALUE or b is NOVALUE)
+                else not value_equal(a, b)
+                for a, b in zip(left, right)
+            ]
+        fn = self._ORDERINGS.get(op)
+        if fn is None:
+            raise CalculusError(f"unknown comparison {op!r}")
+        return [
+            False if (a is NOVALUE or b is NOVALUE) else fn(a, b)
+            for a, b in zip(left, right)
+        ]
 
     def free_vars(self):
         return self.left.free_vars() | self.right.free_vars()
@@ -404,6 +777,19 @@ class And(Expr):
             self.right.evaluate(ctx, bindings)
         )
 
+    def evaluate_column(self, ctx, batch):
+        left = self.left.evaluate_column(ctx, batch)
+        # Preserve short-circuiting: the right operand is only evaluated
+        # (and only charges fuel) on rows where the left is truthy.
+        out = [False] * batch.size
+        live = [i for i, v in enumerate(left) if v]
+        if live:
+            sub = batch if len(live) == batch.size else batch.select(live)
+            right = self.right.evaluate_column(ctx, sub)
+            for pos, v in zip(live, right):
+                out[pos] = bool(v)
+        return out
+
     def free_vars(self):
         return self.left.free_vars() | self.right.free_vars()
 
@@ -423,6 +809,18 @@ class Or(Expr):
             self.right.evaluate(ctx, bindings)
         )
 
+    def evaluate_column(self, ctx, batch):
+        left = self.left.evaluate_column(ctx, batch)
+        # Short-circuit: only rows where the left is falsy see the right.
+        out = [True] * batch.size
+        live = [i for i, v in enumerate(left) if not v]
+        if live:
+            sub = batch if len(live) == batch.size else batch.select(live)
+            right = self.right.evaluate_column(ctx, sub)
+            for pos, v in zip(live, right):
+                out[pos] = bool(v)
+        return out
+
     def free_vars(self):
         return self.left.free_vars() | self.right.free_vars()
 
@@ -438,6 +836,9 @@ class Not(Expr):
 
     def evaluate(self, ctx, bindings):
         return not bool(self.operand.evaluate(ctx, bindings))
+
+    def evaluate_column(self, ctx, batch):
+        return [not v for v in self.operand.evaluate_column(ctx, batch)]
 
     def free_vars(self):
         return self.operand.free_vars()
@@ -528,6 +929,16 @@ class Apply(Expr):
         if any(v is NOVALUE for v in values):
             return NOVALUE
         return self.function(*values)
+
+    def evaluate_column(self, ctx, batch):
+        function = self.function
+        if not self.args:
+            return [function() for _ in range(batch.size)]
+        columns = [a.evaluate_column(ctx, batch) for a in self.args]
+        return [
+            NOVALUE if any(v is NOVALUE for v in values) else function(*values)
+            for values in zip(*columns)
+        ]
 
     def free_vars(self):
         result: frozenset[str] = frozenset()

@@ -30,9 +30,17 @@ from typing import Optional
 
 from ..core.objects import GemObject
 from ..core.values import Ref
-from .algebra import BindScan, ConstructResult, IndexEq, IndexRange, Plan, Unit
+from .algebra import (
+    BindScan,
+    ConstructResult,
+    HashJoin,
+    IndexEq,
+    IndexRange,
+    Plan,
+    Unit,
+)
 from .calculus import Compare, Const, Expr, PathApply, SetQuery, Var
-from .translate import _attach_ready_filters, conjuncts
+from .translate import _attach_ready_filters, conjuncts, match_join_conjunct
 
 
 #: work counter for :func:`repro.perf.stats`: a flat ``plans_built``
@@ -52,6 +60,15 @@ class IndexChoice:
     var: str
     directory_name: str
     kind: str  # "eq" or "range"
+    conjunct: Expr
+
+
+@dataclass
+class JoinChoice:
+    """A join-fusion pick for one binder (no directory involved)."""
+
+    var: str
+    kind: str  # "hash"
     conjunct: Expr
 
 
@@ -93,12 +110,20 @@ def _match_indexable(
     return None
 
 
-def optimize(query: SetQuery, directory_manager) -> tuple[Plan, list[IndexChoice]]:
-    """Produce an index-aware plan; returns (plan, index choices made)."""
+def optimize(
+    query: SetQuery, directory_manager=None
+) -> tuple[Plan, list]:
+    """Produce an index- and join-aware plan; returns (plan, choices made).
+
+    Per binder, in priority order: a directory pick (which, when the
+    probed value uses earlier variables, *is* an index nested-loop
+    join), then hash-join fusion for an equality join conjunct with no
+    covering directory, then a plain ``BindScan``.
+    """
     remaining = conjuncts(query.condition)
     bound: set[str] = set()
     plan: Plan = Unit()
-    choices: list[IndexChoice] = []
+    choices: list = []
     for binder in query.binders:
         indexed = None
         owner_oid = (
@@ -110,15 +135,41 @@ def optimize(query: SetQuery, directory_manager) -> tuple[Plan, list[IndexChoice
             indexed = _pick_index(
                 directory_manager, owner_oid, binder.var, remaining, bound
             )
-        if indexed is None:
-            plan = BindScan(plan, binder.var, binder.source)
-        else:
+        if indexed is not None:
             plan, used_conjunct, choice = indexed(plan)
             remaining = [c for c in remaining if c is not used_conjunct]
             choices.append(choice)
+        else:
+            fused = _pick_hash_join(binder, remaining, bound)
+            if fused is not None:
+                member_key, probe_key, conjunct = fused
+                plan = HashJoin(
+                    plan, binder.var, binder.source,
+                    probe_key, member_key, conjunct,
+                )
+                remaining = [c for c in remaining if c is not conjunct]
+                choices.append(JoinChoice(binder.var, "hash", conjunct))
+            else:
+                plan = BindScan(plan, binder.var, binder.source)
         bound.add(binder.var)
         plan, remaining = _attach_ready_filters(plan, remaining, bound)
     return ConstructResult(plan, query.result), choices
+
+
+def _pick_hash_join(binder, remaining, bound):
+    """Find a fusable equality join conjunct for this binder, if any.
+
+    The binder's source must be constant (the build side is materialized
+    once per execution, so it cannot depend on per-row variables).
+    """
+    if binder.source.free_vars():
+        return None
+    for conjunct in remaining:
+        match = match_join_conjunct(conjunct, binder.var, bound)
+        if match is not None:
+            member_key, probe_key = match
+            return member_key, probe_key, conjunct
+    return None
 
 
 def _pick_index(directory_manager, owner_oid: int, var: str, remaining, bound):
@@ -158,11 +209,8 @@ def _pick_index(directory_manager, owner_oid: int, var: str, remaining, bound):
 
 
 def best_plan(query: SetQuery, directory_manager=None) -> Plan:
-    """The plan the system would run: optimized when directories exist."""
+    """The plan the system would run: indexes when directories exist,
+    hash-join fusion either way."""
     planning_stats["plans_built"] += 1
-    if directory_manager is None:
-        from .translate import translate
-
-        return translate(query)
     plan, _ = optimize(query, directory_manager)
     return plan

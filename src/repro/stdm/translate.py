@@ -15,11 +15,11 @@ rather than being a separate rewrite.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Optional
 
 from ..errors import TranslationError
 from .algebra import BindScan, ConstructResult, Filter, Plan, Unit
-from .calculus import And, Expr, SetQuery
+from .calculus import And, Compare, Expr, SetQuery
 
 
 def conjuncts(condition: Expr | None) -> list[Expr]:
@@ -36,6 +36,34 @@ def conjuncts(condition: Expr | None) -> list[Expr]:
         else:
             flattened.append(node)
     return flattened
+
+
+def match_join_conjunct(
+    conjunct: Expr, var: str, bound: set[str]
+) -> Optional[tuple[Expr, Expr]]:
+    """Match a join conjunct for *var*: ``expr-over-var == expr-over-earlier``.
+
+    Returns ``(member_key, probe_key)`` — the side evaluated per member
+    of *var*'s collection and the side evaluated per input row — or
+    ``None``.  The probe side must actually use earlier variables (a
+    constant right-hand side is a plain selection, not a join) and use
+    only variables bound before this binder.  Only ``==`` fuses: a hash
+    table realizes equality, nothing else.
+    """
+    if not isinstance(conjunct, Compare) or conjunct.op != "==":
+        return None
+    for member_key, probe_key in (
+        (conjunct.left, conjunct.right),
+        (conjunct.right, conjunct.left),
+    ):
+        probe_vars = probe_key.free_vars()
+        if (
+            member_key.free_vars() == {var}
+            and probe_vars
+            and probe_vars <= bound
+        ):
+            return member_key, probe_key
+    return None
 
 
 def translate(query: SetQuery) -> Plan:

@@ -57,14 +57,20 @@ def test_printed_reproducer_re_fails():
     assert "mismatch" in result.stdout
 
 
+#: first case of the smoke seed that trips the injected stale-memo bug
+#: (a directory drop followed by a re-query; re-pin when the generator
+#: stream changes)
+STALE_MEMO_CASE = 11
+
+
 def test_cli_shrink_prints_a_minimal_case():
     result = run_cli([
-        "--seed", str(SMOKE_SEED), "--case", "0", "--bug", "stale-memo",
-        "--shrink",
+        "--seed", str(SMOKE_SEED), "--case", str(STALE_MEMO_CASE),
+        "--bug", "stale-memo", "--shrink",
     ])
     assert result.returncode == 1
     assert "shrunk reproducer:" in result.stdout
-    assert "case seed=2026 index=0" in result.stdout
+    assert f"case seed=2026 index={STALE_MEMO_CASE}" in result.stdout
 
 
 def test_temporal_and_schedule_cli_modes():
