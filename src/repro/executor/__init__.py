@@ -3,6 +3,7 @@
 from .executor import Executor, HostConnection
 from .link import LinkEnd, make_link
 from .protocol import Frame, FrameType, decode_frame
+from .replay import ReplayWindow
 
 __all__ = [
     "Executor",
@@ -10,6 +11,7 @@ __all__ = [
     "FrameType",
     "HostConnection",
     "LinkEnd",
+    "ReplayWindow",
     "decode_frame",
     "make_link",
 ]

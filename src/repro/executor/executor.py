@@ -11,9 +11,23 @@ inside the database system, COMMIT/ABORT drive the Transaction Manager,
 and errors return as ERROR frames rather than exceptions.  The serve
 loop never dies on a bad frame: malformed requests are answered with
 ERROR frames, frames damaged in transit (failed envelope checksums) are
-dropped for the host to resend, and a duplicate of the last in-flight
-sequenced request replays the cached response instead of being applied
-twice — which is what makes host-side retry safe for EXECUTE and COMMIT.
+dropped for the host to resend, and a duplicate of any sequenced request
+still inside the bounded ``(channel, seq)`` replay window
+(:class:`~repro.executor.replay.ReplayWindow`) replays the cached
+response instead of being applied twice — which is what makes host-side
+retry safe for EXECUTE and COMMIT even when retries are pipelined or
+arrive reordered.
+
+The request path is split into three stages so the asynchronous front
+door (:mod:`repro.frontdoor`) can drive the same machinery with a real
+queue between arrival and execution: :meth:`Executor.gate` is
+arrival-time admission (deadline + leaky bucket + breaker, a returned
+frame means *refused*), :meth:`Executor.apply` executes one admitted
+frame (request-ID minting, tracing, the guarded handler), and
+:meth:`Executor.seal` wraps a response in its SEQ envelope and records
+it in the replay window.  The synchronous :meth:`serve` loop runs the
+stages back to back; the front door re-checks the deadline between
+dequeue and apply, because work can expire while it waits.
 
 :class:`HostConnection` is the host-side convenience wrapper used by
 examples and tests (the "user interface program on the host machine").
@@ -42,12 +56,19 @@ from ..opal.kernel import print_string
 from . import protocol
 from .link import LinkEnd, make_link
 from .protocol import Frame, FrameType
+from .replay import DEFAULT_WINDOW, ReplayWindow
+
+#: responses a host connection stashes for other in-flight sequence
+#: numbers before the oldest is dropped
+_RESPONSE_STASH_LIMIT = 32
 
 
 class Executor:
     """Serves one host link against a database."""
 
-    def __init__(self, database, admission=None) -> None:
+    def __init__(
+        self, database, admission=None, replay_window: int = DEFAULT_WINDOW
+    ) -> None:
         self.database = database
         #: shared :class:`~repro.govern.admission.AdmissionController`
         #: (None = no admission control, the embedded/trusted default)
@@ -59,12 +80,17 @@ class Executor:
             self.obs.register_admission(admission)
         self._session = None
         self._engine: Optional[OpalEngine] = None
-        #: replay cache: the last sequenced request and its response
-        self._last_seq: Optional[int] = None
-        self._last_response: Optional[bytes] = None
-        self.replays = 0
+        #: bounded ``(channel, seq)``-keyed replay window — every
+        #: sequenced response is remembered here, so a delayed duplicate
+        #: replays instead of re-applying even after intervening requests
+        self.replay = ReplayWindow(replay_window)
         self.corrupt_frames = 0
         self.deadline_rejections = 0
+
+    @property
+    def replays(self) -> int:
+        """Duplicates answered from the replay window."""
+        return self.replay.replays
 
     def serve(self, gem_end: LinkEnd) -> int:
         """Process every buffered frame; returns how many were handled.
@@ -89,22 +115,44 @@ class Executor:
 
     def _respond(self, raw: bytes) -> tuple[Optional[bytes], Optional[FrameType]]:
         """One request → (response bytes or None-to-drop, decoded type)."""
-        obs = self.obs
         try:
-            frame = protocol.decode_frame(raw)
+            frame = self.decode(raw)
         except LinkCorruption:
-            self.corrupt_frames += 1
-            if obs is not None:
-                obs.registry.inc("executor.corrupt_frames")
-            return None, None
+            return None, None  # damaged in transit: dropped, host resends
         except Exception as error:  # malformed at the source: worth answering
             return protocol.encode_error(type(error).__name__, str(error)), None
-        if frame.seq is not None and frame.seq == self._last_seq:
-            # a resend of the in-flight request: replay, never re-apply
-            self.replays += 1
-            if obs is not None:
-                obs.registry.inc("executor.replays")
-            return self._last_response, frame.type
+        cached = self.lookup_replay(frame)
+        if cached is not None:
+            return cached, frame.type
+        response = self.gate(frame)
+        request_id = None
+        if response is None:
+            response, request_id = self.apply(frame)
+        return self.seal(frame, response, request_id), frame.type
+
+    # -- the three request stages (shared with repro.frontdoor) -------------
+
+    def decode(self, raw: bytes) -> Frame:
+        """Decode one wire frame, counting transit damage before raising."""
+        try:
+            return protocol.decode_frame(raw)
+        except LinkCorruption:
+            self.corrupt_frames += 1
+            if self.obs is not None:
+                self.obs.registry.inc("executor.corrupt_frames")
+            raise
+
+    def lookup_replay(self, frame: Frame) -> Optional[bytes]:
+        """The sealed response a duplicate should get, or None if fresh."""
+        cached = self.replay.lookup(frame.channel, frame.seq)
+        if cached is not None and self.obs is not None:
+            obs = self.obs
+            obs.registry.inc("executor.replays")
+        return cached
+
+    def apply(self, frame: Frame) -> tuple[bytes, Optional[int]]:
+        """Execute one admitted frame → (response bytes, request id)."""
+        obs = self.obs
         request_id = None
         if obs is not None:
             # the request ID is born here and rides the thread (and the
@@ -121,13 +169,22 @@ class Executor:
         finally:
             if obs is not None:
                 obs.tracer.current_request = None
-        if frame.seq is not None:
-            response = protocol.encode_seq(
-                frame.seq, response, request_id=request_id
-            )
-            self._last_seq = frame.seq
-            self._last_response = response
-        return response, frame.type
+        return response, request_id
+
+    def seal(
+        self,
+        frame: Frame,
+        response: bytes,
+        request_id: Optional[int] = None,
+    ) -> bytes:
+        """Envelope a response for *frame* and record it for replays."""
+        if frame.seq is None:
+            return response
+        sealed = protocol.encode_seq(
+            frame.seq, response, request_id=request_id, channel=frame.channel
+        )
+        self.replay.store(frame.channel, frame.seq, sealed)
+        return sealed
 
     def _guarded_handle(self, frame: Frame) -> bytes:
         try:
@@ -142,10 +199,6 @@ class Executor:
             return self._login(frame.fields["user"], frame.fields["password"])
         if self._session is None:
             return protocol.encode_error("ProtocolError", "not logged in")
-        if frame.type in (FrameType.EXECUTE, FrameType.COMMIT):
-            gate = self._admit(frame)
-            if gate is not None:
-                return gate
         if frame.type is FrameType.EXECUTE:
             return self._execute(frame.fields["source"])
         if frame.type is FrameType.COMMIT:
@@ -163,11 +216,7 @@ class Executor:
             self._session.abort()
             return protocol.encode_simple(FrameType.ABORTED)
         if frame.type is FrameType.LOGOUT:
-            self._session.close()
-            self._session = None
-            self._engine = None
-            if self.admission is not None:
-                self.admission.release_session()
+            self.hangup()
             return protocol.encode_simple(FrameType.BYE)
         return protocol.encode_error(
             "ProtocolError", f"unexpected frame {frame.type.name}"
@@ -175,27 +224,56 @@ class Executor:
 
     # -- admission ----------------------------------------------------------
 
-    def _admit(self, frame: Frame) -> Optional[bytes]:
-        """Run the load gates for one request; a frame means *refused*."""
-        if self.admission is None:
+    def gate(self, frame: Frame) -> Optional[bytes]:
+        """Arrival-time load gates for one request; a frame means *refused*.
+
+        Only EXECUTE and COMMIT cost real work, and only once a session
+        exists; everything else passes.  The front door calls this when
+        a request arrives and :meth:`deadline_frame` again when the
+        request is dequeued — a deadline can expire while work queues.
+        """
+        if self.admission is None or self._session is None:
             return None
-        if (
-            frame.deadline is not None
-            and self.admission.clock.now > frame.deadline
-        ):
-            self.deadline_rejections += 1
-            if self.obs is not None:
-                self.obs.registry.inc("executor.deadline_rejections")
-            return protocol.encode_error(
-                "DeadlineExceeded",
-                f"deadline {frame.deadline:.1f} passed at "
-                f"{self.admission.clock.now:.1f}; not serving stale work",
-            )
+        if frame.type not in (FrameType.EXECUTE, FrameType.COMMIT):
+            return None
+        late = self.deadline_frame(frame)
+        if late is not None:
+            return late
         try:
             self.admission.admit_request()
         except OverloadedError as error:
             return protocol.encode_overloaded(error.retry_after)
         return None
+
+    def deadline_frame(self, frame: Frame) -> Optional[bytes]:
+        """A typed ``DeadlineExceeded`` frame if *frame* expired, else None.
+
+        Never run a query whose client has given up: checked at arrival
+        (inside :meth:`gate`) and re-checked by the front door at
+        dequeue time, where queueing delay may have consumed the budget.
+        """
+        if self.admission is None or frame.deadline is None:
+            return None
+        if self.admission.clock.now <= frame.deadline:
+            return None
+        self.deadline_rejections += 1
+        if self.obs is not None:
+            self.obs.registry.inc("executor.deadline_rejections")
+        return protocol.encode_error(
+            "DeadlineExceeded",
+            f"deadline {frame.deadline:.1f} passed at "
+            f"{self.admission.clock.now:.1f}; not serving stale work",
+        )
+
+    def hangup(self) -> None:
+        """Close the session and release its slot (LOGOUT or a dead link)."""
+        if self._session is None:
+            return
+        self._session.close()
+        self._session = None
+        self._engine = None
+        if self.admission is not None:
+            self.admission.release_session()
 
     def _note_outcome(self, failed: bool) -> None:
         """Feed the circuit breaker with system-level outcomes."""
@@ -269,6 +347,9 @@ class HostConnection:
         #: (None = no deadline attached)
         self.request_deadline = request_deadline
         self._seq = 0
+        #: responses that arrived for *other* sequence numbers, keyed by
+        #: seq — reordered delivery must correlate, never discard
+        self._responses: dict[int, Frame] = {}
         self.retries = 0
         self.reconnects = 0
         self.overload_backoffs = 0
@@ -341,7 +422,19 @@ class HostConnection:
         )
 
     def _receive_matching(self, seq: int) -> Optional[Frame]:
-        """The next intact response for *seq*, skipping stale duplicates."""
+        """The intact response for *seq*, correlating reordered arrivals.
+
+        Responses are matched to requests by sequence number, never by
+        arrival order: a response that belongs to a different seq —
+        a delayed replay, or (under pipelining) a shed answer overtaking
+        queued work — is *stashed* for its own requester instead of
+        being discarded, so reordered delivery under
+        :class:`~repro.faults.link.FaultyLink` cannot force a spurious
+        timeout or reconnect.
+        """
+        stashed = self._responses.pop(seq, None)
+        if stashed is not None:
+            return stashed
         while True:
             try:
                 raw = self.host_end.receive()
@@ -355,7 +448,11 @@ class HostConnection:
                 continue  # response damaged in transit: keep draining
             if frame.seq is None or frame.seq == seq:
                 return frame
-            # a replayed response to an earlier seq: discard it
+            # another request's response, delivered out of order:
+            # file it under its own seq (bounded; oldest forgotten)
+            self._responses.setdefault(frame.seq, frame)
+            while len(self._responses) > _RESPONSE_STASH_LIMIT:
+                self._responses.pop(next(iter(self._responses)))
 
     @staticmethod
     def _typed_error(error_class: str, message: str) -> GemStoneError:

@@ -1,0 +1,64 @@
+"""The bounded ``(channel, seq)``-keyed replay window.
+
+Exactly-once over a lossy link rests on one invariant: *a sequenced
+request is applied at most once, and every resend of it is answered with
+the original response*.  The Executor's first implementation kept only
+the **last** sequenced request — enough for a strictly stop-and-wait
+host, but wrong the moment frames can be reordered or pipelined: a
+delayed duplicate of COMMIT ``n`` arriving after EXECUTE ``n+1`` no
+longer matched the cached entry and was **applied a second time**.
+
+:class:`ReplayWindow` is the fix, shared by every serving peer (the
+Executor, the async front door, the shard RPC server): responses are
+remembered per ``(channel, seq)`` key in a bounded FIFO window, so any
+duplicate inside the window replays its cached response no matter how
+many requests intervened.  The bound matters — a window must forget —
+and it is safe because senders cap their in-flight pipeline: a duplicate
+can only be ``window`` requests stale before the sender has already
+accepted a response for it and will never resend.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+#: default responses remembered per link; senders must keep their
+#: in-flight pipeline window comfortably below this
+DEFAULT_WINDOW = 64
+
+
+class ReplayWindow:
+    """A bounded FIFO cache of sealed responses keyed by (channel, seq)."""
+
+    __slots__ = ("capacity", "_responses", "replays")
+
+    def __init__(self, capacity: int = DEFAULT_WINDOW) -> None:
+        if capacity < 1:
+            raise ValueError("replay window capacity must be at least 1")
+        self.capacity = capacity
+        self._responses: "OrderedDict[tuple[Optional[int], int], bytes]" = (
+            OrderedDict()
+        )
+        #: duplicates answered from the window (lifetime total)
+        self.replays = 0
+
+    def lookup(self, channel: Optional[int], seq: Optional[int]) -> Optional[bytes]:
+        """The cached response for a resend, or None for fresh work."""
+        if seq is None:
+            return None
+        response = self._responses.get((channel, seq))
+        if response is not None:
+            self.replays += 1
+        return response
+
+    def store(self, channel: Optional[int], seq: Optional[int], response: bytes) -> None:
+        """Remember *response* for duplicates of ``(channel, seq)``."""
+        if seq is None:
+            return
+        self._responses[(channel, seq)] = response
+        while len(self._responses) > self.capacity:
+            self._responses.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._responses)

@@ -9,6 +9,10 @@ peer noticing.  Outgoing frames consult the plan:
   cache must deduplicate);
 * **truncate** — a prefix of the frame is delivered as a complete wire
   frame, so the payload checksum fails at the receiver;
+* **reorder** — the frame is held back and delivered *after* the next
+  frame sent on the same direction (at most one frame is in the hold
+  slot at a time), so receivers must correlate by sequence number
+  rather than arrival order;
 * **partition** — an explicit state (not rate-drawn): every frame sent
   into a partition is lost until :meth:`heal`, modelling a severed
   host ↔ Gem connection that forces a reconnect.
@@ -30,6 +34,10 @@ class FaultyLink:
         self.dropped = 0
         self.duplicated = 0
         self.truncated = 0
+        self.reordered = 0
+        #: the frame a "reorder" decision held back, delivered after the
+        #: next frame that actually reaches the wire
+        self._held: bytes | None = None
 
     # -- LinkEnd interface --------------------------------------------------
 
@@ -45,7 +53,17 @@ class FaultyLink:
             self.truncated += 1
             self.inner.send(frame[: max(1, len(frame) // 2)])
             return
+        if fault == "reorder" and self._held is None:
+            # hold this frame; it rides out behind the next delivery
+            # (a held frame with no successor is simply a drop, which
+            # the sender's retry loop already covers)
+            self.reordered += 1
+            self._held = frame
+            return
         self.inner.send(frame)
+        if self._held is not None:
+            held, self._held = self._held, None
+            self.inner.send(held)
         if fault == "duplicate":
             self.duplicated += 1
             self.inner.send(frame)

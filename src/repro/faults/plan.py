@@ -67,6 +67,9 @@ class FaultSpec:
     duplicate_rate: float = 0.0
     #: link: probability an outgoing frame is truncated in transit
     truncate_rate: float = 0.0
+    #: link: probability an outgoing frame is *reordered* — held back and
+    #: delivered after the next frame on the same direction
+    reorder_rate: float = 0.0
     #: cap on injected faults (None = unbounded)
     max_faults: int | None = None
 
@@ -140,6 +143,7 @@ class FaultPlan:
             ("drop", self.spec.drop_rate),
             ("duplicate", self.spec.duplicate_rate),
             ("truncate", self.spec.truncate_rate),
+            ("reorder", self.spec.reorder_rate),
         )
         return self._record("link", "send", frame_length, self._draw(choices))
 

@@ -1,0 +1,285 @@
+"""An open-loop load generator for the async session front door.
+
+``python -m repro.frontdoor.loadgen`` drives one :class:`FrontDoor`
+with thousands of concurrent sessions arriving at a fixed rate —
+**open-loop**: arrivals are scheduled by the clock, not by completions,
+so a saturated server sees the full offered load instead of the
+self-throttled trickle a closed loop would send it.  That is the regime
+where overload behaviour matters, and the claim under test is the
+governance story end to end:
+
+* saturation degrades into *typed* OVERLOADED frames (clients back off
+  for the carried retry-after and resubmit under fresh sequence
+  numbers) — never into unexplained exceptions or silent stalls;
+* every session reaches a terminal outcome: completed, refused with a
+  typed error, or timed out by its own giving-up policy.  A session
+  still unfinished when the wall-clock limit expires is **hung**, and
+  hung must be zero;
+* latency quantiles and shed counts come from ``repro.obs`` — the
+  ``frontdoor.latency_ms`` histogram and the front door's snapshot
+  section — not from generator-side bookkeeping.
+
+Arrival time is simulated on the shared :class:`~repro.faults.plan
+.FaultClock` (each arrival advances it by ``1/rate``), so the leaky
+bucket, circuit-breaker timers and request deadlines all run on one
+reproducible timeline; only the hung-session limit uses wall time.
+
+Exit status is 0 iff zero untyped errors and zero hung sessions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import time
+from typing import Any, Optional
+
+from ..db import GemStone
+from ..errors import (
+    GemStoneError,
+    LinkTimeout,
+    OverloadedError,
+)
+from ..faults.plan import FaultClock
+from ..govern.admission import AdmissionController
+from .client import AsyncHostConnection
+from .server import FrontDoor
+
+#: session outcomes, in reporting order
+_OUTCOMES = (
+    "completed", "overloaded", "deadline", "link_timeouts",
+    "typed_errors", "untyped_errors", "hung",
+)
+
+FULL = dict(sessions=10_000, rate=2_000.0, requests=5, max_sessions=512,
+            queue_capacity=4_096.0, drain_rate=256.0, track_count=8_192)
+SMOKE = dict(sessions=300, rate=600.0, requests=4, max_sessions=48,
+             queue_capacity=256.0, drain_rate=64.0, track_count=2_048)
+
+
+class _Tally:
+    """Mutable outcome counters shared by every session coroutine."""
+
+    def __init__(self) -> None:
+        for name in _OUTCOMES:
+            setattr(self, name, 0)
+        self.conflicts = 0
+        self.commits = 0
+        self.executes = 0
+        self.first_error: Optional[str] = None
+
+    def untyped(self, error: BaseException) -> None:
+        self.untyped_errors += 1
+        if self.first_error is None:
+            self.first_error = f"{type(error).__name__}: {error}"
+
+    def as_dict(self) -> dict[str, int]:
+        report = {name: getattr(self, name) for name in _OUTCOMES}
+        report["conflicts"] = self.conflicts
+        report["commits"] = self.commits
+        report["executes"] = self.executes
+        return report
+
+
+async def _session(
+    index: int,
+    door: FrontDoor,
+    clock: FaultClock,
+    tally: _Tally,
+    rng: random.Random,
+    requests: int,
+    window: int,
+    deadline: Optional[float],
+) -> None:
+    """One simulated host: login, a pipelined request mix, commit, logout."""
+    connection = await AsyncHostConnection.open(
+        door.connect(),
+        window=window,
+        clock=clock,
+        request_deadline=deadline,
+        reply_timeout=2.0,  # the in-memory link never loses frames
+    )
+    try:
+        await connection.login("DataCurator", "swordfish")
+        wrote = False
+        pending = []
+        for n in range(requests):
+            if rng.random() < 0.2:
+                # a write: mostly private, occasionally contended so the
+                # conflict path sees real traffic
+                name = "contended" if rng.random() < 0.1 else f"lg{index}"
+                pending.append(await connection.post_execute(
+                    f"World!{name} := {n}"
+                ))
+                wrote = True
+            else:
+                pending.append(await connection.post_execute(
+                    f"{index} + {n}"
+                ))
+        for task in pending:
+            await task
+            tally.executes += 1
+        if wrote:
+            tx_time = await connection.commit()
+            if tx_time is None:
+                tally.conflicts += 1
+            else:
+                tally.commits += 1
+        await connection.logout()
+        tally.completed += 1
+    except OverloadedError:
+        tally.overloaded += 1  # typed: refused after bounded backoffs
+    except LinkTimeout:
+        tally.link_timeouts += 1  # typed: gave up waiting for a reply
+    except GemStoneError as error:
+        if type(error).__name__ == "DeadlineExceeded":
+            tally.deadline += 1  # typed: the server shed expired work
+        else:
+            tally.typed_errors += 1
+    except asyncio.CancelledError:
+        raise  # the hung-session reaper is counting us; stay out of its way
+    except Exception as error:  # the failure the run exists to rule out
+        tally.untyped(error)
+    finally:
+        await connection.close()
+
+
+async def run_load(
+    sessions: int = 10_000,
+    rate: float = 2_000.0,
+    requests: int = 5,
+    seed: int = 2026,
+    window: int = 4,
+    max_sessions: int = 512,
+    queue_capacity: float = 4_096.0,
+    drain_rate: float = 256.0,
+    deadline: Optional[float] = None,
+    track_count: int = 8_192,
+    wall_limit: float = 300.0,
+) -> dict[str, Any]:
+    """Run the open-loop ramp; returns the JSON-ready report."""
+    clock = FaultClock()
+    admission = AdmissionController(
+        clock=clock,
+        max_sessions=max_sessions,
+        queue_capacity=queue_capacity,
+        drain_rate=drain_rate,
+    )
+    database = GemStone.create(track_count=track_count, track_size=1024)
+    door = FrontDoor(database, admission=admission, window=window)
+    tally = _Tally()
+    started = time.perf_counter()
+    tasks: list[asyncio.Task] = []
+    loop = asyncio.get_running_loop()
+    for index in range(sessions):
+        rng = random.Random((seed << 16) ^ index)
+        tasks.append(loop.create_task(_session(
+            index, door, clock, tally, rng, requests, window, deadline
+        )))
+        # open loop: the next arrival is due 1/rate clock units later
+        # whether or not anyone already here has been served
+        clock.advance(1.0 / rate)
+        await asyncio.sleep(0)
+    done, still_running = await asyncio.wait(
+        tasks, timeout=wall_limit
+    ) if tasks else (set(), set())
+    for task in still_running:  # hung: the one unacceptable outcome
+        tally.hung += 1
+        task.cancel()
+    if still_running:
+        await asyncio.gather(*still_running, return_exceptions=True)
+    elapsed = time.perf_counter() - started
+    await door.close()
+    latency = database.obs.registry.histogram("frontdoor.latency_ms").summary()
+    report = {
+        "config": {
+            "sessions": sessions, "rate": rate, "requests": requests,
+            "seed": seed, "window": window, "max_sessions": max_sessions,
+            "queue_capacity": queue_capacity, "drain_rate": drain_rate,
+            "deadline": deadline,
+        },
+        "outcomes": tally.as_dict(),
+        "frontdoor": door.report(),
+        "admission": {
+            "admitted": admission.admitted,
+            "shed_requests": admission.shed_requests,
+            "shed_sessions": admission.shed_sessions,
+            "breaker_sheds": admission.breaker_sheds,
+        },
+        "latency_ms": latency,
+        "elapsed_s": round(elapsed, 3),
+        "sessions_per_s": round(sessions / elapsed, 1) if elapsed else 0.0,
+    }
+    if tally.first_error is not None:
+        report["first_untyped_error"] = tally.first_error
+    return report
+
+
+def clean(report: dict[str, Any]) -> bool:
+    """The pass criterion: zero untyped errors, zero hung sessions."""
+    outcomes = report["outcomes"]
+    return outcomes["untyped_errors"] == 0 and outcomes["hung"] == 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sessions", type=int, default=None,
+                        help="total session arrivals (default 10000)")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="arrivals per simulated clock unit")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests pipelined per session")
+    parser.add_argument("--seed", type=int, default=2026,
+                        help="seed for the per-session request mix")
+    parser.add_argument("--window", type=int, default=4,
+                        help="client pipelining window")
+    parser.add_argument("--max-sessions", type=int, default=None,
+                        help="admission session-slot limit")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="per-request deadline in clock units")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small, fast configuration")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full report as JSON")
+    args = parser.parse_args(argv)
+    params = dict(SMOKE if args.smoke else FULL)
+    for key in ("sessions", "rate", "requests", "max_sessions"):
+        value = getattr(args, key)
+        if value is not None:
+            params[key] = value
+    report = asyncio.run(run_load(
+        seed=args.seed, window=args.window, deadline=args.deadline,
+        **params,
+    ))
+    if args.json:
+        json.dump(report, sys.stdout, indent=2, default=str)
+        print()
+    else:
+        outcomes = report["outcomes"]
+        print(f"sessions={report['config']['sessions']} "
+              f"elapsed={report['elapsed_s']}s "
+              f"({report['sessions_per_s']}/s)")
+        print("  " + "  ".join(
+            f"{name}={outcomes[name]}" for name in _OUTCOMES))
+        print(f"  executes={outcomes['executes']} "
+              f"commits={outcomes['commits']} "
+              f"conflicts={outcomes['conflicts']}")
+        front = report["frontdoor"]
+        print(f"  shed_overload={front['shed_overload']} "
+              f"shed_deadline={front['shed_deadline']} "
+              f"replays={front['replays']} "
+              f"max_queue_depth={front['max_queue_depth']}")
+        latency = report["latency_ms"]
+        print(f"  latency_ms p50={latency['p50']:.3f} "
+              f"p90={latency['p90']:.3f} p99={latency['p99']:.3f} "
+              f"(n={latency['count']})")
+    ok = clean(report)
+    print("CLEAN" if ok else "DIRTY: untyped errors or hung sessions")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

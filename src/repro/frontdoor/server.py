@@ -1,0 +1,284 @@
+"""The asynchronous session front door: one loop, thousands of links.
+
+The paper's Executor "controls sessions ... on behalf of users on host
+machines" (section 6); at production concurrency that means one event
+loop multiplexing every host link instead of one blocking serve loop per
+link.  :class:`FrontDoor` runs each link as a cheap pair of coroutines
+in the SEDA style — explicit queues between stages, back-pressure at
+every seam, overload degrading into *typed* refusals instead of
+collapse:
+
+* the **reader** awaits frames off the async link, answers replays
+  straight from the Executor's bounded ``(channel, seq)`` replay window,
+  runs arrival-time admission (deadline check, leaky bucket, circuit
+  breaker — a refused request is answered immediately with a typed
+  OVERLOADED or ``DeadlineExceeded`` frame), and enqueues admitted work
+  on the link's bounded dispatch queue.  A full queue parks the reader,
+  which stops draining the link, which eventually parks the client's
+  ``send`` — back-pressure all the way to the edge;
+* the **dispatcher** dequeues one request at a time (per-session order
+  is preserved; sessions interleave freely on the loop), *re-checks the
+  request's deadline* — queueing delay may have consumed the client's
+  patience, and work whose client has given up is shed, not executed —
+  then applies the frame through the same
+  :class:`~repro.executor.executor.Executor` stages the synchronous
+  path uses, seals the response into the replay window, and sends it.
+
+Because refused requests are answered by the reader while earlier,
+admitted requests are still queued, responses can legitimately overtake
+one another: hosts must correlate responses to requests by sequence
+number, never by arrival order (:mod:`repro.frontdoor.client` does).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional
+
+from ..errors import LinkCorruption, ProtocolError
+from ..executor import protocol
+from ..executor.executor import Executor
+from ..executor.protocol import FrameType
+from ..executor.replay import DEFAULT_WINDOW
+from .alink import AsyncLinkEnd, make_async_link
+
+#: default bound on one session's dispatch queue (the server-side
+#: pipelining window); must stay below the replay window so a duplicate
+#: can never outlive its cached response
+DEFAULT_SESSION_WINDOW = 8
+
+
+class FrontDoor:
+    """Multiplexes every host link of one database on one event loop."""
+
+    def __init__(
+        self,
+        database,
+        admission=None,
+        window: int = DEFAULT_SESSION_WINDOW,
+        replay_window: int = DEFAULT_WINDOW,
+    ) -> None:
+        if window < 1:
+            raise ValueError("the session window must be at least 1")
+        if replay_window < 2 * window:
+            raise ValueError(
+                "the replay window must be at least twice the session "
+                "window, or a pipelined duplicate could outlive its "
+                "cached response"
+            )
+        self.database = database
+        self.admission = admission
+        self.window = window
+        self.replay_window = replay_window
+        self.obs = getattr(database, "obs", None)
+        if self.obs is not None:
+            self.obs.register_frontdoor(self)
+        # lifetime counters (also mirrored into the obs registry)
+        self.links_served = 0
+        self.active_links = 0
+        self.requests = 0
+        self.replays = 0
+        self.shed_overload = 0
+        self.shed_deadline = 0
+        self.corrupt_frames = 0
+        self.protocol_errors = 0
+        self.max_queue_depth = 0
+        self.queued = 0
+        self.suppressed_duplicates = 0
+        self._tasks: set[asyncio.Task] = set()
+
+    # -- wiring --------------------------------------------------------------
+
+    def connect(self, capacity: Optional[int] = None) -> AsyncLinkEnd:
+        """Open one link: returns the host end, serves the gem end.
+
+        Must be called with a running event loop; the serve coroutine is
+        scheduled as a task the front door tracks until the link closes.
+        """
+        if capacity is None:
+            host_end, gem_end = make_async_link()
+        else:
+            host_end, gem_end = make_async_link(capacity)
+        self.spawn(gem_end)
+        return host_end
+
+    def spawn(self, gem_end) -> asyncio.Task:
+        """Serve *gem_end* (any async-link-shaped endpoint) as a task."""
+        task = asyncio.get_running_loop().create_task(self.serve(gem_end))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    async def close(self) -> None:
+        """Cancel every live link task (loadgen teardown)."""
+        for task in list(self._tasks):
+            task.cancel()
+        for task in list(self._tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    # -- one link ------------------------------------------------------------
+
+    async def serve(self, gem_end) -> None:
+        """Serve one host link until it closes or the session logs out."""
+        executor = Executor(
+            self.database,
+            admission=self.admission,
+            replay_window=self.replay_window,
+        )
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self.window)
+        # (channel, seq) keys enqueued but not yet sealed: the replay
+        # window only covers *sealed* responses, so without this set a
+        # duplicate arriving while its original still queues would pass
+        # admission as new load and be applied twice
+        inflight: set = set()
+        self.links_served += 1
+        self.active_links += 1
+        if self.obs is not None:
+            self.obs.registry.set_gauge("frontdoor.active_links", self.active_links)
+        dispatcher = asyncio.get_running_loop().create_task(
+            self._dispatch(executor, gem_end, queue, inflight)
+        )
+        try:
+            await self._read(executor, gem_end, queue, inflight)
+            await queue.join()  # drain admitted work before hanging up
+        finally:
+            dispatcher.cancel()
+            try:
+                await dispatcher
+            except asyncio.CancelledError:
+                pass
+            executor.hangup()  # a dead link must free its session slot
+            gem_end.close()
+            self.active_links -= 1
+            if self.obs is not None:
+                self.obs.registry.set_gauge(
+                    "frontdoor.active_links", self.active_links
+                )
+
+    async def _read(self, executor: Executor, gem_end, queue, inflight) -> None:
+        """Arrival stage: decode, replay, admit, enqueue (or refuse)."""
+        obs = self.obs
+        while True:
+            try:
+                raw = await gem_end.receive()
+            except ProtocolError:
+                return  # truncated tail on a dying link
+            if raw is None:
+                return  # peer closed
+            try:
+                frame = executor.decode(raw)
+            except LinkCorruption:
+                self.corrupt_frames += 1
+                continue  # damaged in transit: dropped, the host resends
+            except Exception as error:  # malformed at the source
+                self.protocol_errors += 1
+                await gem_end.send(
+                    protocol.encode_error(type(error).__name__, str(error))
+                )
+                continue
+            self.requests += 1
+            if obs is not None:
+                obs.registry.inc("frontdoor.requests")
+            cached = executor.lookup_replay(frame)
+            if cached is not None:
+                # answered from the replay window without re-entering
+                # admission: a resend is not new load
+                self.replays += 1
+                await gem_end.send(cached)
+                continue
+            if frame.seq is not None and (frame.channel, frame.seq) in inflight:
+                # a duplicate of work still queued: its response is
+                # already coming, and admitting it again would apply it
+                # twice — the in-flight gap the replay window can't see
+                self.suppressed_duplicates += 1
+                if obs is not None:
+                    obs.registry.inc("frontdoor.suppressed_duplicates")
+                continue
+            refused = executor.gate(frame)
+            if refused is not None:
+                self._count_shed(refused)
+                await gem_end.send(executor.seal(frame, refused))
+                continue
+            depth = queue.qsize() + 1
+            if depth > self.max_queue_depth:
+                self.max_queue_depth = depth
+            if obs is not None:
+                obs.registry.set_gauge("frontdoor.queue_depth", depth)
+            self.queued += 1
+            if frame.seq is not None:
+                inflight.add((frame.channel, frame.seq))
+            # bounded: parks the reader (and transitively the client's
+            # send) once `window` requests are in flight on this session
+            await queue.put((frame, time.perf_counter()))
+            # NB: the reader keeps draining after a LOGOUT — if the
+            # LOGOUT response is lost in transit, the resend must find
+            # someone to replay it; only a closed link ends the loop
+
+    async def _dispatch(self, executor: Executor, gem_end, queue, inflight) -> None:
+        """Execution stage: dequeue → re-check deadline → apply → seal."""
+        obs = self.obs
+        while True:
+            frame, enqueued_at = await queue.get()
+            try:
+                # the dequeue-time deadline re-check: work that expired
+                # while it queued is shed with a typed frame, never run
+                late = executor.deadline_frame(frame)
+                if late is not None:
+                    self.shed_deadline += 1
+                    if obs is not None:
+                        obs.registry.inc("frontdoor.shed_deadline")
+                    response, request_id = late, None
+                else:
+                    response, request_id = executor.apply(frame)
+                sealed = executor.seal(frame, response, request_id)
+                # sealed into the replay window *before* the in-flight
+                # key is dropped: duplicates are covered at every instant
+                inflight.discard((frame.channel, frame.seq))
+                await gem_end.send(sealed)
+                if obs is not None:
+                    obs.registry.observe(
+                        "frontdoor.latency_ms",
+                        (time.perf_counter() - enqueued_at) * 1000.0,
+                    )
+            except ProtocolError:
+                return  # the link died under us; serve() cleans up
+            finally:
+                queue.task_done()
+
+    def _count_shed(self, refused: bytes) -> None:
+        kind = refused[0] if refused else 0
+        if kind == FrameType.OVERLOADED:
+            self.shed_overload += 1
+            if self.obs is not None:
+                self.obs.registry.inc("frontdoor.shed_overload")
+        else:
+            self.shed_deadline += 1
+            if self.obs is not None:
+                self.obs.registry.inc("frontdoor.shed_deadline")
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self) -> dict:
+        """JSON-ready counters for the ``frontdoor`` snapshot section."""
+        return {
+            "links_served": self.links_served,
+            "active_links": self.active_links,
+            "window": self.window,
+            "replay_window": self.replay_window,
+            "requests": self.requests,
+            "queued": self.queued,
+            "replays": self.replays,
+            "suppressed_duplicates": self.suppressed_duplicates,
+            "shed_overload": self.shed_overload,
+            "shed_deadline": self.shed_deadline,
+            "corrupt_frames": self.corrupt_frames,
+            "protocol_errors": self.protocol_errors,
+            "max_queue_depth": self.max_queue_depth,
+        }
+
+
+__all__ = ["FrontDoor", "DEFAULT_SESSION_WINDOW"]

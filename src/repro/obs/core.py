@@ -49,6 +49,7 @@ class Observability:
             threshold_ms=slow_query_threshold_ms,
         )
         self._admissions: list[Any] = []
+        self._frontdoors: list[Any] = []
         self._live_sessions: "weakref.WeakSet[Any]" = weakref.WeakSet()
         self._retired_caches = dict.fromkeys(_SESSION_CACHE_KEYS, 0)
         self._retired_budget = {"queries": 0, "kills": 0}
@@ -69,6 +70,46 @@ class Observability:
         """An Executor attaches its admission controller for reporting."""
         if controller is not None and controller not in self._admissions:
             self._admissions.append(controller)
+
+    def register_frontdoor(self, frontdoor: Any) -> None:
+        """An async front door attaches itself for snapshot reporting."""
+        if frontdoor is not None and frontdoor not in self._frontdoors:
+            self._frontdoors.append(frontdoor)
+
+    def frontdoor_report(self) -> dict[str, Any]:
+        """Every registered front door's counters, summed, plus latency.
+
+        The latency distribution comes from the shared
+        ``frontdoor.latency_ms`` histogram (bucketed, so the p50/p90/p99
+        quantiles survive aggregation).
+        """
+        totals = {
+            "doors": len(self._frontdoors),
+            "links_served": 0,
+            "active_links": 0,
+            "requests": 0,
+            "queued": 0,
+            "replays": 0,
+            "suppressed_duplicates": 0,
+            "shed_overload": 0,
+            "shed_deadline": 0,
+            "corrupt_frames": 0,
+            "protocol_errors": 0,
+            "max_queue_depth": 0,
+        }
+        for door in self._frontdoors:
+            report = door.report()
+            for key in totals:
+                if key in ("doors", "max_queue_depth"):
+                    continue
+                totals[key] += report.get(key, 0)
+            totals["max_queue_depth"] = max(
+                totals["max_queue_depth"], report.get("max_queue_depth", 0)
+            )
+        totals["latency_ms"] = self.registry.histogram(
+            "frontdoor.latency_ms"
+        ).summary()
+        return totals
 
     def register_session(self, session: Any) -> None:
         """Track a live session (weakly: a leaked session cannot pin us)."""
@@ -214,7 +255,11 @@ class Observability:
             }
         caches["sessions"] = self.session_cache_totals()
         slowest = self.slow_queries.slowest(slow)
+        extra: dict[str, Any] = {}
+        if self._frontdoors:
+            extra["frontdoor"] = self.frontdoor_report()
         return {
+            **extra,
             "transactions": transactions,
             "caches": caches,
             "storage": storage,

@@ -18,7 +18,9 @@ one registry lock.  Handles (:class:`Counter`, :class:`Gauge`,
 
 from __future__ import annotations
 
+import math
 import threading
+from bisect import bisect_right
 from typing import Any, Optional
 
 
@@ -58,14 +60,32 @@ class Gauge:
         return f"<Gauge {self.name}={self.value}>"
 
 
-class Histogram:
-    """A streaming summary: count, sum, min, max (and the mean).
+def _make_bounds() -> tuple[float, ...]:
+    """Geometric bucket bounds: 0.01 → ~10⁵, ratio 1.25 (≤12% error)."""
+    bounds = []
+    edge = 0.01
+    while edge < 1e5:
+        bounds.append(edge)
+        edge *= 1.25
+    return tuple(bounds)
 
-    Enough to publish per-span wall-time distributions without keeping
-    samples; the trace ring buffer holds the raw recent spans.
+
+class Histogram:
+    """A streaming summary: count, sum, min, max, mean — and quantiles.
+
+    Values are also tallied into fixed geometric buckets (ratio 1.25,
+    spanning five decades above 0.01), so :meth:`quantile` answers p50,
+    p90 and p99 with bounded relative error without keeping samples —
+    the front door's p99 latency is read straight from here.  The trace
+    ring buffer still holds raw recent spans.
     """
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum", "_lock")
+    __slots__ = (
+        "name", "count", "total", "minimum", "maximum", "_lock", "_buckets"
+    )
+
+    #: shared upper-bound table (the last bucket is a catch-all)
+    BOUNDS: tuple[float, ...] = _make_bounds()
 
     def __init__(self, name: str, lock: threading.Lock) -> None:
         self.name = name
@@ -74,6 +94,7 @@ class Histogram:
         self.minimum: Optional[float] = None
         self.maximum: Optional[float] = None
         self._lock = lock
+        self._buckets: Optional[list[int]] = None  # allocated on first use
 
     def observe(self, value: float) -> None:
         with self._lock:
@@ -83,6 +104,37 @@ class Histogram:
                 self.minimum = value
             if self.maximum is None or value > self.maximum:
                 self.maximum = value
+            if self._buckets is None:
+                self._buckets = [0] * (len(self.BOUNDS) + 1)
+            self._buckets[bisect_right(self.BOUNDS, value)] += 1
+
+    def quantile(self, q: float) -> float:
+        """An upper-bound estimate of the *q*-quantile (0 < q ≤ 1).
+
+        Deliberately lock-free, like :meth:`summary`: callers include
+        :meth:`MetricsRegistry.snapshot`, which already holds the shared
+        registry lock, and single reads of counters are safe under the
+        GIL (a concurrent observe skews the estimate by one sample).
+        """
+        buckets = self._buckets
+        if not self.count or buckets is None:
+            return 0.0
+        target = max(1, math.ceil(q * self.count))
+        seen = 0
+        for index, tally in enumerate(buckets):
+            seen += tally
+            if seen >= target:
+                if index >= len(self.BOUNDS):
+                    return self.maximum if self.maximum is not None else 0.0
+                # clamp to the observed extremes: tighter than the
+                # bucket edge for narrow distributions
+                bound = self.BOUNDS[index]
+                if self.maximum is not None:
+                    bound = min(bound, self.maximum)
+                if self.minimum is not None:
+                    bound = max(bound, self.minimum)
+                return bound
+        return self.maximum if self.maximum is not None else 0.0
 
     def summary(self) -> dict[str, Any]:
         return {
@@ -91,6 +143,9 @@ class Histogram:
             "min": self.minimum,
             "max": self.maximum,
             "mean": self.total / self.count if self.count else 0.0,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
         }
 
     def __repr__(self) -> str:

@@ -33,6 +33,7 @@ from typing import Callable, Optional
 from ..errors import GemStoneError, LinkCorruption, ProtocolError, RetryableError
 from ..executor import protocol
 from ..executor.protocol import Frame, FrameType
+from ..executor.replay import ReplayWindow
 
 #: replay-cache entries a server keeps per link
 _REPLAY_CACHE_SIZE = 64
@@ -163,9 +164,13 @@ class ReplayServer:
     def __init__(self, handler: Callable[[Frame], bytes]) -> None:
         self.handler = handler
         self.frames_served = 0
-        self.replays = 0
         self.corrupt_dropped = 0
-        self._responses: dict[tuple[Optional[int], int], bytes] = {}
+        self._replay = ReplayWindow(_REPLAY_CACHE_SIZE)
+
+    @property
+    def replays(self) -> int:
+        """Duplicates answered from the replay window, not re-applied."""
+        return self._replay.replays
 
     def serve(self, link_end) -> None:
         """Drain every pending frame on *link_end*, answering each."""
@@ -192,16 +197,13 @@ class ReplayServer:
             self.frames_served += 1
 
     def _respond(self, frame: Frame) -> bytes:
-        key = (frame.channel, frame.seq)
-        if frame.seq is not None and key in self._responses:
-            self.replays += 1
-            return self._responses[key]  # resend: replay, don't re-apply
+        cached = self._replay.lookup(frame.channel, frame.seq)
+        if cached is not None:
+            return cached  # resend: replay, don't re-apply
         try:
             response = self.handler(frame)
         except GemStoneError as error:
             response = protocol.encode_error(type(error).__name__, str(error))
         if frame.seq is not None:
-            self._responses[key] = response
-            while len(self._responses) > _REPLAY_CACHE_SIZE:
-                self._responses.pop(next(iter(self._responses)))
+            self._replay.store(frame.channel, frame.seq, response)
         return response

@@ -142,6 +142,34 @@ def render_snapshot(snap: dict[str, Any], width: int = 72) -> str:
                 + ("" if worker.get("alive", True) else "  [DOWN]")
             )
 
+    front = snap.get("frontdoor", {})
+    if front:
+        lines += _section(
+            f"front door ({front.get('doors', 0)} doors, "
+            f"{front.get('links_served', 0)} links served)"
+        )
+        lines.append(
+            f"  requests {front.get('requests', 0)}"
+            f"  queued {front.get('queued', 0)}"
+            f"  replays {front.get('replays', 0)}"
+            f"  active links {front.get('active_links', 0)}"
+            f"  max queue depth {front.get('max_queue_depth', 0)}"
+        )
+        lines.append(
+            f"  shed: overload {front.get('shed_overload', 0)}"
+            f"  deadline {front.get('shed_deadline', 0)}"
+            f"  corrupt frames {front.get('corrupt_frames', 0)}"
+            f"  protocol errors {front.get('protocol_errors', 0)}"
+        )
+        latency = front.get("latency_ms", {})
+        if latency.get("count"):
+            lines.append(
+                f"  latency: p50 {latency.get('p50', 0.0):.3f} ms"
+                f"  p90 {latency.get('p90', 0.0):.3f} ms"
+                f"  p99 {latency.get('p99', 0.0):.3f} ms"
+                f"  (n={latency.get('count', 0)})"
+            )
+
     gov = snap.get("governance", {})
     lines += _section("governance")
     admission = gov.get("admission", {})

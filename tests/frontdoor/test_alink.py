@@ -1,0 +1,131 @@
+"""The awaitable duplex link: framing, flow control, close semantics."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.frontdoor import make_async_link
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestFraming:
+    def test_frames_round_trip_in_order(self):
+        async def scenario():
+            a, b = make_async_link()
+            await a.send(b"hello")
+            await a.send(b"world")
+            assert await b.receive() == b"hello"
+            assert await b.receive() == b"world"
+            assert a.frames_sent == 2
+
+        run(scenario())
+
+    def test_duplex_directions_are_independent(self):
+        async def scenario():
+            a, b = make_async_link()
+            await a.send(b"ping")
+            await b.send(b"pong")
+            assert await b.receive() == b"ping"
+            assert await a.receive() == b"pong"
+
+        run(scenario())
+
+    def test_empty_frame_survives(self):
+        async def scenario():
+            a, b = make_async_link()
+            await a.send(b"")
+            assert await b.receive() == b""
+
+        run(scenario())
+
+    def test_poll_returns_buffered_frame_or_none(self):
+        async def scenario():
+            a, b = make_async_link()
+            assert b.poll() is None
+            await a.send(b"queued")
+            assert b.poll() == b"queued"
+            assert b.poll() is None
+
+        run(scenario())
+
+
+class TestFlowControl:
+    def test_send_parks_until_reader_drains(self):
+        """A bounded link exerts back-pressure: the writer must park
+        once the buffer fills, and resume when the reader catches up."""
+
+        async def scenario():
+            a, b = make_async_link(capacity=64)
+            sent = []
+
+            async def writer():
+                for index in range(20):
+                    await a.send(bytes(32))  # 36 bytes framed
+                    sent.append(index)
+
+            task = asyncio.get_running_loop().create_task(writer())
+            await asyncio.sleep(0)
+            assert len(sent) < 20  # parked against the 64-byte cap
+            received = 0
+            while received < 20:
+                frame = await b.receive()
+                assert frame == bytes(32)
+                received += 1
+            await task
+            assert len(sent) == 20
+
+        run(scenario())
+
+
+class TestClose:
+    def test_receive_returns_none_after_close_and_drain(self):
+        async def scenario():
+            a, b = make_async_link()
+            await a.send(b"last")
+            a.close()
+            assert await b.receive() == b"last"
+            assert await b.receive() is None
+            assert b.peer_closed
+
+        run(scenario())
+
+    def test_close_wakes_a_parked_reader(self):
+        async def scenario():
+            a, b = make_async_link()
+
+            async def reader():
+                return await b.receive()
+
+            task = asyncio.get_running_loop().create_task(reader())
+            await asyncio.sleep(0)
+            a.close()
+            assert await task is None
+
+        run(scenario())
+
+    def test_send_after_close_raises_typed_error(self):
+        async def scenario():
+            a, b = make_async_link()
+            a.close()
+            with pytest.raises(ProtocolError):
+                await a.send(b"too late")
+
+        run(scenario())
+
+    def test_truncated_tail_on_closed_link_is_typed(self):
+        """A partial frame stranded by a close must surface as a
+        ProtocolError, never hang or silently vanish."""
+
+        async def scenario():
+            a, b = make_async_link()
+            # write a frame header promising more bytes than arrive
+            await a._out.write(b"\x10\x00\x00\x00half")
+            a.close()
+            with pytest.raises(ProtocolError):
+                await b.receive()
+
+        run(scenario())
