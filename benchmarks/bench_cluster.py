@@ -1,0 +1,239 @@
+"""The distributed cluster: socket round trips and process scale-out.
+
+Two measurements of what `repro.net` + `repro.shard.procs` cost and
+buy (`docs/networking.md`):
+
+1. **Socket RTT** — one synchronous host round trip (a tiny OPAL
+   statement) over a real localhost TCP connection to a served front
+   door, reported as p50/p99 milliseconds.  This is the per-request
+   tax the paper's host↔GemStone channel pays once the link is a
+   kernel socket instead of an in-memory pipe.
+2. **Multiprocess commit throughput, 1→4 workers** — a preloaded
+   catalog is partitioned across N worker *processes* (each on its own
+   `FileDisk` platter, every frame crossing TCP), and one driver
+   thread per shard commits single-shard transactions against its own
+   worker.  Throughput must rise monotonically from one worker to
+   four: each worker persists a store 1/N the size, and N workers
+   overlap their commit work in separate processes.
+
+Run the experiment:  python benchmarks/bench_cluster.py
+CI smoke subset:     python benchmarks/bench_cluster.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import threading
+import time
+
+from repro.bench import Table
+from repro.db import GemStone
+from repro.frontdoor.server import FrontDoor
+from repro.net import TcpHostConnection, serve_frontdoor, server_port
+from repro.shard.partition import shard_of
+from repro.shard.procs import ProcCluster
+
+FULL = dict(rtt_samples=400, preload=600, commits=50,
+            shard_counts=(1, 2, 4), repeats=3)
+SMOKE = dict(rtt_samples=120, preload=400, commits=30,
+             shard_counts=(1, 2, 4), repeats=3)
+
+#: neighbouring worker counts must not regress beyond timer jitter
+_TOLERANCE = 0.95
+
+
+# -- socket round trips ----------------------------------------------------
+
+
+class _ServedDoor:
+    """A front door listening on localhost from its own loop thread."""
+
+    def __init__(self) -> None:
+        self.database = GemStone.create(track_count=2_048, track_size=1024)
+        self.door = FrontDoor(self.database)
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, daemon=True
+        )
+        self._thread.start()
+        self.server = asyncio.run_coroutine_threadsafe(
+            serve_frontdoor(self.door), self._loop
+        ).result(5)
+        self.port = server_port(self.server)
+
+    def close(self) -> None:
+        async def _shutdown():
+            self.server.close()
+            await self.server.wait_closed()
+            await self.door.close()
+
+        asyncio.run_coroutine_threadsafe(_shutdown(), self._loop).result(5)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(5)
+        self._loop.close()
+
+
+def measure_rtt(samples: int) -> dict[str, float]:
+    """Per-request wall times for a minimal statement over TCP."""
+    served = _ServedDoor()
+    try:
+        connection = TcpHostConnection("127.0.0.1", served.port)
+        connection.login("DataCurator", "swordfish")
+        connection.execute("1 + 1")  # warm the session and the path
+        times = []
+        for _ in range(samples):
+            start = time.perf_counter()
+            connection.execute("1 + 1")
+            times.append((time.perf_counter() - start) * 1000.0)
+        connection.logout()
+        connection.close()
+    finally:
+        served.close()
+    times.sort()
+    return {
+        "p50": times[len(times) // 2],
+        "p99": times[min(len(times) - 1, int(len(times) * 0.99))],
+        "mean": sum(times) / len(times),
+        "samples": float(samples),
+    }
+
+
+# -- multiprocess commit throughput ----------------------------------------
+
+
+def _keys_for_shard(shard_id: int, shards: int, count: int,
+                    prefix: str) -> list[str]:
+    """*count* keys that all route to *shard_id* under *shards* workers."""
+    keys, probe = [], 0
+    while len(keys) < count:
+        key = f"{prefix}{probe}"
+        if shard_of(key, shards) == shard_id:
+            keys.append(key)
+        probe += 1
+    return keys
+
+
+def measure_once(shards: int, preload: int, commits: int) -> float:
+    """Single-shard commits/s: one driver thread per worker process."""
+    cluster = ProcCluster(shard_count=shards)
+    try:
+        loader = cluster.login()
+        for i in range(preload):
+            loader.execute(f"World!p{i} := {i}")
+            if i % 20 == 19:
+                loader.commit()
+        loader.commit()
+
+        sessions = [cluster.login() for _ in range(shards)]
+        key_sets = [
+            _keys_for_shard(s, shards, commits, f"m{s}x")
+            for s in range(shards)
+        ]
+        errors: list[BaseException] = []
+
+        def drive(shard_id: int) -> None:
+            session, keys = sessions[shard_id], key_sets[shard_id]
+            try:
+                for j, key in enumerate(keys):
+                    session.execute(f"World!{key} := {j}")
+                    session.commit()
+            except BaseException as error:  # surfaced after the join
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=drive, args=(s,)) for s in range(shards)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        if errors:
+            raise errors[0]
+        return shards * commits / elapsed
+    finally:
+        cluster.close()
+
+
+def measure(shards: int, preload: int, commits: int, repeats: int) -> float:
+    """Best of *repeats* fresh clusters — the least-interfered-with run."""
+    return max(
+        measure_once(shards, preload, commits) for _ in range(repeats)
+    )
+
+
+def run_scale(preload: int, commits: int, shard_counts,
+              repeats: int) -> dict[int, float]:
+    return {
+        shards: measure(shards, preload, commits, repeats)
+        for shards in shard_counts
+    }
+
+
+def check_monotone(throughput: dict[int, float]) -> None:
+    counts = sorted(throughput)
+    for previous, current in zip(counts, counts[1:]):
+        assert throughput[current] >= throughput[previous] * _TOLERANCE, (
+            f"throughput regressed {previous}→{current} workers: "
+            f"{throughput[previous]:.0f} → {throughput[current]:.0f} commits/s"
+        )
+    assert throughput[counts[-1]] > throughput[counts[0]], (
+        "process scale-out bought nothing: "
+        f"{throughput[counts[0]]:.0f} commits/s at {counts[0]} worker(s) vs "
+        f"{throughput[counts[-1]]:.0f} at {counts[-1]}"
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small, fast configuration")
+    args = parser.parse_args(argv)
+    params = dict(SMOKE if args.smoke else FULL)
+
+    rtt = measure_rtt(params.pop("rtt_samples"))
+    rtt_table = Table(
+        f"socket round trip, localhost TCP "
+        f"({int(rtt['samples'])} samples)",
+        ["quantile", "ms"],
+    )
+    rtt_table.add("p50", f"{rtt['p50']:.3f}")
+    rtt_table.add("p99", f"{rtt['p99']:.3f}")
+    rtt_table.add("mean", f"{rtt['mean']:.3f}")
+    rtt_table.note("one SEQ envelope each way through the framer, the "
+                   "HELLO-bound session executor, and back")
+    rtt_table.show()
+
+    throughput = run_scale(**params)
+    counts = sorted(throughput)
+    base = throughput[counts[0]]
+    table = Table(
+        f"commit throughput vs worker processes "
+        f"({params['preload']}-binding catalog, "
+        f"{params['commits']} commits per worker, TCP + FileDisk)",
+        ["workers", "commits/s", "speedup vs 1"],
+    )
+    for shards in counts:
+        table.add(shards, f"{throughput[shards]:.0f}",
+                  f"{throughput[shards] / base:.2f}x")
+    table.note("each worker process persists a catalog 1/N the size "
+               "and commits overlap across processes")
+    table.show()
+    check_monotone(throughput)
+    return {
+        "rtt_ms_p50": round(rtt["p50"], 3),
+        "rtt_ms_p99": round(rtt["p99"], 3),
+        "proc_throughput": {
+            str(shards): round(throughput[shards], 1) for shards in counts
+        },
+        "ablations": [{
+            "name": "proc_scale_out",
+            "speedup": round(throughput[counts[-1]] / base, 3),
+        }],
+    }
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .cluster import run_cluster_case, run_cluster_range
 from .differential import PlanMemo, run_differential_case
 from .generate import generate_case
 from .report import describe_case
@@ -31,7 +32,8 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="case index; omit to soak a whole range")
     parser.add_argument(
         "--oracle",
-        choices=("differential", "temporal", "schedule", "sharded"),
+        choices=("differential", "temporal", "schedule", "sharded",
+                 "cluster"),
         default="differential",
     )
     parser.add_argument(
@@ -112,6 +114,22 @@ def _run_sharded(args) -> int:
     return 1
 
 
+def _run_cluster(args) -> int:
+    report = run_cluster_case(args.seed, args.case)
+    if report.ok:
+        print(
+            f"ok: seed={args.seed} case={args.case} "
+            f"{report.statements} statements agree across the baseline, "
+            f"the in-process cluster, and real worker processes "
+            f"({report.commits} commits, "
+            f"{report.cross_shard_commits} cross-shard)"
+        )
+        return 0
+    for mismatch in report.mismatches:
+        print(mismatch.describe())
+    return 1
+
+
 def _run_schedule(args) -> int:
     report = run_schedule_case(_database(), args.seed, args.case)
     if report.ok:
@@ -129,6 +147,19 @@ def _run_schedule(args) -> int:
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.case is None:
+        if args.oracle == "cluster":
+            report = run_cluster_range(args.seed, args.cases)
+            if report.ok:
+                print(
+                    f"ok: seed={args.seed} cases={args.cases} "
+                    f"{report.statements} statements agree across all "
+                    f"three stacks ({report.commits} commits, "
+                    f"{report.cross_shard_commits} cross-shard)"
+                )
+                return 0
+            for mismatch in report.mismatches:
+                print(mismatch.describe())
+            return 1
         metrics = run_soak(args.seed, diff_cases=args.cases)
         for key, value in sorted(metrics.items()):
             if key != "problem_details":
@@ -140,6 +171,8 @@ def main(argv=None) -> int:
         return _run_temporal(args)
     if args.oracle == "sharded":
         return _run_sharded(args)
+    if args.oracle == "cluster":
+        return _run_cluster(args)
     return _run_schedule(args)
 
 

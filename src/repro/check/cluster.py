@@ -1,0 +1,165 @@
+"""Multiprocess differential: real worker processes vs in-process paths.
+
+:mod:`repro.check.sharded` proves the in-process sharded cluster is
+transparent against one monolithic GemStone.  This oracle extends the
+chain one more (much less forgiving) link: the same seeded workload is
+run down **three** stacks —
+
+1. the baseline: one in-process GemStone,
+2. the in-process cluster: ``ShardedGemStone`` over in-memory links,
+3. the real thing: ``ProcCluster`` — worker *processes* on ``FileDisk``
+   platters, every frame crossing a real TCP socket —
+
+and every observable (statement values, printStrings, commit outcomes,
+final bindings) must be byte-identical across all three.  Anything the
+transport, the process boundary, or the durable platter changes about
+an answer is a divergence, reproduced with ``python -m repro.check
+--oracle cluster --seed N --case K``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..db import GemStone
+from ..shard import ShardedGemStone
+from ..shard.procs import ProcCluster
+from .report import reproducer_command
+from .sharded import _POOL, _observe, generate_shard_workload
+
+
+@dataclass
+class ClusterMismatch:
+    """One divergence between the three execution stacks."""
+
+    seed: int
+    case: int
+    transaction: int
+    what: str
+    baseline: Any
+    inprocess: Any
+    cluster: Any
+
+    def describe(self) -> str:
+        return (
+            f"cluster divergence in transaction {self.transaction}: "
+            f"{self.what}\n"
+            f"  baseline:   {self.baseline!r}\n"
+            f"  in-process: {self.inprocess!r}\n"
+            f"  processes:  {self.cluster!r}\n"
+            f"  reproduce: "
+            f"{reproducer_command(self.seed, self.case, oracle='cluster')}"
+        )
+
+
+@dataclass
+class ClusterDifferentialReport:
+    """The outcome of one three-way case."""
+
+    seed: int
+    case: int
+    shards: int
+    statements: int = 0
+    commits: int = 0
+    cross_shard_commits: int = 0
+    mismatches: list[ClusterMismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def run_cluster_case(
+    seed: int,
+    case: int,
+    *,
+    shards: int = 2,
+    transactions: int = 8,
+    registry=None,
+) -> ClusterDifferentialReport:
+    """One seeded workload down all three stacks, compared observable
+    by observable."""
+    report = ClusterDifferentialReport(seed=seed, case=case, shards=shards)
+    workload = generate_shard_workload(
+        seed, case, shards=shards, transactions=transactions
+    )
+    baseline = GemStone.create()
+    inprocess = ShardedGemStone(shard_count=shards)
+    cluster = ProcCluster(shard_count=shards)
+
+    def note(transaction: int, what: str, base, inproc, multi) -> None:
+        report.mismatches.append(ClusterMismatch(
+            seed=seed, case=case, transaction=transaction,
+            what=what, baseline=base, inprocess=inproc, cluster=multi,
+        ))
+        if registry is not None:
+            registry.inc("check.cluster.mismatches")
+
+    try:
+        for t, statements in enumerate(workload):
+            base = _observe(baseline.login(), statements)
+            inproc = _observe(inprocess.login(), statements)
+            multi = _observe(cluster.login(), statements)
+            report.statements += len(statements)
+            if registry is not None:
+                registry.inc("check.cluster.statements", len(statements))
+            if not base["outcome"] == inproc["outcome"] == multi["outcome"]:
+                note(t, "commit outcome",
+                     base["outcome"], inproc["outcome"], multi["outcome"])
+                continue
+            if base["outcome"] == "committed":
+                report.commits += 1
+            for i, (b, s, m) in enumerate(
+                zip(base["results"], inproc["results"], multi["results"])
+            ):
+                if not b[0] == s[0] == m[0]:
+                    note(t, f"statement {i} value ({statements[i]!r})",
+                         b[0], s[0], m[0])
+                elif not b[1] == s[1] == m[1]:
+                    note(t, f"statement {i} display ({statements[i]!r})",
+                         b[1], s[1], m[1])
+
+        # the final state: every binding in the pool must agree
+        base_reader = baseline.login()
+        inproc_reader = inprocess.login()
+        multi_reader = cluster.login()
+        for key in (f"sd{case}k{i}" for i in range(_POOL)):
+            b = base_reader.execute(f"World!{key}")
+            s = inproc_reader.execute(f"World!{key}")
+            m = multi_reader.execute(f"World!{key}")
+            if not b == s == m:
+                note(-1, f"final value of World!{key}", b, s, m)
+
+        report.cross_shard_commits = cluster.cross_shard_commits
+        if cluster.cross_shard_commits != inprocess.cross_shard_commits:
+            note(
+                -1, "cross-shard commit count",
+                "-", inprocess.cross_shard_commits,
+                cluster.cross_shard_commits,
+            )
+    finally:
+        cluster.close()
+    return report
+
+
+def run_cluster_range(
+    seed: int,
+    cases: int,
+    *,
+    shards: int = 2,
+    transactions: int = 8,
+    registry=None,
+) -> ClusterDifferentialReport:
+    """Fold *cases* consecutive case indices into one report."""
+    folded = ClusterDifferentialReport(seed=seed, case=0, shards=shards)
+    for case in range(cases):
+        one = run_cluster_case(
+            seed, case, shards=shards, transactions=transactions,
+            registry=registry,
+        )
+        folded.statements += one.statements
+        folded.commits += one.commits
+        folded.cross_shard_commits += one.cross_shard_commits
+        folded.mismatches.extend(one.mismatches)
+    return folded

@@ -52,7 +52,6 @@ from ..errors import (
     TransactionConflict,
 )
 from ..opal.interpreter import OpalEngine
-from ..opal.kernel import print_string
 from . import protocol
 from .link import LinkEnd, make_link
 from .protocol import Frame, FrameType
@@ -205,7 +204,8 @@ class Executor:
             try:
                 tx_time = self._session.commit()
                 self._note_outcome(failed=False)
-                return protocol.encode_committed(tx_time)
+                # an empty sharded transaction commits without a tx_time
+                return protocol.encode_committed(tx_time if tx_time is not None else 0)
             except TransactionConflict:
                 # contention, not system failure: the breaker stays shut
                 return protocol.encode_simple(FrameType.CONFLICT)
@@ -308,7 +308,10 @@ class Executor:
         except GemStoneError as error:
             return protocol.encode_error(type(error).__name__, str(error))
         self._note_outcome(failed=False)
-        display = print_string(self._session.session, value)
+        # the session renders its own display: a GemSession printStrings
+        # through its object manager, a ShardedSession relays the wire
+        # display its shard already produced
+        display = self._session.display(value)
         return protocol.encode_result(value, display)
 
 
@@ -412,7 +415,11 @@ class HostConnection:
             except ProtocolError:
                 self.reconnect()
                 self.host_end.send(wrapped)
-            self.executor.serve(self._gem_end)
+            if self._gem_end is not None:
+                # in-memory links are half-duplex queues: pump the
+                # server side ourselves; socket links (gem_end None)
+                # have a live server on the far side of the wire
+                self.executor.serve(self._gem_end)
             response = self._receive_matching(self._seq)
             if response is not None:
                 return response
@@ -446,6 +453,8 @@ class HostConnection:
                 frame = protocol.decode_frame(raw)
             except ProtocolError:
                 continue  # response damaged in transit: keep draining
+            if frame.type is FrameType.HELLO_OK:
+                continue  # unsequenced resume ack from a socket server
             if frame.seq is None or frame.seq == seq:
                 return frame
             # another request's response, delivered out of order:

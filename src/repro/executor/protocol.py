@@ -71,6 +71,11 @@ class FrameType(IntEnum):
     RESOLVED = 24
     SHARD_EXEC = 25
     SHARD_COMMIT = 26
+    # -- repro.net: TCP session resume + process status
+    HELLO = 27
+    HELLO_OK = 28
+    STATUS = 29
+    STATUS_REPORT = 30
 
 
 @dataclass(frozen=True)
@@ -264,6 +269,46 @@ def encode_shard_exec(gtid: str, source: str) -> bytes:
     return writer.getvalue()
 
 
+# -- real-socket session layer (repro.net) ----------------------------------
+#
+# A TCP connection can drop and be redialed, so the socket client opens
+# every connection with HELLO carrying a session-resume token.  The server
+# answers HELLO_OK (unsequenced) and binds the connection to the token's
+# executor — same session, same replay window — which is what makes
+# post-reconnect resends of unacked seqs land as replays instead of
+# double-applies.  STATUS/STATUS_REPORT is the worker-process health and
+# recovery probe (in-doubt gtids, window census) used by repro.shard.procs.
+
+
+def encode_hello(token: str) -> bytes:
+    """Open (or resume) the socket session identified by *token*."""
+    writer = Writer()
+    writer.raw(bytes([FrameType.HELLO]))
+    writer.string(token)
+    return writer.getvalue()
+
+
+def encode_hello_ok(token: str) -> bytes:
+    """The server bound this connection to *token*'s session."""
+    writer = Writer()
+    writer.raw(bytes([FrameType.HELLO_OK]))
+    writer.string(token)
+    return writer.getvalue()
+
+
+def encode_status() -> bytes:
+    """Ask a worker process for its recovery/health report."""
+    return bytes([FrameType.STATUS])
+
+
+def encode_status_report(payload: str) -> bytes:
+    """The worker's answer: a JSON document (in-doubt gtids, windows…)."""
+    writer = Writer()
+    writer.raw(bytes([FrameType.STATUS_REPORT]))
+    writer.string(payload)
+    return writer.getvalue()
+
+
 def encode_shard_commit(gtid: str) -> bytes:
     """Single-shard fast path: commit *gtid* locally, no 2PC."""
     writer = Writer()
@@ -422,4 +467,8 @@ def decode_frame(data: bytes) -> Frame:
     elif frame_type is FrameType.SHARD_EXEC:
         fields["gtid"] = reader.string()
         fields["source"] = reader.string()
+    elif frame_type in (FrameType.HELLO, FrameType.HELLO_OK):
+        fields["token"] = reader.string()
+    elif frame_type is FrameType.STATUS_REPORT:
+        fields["payload"] = reader.string()
     return Frame(frame_type, fields)

@@ -19,6 +19,7 @@ from .link import FaultyLink, make_faulty_link
 from .plan import FaultClock, FaultEvent, FaultPlan, FaultSpec
 from .resilience import ResilientDisk
 from .soak import SoakReport, SoakStep, build_workload, run_crash_sweep
+from .transport import FaultyTransport, SocketFaultSpec, TransportFaults
 
 __all__ = [
     "FaultClock",
@@ -27,9 +28,12 @@ __all__ = [
     "FaultSpec",
     "FaultyDisk",
     "FaultyLink",
+    "FaultyTransport",
     "ResilientDisk",
     "SoakReport",
     "SoakStep",
+    "SocketFaultSpec",
+    "TransportFaults",
     "build_workload",
     "make_faulty_link",
     "run_crash_sweep",

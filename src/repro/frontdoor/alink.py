@@ -123,6 +123,11 @@ class AsyncLinkEnd:
         """Close the outgoing direction (wakes a parked peer reader)."""
         self._out.close()
 
+    def abort(self) -> None:
+        """Hard-close both directions (a socket RST's in-memory twin)."""
+        self._out.close()
+        self._in.close()
+
     @property
     def peer_closed(self) -> bool:
         return self._in.closed

@@ -51,6 +51,7 @@ class AsyncHostConnection:
         clock=None,
         request_deadline: Optional[float] = None,
         channel: Optional[int] = None,
+        link_factory=None,
     ) -> None:
         if window < 1:
             raise ValueError("window must be at least 1")
@@ -70,19 +71,46 @@ class AsyncHostConnection:
         #: clock units after "now" each request stays worth serving
         self.request_deadline = request_deadline
         self.channel = channel
+        #: rebuilds the transport after a drop (an async factory; usually
+        #: :func:`repro.net.aio.stream_link_factory`, which re-dials and
+        #: re-sends the HELLO resume handshake); None = in-memory link,
+        #: no reconnect possible
+        self.link_factory = link_factory
         self.session_id: Optional[int] = None
         self.retries = 0
+        self.reconnects = 0
         self.overload_backoffs = 0
         self._seq = 0
         self._window = asyncio.Semaphore(window)
         self._send_lock = asyncio.Lock()
+        self._reconnect_lock = asyncio.Lock()
+        self._link_epoch = 0
+        self._closing = False
         self._pending: dict[int, asyncio.Future] = {}
         self._receiver: Optional[asyncio.Task] = None
 
     @classmethod
     async def open(cls, host_end, **kwargs) -> "AsyncHostConnection":
-        """Build a connection and start its receiver task."""
+        """Build a connection and start its receiver task.
+
+        *host_end* may be None when a ``link_factory`` is supplied; the
+        first transport is then dialed here.
+        """
         connection = cls(host_end, **kwargs)
+        if connection.host_end is None:
+            if connection.link_factory is None:
+                raise ValueError("host_end or link_factory is required")
+            # the wire can die during the HELLO itself (a faulty
+            # transport wraps the handshake too): same short redial
+            # ladder as _reconnect before giving up
+            for attempt in range(3):
+                try:
+                    connection.host_end = await connection.link_factory()
+                    break
+                except GemStoneError:
+                    if attempt == 2:
+                        raise
+                    await asyncio.sleep(0.02 * (attempt + 1))
         connection._receiver = asyncio.get_running_loop().create_task(
             connection._receive_loop()
         )
@@ -90,6 +118,7 @@ class AsyncHostConnection:
 
     async def close(self) -> None:
         """Stop the receiver and close the link."""
+        self._closing = True
         if self._receiver is not None:
             self._receiver.cancel()
             try:
@@ -97,7 +126,8 @@ class AsyncHostConnection:
             except asyncio.CancelledError:
                 pass
             self._receiver = None
-        self.host_end.close()
+        if self.host_end is not None:
+            self.host_end.close()
 
     # -- correlation ---------------------------------------------------------
 
@@ -109,7 +139,15 @@ class AsyncHostConnection:
             except GemStoneError:
                 continue  # truncated tail; senders will retry
             if raw is None:
-                return  # peer closed; in-flight requests time out
+                # peer closed: redial when we can (the server parks the
+                # session under our HELLO token; unacked seqs are resent
+                # by their waiting _complete tasks on the new transport,
+                # in seq order, and land as replays when already applied)
+                if self._closing or self.link_factory is None:
+                    return  # in-flight requests time out
+                if not await self._reconnect(self._link_epoch):
+                    return
+                continue
             try:
                 frame = protocol.decode_frame(raw)
             except GemStoneError:
@@ -120,6 +158,36 @@ class AsyncHostConnection:
             if future is not None and not future.done():
                 future.set_result(frame)
             # else: a replay for a seq already satisfied — drop it
+
+    # -- transport replacement ------------------------------------------------
+
+    async def _reconnect(self, seen_epoch: int) -> bool:
+        """Replace a dead transport; True once a live link is installed.
+
+        *seen_epoch* is the link epoch the caller observed when its send
+        or receive failed: if another task already swapped the transport
+        since, there is nothing to do — without this check concurrent
+        failures (the receive loop plus several retrying requests) would
+        each burn a perfectly good new connection.
+        """
+        async with self._reconnect_lock:
+            if self._link_epoch != seen_epoch or self._closing:
+                return self._link_epoch != seen_epoch
+            try:
+                self.host_end.close()
+            except GemStoneError:
+                pass
+            for attempt in range(3):
+                try:
+                    self.host_end = await self.link_factory()
+                    break
+                except GemStoneError:
+                    await asyncio.sleep(0.02 * (attempt + 1))
+            else:
+                return False
+            self._link_epoch += 1
+            self.reconnects += 1
+            return True
 
     # -- the pipelined request machinery -------------------------------------
 
@@ -147,7 +215,24 @@ class AsyncHostConnection:
                     asyncio.get_running_loop().create_future()
                 )
                 self._pending[seq] = future
-                await self.host_end.send(envelope)
+                # the fresh link may die under the very first send too
+                # (disconnect-mid-frame), so the initial transmission
+                # gets the same bounded reconnect ladder as resends
+                for _attempt in range(self.max_attempts):
+                    epoch = self._link_epoch
+                    try:
+                        await self.host_end.send(envelope)
+                        break
+                    except GemStoneError:
+                        if self.link_factory is None or not await self._reconnect(
+                            epoch
+                        ):
+                            raise
+                else:
+                    raise LinkTimeout(
+                        f"link kept dying while sending seq {seq} "
+                        f"({self.max_attempts} attempts)"
+                    )
         except BaseException:
             self._window.release()
             raise
@@ -163,13 +248,22 @@ class AsyncHostConnection:
             for attempt in range(self.max_attempts):
                 if attempt:
                     self.retries += 1
+                    epoch = self._link_epoch
                     try:
                         async with self._send_lock:
                             await self.host_end.send(envelope)
                     except GemStoneError as error:
-                        raise LinkTimeout(
-                            f"link closed while retrying seq {seq}"
-                        ) from error
+                        if self.link_factory is None or not await self._reconnect(
+                            epoch
+                        ):
+                            raise LinkTimeout(
+                                f"link closed while retrying seq {seq}"
+                            ) from error
+                        try:
+                            async with self._send_lock:
+                                await self.host_end.send(envelope)
+                        except GemStoneError:
+                            continue  # next attempt redials again
                 try:
                     return await asyncio.wait_for(
                         asyncio.shield(future), self.reply_timeout

@@ -93,14 +93,22 @@ async def _session(
     requests: int,
     window: int,
     deadline: Optional[float],
+    link_factory=None,
 ) -> None:
-    """One simulated host: login, a pipelined request mix, commit, logout."""
+    """One simulated host: login, a pipelined request mix, commit, logout.
+
+    With *link_factory* set (the ``--tcp`` mode) the session dials the
+    door's listening socket instead of attaching an in-memory link; the
+    factory re-handshakes on reconnect, so the replay discipline under
+    test is the same one real hosts get.
+    """
     connection = await AsyncHostConnection.open(
-        door.connect(),
+        None if link_factory is not None else door.connect(),
+        link_factory=link_factory,
         window=window,
         clock=clock,
         request_deadline=deadline,
-        reply_timeout=2.0,  # the in-memory link never loses frames
+        reply_timeout=2.0,  # localhost does not lose frames
     )
     try:
         await connection.login("DataCurator", "swordfish")
@@ -159,8 +167,14 @@ async def run_load(
     deadline: Optional[float] = None,
     track_count: int = 8_192,
     wall_limit: float = 300.0,
+    tcp: bool = False,
 ) -> dict[str, Any]:
-    """Run the open-loop ramp; returns the JSON-ready report."""
+    """Run the open-loop ramp; returns the JSON-ready report.
+
+    *tcp* serves the door on a localhost socket and has every session
+    dial it — each frame crosses a real kernel boundary, and the HELLO
+    resume handshake binds each connection to its session.
+    """
     clock = FaultClock()
     admission = AdmissionController(
         clock=clock,
@@ -170,14 +184,32 @@ async def run_load(
     )
     database = GemStone.create(track_count=track_count, track_size=1024)
     door = FrontDoor(database, admission=admission, window=window)
+    server = None
+    port = None
+    if tcp:
+        from ..net.aio import serve_frontdoor, server_port
+
+        server = await serve_frontdoor(
+            door, registry=database.obs.registry
+        )
+        port = server_port(server)
     tally = _Tally()
     started = time.perf_counter()
     tasks: list[asyncio.Task] = []
     loop = asyncio.get_running_loop()
     for index in range(sessions):
         rng = random.Random((seed << 16) ^ index)
+        link_factory = None
+        if tcp:
+            from ..net.aio import stream_link_factory
+
+            link_factory = stream_link_factory(
+                "127.0.0.1", port, f"lg{seed}.{index}",
+                registry=database.obs.registry,
+            )
         tasks.append(loop.create_task(_session(
-            index, door, clock, tally, rng, requests, window, deadline
+            index, door, clock, tally, rng, requests, window, deadline,
+            link_factory,
         )))
         # open loop: the next arrival is due 1/rate clock units later
         # whether or not anyone already here has been served
@@ -192,6 +224,9 @@ async def run_load(
     if still_running:
         await asyncio.gather(*still_running, return_exceptions=True)
     elapsed = time.perf_counter() - started
+    if server is not None:
+        server.close()
+        await server.wait_closed()
     await door.close()
     latency = database.obs.registry.histogram("frontdoor.latency_ms").summary()
     report = {
@@ -199,7 +234,7 @@ async def run_load(
             "sessions": sessions, "rate": rate, "requests": requests,
             "seed": seed, "window": window, "max_sessions": max_sessions,
             "queue_capacity": queue_capacity, "drain_rate": drain_rate,
-            "deadline": deadline,
+            "deadline": deadline, "transport": "tcp" if tcp else "memory",
         },
         "outcomes": tally.as_dict(),
         "frontdoor": door.report(),
@@ -240,6 +275,10 @@ def main(argv=None) -> int:
                         help="admission session-slot limit")
     parser.add_argument("--deadline", type=float, default=None,
                         help="per-request deadline in clock units")
+    parser.add_argument("--tcp", action="store_true",
+                        help="serve the door on a localhost socket and "
+                        "dial every session over real TCP (fd-hungry at "
+                        "full scale; pairs well with --smoke)")
     parser.add_argument("--smoke", action="store_true",
                         help="small, fast configuration")
     parser.add_argument("--json", action="store_true",
@@ -252,7 +291,7 @@ def main(argv=None) -> int:
             params[key] = value
     report = asyncio.run(run_load(
         seed=args.seed, window=args.window, deadline=args.deadline,
-        **params,
+        tcp=args.tcp, **params,
     ))
     if args.json:
         json.dump(report, sys.stdout, indent=2, default=str)

@@ -48,6 +48,29 @@ from .alink import AsyncLinkEnd, make_async_link
 #: can never outlive its cached response
 DEFAULT_SESSION_WINDOW = 8
 
+#: parked (resumable) sessions kept after their transport dropped; the
+#: oldest parked session beyond this is hung up for real
+DEFAULT_RESUMABLE_SESSIONS = 256
+
+
+class _Resumable:
+    """One token's session state, surviving transport drops.
+
+    ``parked`` is set while no connection is bound to the token; a
+    resume of a still-bound token aborts the old link and waits for its
+    serve loop to park before the new connection proceeds — that
+    ordering is what lets each serve use a fresh in-flight set without
+    racing the old dispatcher.
+    """
+
+    __slots__ = ("executor", "link", "parked")
+
+    def __init__(self, executor: Executor) -> None:
+        self.executor = executor
+        self.link = None
+        self.parked = asyncio.Event()
+        self.parked.set()
+
 
 class FrontDoor:
     """Multiplexes every host link of one database on one event loop."""
@@ -86,6 +109,11 @@ class FrontDoor:
         self.max_queue_depth = 0
         self.queued = 0
         self.suppressed_duplicates = 0
+        self.resumed_links = 0
+        self.max_resumable = DEFAULT_RESUMABLE_SESSIONS
+        #: HELLO token → parked-or-active session state (insertion order
+        #: doubles as resume recency for eviction)
+        self._sessions: dict[str, _Resumable] = {}
         self._tasks: set[asyncio.Task] = set()
 
     # -- wiring --------------------------------------------------------------
@@ -119,16 +147,43 @@ class FrontDoor:
                 await task
             except (asyncio.CancelledError, Exception):
                 pass
+        for entry in self._sessions.values():
+            entry.executor.hangup()
+        self._sessions.clear()
 
     # -- one link ------------------------------------------------------------
 
     async def serve(self, gem_end) -> None:
-        """Serve one host link until it closes or the session logs out."""
-        executor = Executor(
-            self.database,
-            admission=self.admission,
-            replay_window=self.replay_window,
-        )
+        """Serve one host link until it closes or the session logs out.
+
+        A socket link may open with ``HELLO(token)``: the connection is
+        then bound to that token's session — created on first sight,
+        *resumed* (same executor, same replay window) after a transport
+        drop — so the client's resends of unacked seqs replay instead
+        of re-applying.  Links that skip HELLO (the in-memory path) get
+        a throwaway session exactly as before.
+        """
+        token: Optional[str] = None
+        pending: Optional[bytes] = None
+        try:
+            first = await gem_end.receive()
+        except ProtocolError:
+            first = None
+        if first is not None:
+            token, pending = self._parse_hello(first)
+        entry: Optional[_Resumable] = None
+        parked: Optional[asyncio.Event] = None
+        if token is not None:
+            entry = await self._attach(token, gem_end)
+            parked = entry.parked
+            executor = entry.executor
+            await self._safe_send(gem_end, protocol.encode_hello_ok(token))
+        else:
+            executor = Executor(
+                self.database,
+                admission=self.admission,
+                replay_window=self.replay_window,
+            )
         queue: asyncio.Queue = asyncio.Queue(maxsize=self.window)
         # (channel, seq) keys enqueued but not yet sealed: the replay
         # window only covers *sealed* responses, so without this set a
@@ -143,7 +198,7 @@ class FrontDoor:
             self._dispatch(executor, gem_end, queue, inflight)
         )
         try:
-            await self._read(executor, gem_end, queue, inflight)
+            await self._read(executor, gem_end, queue, inflight, first=pending)
             await queue.join()  # drain admitted work before hanging up
         finally:
             dispatcher.cancel()
@@ -151,7 +206,14 @@ class FrontDoor:
                 await dispatcher
             except asyncio.CancelledError:
                 pass
-            executor.hangup()  # a dead link must free its session slot
+            if entry is not None:
+                # resumable: park the session for the next connection
+                # (hung up only if evicted); the event we set must be
+                # the one our _attach created — a resume may already
+                # have installed a fresh one for the next serve
+                parked.set()
+            else:
+                executor.hangup()  # a dead link must free its session slot
             gem_end.close()
             self.active_links -= 1
             if self.obs is not None:
@@ -159,16 +221,90 @@ class FrontDoor:
                     "frontdoor.active_links", self.active_links
                 )
 
-    async def _read(self, executor: Executor, gem_end, queue, inflight) -> None:
+    def _parse_hello(self, raw: bytes) -> tuple[Optional[str], Optional[bytes]]:
+        """Split a link's first frame into (resume token, leftover frame)."""
+        try:
+            frame = protocol.decode_frame(raw)
+        except Exception:
+            return None, raw  # let the read loop answer/count it
+        if frame.type is FrameType.HELLO:
+            return frame.fields["token"], None
+        return None, raw
+
+    async def _attach(self, token: str, gem_end) -> _Resumable:
+        """Bind *gem_end* to *token*'s session, resuming if it exists.
+
+        If the token is still bound to a live connection (the client
+        redialed before the server noticed the drop), the old link is
+        aborted and we wait for its serve loop to drain and park —
+        everything it admitted is sealed in the replay window before
+        the new connection reads a single frame.
+        """
+        entry = self._sessions.pop(token, None)
+        if entry is None:
+            entry = _Resumable(
+                Executor(
+                    self.database,
+                    admission=self.admission,
+                    replay_window=self.replay_window,
+                )
+            )
+        else:
+            if not entry.parked.is_set():
+                abort = getattr(entry.link, "abort", None)
+                if abort is not None:
+                    abort()
+                else:
+                    entry.link.close()
+                await entry.parked.wait()
+            self.resumed_links += 1
+            if self.obs is not None:
+                self.obs.registry.inc("net.reconnects")
+        entry.link = gem_end
+        entry.parked = asyncio.Event()
+        self._sessions[token] = entry
+        self._evict_parked()
+        return entry
+
+    def _evict_parked(self) -> None:
+        while len(self._sessions) > self.max_resumable:
+            for token, entry in list(self._sessions.items()):
+                if entry.parked.is_set():
+                    del self._sessions[token]
+                    entry.executor.hangup()
+                    break
+            else:
+                return  # every session is live: nothing to evict
+
+    @staticmethod
+    async def _safe_send(gem_end, data: bytes) -> bool:
+        """Send, treating a dead transport as 'response undeliverable'.
+
+        The response (when sequenced) is sealed in the replay window, so
+        a resumed connection's resend will still find it — losing the
+        send here loses nothing.
+        """
+        try:
+            await gem_end.send(data)
+            return True
+        except ProtocolError:
+            return False
+
+    async def _read(
+        self, executor: Executor, gem_end, queue, inflight, first: Optional[bytes] = None
+    ) -> None:
         """Arrival stage: decode, replay, admit, enqueue (or refuse)."""
         obs = self.obs
         while True:
-            try:
-                raw = await gem_end.receive()
-            except ProtocolError:
-                return  # truncated tail on a dying link
-            if raw is None:
-                return  # peer closed
+            if first is not None:
+                raw, first = first, None
+            else:
+                try:
+                    raw = await gem_end.receive()
+                except ProtocolError:
+                    return  # truncated tail on a dying link
+                if raw is None:
+                    return  # peer closed
             try:
                 frame = executor.decode(raw)
             except LinkCorruption:
@@ -176,9 +312,17 @@ class FrontDoor:
                 continue  # damaged in transit: dropped, the host resends
             except Exception as error:  # malformed at the source
                 self.protocol_errors += 1
-                await gem_end.send(
-                    protocol.encode_error(type(error).__name__, str(error))
-                )
+                if not await self._safe_send(
+                    gem_end, protocol.encode_error(type(error).__name__, str(error))
+                ):
+                    return
+                continue
+            if frame.type is FrameType.HELLO:
+                # a duplicated handshake frame mid-stream: ack and move on
+                if not await self._safe_send(
+                    gem_end, protocol.encode_hello_ok(frame.fields["token"])
+                ):
+                    return
                 continue
             self.requests += 1
             if obs is not None:
@@ -188,7 +332,8 @@ class FrontDoor:
                 # answered from the replay window without re-entering
                 # admission: a resend is not new load
                 self.replays += 1
-                await gem_end.send(cached)
+                if not await self._safe_send(gem_end, cached):
+                    return
                 continue
             if frame.seq is not None and (frame.channel, frame.seq) in inflight:
                 # a duplicate of work still queued: its response is
@@ -201,7 +346,8 @@ class FrontDoor:
             refused = executor.gate(frame)
             if refused is not None:
                 self._count_shed(refused)
-                await gem_end.send(executor.seal(frame, refused))
+                if not await self._safe_send(gem_end, executor.seal(frame, refused)):
+                    return
                 continue
             depth = queue.qsize() + 1
             if depth > self.max_queue_depth:
@@ -238,14 +384,17 @@ class FrontDoor:
                 # sealed into the replay window *before* the in-flight
                 # key is dropped: duplicates are covered at every instant
                 inflight.discard((frame.channel, frame.seq))
-                await gem_end.send(sealed)
+                # a dead transport must NOT end the dispatcher: the
+                # queue still holds admitted work whose effects belong
+                # in the replay window (and whose task_done()s unblock
+                # serve's queue.join()); undeliverable responses are
+                # replayed after the client resumes
+                await self._safe_send(gem_end, sealed)
                 if obs is not None:
                     obs.registry.observe(
                         "frontdoor.latency_ms",
                         (time.perf_counter() - enqueued_at) * 1000.0,
                     )
-            except ProtocolError:
-                return  # the link died under us; serve() cleans up
             finally:
                 queue.task_done()
 

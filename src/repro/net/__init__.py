@@ -1,0 +1,32 @@
+"""Real sockets for the host ↔ GemStone link (``docs/networking.md``).
+
+The in-memory ``repro.executor.link`` / ``repro.frontdoor.alink`` pipes
+model the paper's network channel; this package puts the same
+length-prefixed SEQ frames on actual TCP connections:
+
+- ``repro.net.tcp`` — blocking transport (``TcpLinkEnd``, ``dial``,
+  ``Listener``) with the exact ``LinkEnd`` surface, so the synchronous
+  ``HostConnection``/``RequestChannel`` machinery runs unchanged over a
+  socket.
+- ``repro.net.aio`` — asyncio transport (``StreamLink``,
+  ``open_stream_link``, ``serve_frontdoor``) matching the
+  ``AsyncLinkEnd`` surface, so ``FrontDoor`` can listen on a port.
+- ``repro.net.client`` — ``TcpHostConnection``, a ``HostConnection``
+  that dials, performs the HELLO resume handshake, and reconnects.
+"""
+
+from .aio import StreamLink, open_stream_link, serve_frontdoor, server_port, stream_link_factory
+from .client import TcpHostConnection
+from .tcp import Listener, TcpLinkEnd, dial
+
+__all__ = [
+    "Listener",
+    "StreamLink",
+    "TcpHostConnection",
+    "TcpLinkEnd",
+    "dial",
+    "open_stream_link",
+    "serve_frontdoor",
+    "server_port",
+    "stream_link_factory",
+]

@@ -111,6 +111,25 @@ class Observability:
         ).summary()
         return totals
 
+    def net_report(self) -> dict[str, Any]:
+        """Transport-level traffic: frames, bytes, connections, RTT.
+
+        Every socket link end (sync ``TcpLinkEnd`` or asyncio
+        ``StreamLink``) created with this registry feeds the ``net.*``
+        counters and the ``net.rtt_ms`` histogram; the section reports
+        them as one rollup for the whole process.
+        """
+        counters = self.registry.snapshot()["counters"]
+        return {
+            "connections": counters.get("net.connections", 0),
+            "reconnects": counters.get("net.reconnects", 0),
+            "frames_sent": counters.get("net.frames_sent", 0),
+            "frames_received": counters.get("net.frames_received", 0),
+            "bytes_sent": counters.get("net.bytes_sent", 0),
+            "bytes_received": counters.get("net.bytes_received", 0),
+            "rtt_ms": self.registry.histogram("net.rtt_ms").summary(),
+        }
+
     def register_session(self, session: Any) -> None:
         """Track a live session (weakly: a leaked session cannot pin us)."""
         self._live_sessions.add(session)
@@ -258,6 +277,13 @@ class Observability:
         extra: dict[str, Any] = {}
         if self._frontdoors:
             extra["frontdoor"] = self.frontdoor_report()
+        if any(
+            name.startswith("net.")
+            for name in self.registry.snapshot()["counters"]
+        ):
+            # only once a socket link end has actually moved traffic —
+            # in-memory deployments keep the all-memory snapshot shape
+            extra["net"] = self.net_report()
         return {
             **extra,
             "transactions": transactions,

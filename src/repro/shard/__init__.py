@@ -16,7 +16,14 @@ after restart and in-doubt resolution — zero committed-transaction
 loss, zero half-committed cross-shard state, and nothing left in doubt.
 ``python -m repro.shard --seed N --kill K`` replays any failure.
 
-See docs/sharding.md for the state machine and the recovery matrix.
+:mod:`repro.shard.procs` removes the last simplification: the same
+cluster with each worker a real OS process on its own ``FileDisk``
+platter, every frame crossing real TCP (:class:`ProcCluster`), and the
+same sweep at process level via :func:`run_proc_soak`
+(``python -m repro.shard.procs``).
+
+See docs/sharding.md for the state machine and the recovery matrix,
+and docs/networking.md for the process topology.
 """
 
 from .cluster import ShardedGemStone, ShardedSession
@@ -26,8 +33,21 @@ from .partition import route_statement, shard_of, statement_keys
 from .soak import ShardFailure, ShardSoakReport, WindowKiller, run_shard_soak
 from .worker import ShardWorker
 
+_PROC_NAMES = ("ProcCluster", "WorkerProc", "run_proc_soak")
+
+
+def __getattr__(name):
+    # lazy: ``python -m repro.shard.procs`` must not find the module
+    # already imported by its own package (runpy would warn)
+    if name in _PROC_NAMES:
+        from . import procs
+
+        return getattr(procs, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "DecisionLog",
+    "ProcCluster",
     "ShardFailure",
     "ShardSoakReport",
     "ShardWorker",
@@ -35,7 +55,9 @@ __all__ = [
     "ShardedSession",
     "TwoPhaseCoordinator",
     "WindowKiller",
+    "WorkerProc",
     "route_statement",
+    "run_proc_soak",
     "run_shard_soak",
     "shard_of",
     "statement_keys",

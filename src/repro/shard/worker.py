@@ -53,12 +53,17 @@ class ShardWorker:
         track_count: int = 1024,
         track_size: int = 512,
         killer=None,
+        fresh: bool = False,
     ) -> None:
         self.shard_id = shard_id
         if disk is None:
             disk = SimulatedDisk(
                 DiskGeometry(track_count=track_count, track_size=track_size)
             )
+            self.db = GemStone.create(disk=disk)
+        elif fresh:
+            # a caller-supplied but unformatted platter (e.g. a brand-new
+            # FileDisk in a worker process's own directory)
             self.db = GemStone.create(disk=disk)
         else:
             self.db = GemStone.open(disk)

@@ -28,6 +28,7 @@ from .codec import (
 )
 from .commit import CommitManager, decode_root_track, encode_root_track
 from .disk import DiskGeometry, DiskStats, SimulatedDisk
+from .filedisk import FileDisk
 from .linker import Creation, Linker, Write
 from .object_table import Location, ObjectTable, PAGE_SPAN
 from .replication import ReplicaHealth, ReplicatedDisk
@@ -41,6 +42,7 @@ __all__ = [
     "CommitManager",
     "Creation",
     "DiskGeometry",
+    "FileDisk",
     "DiskStats",
     "Fragment",
     "Linker",

@@ -170,6 +170,27 @@ def render_snapshot(snap: dict[str, Any], width: int = 72) -> str:
                 f"  (n={latency.get('count', 0)})"
             )
 
+    net = snap.get("net", {})
+    if net:
+        lines += _section(
+            f"network ({net.get('connections', 0)} connections, "
+            f"{net.get('reconnects', 0)} reconnects)"
+        )
+        lines.append(
+            f"  frames {net.get('frames_sent', 0)} out /"
+            f" {net.get('frames_received', 0)} in"
+            f"  bytes {net.get('bytes_sent', 0)} out /"
+            f" {net.get('bytes_received', 0)} in"
+        )
+        rtt = net.get("rtt_ms", {})
+        if rtt.get("count"):
+            lines.append(
+                f"  rtt: p50 {rtt.get('p50', 0.0):.3f} ms"
+                f"  p90 {rtt.get('p90', 0.0):.3f} ms"
+                f"  p99 {rtt.get('p99', 0.0):.3f} ms"
+                f"  (n={rtt.get('count', 0)})"
+            )
+
     gov = snap.get("governance", {})
     lines += _section("governance")
     admission = gov.get("admission", {})

@@ -1,0 +1,41 @@
+"""Loadgen over a real localhost socket server (satellite of repro.net).
+
+200 concurrent sessions dial the front door over TCP; the governance
+claim must hold unchanged across the kernel boundary — every session
+terminal, zero untyped errors, zero hung sessions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.frontdoor.loadgen import clean, run_load
+
+
+def test_tcp_loadgen_200_sessions_zero_untyped_zero_hung():
+    report = asyncio.run(run_load(
+        sessions=200,
+        rate=600.0,
+        requests=4,
+        max_sessions=48,
+        queue_capacity=256.0,
+        drain_rate=64.0,
+        track_count=2_048,
+        wall_limit=120.0,
+        tcp=True,
+    ))
+    assert clean(report), report["outcomes"]
+    assert report["config"]["transport"] == "tcp"
+    outcomes = report["outcomes"]
+    assert outcomes["untyped_errors"] == 0
+    assert outcomes["hung"] == 0
+    # the run did real work over the socket, not vacuous passes; any
+    # non-completed session must have ended in a *typed* outcome
+    assert outcomes["completed"] >= 150
+    terminal = sum(
+        outcomes[name]
+        for name in ("completed", "overloaded", "deadline",
+                     "link_timeouts", "typed_errors")
+    )
+    assert terminal == 200
+    assert outcomes["executes"] > 0

@@ -1,0 +1,63 @@
+"""The ``net`` observability section: schema-pinned and rendered.
+
+Socket link ends feed the ``net.*`` counters and the ``net.rtt_ms``
+histogram; once real traffic has moved, the snapshot grows an optional
+``net`` section whose shape is pinned by ``docs/observability_schema
+.json`` — and all-memory deployments must keep the section absent.
+"""
+
+import json
+import pathlib
+
+from repro.obs import Observability, validate
+from repro.shard.procs import ProcCluster
+from repro.tools.dashboard import render_snapshot
+
+SCHEMA_PATH = (
+    pathlib.Path(__file__).parent.parent.parent
+    / "docs"
+    / "observability_schema.json"
+)
+
+
+def worked_cluster() -> ProcCluster:
+    cluster = ProcCluster(shard_count=2)
+    session = cluster.login()
+    session.execute("World!netobs := 1")
+    session.commit()
+    return cluster
+
+
+class TestNetSection:
+    def test_section_appears_after_tcp_traffic_and_matches_schema(self):
+        schema = json.loads(SCHEMA_PATH.read_text())
+        cluster = worked_cluster()
+        try:
+            snapshot = cluster.obs.snapshot()
+        finally:
+            cluster.close()
+        net = snapshot["net"]
+        validate(net, schema["properties"]["net"])
+        # the cluster dialed one socket per worker per channel at least
+        assert net["connections"] >= 2
+        assert net["frames_sent"] > 0
+        assert net["frames_received"] > 0
+        assert net["bytes_sent"] > net["frames_sent"]  # framing overhead
+        assert net["rtt_ms"]["count"] > 0
+
+    def test_net_is_optional_at_the_top_level(self):
+        schema = json.loads(SCHEMA_PATH.read_text())
+        assert "net" in schema["properties"]
+        assert "net" not in schema["required"]
+        # an all-memory snapshot keeps the section absent
+        assert "net" not in Observability().snapshot()
+
+    def test_dashboard_renders_the_network_section(self):
+        cluster = worked_cluster()
+        try:
+            text = render_snapshot(cluster.obs.snapshot())
+        finally:
+            cluster.close()
+        assert "network (" in text
+        assert "reconnects" in text
+        assert "frames" in text

@@ -1,0 +1,182 @@
+"""Worker-crash matrix over real processes (satellite of repro.net).
+
+Each case SIGKILLs a real worker process at one named 2PC window — the
+wire windows around PREPARE/VOTE/DECIDE_ACK plus the durability
+windows inside the worker — then recovers the cluster and proves the
+decision log resolves every gtid: nothing stays in doubt, the killed
+transaction is atomically all-present or all-absent, an acked commit
+is never lost, and the recovered cluster still commits cross-shard.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GemStoneError
+from repro.shard.partition import shard_of
+from repro.shard.procs import ProcCluster, run_proc_soak
+from repro.shard.soak import WindowKiller
+
+VICTIM = 0
+
+#: every window a worker can die at, each (name, nth occurrence)
+WINDOWS = [
+    ("wire.prepare_received", 0),  # PREPARE arrived, nothing happened
+    ("prepare.before_persist", 0),  # validated, record not yet durable
+    ("prepare.after_persist", 0),  # record durable, vote never sent
+    ("wire.vote_sent", 0),  # vote on the wire, decision pending
+    ("decide.before_apply", 0),  # decision received, not yet applied
+    ("decide.after_apply", 0),  # applied durably, ack never sent
+    ("wire.decide_ack_sent", 0),  # ack on the wire, then death
+]
+
+
+def _cross_shard_keys(prefix: str, shards: int = 2) -> dict[int, str]:
+    """One key per shard, so the transaction is genuinely cross-shard."""
+    keys: dict[int, str] = {}
+    probe = 0
+    while len(keys) < shards:
+        key = f"{prefix}{probe}"
+        keys.setdefault(shard_of(key, shards), key)
+        probe += 1
+    return keys
+
+
+def _await_death(proc) -> bool:
+    if proc.process is not None:
+        proc.process.join(timeout=3.0)
+    return not proc.alive
+
+
+@pytest.mark.parametrize("window,nth", WINDOWS, ids=[w for w, _ in WINDOWS])
+def test_worker_sigkill_at_window_recovers(window, nth):
+    cluster = ProcCluster(
+        shard_count=2, worker_kill_windows={VICTIM: (window, nth)}
+    )
+    try:
+        keys = _cross_shard_keys("mx")
+        session = cluster.login()
+        acked = False
+        try:
+            for _shard, key in sorted(keys.items()):
+                session.execute(f"World!{key} := 'v_{key}'")
+            session.commit()
+            acked = True
+        except GemStoneError:
+            try:
+                session.abort()
+            except GemStoneError:
+                pass
+        assert _await_death(cluster.procs[VICTIM]), (
+            f"worker survived its armed window {window}"
+        )
+
+        cluster.recover()
+
+        # the decision log resolved every gtid: nothing left in doubt
+        for shard_id in range(cluster.shard_count):
+            status = cluster.status(shard_id)
+            assert status["in_doubt"] == []
+            assert status["durable_prepared"] == []
+
+        # atomicity (and zero acked loss)
+        checker = cluster.login()
+        values = {
+            key: checker.execute(f"World!{key}") for key in keys.values()
+        }
+        checker.abort()
+        landed = [k for k, v in values.items() if v == f"v_{k}"]
+        assert len(landed) in (0, len(values)), (
+            f"half-committed after {window}: {values}"
+        )
+        if acked:
+            assert len(landed) == len(values), (
+                f"acked transaction lost after {window}: {values}"
+            )
+
+        # liveness: the recovered cluster commits fresh cross-shard work
+        live = cluster.login()
+        for _shard, key in sorted(_cross_shard_keys("lv").items()):
+            live.execute(f"World!{key} := 'alive'")
+        live.commit()
+    finally:
+        cluster.close()
+
+
+def test_coordinator_death_resolves_from_log():
+    """Kill the coordinator right after the decision persist: the client
+    is told in-doubt, and recovery must land the logged commit."""
+    killer = WindowKiller(None)
+    # find the coord.after_decision_persist window index with a dry run
+    cluster = ProcCluster(shard_count=2, coordinator_killer=killer)
+    try:
+        session = cluster.login()
+        for _shard, key in sorted(_cross_shard_keys("dry").items()):
+            session.execute(f"World!{key} := 'x'")
+        session.commit()
+        target = next(
+            i for i, (name, _v) in enumerate(killer.log)
+            if name == "coord.after_decision_persist"
+        )
+    finally:
+        cluster.close()
+
+    cluster = ProcCluster(
+        shard_count=2, coordinator_killer=WindowKiller(target)
+    )
+    try:
+        keys = _cross_shard_keys("cd")
+        session = cluster.login()
+        for _shard, key in sorted(keys.items()):
+            session.execute(f"World!{key} := 'v_{key}'")
+        with pytest.raises(GemStoneError):
+            session.commit()
+        assert not cluster.coordinator.alive
+
+        cluster.recover()  # restarts the coordinator from its log file
+
+        checker = cluster.login()
+        values = {
+            key: checker.execute(f"World!{key}") for key in keys.values()
+        }
+        checker.abort()
+        assert all(values[k] == f"v_{k}" for k in values), (
+            f"logged commit not delivered after coordinator restart: {values}"
+        )
+        assert cluster.in_doubt() == {}
+    finally:
+        cluster.close()
+
+
+def test_sigterm_drains_cleanly():
+    """SIGTERM is a graceful drain: exit 0, platter intact."""
+    cluster = ProcCluster(shard_count=2)
+    try:
+        session = cluster.login()
+        for _shard, key in sorted(_cross_shard_keys("dr").items()):
+            session.execute(f"World!{key} := 'kept'")
+        session.commit()
+    finally:
+        exitcodes = cluster.close(drain=True, cleanup=False)
+    assert exitcodes == [0, 0]
+
+    # the drained platters reopen with the committed state
+    import shutil
+
+    recovered = ProcCluster(shard_count=2, base_dir=cluster.base_dir)
+    try:
+        checker = recovered.login()
+        for key in _cross_shard_keys("dr").values():
+            assert checker.execute(f"World!{key}") == "kept"
+        checker.abort()
+    finally:
+        recovered.close()
+        shutil.rmtree(cluster.base_dir, ignore_errors=True)
+
+
+def test_proc_sweep_smoke():
+    """A strided slice of the full SIGKILL sweep stays invariant-clean."""
+    report = run_proc_soak(stride=7)
+    assert report.ok, [f.describe() for f in report.failures]
+    assert report.kill_points_run >= 5
+    assert report.liveness_commits == report.kill_points_run
